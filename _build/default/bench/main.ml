@@ -1,0 +1,590 @@
+(* The experiment harness: one entry per figure / theorem / baseline
+   comparison of the paper (see DESIGN.md section 5 for the index, and
+   EXPERIMENTS.md for recorded paper-vs-measured results).
+
+     dune exec bench/main.exe            -- run every experiment (series mode)
+     dune exec bench/main.exe -- f3 t4   -- run selected experiments
+     dune exec bench/main.exe -- bechamel -- Bechamel micro-benchmarks *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module QP = Moq_poly.Qpoly
+module Qpiece = Moq_poly.Piecewise.Qpiece
+module T = Moq_mod.Trajectory
+module U = Moq_mod.Update
+module DB = Moq_mod.Mobdb
+module Oid = Moq_mod.Oid
+
+module BX = Moq_core.Backend.Exact
+module BF = Moq_core.Backend.Approx
+module EX = Moq_core.Engine.Make (BX)
+module EF = Moq_core.Engine.Make (BF)
+module KnnX = Moq_core.Knn.Make (BX)
+module KnnF = Moq_core.Knn.Make (BF)
+module MonF = Moq_core.Monitor.Make (BF)
+module Fof = Moq_core.Fof
+module Gdist = Moq_core.Gdist
+module NaiveF = Moq_baseline.Naive.Make (BF)
+module SR = Moq_baseline.Song_roussopoulos
+module LazyF = Moq_baseline.Lazy_eval.Make (BF)
+module LH = Moq_dstruct.Leftist_heap
+module BH = Moq_dstruct.Bin_heap
+module Gen = Moq_workload.Gen
+module Scenario = Moq_workload.Scenario
+module Cql = Moq_cql.Cql
+module Cql_ex = Moq_cql.Cql_examples
+module Turing = Moq_decide.Turing
+module Reduction = Moq_decide.Reduction
+
+let q = Q.of_int
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* median of [reps] timings, first result *)
+let timed ?(reps = 3) f =
+  let runs = List.init reps (fun _ -> time_once f) in
+  let times = List.sort compare (List.map fst runs) in
+  (List.nth times (reps / 2), snd (List.hd runs))
+
+let header id title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "==============================================================\n"
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* F1: Figure 1 / Example 9 -- interception time is a quadratic        *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  header "F1" "Figure 1 / Example 9: t_delta^2 is a quadratic polynomial of t";
+  let target = T.linear ~start:(q 0) ~a:(Qvec.of_list [ q 5; q 0 ]) ~b:(Qvec.of_list [ q 10; q 0 ]) in
+  row "pursuer start   velocity  v_max | t_delta^2(t)                                degree\n";
+  List.iter
+    (fun (bx, by, ax, ay, vmax) ->
+      let tr = T.linear ~start:(q 0) ~a:(Qvec.of_list [ q ax; q ay ]) ~b:(Qvec.of_list [ q bx; q by ]) in
+      let g = Gdist.intercept_time_sq ~gamma:target ~target_speed:(q 5) ~speed:(q vmax) in
+      let poly, _ = Qpiece.piece_covering (Gdist.curve g tr) (q 0) in
+      row "(%3d,%3d)      (%2d,%2d)    %2d   | %-42s  %d\n" bx by ax ay vmax
+        (QP.to_string poly) (QP.degree poly))
+    [ (0, 10, 1, 0, 6); (40, -5, 0, 1, 9); (-30, 0, 1, 1, 12); (0, -20, 2, 2, 7) ];
+  row "paper: t_delta^2 = c2 t^2 + c1 t + c0 (quadratic) -- all degrees above must be <= 2\n"
+
+(* ------------------------------------------------------------------ *)
+(* F2: Figure 2 -- updates move/cancel the expected crossing           *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () =
+  header "F2" "Figure 2: chdir at A cancels crossing D; chdir at B creates earlier crossing C";
+  let c1, c2 = Scenario.figure2_curves () in
+  let eng = EX.create ~start:(q 0) ~horizon:(q 20) [ (EX.Obj (1, 0), c1); (EX.Obj (2, 0), c2) ] in
+  let log_events label upto =
+    let points = ref [] in
+    EX.advance eng ~upto ~emit:(function
+      | EX.Point i -> points := BX.instant_to_float i :: !points
+      | EX.Span _ -> ());
+    row "%-44s events: [%s]\n" label
+      (String.concat "; " (List.rev_map (Printf.sprintf "%g") !points))
+  in
+  row "initially o2 is closer; expected crossing D at t = 8\n";
+  log_events "advance to A = 3 (no events expected)" (q 3);
+  EX.replace_curve eng ~at:(q 3) (EX.Obj (1, 0)) (Scenario.figure2_o1_after_a c1);
+  row "chdir(o1) at A = 3: crossing at D is cancelled\n";
+  log_events "advance to B = 5 (no events expected)" (q 5);
+  EX.replace_curve eng ~at:(q 5) (EX.Obj (2, 0)) (Scenario.figure2_o2_after_b c2);
+  row "chdir(o2) at B = 5: new crossing expected at C = 7 < D = 8\n";
+  log_events "advance to 20" (q 20);
+  let nearest =
+    match EX.first_n eng 1 with
+    | [ e ] -> Format.asprintf "%a" EX.pp_label (EX.label e)
+    | _ -> "?"
+  in
+  row "after C the closer object is %s (paper: o1 closer again)\n" nearest
+
+(* ------------------------------------------------------------------ *)
+(* F3: Figure 3 / Example 12 -- the paper's full 2-NN trace            *)
+(* ------------------------------------------------------------------ *)
+
+let f3 () =
+  header "F3" "Figure 3 / Example 12: 2-NN over [0,40], update (chdir o1) at t = 20";
+  let o1, o2, o3, o4 = Scenario.example12_curves () in
+  let eng =
+    EX.create ~start:(q 0) ~horizon:(q 40)
+      [ (EX.Obj (1, 0), o1); (EX.Obj (2, 0), o2); (EX.Obj (3, 0), o3); (EX.Obj (4, 0), o4) ]
+  in
+  let order () =
+    String.concat " < "
+      (List.map (fun e -> Format.asprintf "%a" EX.pp_label (EX.label e)) (EX.order eng))
+  in
+  let twonn () =
+    String.concat ","
+      (List.map (Printf.sprintf "o%d") (Oid.Set.elements (KnnX.answer_span eng 2)))
+  in
+  row "t = 0 : order %s; 2-NN = {%s}   (paper: o4 < o3 < o2 < o1, answer {o3,o4})\n"
+    (order ()) (twonn ());
+  let emit = function
+    | EX.Point i ->
+      row "t = %-6g: event; order now %s; 2-NN = {%s}\n" (BX.instant_to_float i) (order ())
+        (twonn ())
+    | EX.Span _ -> ()
+  in
+  EX.advance eng ~upto:(q 20) ~emit;
+  row "t = 20    : update chdir(o1) -- event at 24 deleted, earlier crossing inserted\n";
+  EX.replace_curve eng ~at:(q 20) (EX.Obj (1, 0)) (Scenario.example12_o1_after_chdir o1);
+  EX.advance eng ~upto:(q 40) ~emit;
+  row "paper's narrative: events at 8 (o3,o4), 10 (o1,o2), 17 (o3,o4), then 22 (moved from 24), 31\n";
+  let s = EX.stats eng in
+  row "stats: %d crossings, %d swaps, %d batches; queue <= N at all times (Lemma 9)\n"
+    s.EX.crossings s.EX.swaps s.EX.batches
+
+(* ------------------------------------------------------------------ *)
+(* P1: Proposition 1 -- CQL evaluation is polynomial in the MOD size   *)
+(* ------------------------------------------------------------------ *)
+
+let p1 () =
+  header "P1" "Proposition 1: CQL (Example 3 'entering') evaluation time vs N";
+  row "%8s %12s %14s %10s\n" "N" "time (s)" "time/N (ms)" "answered";
+  List.iter
+    (fun n ->
+      let db = ref (DB.empty ~dim:2 ~tau:(q 0)) in
+      let st = Random.State.make [| n |] in
+      for i = 1 to n do
+        let b = Qvec.of_list [ q (-Random.State.int st 50 - 1); q (Random.State.int st 12 - 6) ] in
+        let a = Qvec.of_list [ q (1 + Random.State.int st 3); q (Random.State.int st 3 - 1) ] in
+        db := DB.add_initial !db i (T.linear ~start:(q 0) ~a ~b)
+      done;
+      let region = Cql_ex.box [ (q 0, q 40); (q (-5), q 5) ] in
+      let query = Cql_ex.entering ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+      let t, ans = timed ~reps:1 (fun () -> Cql.answer !db query) in
+      row "%8d %12.4f %14.4f %10d\n" n t (1000.0 *. t /. float_of_int n) (List.length ans))
+    [ 16; 32; 64; 128; 256; 512 ];
+  row "paper: polynomial in MOD size -- time/N stays bounded (linear data complexity here)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T2: Theorem 2 -- undecidability reduction, executable               *)
+(* ------------------------------------------------------------------ *)
+
+let t2 () =
+  header "T2" "Theorem 2: 'is this query past?' embeds TM halting";
+  let check name m bounds =
+    List.iter
+      (fun b ->
+        let t, past = timed ~reps:1 (fun () -> Reduction.is_past_up_to m ~max_steps:b) in
+        row "%-18s bound %6d: query still past? %-5b   (%.4fs)\n" name b past t)
+      bounds
+  in
+  check "busy-beaver-3" (Turing.busy_beaver_3 ()) [ 5; 12; 13; 50 ];
+  check "loop-forever" (Turing.loop_forever ()) [ 100; 10000 ];
+  row "the halting machine flips to 'not past' exactly when its halting computation fits the\n";
+  row "bound; the looping machine stays 'past' for every bound -- no algorithm decides the limit\n"
+
+(* ------------------------------------------------------------------ *)
+(* T4: past queries in O((m + N) log N)                                *)
+(* ------------------------------------------------------------------ *)
+
+let t4 () =
+  header "T4" "Past k-NN sweep: O((m+N) log N) -- scaling in N (m ~ 2N) and in m (N fixed)";
+  let run_inversions ~n ~inv =
+    let db = Gen.inversions_db ~seed:(n + inv) ~n ~inversions:inv ~horizon:(q 1000) in
+    timed (fun () -> KnnF.run ~db ~gdist:(Gdist.coordinate 0) ~k:2 ~lo:(q 0) ~hi:(q 1000))
+  in
+  row "-- N sweep (m = 2N):\n%8s %8s %12s %20s\n" "N" "m" "time (s)" "us/((m+N)logN)";
+  List.iter
+    (fun n ->
+      let t, r = run_inversions ~n ~inv:(2 * n) in
+      let m = r.KnnF.stats.KnnF.E.swaps in
+      row "%8d %8d %12.4f %20.4f\n" n m t
+        (t /. (float_of_int (m + n) *. log (float_of_int n)) *. 1e6))
+    [ 64; 128; 256; 512; 1024; 2048 ];
+  row "-- m sweep (N = 512):\n%8s %8s %12s %20s\n" "N" "m" "time (s)" "us/((m+N)logN)";
+  List.iter
+    (fun inv ->
+      let t, r = run_inversions ~n:512 ~inv in
+      let m = r.KnnF.stats.KnnF.E.swaps in
+      row "%8d %8d %12.4f %20.4f\n" 512 m t
+        (t /. (float_of_int (m + 512) *. log 512.0) *. 1e6))
+    [ 0; 512; 2048; 8192; 32768 ];
+  row "paper: the normalized column should stay roughly flat across both sweeps\n"
+
+(* ------------------------------------------------------------------ *)
+(* T5a: future-query initialization in O(N log N)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Support-maintenance-only monitor (materialize:false): Theorems 5 and 10
+   bound the support maintenance, not the answer materialization. *)
+let nearest_monitor_f db =
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 1000)) in
+  MonF.create ~materialize:false ~db ~gdist ~query ()
+
+let t5a () =
+  header "T5a" "Theorem 5(1): monitor initialization vs N -- O(N log N)";
+  row "%8s %12s %18s\n" "N" "time (s)" "us/(N logN)";
+  List.iter
+    (fun n ->
+      let db = Gen.uniform_db ~seed:n ~n () in
+      let t, _ = timed (fun () -> nearest_monitor_f db) in
+      row "%8d %12.4f %18.4f\n" n t (t /. (float_of_int n *. log (float_of_int n)) *. 1e6))
+    [ 128; 256; 512; 1024; 2048; 4096 ];
+  row "paper: normalized column flat => O(N log N) initialization\n"
+
+(* ------------------------------------------------------------------ *)
+(* T5b: per-update maintenance -- O(m log N), O(log N) when m bounded  *)
+(* ------------------------------------------------------------------ *)
+
+let t5b () =
+  header "T5b" "Theorem 5(2) / Corollary 6: per-update cost";
+  (* Corollary 6 assumes the number of support changes between updates is
+     bounded: the inversions workload fixes the TOTAL number of crossings,
+     so per-update m stays constant as N grows. *)
+  row "-- N sweep (sparse workload: support changes per update stay bounded):\n";
+  row "%8s %17s %12s %12s\n" "N" "avg update (us)" "us/logN" "crossings";
+  List.iter
+    (fun n ->
+      (* objects widely separated in height with zero velocity; each chdir
+         gives one object a tiny slope, producing O(1) crossings per update
+         regardless of N *)
+      let db = ref (DB.empty ~dim:1 ~tau:(q 0)) in
+      for i = 1 to n do
+        db :=
+          DB.add_initial !db i
+            (T.linear ~start:(q 0) ~a:(Qvec.of_list [ q 0 ])
+               ~b:(Qvec.of_list [ q (i * 1000) ]))
+      done;
+      let db = !db in
+      let gdist = Gdist.coordinate 0 in
+      let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 1000)) in
+      let m = MonF.create ~materialize:false ~db ~gdist ~query () in
+      let updates = Gen.chdir_stream ~seed:(n + 1) ~db ~start:(q 0) ~gap:(q 5) ~count:100 ~speed:1 () in
+      let t, () = timed ~reps:1 (fun () -> List.iter (MonF.apply_update_exn m) updates) in
+      let per = t /. 100.0 *. 1e6 in
+      row "%8d %17.2f %12.2f %12d\n" n per
+        (per /. log (float_of_int n))
+        (MonF.stats m).MonF.E.crossings)
+    [ 128; 256; 512; 1024; 2048; 4096; 8192 ];
+  row "-- gap sweep (N = 512, dense uniform workload; larger gap => more events per update):\n";
+  row "%8s %17s %12s\n" "gap" "avg update (us)" "crossings";
+  List.iter
+    (fun gap ->
+      let db = Gen.uniform_db ~seed:99 ~n:512 () in
+      let m = nearest_monitor_f db in
+      let updates = Gen.chdir_stream ~seed:100 ~db ~start:(q 0) ~gap:(q gap) ~count:50 () in
+      let t, () = timed ~reps:1 (fun () -> List.iter (MonF.apply_update_exn m) updates) in
+      row "%8d %17.2f %12d\n" gap (t /. 50.0 *. 1e6) (MonF.stats m).MonF.E.crossings)
+    [ 1; 2; 4; 8; 16 ];
+  row "paper: with bounded m the per-update cost grows only like log N (first table);\n";
+  row "with growing gaps the cost tracks m, the events per update (second table)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T10: chdir on the query trajectory in O(N)                          *)
+(* ------------------------------------------------------------------ *)
+
+let t10 () =
+  header "T10" "Theorem 10: query-trajectory chdir is O(N) (engine rebuild vs sort-based re-init)";
+  (* Isolate the engine-level operation: both variants get the SAME already-
+     built curves, so curve construction (O(N) in both) is excluded; what
+     remains is Theorem 10's claim -- rebuilding the pending events without
+     re-sorting vs initializing with a sort. *)
+  let module E = EF in
+  row "%8s %15s %15s %12s %12s %12s\n" "N" "rebuild (us)" "re-init (us)" "cmp rebuild" "cmp re-init" "cmp ratio";
+  List.iter
+    (fun n ->
+      let db = Gen.uniform_db ~seed:n ~n () in
+      let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+      let gamma' = T.chdir gamma (q 10) (Qvec.of_list [ q 1; q 1 ]) in
+      let curves g =
+        List.map
+          (fun (o, tr) ->
+            (E.Obj (o, 0), BF.curve_of_qpiece (Gdist.curve (Gdist.euclidean_sq ~gamma:g) tr)))
+          (DB.objects db)
+      in
+      let c0 = curves gamma and c1 = curves gamma' in
+      let tbl = Hashtbl.create (List.length c1) in
+      List.iter (fun (lbl, c) -> Hashtbl.replace tbl lbl c) c1;
+      let eng = E.create ~start:0.0 ~horizon:1000.0 c0 in
+      let cmp_before = (E.stats eng).E.comparisons in
+      let t_chdir, () =
+        time_once (fun () ->
+            E.replace_all_curves eng ~at:0.0 (fun e ->
+                Option.value ~default:(E.curve e) (Hashtbl.find_opt tbl (E.label e))))
+      in
+      let cmp_rebuild = (E.stats eng).E.comparisons - cmp_before in
+      let t_reinit, eng2 = timed (fun () -> E.create ~start:0.0 ~horizon:1000.0 c1) in
+      let cmp_reinit = (E.stats eng2).E.comparisons in
+      row "%8d %15.2f %15.2f %12d %12d %12.2f\n" n (t_chdir *. 1e6) (t_reinit *. 1e6)
+        cmp_rebuild cmp_reinit
+        (float_of_int cmp_reinit /. float_of_int (max 1 cmp_rebuild)))
+    [ 512; 1024; 2048; 4096; 8192; 16384 ];
+  row "paper's cost model excludes intersection computation: in comparisons, the rebuild is\n";
+  row "O(N) while re-initialization sorts in O(N log N) -- the cmp ratio grows like log N.\n";
+  row "(wall-clock is dominated by the O(N) intersection computations both variants share)\n"
+
+(* ------------------------------------------------------------------ *)
+(* B1: sweep vs naive re-evaluation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let b1 () =
+  header "B1" "Sweep vs naive re-evaluation (all-pairs intersections + full re-sort per event)";
+  row "%8s %12s %12s %10s\n" "N" "sweep (s)" "naive (s)" "speedup";
+  List.iter
+    (fun n ->
+      let db = Gen.inversions_db ~seed:n ~n ~inversions:(2 * n) ~horizon:(q 1000) in
+      let gdist = Gdist.coordinate 0 in
+      let t_sweep, _ = timed (fun () -> KnnF.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000)) in
+      let t_naive, _ =
+        timed ~reps:1 (fun () -> NaiveF.knn_run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000))
+      in
+      row "%8d %12.4f %12.4f %9.1fx\n" n t_sweep t_naive (t_naive /. t_sweep))
+    [ 32; 64; 128; 256; 512 ];
+  row "paper: the sweep examines adjacent pairs only; the gap must widen with N\n"
+
+(* ------------------------------------------------------------------ *)
+(* B2: Song-Roussopoulos re-search misses exchanges (Figure 2)         *)
+(* ------------------------------------------------------------------ *)
+
+let b2 () =
+  header "B2" "[26]-style periodic re-search vs sweep: fraction of time with a wrong answer";
+  let db = Gen.uniform_db ~seed:4 ~n:64 ~extent:200 ~speed:8 () in
+  let gamma = T.linear ~start:(q 0) ~a:(Qvec.of_list [ q 3; q 1 ]) ~b:(Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let sweep = KnnF.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 100) in
+  let truth t = KnnF.TL.find_at sweep.KnnF.timeline t in
+  row "%10s %22s\n" "period" "mismatch fraction";
+  List.iter
+    (fun period ->
+      let samples = SR.run ~db ~gamma ~k:2 ~lo:(q 0) ~hi:(q 100) ~period () in
+      let miss = SR.mismatch_fraction ~truth ~samples ~lo:0.0 ~hi:100.0 ~probes:4000 in
+      row "%10.2f %22.4f\n" period miss)
+    [ 50.0; 20.0; 10.0; 5.0; 2.0; 1.0; 0.5 ];
+  row "%10s %22.4f   (the sweep tracks every exchange)\n" "sweep" 0.0;
+  row "paper (Fig. 2): between re-searches the result 'may soon become incorrect'; the error\n";
+  row "only vanishes as the period shrinks toward the inter-event gap (brute-force resampling)\n"
+
+(* ------------------------------------------------------------------ *)
+(* B3: eager monitor vs lazy evaluation                                *)
+(* ------------------------------------------------------------------ *)
+
+let b3 () =
+  header "B3" "Eager (monitor) vs lazy (sweep when asked): latency of the final answer";
+  (* the monitored query is within-distance (quantifier-free), so answer
+     materialization is O(N) per support change for both strategies; the
+     latency difference is purely WHEN the work happens *)
+  row "%8s %8s %16s %19s %15s\n" "N" "updates" "eager total (s)" "eager max/upd (us)" "lazy final (s)";
+  List.iter
+    (fun n ->
+      let db = Gen.uniform_db ~seed:n ~n () in
+      let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+      let gdist = Gdist.euclidean_sq ~gamma in
+      let query =
+        Fof.within_q ~bound:(q 250000) ~interval:(Fof.Interval.closed (q 0) (q 200))
+      in
+      let updates = Gen.chdir_stream ~seed:(n + 1) ~db ~start:(q 0) ~gap:(q 2) ~count:80 () in
+      let eager = MonF.create ~db ~gdist ~query () in
+      let lazy_ = LazyF.create ~db ~gdist ~query in
+      let max_upd = ref 0.0 and total = ref 0.0 in
+      List.iter
+        (fun u ->
+          let t, () = time_once (fun () -> MonF.apply_update_exn eager u) in
+          LazyF.apply_update_exn lazy_ u;
+          total := !total +. t;
+          if t > !max_upd then max_upd := t)
+        updates;
+      let t_fin, _ = time_once (fun () -> MonF.finalize eager) in
+      let t_lazy, _ = timed ~reps:1 (fun () -> LazyF.answer lazy_) in
+      row "%8d %8d %16.4f %19.2f %15.4f\n" n (List.length updates) (!total +. t_fin)
+        (!max_upd *. 1e6) t_lazy)
+    [ 64; 128; 256 ];
+  row "paper (Sec. 3): lazy pays the whole sweep at answer time; eager spreads the same work\n";
+  row "across updates -- compare 'eager max/upd' against 'lazy final'\n"
+
+(* ------------------------------------------------------------------ *)
+(* A1: Lemma 9's deletable leftist heap vs a plain binary heap         *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  header "A1" "Lemma 9 ablation: deletable leftist heap vs binary heap with stale events";
+  (* Simulated sweep pattern: N pending events; repeatedly pop the minimum,
+     invalidate two random pending events (an adjacency change), insert two
+     fresh ones.  The leftist heap deletes by handle; the binary heap keeps
+     stale entries and filters them on pop. *)
+  let simulate_lh n rounds =
+    let st = Random.State.make [| n |] in
+    let t = LH.create ~cmp:Float.compare in
+    let handles = Array.init n (fun i -> LH.insert t (Random.State.float st 1000.0) i) in
+    for _ = 1 to rounds do
+      (match LH.pop_min t with Some _ -> () | None -> ());
+      for _ = 1 to 2 do
+        let i = Random.State.int st n in
+        LH.delete t handles.(i);
+        handles.(i) <- LH.insert t (Random.State.float st 1000.0) i
+      done
+    done;
+    LH.length t
+  in
+  let simulate_bh n rounds =
+    let st = Random.State.make [| n |] in
+    let t = BH.create ~cmp:Float.compare in
+    let version = Array.make n 0 in
+    for i = 0 to n - 1 do
+      BH.insert t (Random.State.float st 1000.0) (i, 0)
+    done;
+    let max_len = ref 0 in
+    for _ = 1 to rounds do
+      let rec pop () =
+        match BH.pop_min t with
+        | Some (_, (i, v)) when version.(i) = v -> ()
+        | Some _ -> pop () (* stale entry: filter and retry *)
+        | None -> ()
+      in
+      pop ();
+      for _ = 1 to 2 do
+        let i = Random.State.int st n in
+        version.(i) <- version.(i) + 1;
+        BH.insert t (Random.State.float st 1000.0) (i, version.(i))
+      done;
+      if BH.length t > !max_len then max_len := BH.length t
+    done;
+    !max_len
+  in
+  row "%8s %8s %14s %14s %17s\n" "N" "rounds" "leftist (s)" "binheap (s)" "binheap max len";
+  List.iter
+    (fun n ->
+      let rounds = 20 * n in
+      let t_lh, final_lh = timed (fun () -> simulate_lh n rounds) in
+      let t_bh, max_bh = timed (fun () -> simulate_bh n rounds) in
+      row "%8d %8d %14.4f %14.4f %17d   (leftist stays at %d)\n" n rounds t_lh t_bh max_bh
+        final_lh)
+    [ 256; 1024; 4096 ];
+  row "paper (Lemma 9): handle deletion keeps the queue at <= N events; the plain heap\n";
+  row "accumulates stale entries and re-filters them on every pop\n"
+
+(* ------------------------------------------------------------------ *)
+(* A2: exact algebraic backend vs float backend                        *)
+(* ------------------------------------------------------------------ *)
+
+let a2 () =
+  header "A2" "Exact (rational/algebraic) backend vs float backend: the cost of exactness";
+  row "%8s %8s %14s %14s %10s %8s\n" "N" "m" "exact (s)" "float (s)" "slowdown" "same m?";
+  List.iter
+    (fun n ->
+      let db = Gen.inversions_db ~seed:n ~n ~inversions:(2 * n) ~horizon:(q 1000) in
+      let gdist = Gdist.coordinate 0 in
+      let t_x, rx = timed ~reps:1 (fun () -> KnnX.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000)) in
+      let t_f, rf = timed (fun () -> KnnF.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000)) in
+      let mx = rx.KnnX.stats.KnnX.E.swaps and mf = rf.KnnF.stats.KnnF.E.swaps in
+      row "%8d %8d %14.4f %14.4f %9.1fx %8b\n" n mx t_x t_f (t_x /. t_f) (mx = mf))
+    [ 32; 64; 128; 256 ];
+  row "both backends must agree on every event (same m); exactness costs a constant factor\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per experiment id               *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let knn_f3 () =
+    let o1, o2, o3, o4 = Scenario.example12_curves () in
+    let eng =
+      EX.create ~start:(q 0) ~horizon:(q 40)
+        [ (EX.Obj (1, 0), o1); (EX.Obj (2, 0), o2); (EX.Obj (3, 0), o3); (EX.Obj (4, 0), o4) ]
+    in
+    EX.advance eng ~upto:(q 40) ~emit:(fun _ -> ())
+  in
+  let t4_sweep () =
+    let db = Gen.inversions_db ~seed:1 ~n:128 ~inversions:256 ~horizon:(q 1000) in
+    ignore (KnnF.run ~db ~gdist:(Gdist.coordinate 0) ~k:2 ~lo:(q 0) ~hi:(q 1000))
+  in
+  let t5a_init =
+    let db = Gen.uniform_db ~seed:2 ~n:256 () in
+    fun () -> ignore (nearest_monitor_f db)
+  in
+  let t5b_updates =
+    let db = Gen.uniform_db ~seed:3 ~n:128 () in
+    let updates = Gen.chdir_stream ~seed:4 ~db ~start:(q 0) ~gap:(q 1) ~count:10 () in
+    fun () ->
+      let m = nearest_monitor_f db in
+      List.iter (MonF.apply_update_exn m) updates
+  in
+  let t10_chdir =
+    let db = Gen.uniform_db ~seed:5 ~n:256 () in
+    let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+    let gdist = Gdist.euclidean_sq ~gamma in
+    let gdist' = Gdist.euclidean_sq ~gamma:(T.chdir gamma (q 10) (Qvec.of_list [ q 1; q 1 ])) in
+    let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 1000)) in
+    fun () ->
+      let m = MonF.create ~materialize:false ~db ~gdist ~query () in
+      MonF.chdir_query m ~tau:(q 10) ~gdist:gdist'
+  in
+  let b1_naive () =
+    let db = Gen.inversions_db ~seed:6 ~n:32 ~inversions:64 ~horizon:(q 1000) in
+    ignore (NaiveF.knn_run ~db ~gdist:(Gdist.coordinate 0) ~k:2 ~lo:(q 0) ~hi:(q 1000))
+  in
+  let p1_cql () =
+    let db = ref (DB.empty ~dim:2 ~tau:(q 0)) in
+    for i = 1 to 16 do
+      db :=
+        DB.add_initial !db i
+          (T.linear ~start:(q 0)
+             ~a:(Qvec.of_list [ q 2; q 0 ])
+             ~b:(Qvec.of_list [ q (-i); q ((i mod 7) - 3) ]))
+    done;
+    let region = Cql_ex.box [ (q 0, q 40); (q (-5), q 5) ] in
+    ignore (Cql.answer !db (Cql_ex.entering ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30)))
+  in
+  let t2_reduction () =
+    ignore (Reduction.is_past_up_to (Turing.busy_beaver_3 ()) ~max_steps:30)
+  in
+  let tests =
+    Test.make_grouped ~name:"moq" ~fmt:"%s:%s"
+      [ Test.make ~name:"f3-example12-sweep" (Staged.stage knn_f3);
+        Test.make ~name:"t4-past-knn-n128" (Staged.stage t4_sweep);
+        Test.make ~name:"t5a-init-n256" (Staged.stage t5a_init);
+        Test.make ~name:"t5b-10-updates-n128" (Staged.stage t5b_updates);
+        Test.make ~name:"t10-chdir-query-n256" (Staged.stage t10_chdir);
+        Test.make ~name:"b1-naive-knn-n32" (Staged.stage b1_naive);
+        Test.make ~name:"p1-cql-entering-n16" (Staged.stage p1_cql);
+        Test.make ~name:"t2-reduction-bb3" (Staged.stage t2_reduction);
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n%-30s %16s\n" "benchmark" "ns/run";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "%-30s %16.0f\n" name est
+      | _ -> Printf.printf "%-30s %16s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
+    ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
+    ("b3", b3); ("a1", a1); ("a2", a2) ]
+
+let () =
+  let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in
+  match args with
+  | [] ->
+    Printf.printf "moq experiment harness -- reproducing every figure and theorem\n";
+    Printf.printf "(experiment index: DESIGN.md section 5; recorded results: EXPERIMENTS.md)\n";
+    List.iter (fun (_, f) -> f ()) experiments
+  | [ "bechamel" ] -> bechamel_suite ()
+  | ids ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some f -> f ()
+        | None -> Printf.eprintf "unknown experiment %S\n" id)
+      ids

@@ -1,0 +1,186 @@
+(* moq — command-line front end for the moving-object query engine.
+
+     moq trace example12        replay the paper's Example 12 / Figure 3
+     moq trace figure2          replay Figure 2's redirections
+     moq knn ...                k-NN timeline on a random workload
+     moq monitor ...            continuous query under a random update stream
+     moq classify ...           past/continuing/future classification
+     moq reduction ...          the Theorem 2 halting reduction *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module BX = Moq_core.Backend.Exact
+module EX = Moq_core.Engine.Make (BX)
+module KnnX = Moq_core.Knn.Make (BX)
+module MonX = Moq_core.Monitor.Make (BX)
+module Fof = Moq_core.Fof
+module Gdist = Moq_core.Gdist
+module Classify = Moq_core.Classify
+module Gen = Moq_workload.Gen
+module Scenario = Moq_workload.Scenario
+module Turing = Moq_decide.Turing
+module Reduction = Moq_decide.Reduction
+
+open Cmdliner
+
+let q = Q.of_int
+
+let trace_example12 () =
+  let o1, o2, o3, o4 = Scenario.example12_curves () in
+  let eng =
+    EX.create ~start:(q 0) ~horizon:(q 40)
+      [ (EX.Obj (1, 0), o1); (EX.Obj (2, 0), o2); (EX.Obj (3, 0), o3); (EX.Obj (4, 0), o4) ]
+  in
+  let order () =
+    String.concat " < "
+      (List.map (fun e -> Format.asprintf "%a" EX.pp_label (EX.label e)) (EX.order eng))
+  in
+  Format.printf "Example 12 (2-NN over [0,40]); initial order: %s@." (order ());
+  let emit = function
+    | EX.Point i -> Format.printf "  event at t = %a; order: %s@." BX.pp_instant i (order ())
+    | EX.Span _ -> ()
+  in
+  EX.advance eng ~upto:(q 20) ~emit;
+  Format.printf "  update chdir(o1) at t = 20@.";
+  EX.replace_curve eng ~at:(q 20) (EX.Obj (1, 0)) (Scenario.example12_o1_after_chdir o1);
+  EX.advance eng ~upto:(q 40) ~emit;
+  Format.printf "done; %d crossings processed@." (EX.stats eng).EX.crossings
+
+let trace_figure2 () =
+  let c1, c2 = Scenario.figure2_curves () in
+  let eng = EX.create ~start:(q 0) ~horizon:(q 20) [ (EX.Obj (1, 0), c1); (EX.Obj (2, 0), c2) ] in
+  let emit = function
+    | EX.Point i -> Format.printf "  crossing at t = %a@." BX.pp_instant i
+    | EX.Span _ -> ()
+  in
+  Format.printf "Figure 2: o2 closer, crossing expected at D = 8@.";
+  EX.advance eng ~upto:(q 3) ~emit;
+  EX.replace_curve eng ~at:(q 3) (EX.Obj (1, 0)) (Scenario.figure2_o1_after_a c1);
+  Format.printf "  chdir(o1) at A = 3 (crossing cancelled)@.";
+  EX.advance eng ~upto:(q 5) ~emit;
+  EX.replace_curve eng ~at:(q 5) (EX.Obj (2, 0)) (Scenario.figure2_o2_after_b c2);
+  Format.printf "  chdir(o2) at B = 5 (earlier crossing C expected)@.";
+  EX.advance eng ~upto:(q 20) ~emit
+
+let trace_cmd =
+  let scenario =
+    Arg.(required & pos 0 (some (enum [ ("example12", `Example12); ("figure2", `Figure2) ])) None
+         & info [] ~docv:"SCENARIO" ~doc:"example12 or figure2")
+  in
+  let run = function `Example12 -> trace_example12 () | `Figure2 -> trace_figure2 () in
+  Cmd.v (Cmd.info "trace" ~doc:"Replay a scenario from the paper")
+    Term.(const run $ scenario)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+let n_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of objects")
+let db_arg = Arg.(value & opt (some file) None & info [ "db" ] ~doc:"Load the MOD from a file instead of generating one")
+
+let load_or_gen dbfile seed n =
+  match dbfile with
+  | Some path ->
+    (match Moq_mod.Mod_io.load_db path with
+     | Ok db -> db
+     | Error e -> failwith (path ^ ": " ^ e))
+  | None -> Gen.uniform_db ~seed ~n ~extent:100 ~speed:6 ()
+
+let generate_run seed n count gap out updates_out =
+  let db = Gen.uniform_db ~seed ~n ~extent:100 ~speed:6 () in
+  Moq_mod.Mod_io.save_db db out;
+  Format.printf "wrote %d objects to %s@." n out;
+  match updates_out with
+  | Some path ->
+    let us = Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 0) ~gap:(q gap) ~count () in
+    Moq_mod.Mod_io.save_updates ~dim:(DB.dim db) us path;
+    Format.printf "wrote %d updates to %s@." (List.length us) path
+  | None -> ()
+
+let generate_cmd =
+  let count = Arg.(value & opt int 10 & info [ "updates" ] ~doc:"Number of updates") in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between updates") in
+  let out = Arg.(value & opt string "workload.mod" & info [ "o"; "out" ] ~doc:"Output MOD file") in
+  let uout = Arg.(value & opt (some string) None & info [ "updates-out" ] ~doc:"Also write an update stream") in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate and save a random workload")
+    Term.(const generate_run $ seed_arg $ n_arg $ count $ gap $ out $ uout)
+
+let show_run path =
+  match Moq_mod.Mod_io.load_db path with
+  | Ok db -> Format.printf "%a@." DB.pp db
+  | Error e -> Format.eprintf "%s: %s@." path e
+
+let show_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a saved MOD") Term.(const show_run $ path)
+
+let knn_run seed n k hi dbfile =
+  let db = load_or_gen dbfile seed n in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let r = KnnX.run ~db ~gdist ~k ~lo:(q 0) ~hi:(q hi) in
+  Format.printf "%d-NN to the origin over [0, %d] (%d objects):@.%a@." k hi (DB.cardinal db)
+    KnnX.TL.pp r.KnnX.timeline;
+  Format.printf "%d support changes@." r.KnnX.stats.KnnX.E.crossings
+
+let knn_cmd =
+  let k = Arg.(value & opt int 1 & info [ "k"; "neighbours" ] ~doc:"Number of neighbours") in
+  let hi = Arg.(value & opt int 50 & info [ "horizon" ] ~doc:"Interval end") in
+  Cmd.v (Cmd.info "knn" ~doc:"k-nearest-neighbour timeline on a random workload")
+    Term.(const knn_run $ seed_arg $ n_arg $ k $ hi $ db_arg)
+
+let monitor_run seed n count gap dbfile =
+  let db = load_or_gen dbfile seed n in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let hi = q (count * gap + 20) in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) hi) in
+  let m = MonX.create ~db ~gdist ~query () in
+  let updates = Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 0) ~gap:(q gap) ~count () in
+  List.iter
+    (fun u ->
+      MonX.apply_update_exn m u;
+      Format.printf "applied %a@." Moq_mod.Update.pp u)
+    updates;
+  Format.printf "@.validated timeline:@.%a@." MonX.TL.pp (MonX.finalize m)
+
+let monitor_cmd =
+  let count = Arg.(value & opt int 5 & info [ "updates" ] ~doc:"Number of updates") in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between updates") in
+  Cmd.v (Cmd.info "monitor" ~doc:"Monitor a continuing 1-NN query under random updates")
+    Term.(const monitor_run $ seed_arg $ n_arg $ count $ gap $ db_arg)
+
+let classify_run lo hi tau =
+  let db = DB.empty ~dim:2 ~tau:(q tau) in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q lo) (q hi)) in
+  Format.printf "interval [%d, %d], last update %d: %a@." lo hi tau Classify.pp
+    (Classify.classify db query)
+
+let classify_cmd =
+  let lo = Arg.(value & opt int 0 & info [ "lo" ] ~doc:"Interval start") in
+  let hi = Arg.(value & opt int 10 & info [ "hi" ] ~doc:"Interval end") in
+  let tau = Arg.(value & opt int 5 & info [ "tau" ] ~doc:"MOD last-update time") in
+  Cmd.v (Cmd.info "classify" ~doc:"Past/continuing/future classification of an FO(f) query")
+    Term.(const classify_run $ lo $ hi $ tau)
+
+let reduction_run machine steps =
+  let m = match machine with `Bb3 -> Turing.busy_beaver_3 () | `Loop -> Turing.loop_forever () in
+  Format.printf "machine %s, bound %d: query still past? %b@."
+    (match machine with `Bb3 -> "busy-beaver-3" | `Loop -> "loop-forever")
+    steps
+    (Reduction.is_past_up_to m ~max_steps:steps)
+
+let reduction_cmd =
+  let machine =
+    Arg.(value & opt (enum [ ("bb3", `Bb3); ("loop", `Loop) ]) `Bb3
+         & info [ "machine" ] ~doc:"bb3 or loop")
+  in
+  let steps = Arg.(value & opt int 100 & info [ "steps" ] ~doc:"Step bound") in
+  Cmd.v (Cmd.info "reduction" ~doc:"Theorem 2: halting reduction demo")
+    Term.(const reduction_run $ machine $ steps)
+
+let () =
+  let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "moq" ~doc)
+          [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd; show_cmd ]))

@@ -1,0 +1,1 @@
+examples/air_traffic.ml: Format List Moq_core Moq_cql Moq_geom Moq_mod Moq_numeric Moq_workload Option

@@ -1,0 +1,1 @@
+examples/continuous_monitor.ml: Format List Moq_baseline Moq_core Moq_geom Moq_mod Moq_numeric Moq_workload

@@ -1,0 +1,1 @@
+examples/police_pursuit.ml: Format List Moq_core Moq_geom Moq_mod Moq_numeric Moq_poly

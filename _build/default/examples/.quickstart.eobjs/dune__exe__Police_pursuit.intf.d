@@ -1,0 +1,1 @@
+examples/police_pursuit.mli:

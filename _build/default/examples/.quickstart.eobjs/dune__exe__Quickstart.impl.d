@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Moq_core Moq_geom Moq_mod Moq_numeric

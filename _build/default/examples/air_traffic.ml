@@ -1,0 +1,94 @@
+(* Air traffic control — the paper's running scenario (Examples 1, 3, 11).
+
+   Airplanes move in 3-d space; we replay Example 1's airplane, ask the
+   constraint query of Example 3 ("which aircraft entered the Santa Barbara
+   County airspace?"), and the FO(f) queries of Example 11 ("k nearest
+   flights to Flight 623", "flights within 50 km").
+
+   Run with: dune exec examples/air_traffic.exe *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module Oid = Moq_mod.Oid
+module Cql = Moq_cql.Cql
+module Cql_ex = Moq_cql.Cql_examples
+module B = Moq_core.Backend.Exact
+module Knn = Moq_core.Knn.Make (B)
+module Range = Moq_core.Range_query.Make (B)
+module Gdist = Moq_core.Gdist
+module Scenario = Moq_workload.Scenario
+
+let q = Q.of_int
+let vec l = Qvec.of_list (List.map Q.of_int l)
+
+let flight_623 = 623
+let fleet () =
+  (* Flight 623 cruises east; the Example 1 airplane is flight 7; two more
+     flights around. *)
+  let db = DB.empty ~dim:3 ~tau:(q 0) in
+  let db = DB.add_initial db flight_623 (T.linear ~start:(q 0) ~a:(vec [ 2; 0; 0 ]) ~b:(vec [ 0; 0; 30 ])) in
+  let db = DB.add_initial db 7 (Scenario.example1_airplane ()) in
+  let db = DB.add_initial db 100 (T.linear ~start:(q 0) ~a:(vec [ 2; 1; 0 ]) ~b:(vec [ 5; -40; 28 ])) in
+  let db = DB.add_initial db 200 (T.linear ~start:(q 0) ~a:(vec [ -1; 0; 0 ]) ~b:(vec [ 90; 4; 33 ])) in
+  db
+
+let pp_set fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Oid.pp)
+    (Oid.Set.elements s)
+
+let () =
+  Format.printf "=== air traffic (Examples 1, 3, 11) ===@.@.";
+  let db = fleet () in
+  let plane7 = Option.get (DB.find db 7) in
+  Format.printf "Example 1 airplane: at t=21 it is at %a, at t=22 at %a@." Qvec.pp
+    (T.position_exn plane7 (q 21))
+    Qvec.pp
+    (T.position_exn plane7 (q 22));
+
+  (* --- Example 3: the constraint query "entering the county" ----------- *)
+  (* The county is the box [0,40] x [-5,5] (ignore altitude by projecting:
+     the CQL model is dimension-generic, we pose it on the 2-d shadow). *)
+  let shadow = DB.empty ~dim:2 ~tau:(q 0) in
+  let project o tr db2 =
+    let pieces =
+      List.map
+        (fun (p : T.piece) ->
+          { T.start = p.T.start;
+            a = Qvec.of_list [ Qvec.get p.T.a 0; Qvec.get p.T.a 1 ];
+            b = Qvec.of_list [ Qvec.get p.T.b 0; Qvec.get p.T.b 1 ] })
+        (T.pieces tr)
+    in
+    DB.add_initial db2 o (T.of_pieces ?death:(T.death tr) pieces)
+  in
+  (* Flight 7's 3-piece trajectory makes the nested-quantifier QE blow up
+     (the very difficulty Section 3 of the paper uses to motivate FO(f)),
+     so the CQL demo poses the query on the constant-velocity flights. *)
+  let shadow =
+    List.fold_left
+      (fun acc (o, tr) -> if List.length (T.pieces tr) = 1 then project o tr acc else acc)
+      shadow (DB.objects db)
+  in
+  let county = Cql_ex.box [ (q 0, q 40); (q (-5), q 5) ] in
+  let entering = Cql_ex.entering ~region:county ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  Format.printf "@.Example 3 (CQL, quantifier elimination): entering the county in [0,30]: %a@."
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Oid.pp)
+    (Cql.answer shadow entering);
+
+  (* --- Example 11: k nearest flights to Flight 623 --------------------- *)
+  let gamma = Option.get (DB.find db flight_623) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let others = DB.objects db |> List.filter (fun (o, _) -> o <> flight_623) in
+  let db_others = List.fold_left (fun acc (o, tr) -> DB.add_initial acc o tr) (DB.empty ~dim:3 ~tau:(q 0)) others in
+  let r = Knn.run ~db:db_others ~gdist ~k:2 ~lo:(q 0) ~hi:(q 40) in
+  Format.printf "@.2 nearest flights to Flight %d over [0, 40]:@.%a@." flight_623 Knn.TL.pp
+    r.Knn.timeline;
+
+  (* "List all flights that were within 50 km from Flight 623" *)
+  let r50 = Range.run ~db:db_others ~gdist ~bound:(q (50 * 50)) ~lo:(q 0) ~hi:(q 40) in
+  Format.printf "Within 50 km of Flight %d at some time: %a@." flight_623 pp_set
+    (Range.TL.existential r50.Range.timeline);
+  Format.printf "Within 50 km throughout [0, 40]: %a@." pp_set
+    (Range.TL.universal r50.Range.timeline)

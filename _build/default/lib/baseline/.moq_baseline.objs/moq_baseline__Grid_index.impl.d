@@ -1,0 +1,1 @@
+lib/baseline/grid_index.ml: Float Hashtbl List Moq_mod Option

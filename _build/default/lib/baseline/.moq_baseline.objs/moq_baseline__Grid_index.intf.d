@@ -1,0 +1,1 @@
+lib/baseline/grid_index.mli: Moq_mod

@@ -1,0 +1,1 @@
+lib/baseline/lazy_eval.ml: Format Moq_core Moq_mod Moq_numeric

@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: List Moq_core Moq_mod Moq_numeric

@@ -1,0 +1,1 @@
+lib/baseline/song_roussopoulos.ml: Grid_index List Moq_geom Moq_mod Moq_numeric Option

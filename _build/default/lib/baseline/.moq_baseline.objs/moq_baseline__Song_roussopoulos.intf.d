@@ -1,0 +1,1 @@
+lib/baseline/song_roussopoulos.mli: Moq_mod Moq_numeric

@@ -1,0 +1,54 @@
+module Oid = Moq_mod.Oid
+
+type t = {
+  cell : float;
+  buckets : (int * int, (Oid.t * (float * float)) list) Hashtbl.t;
+  count : int;
+}
+
+let key t (x, y) = (int_of_float (Float.floor (x /. t)), int_of_float (Float.floor (y /. t)))
+
+let build ~cell points =
+  if cell <= 0.0 then invalid_arg "Grid_index.build: cell <= 0";
+  let buckets = Hashtbl.create (max 16 (List.length points)) in
+  List.iter
+    (fun (o, p) ->
+      let k = key cell p in
+      Hashtbl.replace buckets k ((o, p) :: (Option.value ~default:[] (Hashtbl.find_opt buckets k))))
+    points;
+  { cell; buckets; count = List.length points }
+
+let size t = t.count
+
+let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2)
+
+let range t ~center ~radius =
+  let cx, cy = key t.cell center in
+  let r_cells = 1 + int_of_float (Float.ceil (radius /. t.cell)) in
+  let acc = ref [] in
+  for i = cx - r_cells to cx + r_cells do
+    for j = cy - r_cells to cy + r_cells do
+      match Hashtbl.find_opt t.buckets (i, j) with
+      | None -> ()
+      | Some pts ->
+        List.iter
+          (fun (o, p) ->
+            let d = dist center p in
+            if d <= radius then acc := (o, d) :: !acc)
+          pts
+    done
+  done;
+  !acc
+
+let nearest_k t ~center ~k =
+  if t.count = 0 || k <= 0 then []
+  else begin
+    (* grow the radius until at least k objects fall in range *)
+    let rec grow radius =
+      let found = range t ~center ~radius in
+      if List.length found >= min k t.count then found else grow (2.0 *. radius)
+    in
+    let found = grow t.cell in
+    let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) found in
+    List.filteri (fun i _ -> i < k) sorted
+  end

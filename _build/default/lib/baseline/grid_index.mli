@@ -1,0 +1,20 @@
+(** A uniform-grid spatial index over 2-d float points.
+
+    Stands in for the R*-tree of Song–Roussopoulos [26] (DESIGN.md,
+    substitutions): the baseline's behaviour under study is its {e re-search
+    protocol}, not the index flavour, and a grid supplies the same
+    range-search API. *)
+
+type t
+
+val build : cell:float -> (Moq_mod.Oid.t * (float * float)) list -> t
+(** @raise Invalid_argument if [cell <= 0]. *)
+
+val range : t -> center:float * float -> radius:float -> (Moq_mod.Oid.t * float) list
+(** Objects within [radius] of [center], with their distances (unsorted). *)
+
+val nearest_k : t -> center:float * float -> k:int -> (Moq_mod.Oid.t * float) list
+(** The [k] nearest objects, ascending by distance — found by growing the
+    search radius ring by ring, exactly the range re-search loop of [26]. *)
+
+val size : t -> int

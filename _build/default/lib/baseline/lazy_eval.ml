@@ -1,0 +1,38 @@
+(** Lazy evaluation of future queries (Section 3's first alternative):
+    buffer the updates and do nothing until the query becomes past, then run
+    one full sweep.  Correct, but the entire evaluation cost lands at answer
+    time — experiment B3 compares this latency against the eager monitor's
+    per-update cost. *)
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+
+module Make (B : Moq_core.Backend.S) = struct
+  module Sw = Moq_core.Sweep.Make (B)
+  module Gdist = Moq_core.Gdist
+  module Fof = Moq_core.Fof
+
+  type t = {
+    mutable db : DB.t;
+    gdist : Gdist.t;
+    query : Fof.query;
+  }
+
+  let create ~db ~gdist ~query = { db; gdist; query }
+
+  let apply_update t u : (unit, DB.error) result =
+    match DB.apply t.db u with
+    | Ok db ->
+      t.db <- db;
+      Ok ()
+    | Error e -> Error e
+
+  let apply_update_exn t u =
+    match apply_update t u with
+    | Ok () -> ()
+    | Error e -> invalid_arg (Format.asprintf "Lazy_eval: %a" DB.pp_error e)
+
+  (* The full sweep, paid on demand. *)
+  let answer t : Sw.result = Sw.run ~db:t.db ~gdist:t.gdist ~query:t.query
+end

@@ -1,0 +1,60 @@
+module Oid = Moq_mod.Oid
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module T = Moq_mod.Trajectory
+module Fvec = Moq_geom.Vec.Fvec
+module Qvec = Moq_geom.Vec.Qvec
+
+type sample = { time : float; answer : Oid.Set.t }
+
+let float_pos tr (t : Q.t) =
+  Option.map
+    (fun v ->
+      match List.map Q.to_float (Qvec.to_list v) with
+      | [ x ] -> (x, 0.0)
+      | x :: y :: _ -> (x, y)
+      | [] -> invalid_arg "Song_roussopoulos: zero-dimensional object")
+    (T.position tr t)
+
+let run ~db ~gamma ~k ~lo ~hi ~period ?(cell = 50.0) () =
+  if period <= 0.0 then invalid_arg "Song_roussopoulos.run: period <= 0";
+  let lo_f = Q.to_float lo and hi_f = Q.to_float hi in
+  let objects = DB.objects db in
+  let rec sample_times t acc =
+    if t > hi_f +. 1e-12 then List.rev acc else sample_times (t +. period) (t :: acc)
+  in
+  List.filter_map
+    (fun tf ->
+      let t = Q.of_float tf in
+      match float_pos gamma t with
+      | None -> None
+      | Some center ->
+        let points =
+          List.filter_map
+            (fun (o, tr) -> Option.map (fun p -> (o, p)) (float_pos tr t))
+            objects
+        in
+        let index = Grid_index.build ~cell points in
+        let nearest = Grid_index.nearest_k index ~center ~k in
+        Some { time = tf; answer = Oid.Set.of_list (List.map fst nearest) })
+    (sample_times lo_f [])
+
+let answer_at samples t =
+  let rec last acc = function
+    | s :: rest when s.time <= t +. 1e-12 -> last s.answer rest
+    | _ -> acc
+  in
+  last Oid.Set.empty samples
+
+let mismatch_fraction ~truth ~samples ~lo ~hi ~probes =
+  if probes <= 0 then invalid_arg "mismatch_fraction: probes <= 0";
+  let wrong = ref 0 and total = ref 0 in
+  for j = 0 to probes - 1 do
+    let t = lo +. ((hi -. lo) *. (float_of_int j +. 0.5) /. float_of_int probes) in
+    match truth t with
+    | None -> ()
+    | Some expected ->
+      incr total;
+      if not (Oid.Set.equal expected (answer_at samples t)) then incr wrong
+  done;
+  if !total = 0 then 0.0 else float_of_int !wrong /. float_of_int !total

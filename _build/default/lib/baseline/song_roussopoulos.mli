@@ -1,0 +1,45 @@
+(** The k-NN re-search baseline of Song & Roussopoulos [26], as discussed
+    around Figure 2.
+
+    Their setting: only the query point moves; the data objects are indexed
+    spatially.  At each re-search instant the method range-searches around
+    the query's current position (growing the radius from the distance moved
+    since the last search) and reports the k nearest.  Between searches the
+    answer is {e assumed} unchanged — so an order exchange like Figure 2's
+    time C, occurring between two searches, goes undetected until the next
+    search.  Experiment B2 measures exactly that gap against the sweep. *)
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module T = Moq_mod.Trajectory
+
+type sample = { time : float; answer : Moq_mod.Oid.Set.t }
+
+val run :
+  db:DB.t ->
+  gamma:T.t ->
+  k:int ->
+  lo:Q.t ->
+  hi:Q.t ->
+  period:float ->
+  ?cell:float ->
+  unit ->
+  sample list
+(** Re-search every [period] time units over [[lo, hi]].  Objects are
+    re-indexed at each search at their current positions (the original
+    assumes stationary data; re-indexing extends it fairly to moving
+    data). *)
+
+val answer_at : sample list -> float -> Moq_mod.Oid.Set.t
+(** The baseline's belief at an arbitrary time: the answer of the most
+    recent sample. *)
+
+val mismatch_fraction :
+  truth:(float -> Moq_mod.Oid.Set.t option) ->
+  samples:sample list ->
+  lo:float ->
+  hi:float ->
+  probes:int ->
+  float
+(** Fraction of [probes] uniformly-spaced times where the baseline's belief
+    differs from the true answer. *)

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Float Format List Moq_numeric Moq_poly

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Fof Format List Moq_mod Moq_numeric Option

@@ -1,0 +1,1 @@
+lib/core/curves.ml: Backend List

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Backend Curves Format Fun Hashtbl Int List Moq_dstruct Moq_mod Moq_numeric Option Queue Sys

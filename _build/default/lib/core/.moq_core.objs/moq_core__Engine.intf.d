@@ -1,0 +1,1 @@
+lib/core/engine.mli: Backend Curves Format Moq_mod Moq_numeric

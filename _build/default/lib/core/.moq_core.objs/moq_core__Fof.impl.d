@@ -1,0 +1,1 @@
+lib/core/fof.ml: Format List Moq_dstruct Moq_numeric Moq_poly Printf

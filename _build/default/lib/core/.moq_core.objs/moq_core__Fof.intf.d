@@ -1,0 +1,1 @@
+lib/core/fof.mli: Format Moq_dstruct Moq_numeric Moq_poly

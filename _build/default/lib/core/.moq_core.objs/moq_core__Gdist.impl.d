@@ -1,0 +1,1 @@
+lib/core/gdist.ml: List Moq_geom Moq_mod Moq_numeric Moq_poly Printf

@@ -1,0 +1,1 @@
+lib/core/gdist.mli: Moq_geom Moq_mod Moq_numeric Moq_poly

@@ -1,0 +1,1 @@
+lib/core/knn.ml: Backend Engine Gdist List Moq_mod Moq_numeric Timeline

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Backend Engine Fof Format Gdist List Moq_mod Moq_numeric Problem Sweep Timeline

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Backend Engine Fof Gdist List Moq_mod Moq_numeric Moq_poly Option Snapshot

@@ -1,0 +1,1 @@
+lib/core/range_query.ml: Backend Engine Gdist List Moq_mod Moq_numeric Timeline

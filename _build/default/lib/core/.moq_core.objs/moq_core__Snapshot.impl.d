@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Backend Curves Fof List Moq_mod Moq_numeric Option

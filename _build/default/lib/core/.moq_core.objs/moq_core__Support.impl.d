@@ -1,0 +1,1 @@
+lib/core/support.ml: Backend Engine Format List

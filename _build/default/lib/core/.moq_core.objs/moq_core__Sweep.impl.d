@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Backend Engine Fof Gdist List Moq_mod Moq_numeric Problem Timeline

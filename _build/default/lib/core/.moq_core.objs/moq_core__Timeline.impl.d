@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Backend Format List Moq_mod Option

@@ -1,0 +1,155 @@
+(** Sweep backends.
+
+    The plane-sweep engine is parametric in how it represents points on the
+    time axis and how it finds curve intersections.  The {!Exact} backend
+    computes with rational coefficients and real algebraic event times —
+    every comparison the sweep makes is decided exactly, standing in for the
+    real-closed-field oracle the paper assumes.  The {!Approx} backend uses
+    floats and numeric root finding; it is the fast configuration used by
+    the benchmarks (experiment A2 compares the two). *)
+
+module Q = Moq_numeric.Rat
+
+module type S = sig
+  module P : Moq_poly.Poly_intf.S
+  module PW : Moq_poly.Piecewise_intf.S with type P.t = P.t and type P.F.t = P.F.t
+
+  (** A point on the sweep line (an event time). *)
+  type instant
+
+  val instant_of_scalar : P.F.t -> instant
+  val compare_instant : instant -> instant -> int
+  val compare_instant_scalar : instant -> P.F.t -> int
+
+  val sign_at_instant : P.t -> instant -> int
+  (** Exact sign of a polynomial at the instant. *)
+
+  val sign_after_instant : P.t -> instant -> int
+  (** Sign immediately to the right of the instant (first non-vanishing
+      derivative).  Zero only for the zero polynomial. *)
+
+  val first_root_after : P.t -> instant -> instant option
+  val first_root_at_or_after : P.t -> P.F.t -> instant option
+
+  val all_roots : P.t -> instant list
+  (** All distinct real roots, ascending (used by the naive baseline, which
+      precomputes every pairwise crossing instead of sweeping). *)
+
+  val between : instant -> instant -> P.F.t
+  (** A scalar strictly between two distinct instants (the paper's
+      "[τ' + ε]" sample points). *)
+
+  val scalar_after : instant -> upto:P.F.t option -> P.F.t
+  (** A scalar strictly greater than the instant (and at most [upto] when
+      bounded; assumes the instant precedes [upto]). *)
+
+  val scalar_of_rat : Q.t -> P.F.t
+  val curve_of_qpiece : Moq_poly.Piecewise.Qpiece.t -> PW.t
+  val instant_to_float : instant -> float
+  val pp_instant : Format.formatter -> instant -> unit
+end
+
+module Exact :
+  S
+    with type P.t = Moq_poly.Qpoly.t
+     and type P.F.t = Q.t
+     and type PW.t = Moq_poly.Piecewise.Qpiece.t
+     and type instant = Moq_poly.Algnum.t =
+struct
+  module P = Moq_poly.Qpoly
+  module PW = Moq_poly.Piecewise.Qpiece
+  module A = Moq_poly.Algnum
+
+  type instant = A.t
+
+  let instant_of_scalar = A.of_rat
+  let compare_instant = A.compare
+  let compare_instant_scalar i s = A.compare i (A.of_rat s)
+  let sign_at_instant p i = A.sign_of_poly_at p i
+
+  let sign_after_instant p i =
+    let rec go p =
+      if P.is_zero p then 0
+      else begin
+        let s = A.sign_of_poly_at p i in
+        if s <> 0 then s else go (P.derivative p)
+      end
+    in
+    go p
+
+  let first_root_after = A.first_root_after
+
+  let first_root_at_or_after p s = A.first_root_at_or_after p (A.of_rat s)
+
+  let all_roots = A.roots
+
+  let between a b = A.rational_between a b
+
+  let scalar_after i ~upto =
+    match upto with
+    | None -> A.rational_above i
+    | Some u -> A.rational_between i (A.of_rat u)
+
+  let scalar_of_rat q = q
+  let curve_of_qpiece c = c
+  let instant_to_float = A.to_float
+  let pp_instant = A.pp
+end
+
+module Approx :
+  S
+    with type P.t = Moq_poly.Fpoly.t
+     and type P.F.t = float
+     and type PW.t = Moq_poly.Piecewise.Fpiece.t
+     and type instant = float =
+struct
+  module P = Moq_poly.Fpoly
+  module PW = Moq_poly.Piecewise.Fpiece
+
+  type instant = float
+
+  let instant_of_scalar t = t
+  let compare_instant = Float.compare
+  let compare_instant_scalar = Float.compare
+
+  (* Event instants are roots computed in floating point, so evaluating a
+     polynomial "at a crossing" yields a tiny nonzero residue.  Signs are
+     therefore taken relative to the polynomial's magnitude at the point —
+     the float analogue of the exact backend's algebraic zero test. *)
+  let sign_at_instant p t =
+    let v = P.eval p t in
+    let at = Float.abs t in
+    let scale =
+      List.fold_left
+        (fun (acc, pow) c -> (acc +. (Float.abs c *. pow), pow *. at))
+        (0.0, 1.0) (P.to_list p)
+      |> fst
+    in
+    (* Horner's rounding error is a small multiple of eps times the
+       magnitude sum; anything beyond that is a real sign. *)
+    if Float.abs v <= 32.0 *. epsilon_float *. (1.0 +. scale) then 0 else compare v 0.0
+
+  let sign_after_instant p t =
+    let rec go p =
+      if P.is_zero p then 0
+      else begin
+        let s = sign_at_instant p t in
+        if s <> 0 then s else go (P.derivative p)
+      end
+    in
+    go p
+  let first_root_after = Moq_poly.Froots.first_root_after
+  let first_root_at_or_after = Moq_poly.Froots.first_root_at_or_after
+  let all_roots = Moq_poly.Froots.real_roots
+  let between a b = 0.5 *. (a +. b)
+
+  let scalar_after i ~upto =
+    match upto with
+    | None -> i +. 1.0
+    | Some u -> 0.5 *. (i +. u)
+
+  let scalar_of_rat = Q.to_float
+  let curve_of_qpiece = Moq_poly.Piecewise.fpiece_of_qpiece
+  let instant_to_float t = t
+  let pp_instant fmt t = Format.fprintf fmt "%g" t
+end

@@ -1,0 +1,46 @@
+(** Operational past / continuing / future classification of FO(f) queries
+    (paper, Definition 5).
+
+    For the full constraint language this classification is undecidable
+    (Theorem 2 — see [Moq_decide.Reduction] for the executable reduction);
+    for FO(f) with affine time terms it is decided by comparing the image of
+    the query interval under every time term against the MOD's last-update
+    time: instants at or before the last update are frozen, instants after
+    it can still be rewritten by updates. *)
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+
+type t = Past | Continuing | Future
+
+let pp fmt = function
+  | Past -> Format.pp_print_string fmt "past"
+  | Continuing -> Format.pp_print_string fmt "continuing"
+  | Future -> Format.pp_print_string fmt "future"
+
+(* Image of the interval under an affine time term (scale >= 0):
+   (lo_opt, hi_opt) with None = unbounded. *)
+let image (tt : Fof.time_term) lo hi =
+  if Q.is_zero tt.Fof.scale then (Some tt.Fof.offset, Some tt.Fof.offset)
+  else begin
+    let f x = Q.add (Q.mul tt.Fof.scale x) tt.Fof.offset in
+    (Option.map f lo, Option.map f hi)
+  end
+
+let classify (db : DB.t) (q : Fof.query) : t =
+  let tau0 = DB.last_update db in
+  let lo = Fof.Interval.lo q.Fof.interval and hi = Fof.Interval.hi q.Fof.interval in
+  (* the identity term is implicitly queried (liveness at t) *)
+  let tts = Fof.t_var :: Fof.time_terms q in
+  let images = List.map (fun tt -> image tt lo hi) tts in
+  let all_past =
+    List.for_all
+      (fun (_, h) -> match h with Some h -> Q.compare h tau0 <= 0 | None -> false)
+      images
+  in
+  let all_future =
+    List.for_all
+      (fun (l, _) -> match l with Some l -> Q.compare l tau0 > 0 | None -> false)
+      images
+  in
+  if all_past then Past else if all_future then Future else Continuing

@@ -1,0 +1,567 @@
+module Oid = Moq_mod.Oid
+module Q = Moq_numeric.Rat
+module OL = Moq_dstruct.Order_list
+module LH = Moq_dstruct.Leftist_heap
+
+module Make (B : Backend.S) = struct
+  module C = Curves.Make (B)
+  module PW = B.PW
+  module F = B.P.F
+
+  type label = Obj of Oid.t * int | Cst of Q.t
+
+  let compare_label l1 l2 =
+    match l1, l2 with
+    | Obj (o1, k1), Obj (o2, k2) ->
+      let c = Oid.compare o1 o2 in
+      if c <> 0 then c else Int.compare k1 k2
+    | Obj _, Cst _ -> -1
+    | Cst _, Obj _ -> 1
+    | Cst a, Cst b -> Q.compare a b
+
+  let pp_label fmt = function
+    | Obj (o, 0) -> Oid.pp fmt o
+    | Obj (o, k) -> Format.fprintf fmt "%a#%d" Oid.pp o k
+    | Cst c -> Format.fprintf fmt "const(%a)" Q.pp c
+
+  type entry = {
+    lbl : label;
+    mutable curve : PW.t;
+    mutable node : entry OL.handle option; (* Some iff currently on the sweep line *)
+    mutable right_event : (B.instant, event_data) LH.handle option;
+    mutable dead : bool; (* lifetime over (death processed or removed) *)
+  }
+
+  and event_data = Cross of entry * entry | Birth of entry | Death of entry | Jump of entry
+
+  let label e = e.lbl
+  let curve e = e.curve
+
+  type stats = {
+    mutable crossings : int;
+    mutable swaps : int;
+    mutable births : int;
+    mutable deaths : int;
+    mutable batches : int;
+    mutable jumps : int;
+        (* discontinuity repositionings: the paper's Section 5 remark allows
+           g-distances with finitely many continuous pieces *)
+    mutable comparisons : int;
+        (* curve-order comparisons: the cost unit of the paper's analysis,
+           which excludes intersection computation *)
+  }
+
+  type t = {
+    order : entry OL.t;
+    mutable queue : (B.instant, event_data) LH.t;
+    mutable now : B.instant;
+    horizon : F.t option;
+    by_label : (label, entry) Hashtbl.t;
+    stats : stats;
+  }
+
+  let now t = t.now
+  let stats t = t.stats
+  let order t = OL.to_list t.order
+  let size t = OL.length t.order
+  let queue_length t = LH.length t.queue
+
+  let first_n t n =
+    let rec go acc k handle =
+      match handle with
+      | None -> List.rev acc
+      | Some h ->
+        if k = 0 then List.rev acc
+        else go (OL.elt h :: acc) (k - 1) (OL.next t.order h)
+    in
+    go [] n (OL.first t.order)
+
+  let nth_entry t i = Option.map OL.elt (OL.nth t.order i)
+
+  let find t lbl =
+    match Hashtbl.find_opt t.by_label lbl with
+    | Some e when e.node <> None -> Some e
+    | _ -> None
+
+  (* Ordering of two live entries at instant [i]: value, then one-sided jet,
+     then stable label order. *)
+  let cmp_entries_at t i e1 e2 =
+    t.stats.comparisons <- t.stats.comparisons + 1;
+    let s = C.diff_sign_at e1.curve e2.curve i in
+    if s <> 0 then s
+    else begin
+      let s = C.diff_sign_after e1.curve e2.curve i in
+      if s <> 0 then s else compare_label e1.lbl e2.lbl
+    end
+
+  let node_of e =
+    match e.node with
+    | Some n -> n
+    | None -> invalid_arg "Engine: entry not on the sweep line"
+
+  let next_entry t e = Option.map OL.elt (OL.next t.order (node_of e))
+  let prev_entry t e = Option.map OL.elt (OL.prev t.order (node_of e))
+  let rank_of t e = OL.rank t.order (node_of e)
+
+  let drop_right_event t e =
+    match e.right_event with
+    | Some h ->
+      LH.delete t.queue h;
+      e.right_event <- None
+    | None -> ()
+
+  (* Re-examine the pair (l, r), which must be adjacent: replace l's pending
+     event with the pair's earliest future crossing (Lemma 9: one event per
+     adjacent pair). *)
+  let debug = Sys.getenv_opt "MOQ_DEBUG" <> None
+
+  let schedule_pair t l r =
+    drop_right_event t l;
+    match C.first_crossing ~after:t.now ?horizon:t.horizon l.curve r.curve with
+    | Some i ->
+      if debug then
+        Format.eprintf "sched (%a,%a) at %a (now %a)@." pp_label l.lbl pp_label r.lbl
+          B.pp_instant i B.pp_instant t.now;
+      l.right_event <- Some (LH.insert t.queue i (Cross (l, r)))
+    | None ->
+      if debug then
+        Format.eprintf "sched (%a,%a): none (now %a)@." pp_label l.lbl pp_label r.lbl
+          B.pp_instant t.now
+
+  let schedule_around t e =
+    (match prev_entry t e with Some p -> schedule_pair t p e | None -> ());
+    match next_entry t e with
+    | Some n -> schedule_pair t e n
+    | None -> drop_right_event t e
+
+  (* The paper's Section 5 remark relaxes continuity to finitely many
+     continuous pieces: at a value discontinuity the entry's position in the
+     order can change without a curve intersection, so each discontinuous
+     breakpoint within the horizon becomes a "jump" event that re-inserts
+     the entry.  Curves are right-continuous at jumps (the piece starting at
+     the breakpoint is in force there).  Jump events are not handle-tracked:
+     a stale one (after a chdir) costs one harmless repositioning. *)
+  let schedule_jumps t e =
+    let rec scan = function
+      | (_, p1) :: (((b, p2) :: _) as rest) ->
+        if not (F.equal (B.P.eval p1 b) (B.P.eval p2 b)) then begin
+          if B.compare_instant_scalar t.now b < 0 then begin
+            match t.horizon with
+            | Some h when F.compare b h > 0 -> ()
+            | _ -> ignore (LH.insert t.queue (B.instant_of_scalar b) (Jump e))
+          end
+        end;
+        scan rest
+      | _ -> ()
+    in
+    scan (PW.pieces e.curve)
+
+  let schedule_death t e =
+    match PW.stop e.curve with
+    | Some s when B.compare_instant_scalar t.now s < 0 ->
+      (match t.horizon with
+       | Some h when F.compare s h > 0 -> ()
+       | _ -> ignore (LH.insert t.queue (B.instant_of_scalar s) (Death e)))
+    | _ -> ()
+
+  (* Put a live entry on the sweep line at instant [i] and fix its
+     neighbourhood's events. *)
+  let mount t i e =
+    let handle = OL.insert_sorted ~cmp:(cmp_entries_at t i) t.order e in
+    e.node <- Some handle;
+    (* the previous neighbour's event (if any) is now stale *)
+    (match prev_entry t e with Some p -> drop_right_event t p | None -> ());
+    schedule_around t e;
+    schedule_death t e;
+    schedule_jumps t e
+
+  let unmount t e =
+    let p = prev_entry t e and n = next_entry t e in
+    drop_right_event t e;
+    (match p with Some p -> drop_right_event t p | None -> ());
+    OL.delete t.order (node_of e);
+    e.node <- None;
+    e.dead <- true;
+    match p, n with
+    | Some p, Some _ -> schedule_around t p
+    | _ -> ()
+
+  let create ~start ?horizon curves =
+    let start_i = B.instant_of_scalar start in
+    let t =
+      { order = OL.create ();
+        queue = LH.create ~cmp:B.compare_instant;
+        now = start_i;
+        horizon;
+        by_label = Hashtbl.create 64;
+        stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0 };
+      }
+    in
+    let entries =
+      List.map
+        (fun (lbl, c) ->
+          let e = { lbl; curve = c; node = None; right_event = None; dead = false } in
+          Hashtbl.replace t.by_label lbl e;
+          e)
+        curves
+    in
+    let alive, rest =
+      List.partition
+        (fun e ->
+          F.compare (PW.start e.curve) start <= 0
+          && (match PW.stop e.curve with None -> true | Some s -> F.compare start s <= 0))
+        entries
+    in
+    (* initial sort: the O(N log N) of Theorem 5(1) *)
+    let sorted = List.sort (cmp_entries_at t start_i) alive in
+    List.iter
+      (fun e ->
+        let handle = OL.insert_sorted ~cmp:(cmp_entries_at t start_i) t.order e in
+        e.node <- Some handle)
+      sorted;
+    (* one event per adjacent pair *)
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+        schedule_pair t a b;
+        pairs rest
+      | _ -> ()
+    in
+    pairs (order t);
+    List.iter
+      (fun e ->
+        schedule_death t e;
+        schedule_jumps t e)
+      alive;
+    (* future births within the horizon *)
+    List.iter
+      (fun e ->
+        let s = PW.start e.curve in
+        if F.compare s start > 0 then begin
+          match horizon with
+          | Some h when F.compare s h > 0 -> ()
+          | _ -> ignore (LH.insert t.queue (B.instant_of_scalar s) (Birth e))
+        end
+        else e.dead <- true (* whole lifetime before the sweep *))
+      rest;
+    t
+
+  (* Local bubble pass with the "just after i" comparator, starting from the
+     entries whose neighbourhood changed.  Converges because each swap
+     removes one inversion of the strict after-i order.  Every entry whose
+     pending event is dropped (or whose neighbourhood moves) is recorded via
+     [note] so the caller re-establishes the one-event-per-adjacent-pair
+     invariant for it afterwards. *)
+  let bubble t i touched ~note =
+    let work = Queue.create () in
+    let push e = if (not e.dead) && e.node <> None then Queue.add e work in
+    (* [note] marks entries whose pending events a swap invalidated; merely
+       examining an entry does not require rescheduling it *)
+    let push_noted e =
+      if (not e.dead) && e.node <> None then begin
+        note e;
+        Queue.add e work
+      end
+    in
+    List.iter push touched;
+    while not (Queue.is_empty work) do
+      let e = Queue.pop work in
+      if (not e.dead) && e.node <> None then begin
+        (match next_entry t e with
+         | Some n when cmp_entries_at t i e n > 0 ->
+           let en = node_of e and nn = node_of n in
+           OL.swap_adjacent t.order en nn;
+           (* payloads moved: nodes exchanged owners *)
+           e.node <- Some nn;
+           n.node <- Some en;
+           t.stats.swaps <- t.stats.swaps + 1;
+           (* stale events around the swapped pair *)
+           drop_right_event t e;
+           drop_right_event t n;
+           (match prev_entry t n with
+            | Some p ->
+              drop_right_event t p;
+              push_noted p
+            | None -> ());
+           push_noted n;
+           push_noted e;
+           (match next_entry t e with Some x -> push_noted x | None -> ())
+         | _ ->
+           (match prev_entry t e with
+            | Some p when cmp_entries_at t i p e > 0 -> push p
+            | _ -> ()))
+      end
+    done
+
+  (* Restore the just-after-now order and the one-event-per-pair invariant
+     around [touched].  Needed after updates as well as events: a curve
+     introduced or replaced at the update instant may cross a neighbour
+     exactly there, and crossings AT the current instant are never scheduled
+     (event search is strictly-after). *)
+  let settle t touched =
+    (* callers have already scheduled their own suspects; only entries the
+       bubble actually moved need their events re-established *)
+    let disturbed = ref [] in
+    bubble t t.now touched ~note:(fun e -> disturbed := e :: !disturbed);
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if (not e.dead) && e.node <> None && not (Hashtbl.mem seen e.lbl) then begin
+          Hashtbl.replace seen e.lbl ();
+          schedule_around t e
+        end)
+      !disturbed
+
+  (* Re-insert a mounted entry at instant [i] (a value discontinuity moved
+     it).  Neighbour events are repaired through the caller's touched set. *)
+  let reposition t i e touched =
+    let p = prev_entry t e and n = next_entry t e in
+    drop_right_event t e;
+    (match p with Some p -> drop_right_event t p | None -> ());
+    OL.delete t.order (node_of e);
+    e.node <- None;
+    let handle = OL.insert_sorted ~cmp:(cmp_entries_at t i) t.order e in
+    e.node <- Some handle;
+    (match prev_entry t e with Some p' -> drop_right_event t p' | None -> ());
+    t.stats.jumps <- t.stats.jumps + 1;
+    touched := e :: (match p with Some p -> [ p ] | None -> []) @ (match n with Some n -> [ n ] | None -> []) @ !touched
+
+  type step = Span of B.instant * B.instant | Point of B.instant
+
+  let pop_batch t =
+    match LH.find_min t.queue with
+    | None -> None
+    | Some (i, _) ->
+      let rec pop acc =
+        match LH.find_min t.queue with
+        | Some (j, _) when B.compare_instant j i = 0 ->
+          (match LH.pop_min t.queue with
+           | Some (_, d) -> pop (d :: acc)
+           | None -> acc)
+        | _ -> acc
+      in
+      Some (i, pop [])
+
+  let process_batch t i events emit =
+    if debug then begin
+      Format.eprintf "batch at %a:" B.pp_instant i;
+      List.iter
+        (function
+          | Cross (l, r) -> Format.eprintf " cross(%a,%a)" pp_label l.lbl pp_label r.lbl
+          | Birth e -> Format.eprintf " birth(%a)" pp_label e.lbl
+          | Death e -> Format.eprintf " death(%a)" pp_label e.lbl
+          | Jump e -> Format.eprintf " jump(%a)" pp_label e.lbl)
+        events;
+      Format.eprintf "@."
+    end;
+    t.stats.batches <- t.stats.batches + 1;
+    let touched = ref [] in
+    let deaths = ref [] in
+    (* births first: objects created at i take part in the i-order *)
+    List.iter
+      (function
+        | Birth e ->
+          t.stats.births <- t.stats.births + 1;
+          mount t i e;
+          touched := e :: !touched
+        | Cross (l, r) ->
+          t.stats.crossings <- t.stats.crossings + 1;
+          (* the handle was popped; clear the dangling reference *)
+          (match l.right_event with
+           | Some h when not (LH.mem h) -> l.right_event <- None
+           | _ -> ());
+          touched := l :: r :: !touched
+        | Jump e -> if (not e.dead) && e.node <> None then reposition t i e touched
+        | Death e -> deaths := e :: !deaths)
+      events;
+    let disturbed = ref !touched in
+    bubble t i !touched ~note:(fun e -> disturbed := e :: !disturbed);
+    emit (Point i);
+    List.iter
+      (fun e ->
+        if e.node <> None then begin
+          t.stats.deaths <- t.stats.deaths + 1;
+          unmount t e
+        end)
+      !deaths;
+    (* restore the one-event-per-pair invariant around everything we moved *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if (not e.dead) && e.node <> None && not (Hashtbl.mem seen e.lbl) then begin
+          Hashtbl.replace seen e.lbl ();
+          schedule_around t e
+        end)
+      !disturbed
+
+  let advance t ~upto ~emit =
+    let continue_ = ref true in
+    while !continue_ do
+      match LH.find_min t.queue with
+      | Some (i, _) when B.compare_instant_scalar i upto < 0 ->
+        (match pop_batch t with
+         | Some (i, events) ->
+           if B.compare_instant t.now i < 0 then emit (Span (t.now, i));
+           (* move the clock first so rescheduling searches strictly after
+              this batch and never re-finds its own events *)
+           t.now <- i;
+           process_batch t i events emit
+         | None -> continue_ := false)
+      | _ -> continue_ := false
+    done
+
+  (* Updates carry their own time (the paper's τ1 > current time); the
+     caller advances past the preceding events first. *)
+  let move_clock t at =
+    let i = B.instant_of_scalar at in
+    if B.compare_instant t.now i > 0 then
+      invalid_arg "Engine: update before the current sweep time"
+    else t.now <- i
+
+  let sync_clock t ~at = move_clock t at
+
+  let insert t ~at lbl c =
+    if not (PW.defined_at c at) then invalid_arg "Engine.insert: curve not defined at insertion time"
+    else begin
+      move_clock t at;
+      let e = { lbl; curve = c; node = None; right_event = None; dead = false } in
+      Hashtbl.replace t.by_label lbl e;
+      t.stats.births <- t.stats.births + 1;
+      mount t t.now e;
+      settle t [ e ]
+    end
+
+  let remove t ~at lbl =
+    match find t lbl with
+    | None -> invalid_arg "Engine.remove: no such live entry"
+    | Some e ->
+      move_clock t at;
+      t.stats.deaths <- t.stats.deaths + 1;
+      let p = prev_entry t e and n = next_entry t e in
+      unmount t e;
+      (* the newly adjacent pair may cross exactly at the update instant *)
+      settle t (List.filter_map Fun.id [ p; n ])
+
+  let replace_curve t ~at lbl c =
+    match find t lbl with
+    | None -> invalid_arg "Engine.replace_curve: no such live entry"
+    | Some e ->
+      move_clock t at;
+      e.curve <- c;
+      (* the order at the current instant is unchanged (curves agree at the
+         update time); only this entry's pending intersections move — but
+         the new curve may leave the neighbourhood immediately (a crossing
+         exactly at the update time), which [settle] repairs *)
+      (match prev_entry t e with Some p -> drop_right_event t p | None -> ());
+      drop_right_event t e;
+      schedule_around t e;
+      schedule_death t e;
+      schedule_jumps t e;
+      settle t [ e ]
+
+  let replace_all_curves_now t f =
+    (* Theorem 10: no re-sorting; rebuild the event queue in O(N). *)
+    let entries = order t in
+    List.iter
+      (fun e ->
+        e.curve <- f e;
+        e.right_event <- None)
+      entries;
+    let events = ref [] in
+    let rec pairs = function
+      | l :: (r :: _ as rest) ->
+        (match C.first_crossing ~after:t.now ?horizon:t.horizon l.curve r.curve with
+         | Some i -> events := (`Pair l, i, Cross (l, r)) :: !events
+         | None -> ());
+        pairs rest
+      | _ -> ()
+    in
+    pairs entries;
+    List.iter
+      (fun e ->
+        (match PW.stop e.curve with
+         | Some s when B.compare_instant_scalar t.now s < 0 ->
+           (match t.horizon with
+            | Some h when F.compare s h > 0 -> ()
+            | _ -> events := (`Plain, B.instant_of_scalar s, Death e) :: !events)
+         | _ -> ());
+        let rec scan = function
+          | (_, p1) :: (((b, p2) :: _) as rest) ->
+            if (not (F.equal (B.P.eval p1 b) (B.P.eval p2 b)))
+               && B.compare_instant_scalar t.now b < 0
+               && (match t.horizon with Some h -> F.compare b h <= 0 | None -> true)
+            then events := (`Plain, B.instant_of_scalar b, Jump e) :: !events;
+            scan rest
+          | _ -> ()
+        in
+        scan (PW.pieces e.curve))
+      entries;
+    (* unborn entries keep their birth events *)
+    Hashtbl.iter
+      (fun _ e ->
+        if e.node = None && not e.dead then begin
+          e.curve <- f e;
+          let s = PW.start e.curve in
+          if B.compare_instant_scalar t.now s < 0 then begin
+            match t.horizon with
+            | Some h when F.compare s h > 0 -> ()
+            | _ -> events := (`Plain, B.instant_of_scalar s, Birth e) :: !events
+          end
+          else e.dead <- true
+        end)
+      t.by_label;
+    let heap, handles =
+      LH.of_list ~cmp:B.compare_instant (List.map (fun (_, i, d) -> (i, d)) !events)
+    in
+    t.queue <- heap;
+    List.iter2
+      (fun (tag, _, _) h ->
+        match tag with
+        | `Pair l -> l.right_event <- Some h
+        | `Plain -> ())
+      !events handles
+
+  let replace_all_curves t ~at f =
+    move_clock t at;
+    replace_all_curves_now t f;
+    (* the wholesale curve change preserves values at [at] but may invert
+       just-after-now jets anywhere: one O(N) settling pass *)
+    settle t (order t)
+
+  let check_invariants t =
+    OL.check_invariants t.order;
+    let entries = order t in
+    (* sorted w.r.t. just-after-now — except that an update may land exactly
+       on a crossing instant of an unrelated pair, whose swap then still
+       sits in the queue as a batch at [now]; such an inversion must be
+       backed by that pending event *)
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if cmp_entries_at t t.now a b > 0 then begin
+          match a.right_event with
+          | Some h ->
+            assert (LH.mem h);
+            assert (B.compare_instant (LH.key h) t.now = 0)
+          | None -> assert false
+        end;
+        sorted rest
+      | _ -> ()
+    in
+    sorted entries;
+    (* each right_event is a live Cross event for a currently adjacent pair *)
+    let rec check_events = function
+      | l :: (r :: _ as rest) ->
+        (match l.right_event with
+         | Some h ->
+           assert (LH.mem h);
+           (match LH.value h with
+            | Cross (a, b) ->
+              assert (a == l);
+              assert (b == r)
+            | _ -> assert false)
+         | None -> ());
+        check_events rest
+      | [ e ] -> assert (e.right_event = None)
+      | [] -> ()
+    in
+    check_events entries
+end

@@ -1,0 +1,127 @@
+(** The plane-sweep core (paper, Section 5).
+
+    Maintains the precedence relation [≤_τ] of a set of g-distance curves as
+    a balanced ordered sequence (the paper's object list [L]), and an event
+    queue holding — per Lemma 9's optimization — at most one pending
+    intersection event for each pair of {e currently adjacent} curves, in a
+    deletable leftist heap.  Crossings, births (curve domain starts) and
+    deaths (domain ends) are processed in chronological batches; after each
+    batch the engine re-establishes the invariant by re-examining the
+    neighbourhoods that changed.
+
+    Simultaneous events (several curves meeting at one instant) are resolved
+    by a local bubble pass with the "just after τ′" comparator — the paper's
+    "the precedence relation is modified before the propagation is done".
+
+    Both the past-query evaluator ({!Sweep}) and the future-query monitor
+    ({!Monitor}) drive this engine. *)
+
+module Make (B : Backend.S) : sig
+  module C : module type of Curves.Make (B)
+
+  type label =
+    | Obj of Moq_mod.Oid.t * int
+        (** object OID and time-term index (0 = the plain variable [t]) *)
+    | Cst of Moq_numeric.Rat.t
+        (** a constant curve for a real constant appearing in the query *)
+
+  val compare_label : label -> label -> int
+  val pp_label : Format.formatter -> label -> unit
+
+  type entry
+
+  val label : entry -> label
+  val curve : entry -> B.PW.t
+
+  type t
+
+  type stats = {
+    mutable crossings : int;  (** crossing events processed *)
+    mutable swaps : int;      (** adjacent transpositions performed *)
+    mutable births : int;
+    mutable deaths : int;
+    mutable batches : int;    (** distinct event instants processed *)
+    mutable jumps : int;
+        (** discontinuity repositionings (Section 5's piecewise-continuous
+            g-distance relaxation) *)
+    mutable comparisons : int;
+        (** curve-order comparisons — the cost unit of the paper's analysis,
+            which explicitly excludes intersection computation *)
+  }
+
+  val create : start:B.P.F.t -> ?horizon:B.P.F.t -> (label * B.PW.t) list -> t
+  (** Initialize the sweep at time [start]: curves alive at [start] are
+      sorted into the object list (O(N log N), Theorem 5(1)); curves whose
+      domain begins later are scheduled as birth events.  Curves ending
+      before [start] are ignored.  Events after [horizon] are never
+      scheduled. *)
+
+  val now : t -> B.instant
+  val stats : t -> stats
+  val order : t -> entry list
+  (** Current order of the sweep line, ascending by curve value. *)
+
+  val first_n : t -> int -> entry list
+  (** The [n] lowest entries (fewer if the list is shorter). *)
+
+  val nth_entry : t -> int -> entry option
+  (** Entry at 0-based rank, O(log N). *)
+
+  val rank_of : t -> entry -> int
+  (** Current 0-based rank of a mounted entry, O(log N). *)
+
+  val size : t -> int
+  val queue_length : t -> int
+
+  val find : t -> label -> entry option
+  (** An entry currently in the sweep (born and not dead). *)
+
+  type step =
+    | Span of B.instant * B.instant
+        (** the open interval between consecutive event instants, over which
+            the order (hence the support, by Lemma 8) was constant; the
+            engine state reflects this span's order when emitted *)
+    | Point of B.instant
+        (** an event instant; emitted after crossings and births applied,
+            before deaths removed *)
+
+  val advance : t -> upto:B.P.F.t -> emit:(step -> unit) -> unit
+  (** Process all events with instant strictly before [upto].  [emit] is
+      called per the [step] protocol; the final span up to [upto] is {e not}
+      emitted (callers close it — they know whether [upto] is an update time
+      or the query horizon). *)
+
+  (* Update-time mutations (the paper's three cases).  Each runs in
+     O(log N) plus rescheduling, per Lemma 9. *)
+
+  (* Each mutation carries its update time [at ≥ now]; the engine clock
+     moves to [at] (the paper "increments the time in the MOD").  Advancing
+     past the events that precede [at] is the caller's job. *)
+
+  val sync_clock : t -> at:B.P.F.t -> unit
+  (** Move the clock to [at ≥ now] without touching the curves (an update
+      that does not affect mounted entries). *)
+
+  val insert : t -> at:B.P.F.t -> label -> B.PW.t -> unit
+  (** [new]: insert a curve (its domain must contain [at]). *)
+
+  val remove : t -> at:B.P.F.t -> label -> unit
+  (** [terminate]: remove the entry and its events; the newly adjacent pair
+      is re-examined. *)
+
+  val replace_curve : t -> at:B.P.F.t -> label -> B.PW.t -> unit
+  (** [chdir]: substitute the entry's curve (which must agree with the old
+      one at [at], by trajectory continuity); the order does not change, but
+      the entry's pending intersections are recomputed — exactly the paper's
+      chdir case. *)
+
+  val replace_all_curves : t -> at:B.P.F.t -> (entry -> B.PW.t) -> unit
+  (** Theorem 10: a direction update on the {e query} trajectory changes
+      every curve at once while preserving the current precedence relation.
+      Rebuilds all pending events in O(N) heap construction without
+      re-sorting the object list. *)
+
+  val check_invariants : t -> unit
+  (** Order list sorted w.r.t. "just after now", one event per adjacent
+      pair, no stale events (tests). *)
+end

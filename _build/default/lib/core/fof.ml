@@ -1,0 +1,145 @@
+module Q = Moq_numeric.Rat
+
+type ovar = string
+
+type time_term = { scale : Q.t; offset : Q.t }
+
+let t_var = { scale = Q.one; offset = Q.zero }
+
+let affine ~scale ~offset =
+  if Q.sign scale < 0 then invalid_arg "Fof.affine: negative scale" else { scale; offset }
+
+let at_time tau = { scale = Q.zero; offset = tau }
+
+type real_term =
+  | Const of Q.t
+  | Dist of ovar * time_term
+
+type cmp = Lt | Le | Eq | Ne | Ge | Gt
+
+type formula =
+  | True
+  | False
+  | Cmp of cmp * real_term * real_term
+  | Same of ovar * ovar
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Forall of ovar * formula
+  | Exists of ovar * formula
+
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun a b -> And (a, b)) f rest
+
+let disj = function
+  | [] -> False
+  | f :: rest -> List.fold_left (fun a b -> Or (a, b)) f rest
+
+module Interval = Moq_dstruct.Interval.Make (Moq_poly.Field.Rat_field)
+
+type query = { y : ovar; interval : Interval.t; phi : formula }
+
+let tt_equal a b = Q.equal a.scale b.scale && Q.equal a.offset b.offset
+
+let rec fold_terms f acc = function
+  | True | False | Same _ -> acc
+  | Cmp (_, a, b) -> f (f acc a) b
+  | Not g -> fold_terms f acc g
+  | And (g, h) | Or (g, h) -> fold_terms f (fold_terms f acc g) h
+  | Forall (_, g) | Exists (_, g) -> fold_terms f acc g
+
+let time_terms q =
+  let terms =
+    fold_terms
+      (fun acc t -> match t with Dist (_, tt) -> tt :: acc | Const _ -> acc)
+      [] q.phi
+  in
+  let dedup =
+    List.fold_left
+      (fun acc tt -> if List.exists (tt_equal tt) acc then acc else tt :: acc)
+      [] terms
+  in
+  let identity, others = List.partition (tt_equal t_var) dedup in
+  identity @ List.rev others
+
+let constants q =
+  let consts =
+    fold_terms
+      (fun acc t -> match t with Const c -> c :: acc | Dist _ -> acc)
+      [] q.phi
+  in
+  List.sort_uniq Q.compare consts
+
+let free_ok q =
+  let rec check bound scales_ok = function
+    | True | False -> scales_ok
+    | Same (y, z) -> scales_ok && List.mem y bound && List.mem z bound
+    | Cmp (_, a, b) ->
+      let term_ok = function
+        | Const _ -> true
+        | Dist (y, tt) -> List.mem y bound && Q.sign tt.scale >= 0
+      in
+      scales_ok && term_ok a && term_ok b
+    | Not g -> check bound scales_ok g
+    | And (g, h) | Or (g, h) -> check bound scales_ok g && check bound scales_ok h
+    | Forall (y, g) | Exists (y, g) -> check (y :: bound) scales_ok g
+  in
+  check [ q.y ] true q.phi
+
+let nearest_q ~interval =
+  { y = "y";
+    interval;
+    phi = Forall ("z", Cmp (Le, Dist ("y", t_var), Dist ("z", t_var))) }
+
+let knn_q ~k ~interval =
+  if k < 1 then invalid_arg "Fof.knn_q: k must be >= 1"
+  else begin
+    (* ¬∃ z1..zk pairwise distinct, all ≠ y, all with f(zi,t) < f(y,t) *)
+    let zs = List.init k (fun i -> Printf.sprintf "z%d" (i + 1)) in
+    let distinct =
+      let rec pairs = function
+        | z :: rest -> List.map (fun z' -> Not (Same (z, z'))) rest @ pairs rest
+        | [] -> []
+      in
+      pairs zs
+    in
+    let closer = List.map (fun z -> Cmp (Lt, Dist (z, t_var), Dist ("y", t_var))) zs in
+    let not_y = List.map (fun z -> Not (Same (z, "y"))) zs in
+    let body = conj (distinct @ not_y @ closer) in
+    let exists = List.fold_right (fun z g -> Exists (z, g)) zs body in
+    { y = "y"; interval; phi = Not exists }
+  end
+
+let within_q ~bound ~interval =
+  { y = "y"; interval; phi = Cmp (Le, Dist ("y", t_var), Const bound) }
+
+let beyond_q ~bound ~interval =
+  { y = "y"; interval; phi = Cmp (Gt, Dist ("y", t_var), Const bound) }
+
+let pp_tt fmt tt =
+  if Q.is_zero tt.scale then Q.pp fmt tt.offset
+  else if Q.equal tt.scale Q.one && Q.is_zero tt.offset then Format.pp_print_string fmt "t"
+  else Format.fprintf fmt "%a·t+%a" Q.pp tt.scale Q.pp tt.offset
+
+let pp_term fmt = function
+  | Const c -> Q.pp fmt c
+  | Dist (y, tt) -> Format.fprintf fmt "f(%s, %a)" y pp_tt tt
+
+let pp_cmp fmt c =
+  Format.pp_print_string fmt
+    (match c with Lt -> "<" | Le -> "<=" | Eq -> "=" | Ne -> "<>" | Ge -> ">=" | Gt -> ">")
+
+let rec pp_formula fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (c, a, b) -> Format.fprintf fmt "%a %a %a" pp_term a pp_cmp c pp_term b
+  | Same (y, z) -> Format.fprintf fmt "%s == %s" y z
+  | Not g -> Format.fprintf fmt "~(%a)" pp_formula g
+  | And (g, h) -> Format.fprintf fmt "(%a /\\ %a)" pp_formula g pp_formula h
+  | Or (g, h) -> Format.fprintf fmt "(%a \\/ %a)" pp_formula g pp_formula h
+  | Forall (y, g) -> Format.fprintf fmt "A%s.(%a)" y pp_formula g
+  | Exists (y, g) -> Format.fprintf fmt "E%s.(%a)" y pp_formula g
+
+let pp_query fmt q =
+  Format.fprintf fmt "(%s, t, %a, %a)" q.y Interval.pp q.interval pp_formula q.phi

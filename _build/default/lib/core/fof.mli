@@ -1,0 +1,87 @@
+(** The generalized-distance query language FO(f) (paper, Section 4).
+
+    Many-sorted first-order logic with object variables, one time variable,
+    and real terms built from a single g-distance [f]:
+    - time terms are affine maps of the time variable (the engine's
+      restriction of the paper's polynomial time terms; see DESIGN.md),
+    - real terms are rational constants and [f(y, θ(t))],
+    - formulas compare real terms and quantify over objects.
+
+    A query [(y, t, I, φ)] asks for the objects [o] such that [φ(o, t)]
+    holds, for time instants [t] ranging over the interval [I]; the three
+    answer modes ([Q^s], [Q^∃], [Q^∀]) are computed from the same support
+    timeline (see {!Timeline}). *)
+
+module Q = Moq_numeric.Rat
+
+type ovar = string
+
+type time_term = { scale : Q.t; offset : Q.t }
+(** [θ(t) = scale·t + offset] with [scale ≥ 0]. *)
+
+val t_var : time_term
+(** The identity time term [t]. *)
+
+val affine : scale:Q.t -> offset:Q.t -> time_term
+val at_time : Q.t -> time_term
+(** The constant time term — "at time τ". *)
+
+type real_term =
+  | Const of Q.t
+  | Dist of ovar * time_term  (** [f(y, θ(t))] *)
+
+type cmp = Lt | Le | Eq | Ne | Ge | Gt
+
+type formula =
+  | True
+  | False
+  | Cmp of cmp * real_term * real_term
+  | Same of ovar * ovar  (** object identity — convenient, conservative *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Forall of ovar * formula
+  | Exists of ovar * formula
+
+val conj : formula list -> formula
+val disj : formula list -> formula
+
+module Interval : module type of Moq_dstruct.Interval.Make (Moq_poly.Field.Rat_field)
+
+type query = {
+  y : ovar;          (** the free object variable *)
+  interval : Interval.t;
+  phi : formula;
+}
+
+val free_ok : query -> bool
+(** All object variables bound except [y]; time-term scales non-negative. *)
+
+val time_terms : query -> time_term list
+(** Distinct time terms appearing in the query, identity first — the curves
+    the engine must sweep (paper, end of Section 5: one function per pair of
+    a trajectory and a time term). *)
+
+val constants : query -> Q.t list
+(** Distinct real constants — swept as constant curves. *)
+
+(** Common queries. *)
+
+val nearest_q : interval:Interval.t -> query
+(** 1-NN (Example 10): [φ(y,t) = ∀z. f(y,t) ≤ f(z,t)]. *)
+
+val knn_q : k:int -> interval:Interval.t -> query
+(** k-NN as a pure FO(f) formula (Example 6's extension of 1-NN): [y] is a
+    k-nearest neighbour iff there are no [k] pairwise-distinct objects all
+    strictly closer than [y].  Size grows with [k] (the formula quantifies
+    over [k] object variables); the {!Knn} operator is the efficient path —
+    this builder exists to witness expressibility and for cross-validation.
+    @raise Invalid_argument if [k < 1]. *)
+
+val within_q : bound:Q.t -> interval:Interval.t -> query
+(** Objects with [f(y,t) ≤ bound] (Example 11's "within 50 km"). *)
+
+val beyond_q : bound:Q.t -> interval:Interval.t -> query
+
+val pp_formula : Format.formatter -> formula -> unit
+val pp_query : Format.formatter -> query -> unit

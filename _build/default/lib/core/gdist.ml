@@ -1,0 +1,118 @@
+module Q = Moq_numeric.Rat
+module T = Moq_mod.Trajectory
+module Qpiece = Moq_poly.Piecewise.Qpiece
+module QP = Moq_poly.Qpoly
+
+type t = { name : string; curve : T.t -> Qpiece.t }
+
+let name f = f.name
+let curve f tr = f.curve tr
+
+let custom name curve = { name; curve }
+
+(* Σ_i (coord_i(tr1) - coord_i(tr2))², restricted to the common lifetime. *)
+let dist_sq_curves tr1 tr2 =
+  let n = T.dim tr1 in
+  if T.dim tr2 <> n then invalid_arg "Gdist: dimension mismatch"
+  else begin
+    let sq_diff i =
+      Qpiece.combine (fun p q -> let d = QP.sub p q in QP.mul d d) (T.coord tr1 i) (T.coord tr2 i)
+    in
+    let rec sum i acc = if i >= n then acc else sum (i + 1) (Qpiece.combine QP.add acc (sq_diff i)) in
+    sum 1 (sq_diff 0)
+  end
+
+let euclidean_sq ~gamma =
+  { name = "euclidean_sq"; curve = (fun tr -> dist_sq_curves tr gamma) }
+
+let distance_sq_to_point p =
+  { name = "distance_sq_to_point";
+    curve =
+      (fun tr ->
+        let gamma = T.stationary ~start:(T.birth tr) p in
+        dist_sq_curves tr gamma) }
+
+let coordinate i = { name = Printf.sprintf "coordinate_%d" i; curve = (fun tr -> T.coord tr i) }
+
+let speed_sq =
+  { name = "speed_sq";
+    curve =
+      (fun tr ->
+        let pieces =
+          List.map
+            (fun (p : T.piece) ->
+              (p.T.start, QP.constant (Moq_geom.Vec.Qvec.len2 p.T.a)))
+            (T.pieces tr)
+        in
+        Qpiece.make ?stop:(T.death tr) pieces) }
+
+let scale_curve k c = Qpiece.map (QP.scale k) c
+
+let scaled_euclidean_sq ~gamma ~speed =
+  if Q.sign speed <= 0 then invalid_arg "Gdist.scaled_euclidean_sq: speed must be positive"
+  else begin
+    let k = Q.inv (Q.mul speed speed) in
+    { name = "scaled_euclidean_sq";
+      curve = (fun tr -> scale_curve k (dist_sq_curves tr gamma)) }
+  end
+
+let intercept_time_sq ~gamma ~target_speed ~speed =
+  if Q.compare speed target_speed <= 0 then
+    invalid_arg "Gdist.intercept_time_sq: pursuer must be faster than target"
+  else begin
+    let denom = Q.sub (Q.mul speed speed) (Q.mul target_speed target_speed) in
+    let k = Q.inv denom in
+    { name = "intercept_time_sq";
+      curve = (fun tr -> scale_curve k (dist_sq_curves tr gamma)) }
+  end
+
+let time_scaled f schedule =
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) -> Q.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  if not (sorted schedule) then invalid_arg "Gdist.time_scaled: unsorted schedule"
+  else if List.exists (fun (_, k) -> Q.sign k <= 0) schedule then
+    invalid_arg "Gdist.time_scaled: factors must be positive"
+  else
+    { name = f.name ^ "/time_scaled";
+      curve =
+        (fun tr ->
+          let base = curve f tr in
+          (* split the base curve at schedule boundaries inside its domain
+             and scale each region; boundaries create value discontinuities *)
+          let stop = Qpiece.stop base in
+          let start = Qpiece.start base in
+          let boundaries =
+            List.filter
+              (fun (b, _) ->
+                Q.compare b start > 0
+                && (match stop with Some s -> Q.compare b s < 0 | None -> true))
+              schedule
+          in
+          let factor_at t =
+            List.fold_left
+              (fun acc (b, k) -> if Q.compare b t <= 0 then k else acc)
+              Q.one schedule
+          in
+          let cuts = start :: List.map fst boundaries in
+          let pieces =
+            List.concat_map
+              (fun (lo, hi) ->
+                let clipped = Qpiece.clip base ~from_:(Some lo) ~until:hi in
+                let k = factor_at lo in
+                Qpiece.pieces (Qpiece.map (QP.scale k) clipped))
+              (let rec windows = function
+                 | a :: (b :: _ as rest) -> (a, Some b) :: windows rest
+                 | [ a ] -> [ (a, stop) ]
+                 | [] -> []
+               in
+               windows cuts)
+          in
+          Qpiece.make ?stop pieces) }
+
+let compose_time_term f ~scale ~offset =
+  if Q.sign scale < 0 then invalid_arg "Gdist.compose_time_term: negative scale"
+  else
+    { name = Printf.sprintf "%s∘(%st+%s)" f.name (Q.to_string scale) (Q.to_string offset);
+      curve = (fun tr -> Qpiece.compose_affine (f.curve tr) ~scale ~offset) }

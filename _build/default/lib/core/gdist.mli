@@ -1,0 +1,66 @@
+(** Generalized distances (paper, Definition 6): mappings from trajectories
+    to continuous functions from time to R.
+
+    Every g-distance here is {e polynomial} in the paper's sense — the
+    resulting curve is piecewise polynomial with exact rational
+    coefficients — which is the condition Theorems 4 and 5 need.  Curves are
+    built exactly; each backend converts them on entry. *)
+
+module Q = Moq_numeric.Rat
+module T = Moq_mod.Trajectory
+module Qpiece = Moq_poly.Piecewise.Qpiece
+
+type t
+(** A polynomial g-distance [f : T → (time → R)]. *)
+
+val name : t -> string
+
+val curve : t -> T.t -> Qpiece.t
+(** [curve f tr] is the instantiated function [f(tr)]; its domain is the
+    trajectory's lifetime (intersected with the reference trajectory's,
+    where applicable). *)
+
+val euclidean_sq : gamma:T.t -> t
+(** Example 8: squared Euclidean distance to the query trajectory [γ] —
+    piecewise quadratic. *)
+
+val distance_sq_to_point : Moq_geom.Vec.Qvec.t -> t
+(** Squared distance to a fixed point. *)
+
+val coordinate : int -> t
+(** The [i]-th coordinate of the trajectory — piecewise linear. *)
+
+val speed_sq : t
+(** Squared speed [|vel|²] — piecewise constant (the paper's [vel] made
+    comparable). *)
+
+val scaled_euclidean_sq : gamma:T.t -> speed:Q.t -> t
+(** [|x_o(t) - x_γ(t)|² / speed²]: squared time for an object with maximum
+    speed [speed] to reach the query object's current position.  Orders
+    pursuers by arrival time against a momentarily-frozen target (the
+    fastest-arrival family of Example 7). *)
+
+val intercept_time_sq : gamma:T.t -> target_speed:Q.t -> speed:Q.t -> t
+(** Example 9 / Figure 1: [t_Δ² = |x_γ(t) - x_o(t)|² / (speed² - target_speed²)],
+    the squared interception time under the paper's perpendicular-pursuit
+    geometry, valid for [speed > target_speed] — piecewise quadratic (the
+    paper's [t_Δ² = c₂t² + c₁t + c₀]).
+    @raise Invalid_argument if [speed <= target_speed]. *)
+
+val time_scaled : t -> (Q.t * Q.t) list -> t
+(** [time_scaled f schedule]: multiply [f]'s curve by a time-dependent step
+    factor — [schedule] lists [(from_time, factor)] pairs, ascending; before
+    the first entry the factor is 1.  The result is {e discontinuous} at the
+    schedule boundaries, exercising the paper's Section 5 relaxation of
+    continuity to finitely many continuous pieces (e.g. congestion windows
+    that repricing travel time).  @raise Invalid_argument on an unsorted
+    schedule or non-positive factor. *)
+
+val custom : string -> (T.t -> Qpiece.t) -> t
+(** Any user-defined polynomial g-distance.  The supplied function must
+    return a curve whose domain is the trajectory's lifetime. *)
+
+val compose_time_term : t -> scale:Q.t -> offset:Q.t -> t
+(** The g-distance [fun tr t -> f tr (scale·t + offset)] for affine time
+    terms (paper, end of Section 5: one curve per (trajectory, time term)
+    pair).  Requires [scale ≥ 0]. *)

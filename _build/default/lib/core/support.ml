@@ -1,0 +1,51 @@
+(** The support of a query (paper, Section 5): the minimal set of true
+    order atoms among instantiated real terms that determines the answer —
+    concretely, the relation between each pair of {e adjacent} curves on the
+    sweep line (the rest is transitive closure and hence redundant, as the
+    paper notes about the base).
+
+    [supp(Q, D, t)] changes exactly at sweep events; the engine's statistics
+    count those changes (the paper's m). *)
+
+module Make (B : Backend.S) = struct
+  module E = Engine.Make (B)
+  module C = E.C
+
+  type rel = Below | Equal
+
+  type atom = { left : E.label; rel : rel; right : E.label }
+
+  type t = atom list
+
+  (* supp at the engine's current position, evaluated at instant [i]. *)
+  let current (eng : E.t) (i : B.instant) : t =
+    let rec pairs = function
+      | l :: (r :: _ as rest) ->
+        let s = C.diff_sign_at (E.curve l) (E.curve r) i in
+        { left = E.label l;
+          rel = (if s = 0 then Equal else Below);
+          right = E.label r }
+        :: pairs rest
+      | _ -> []
+    in
+    pairs (E.order eng)
+
+  let equal (s1 : t) (s2 : t) =
+    List.length s1 = List.length s2
+    && List.for_all2
+         (fun a b ->
+           E.compare_label a.left b.left = 0
+           && E.compare_label a.right b.right = 0
+           && a.rel = b.rel)
+         s1 s2
+
+  let pp fmt (s : t) =
+    Format.fprintf fmt "@[<h>";
+    List.iteri
+      (fun idx a ->
+        if idx = 0 then Format.fprintf fmt "%a" E.pp_label a.left;
+        let op = match a.rel with Below -> " < " | Equal -> " = " in
+        Format.fprintf fmt "%s%a" op E.pp_label a.right)
+      s;
+    Format.fprintf fmt "@]"
+end

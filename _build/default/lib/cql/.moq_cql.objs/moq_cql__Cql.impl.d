@@ -1,0 +1,1 @@
+lib/cql/cql.ml: Dnf Format Fourier_motzkin Lincons List Moq_geom Moq_mod Moq_numeric

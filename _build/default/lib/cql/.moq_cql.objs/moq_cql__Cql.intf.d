@@ -1,0 +1,1 @@
+lib/cql/cql.mli: Format Lincons Moq_mod Moq_numeric

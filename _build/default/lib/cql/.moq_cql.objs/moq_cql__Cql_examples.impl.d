@@ -1,0 +1,1 @@
+lib/cql/cql_examples.ml: Cql Lincons List Moq_numeric Printf

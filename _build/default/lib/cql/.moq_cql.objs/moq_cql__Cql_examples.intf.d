@@ -1,0 +1,1 @@
+lib/cql/cql_examples.mli: Cql Lincons Moq_mod Moq_numeric

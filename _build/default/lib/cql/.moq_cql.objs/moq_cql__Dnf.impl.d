@@ -1,0 +1,1 @@
+lib/cql/dnf.ml: Format Fourier_motzkin Lincons List

@@ -1,0 +1,1 @@
+lib/cql/dnf.mli: Format Fourier_motzkin Lincons Moq_numeric

@@ -1,0 +1,1 @@
+lib/cql/fourier_motzkin.ml: Hashtbl Lincons List Moq_numeric Option

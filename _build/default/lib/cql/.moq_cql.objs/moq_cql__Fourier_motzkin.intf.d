@@ -1,0 +1,1 @@
+lib/cql/fourier_motzkin.mli: Lincons

@@ -1,0 +1,1 @@
+lib/cql/lincons.ml: Format Int List Map Moq_numeric Set String

@@ -1,0 +1,1 @@
+lib/cql/lincons.mli: Format Moq_numeric Set

@@ -1,0 +1,252 @@
+module Q = Moq_numeric.Rat
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module Oid = Moq_mod.Oid
+module Qvec = Moq_geom.Vec.Qvec
+module E = Lincons.Expr
+
+type ovar = string
+type rvar = Lincons.var
+
+type formula =
+  | True
+  | False
+  | In_db of ovar
+  | At of ovar * rvar * rvar list
+  | Constr of Lincons.t
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists_r of rvar * formula
+  | Forall_r of rvar * formula
+  | Exists_o of ovar * formula
+  | Forall_o of ovar * formula
+
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun a b -> And (a, b)) f rest
+
+let disj = function
+  | [] -> False
+  | f :: rest -> List.fold_left (fun a b -> Or (a, b)) f rest
+
+let exists_rs vars f = List.fold_right (fun x g -> Exists_r (x, g)) vars f
+
+type query = { free : ovar; gamma : T.t option; body : formula }
+
+let gamma_name = "\xce\xb3" (* γ *)
+
+(* Binding of an object variable: a database object or the query
+   trajectory. *)
+type obinding = Obj of Oid.t * T.t | Gamma of T.t
+
+let traj_of = function Obj (_, tr) -> tr | Gamma tr -> tr
+
+(* Expand T(o, t, x̄) into a DNF over linear constraints: one disjunct per
+   trajectory piece.  Pieces use closed validity intervals on both ends
+   (the paper's Example 1 does the same; overlap at junctions is harmless by
+   continuity). *)
+let at_dnf (tr : T.t) (tvar : rvar) (xvars : rvar list) : Dnf.t =
+  let n = List.length xvars in
+  if n <> T.dim tr then invalid_arg "Cql: coordinate arity mismatch"
+  else begin
+    let pieces = T.pieces tr in
+    let rec piece_intervals = function
+      | (p : T.piece) :: ((p' : T.piece) :: _ as rest) ->
+        (p, Some p'.T.start) :: piece_intervals rest
+      | [ p ] -> [ (p, T.death tr) ]
+      | [] -> []
+    in
+    List.map
+      (fun ((p : T.piece), stop) ->
+        let t = E.var tvar in
+        let coords =
+          List.mapi
+            (fun i x ->
+              (* x_i = a_i * t + b_i *)
+              Lincons.eq (E.var x)
+                (E.add (E.scale (Qvec.get p.T.a i) t) (E.const (Qvec.get p.T.b i))))
+            xvars
+        in
+        let lo = Lincons.ge t (E.const p.T.start) in
+        let hi =
+          match stop with
+          | Some s -> [ Lincons.le t (E.const s) ]
+          | None -> []
+        in
+        (lo :: hi) @ coords)
+      (piece_intervals pieces)
+  end
+
+let rec to_dnf (env : (ovar * obinding) list) (objects : obinding list) (f : formula) : Dnf.t =
+  match f with
+  | True -> Dnf.top
+  | False -> Dnf.bottom
+  | In_db y ->
+    (match List.assoc_opt y env with
+     | Some (Obj _) -> Dnf.top
+     | Some (Gamma _) -> Dnf.bottom
+     | None -> invalid_arg ("Cql: unbound object variable " ^ y))
+  | At (y, t, xs) ->
+    (match List.assoc_opt y env with
+     | Some b -> at_dnf (traj_of b) t xs
+     | None -> invalid_arg ("Cql: unbound object variable " ^ y))
+  | Constr c -> Dnf.atom c
+  | Not g -> Dnf.neg (to_dnf env objects g)
+  | And (g, h) -> Dnf.and_ (to_dnf env objects g) (to_dnf env objects h)
+  | Or (g, h) -> Dnf.or_ (to_dnf env objects g) (to_dnf env objects h)
+  | Exists_r (x, g) -> Dnf.exists x (to_dnf env objects g)
+  | Forall_r (x, g) -> Dnf.neg (Dnf.exists x (Dnf.neg (to_dnf env objects g)))
+  | Exists_o (y, g) ->
+    List.fold_left
+      (fun acc b -> Dnf.or_ acc (to_dnf ((y, b) :: env) objects g))
+      Dnf.bottom objects
+  | Forall_o (y, g) ->
+    List.fold_left
+      (fun acc b -> Dnf.and_ acc (to_dnf ((y, b) :: env) objects g))
+      Dnf.top objects
+
+let bindings db gamma =
+  let objs = List.map (fun (o, tr) -> Obj (o, tr)) (DB.objects db) in
+  match gamma with
+  | Some tr -> Gamma tr :: objs
+  | None -> objs
+
+let holds_for db qr o =
+  match DB.find db o with
+  | None -> false
+  | Some tr ->
+    let objects = bindings db qr.gamma in
+    let env =
+      (qr.free, Obj (o, tr))
+      :: (match qr.gamma with Some g -> [ (gamma_name, Gamma g) ] | None -> [])
+    in
+    Dnf.satisfiable (to_dnf env objects qr.body)
+
+let answer db qr = List.filter (holds_for db qr) (List.map fst (DB.objects db))
+
+type bound =
+  | Unbounded
+  | Inclusive of Q.t
+  | Exclusive of Q.t
+
+type span = { lo : bound; hi : bound }
+
+let pp_span fmt s =
+  (match s.lo with
+   | Unbounded -> Format.pp_print_string fmt "(-inf"
+   | Inclusive v -> Format.fprintf fmt "[%a" Q.pp v
+   | Exclusive v -> Format.fprintf fmt "(%a" Q.pp v);
+  Format.pp_print_string fmt ", ";
+  match s.hi with
+  | Unbounded -> Format.pp_print_string fmt "+inf)"
+  | Inclusive v -> Format.fprintf fmt "%a]" Q.pp v
+  | Exclusive v -> Format.fprintf fmt "%a)" Q.pp v
+
+type tquery = {
+  tfree : ovar;
+  tvar : rvar;
+  tgamma : T.t option;
+  tbody : formula;
+}
+
+(* Conjunction of constraints over the single variable [tv] -> interval, or
+   None if contradictory. *)
+let span_of_conj tv (cs : Lincons.t list) : span option =
+  let tighten_lo current (v, strict) =
+    match current with
+    | Unbounded -> if strict then Exclusive v else Inclusive v
+    | Inclusive w | Exclusive w ->
+      let c = Q.compare v w in
+      if c > 0 then (if strict then Exclusive v else Inclusive v)
+      else if c < 0 then current
+      else begin
+        match current with
+        | Exclusive _ -> current
+        | _ -> if strict then Exclusive v else current
+      end
+  in
+  let tighten_hi current (v, strict) =
+    match current with
+    | Unbounded -> if strict then Exclusive v else Inclusive v
+    | Inclusive w | Exclusive w ->
+      let c = Q.compare v w in
+      if c < 0 then (if strict then Exclusive v else Inclusive v)
+      else if c > 0 then current
+      else begin
+        match current with
+        | Exclusive _ -> current
+        | _ -> if strict then Exclusive v else current
+      end
+  in
+  let rec go lo hi = function
+    | [] ->
+      let nonempty =
+        match lo, hi with
+        | Unbounded, _ | _, Unbounded -> true
+        | Inclusive a, Inclusive b -> Q.compare a b <= 0
+        | (Inclusive a | Exclusive a), (Inclusive b | Exclusive b) -> Q.compare a b < 0
+      in
+      if nonempty then Some { lo; hi } else None
+    | (c : Lincons.t) :: rest ->
+      let a = E.coeff c.Lincons.expr tv in
+      if Q.is_zero a then begin
+        (* ground constraint *)
+        if Lincons.ground_truth c then go lo hi rest else None
+      end
+      else begin
+        (* a·tv + k rel 0  ->  tv rel' -k/a *)
+        let k = E.constant c.Lincons.expr in
+        let v = Q.neg (Q.div k a) in
+        match c.Lincons.rel, Q.sign a > 0 with
+        | Lincons.Eq, _ -> go (tighten_lo lo (v, false)) (tighten_hi hi (v, false)) rest
+        | Lincons.Le, true -> go lo (tighten_hi hi (v, false)) rest
+        | Lincons.Lt, true -> go lo (tighten_hi hi (v, true)) rest
+        | Lincons.Le, false -> go (tighten_lo lo (v, false)) hi rest
+        | Lincons.Lt, false -> go (tighten_lo lo (v, true)) hi rest
+      end
+  in
+  go Unbounded Unbounded cs
+
+let when_holds db (tq : tquery) o : span list =
+  match DB.find db o with
+  | None -> []
+  | Some tr ->
+    let objects = bindings db tq.tgamma in
+    let env =
+      (tq.tfree, Obj (o, tr))
+      :: (match tq.tgamma with Some g -> [ (gamma_name, Gamma g) ] | None -> [])
+    in
+    let d = to_dnf env objects tq.tbody in
+    (* eliminate everything except the free time variable *)
+    let project conj =
+      let rec go cs =
+        let vars =
+          List.fold_left
+            (fun s c -> Lincons.Varset.union s (Lincons.vars c))
+            Lincons.Varset.empty cs
+        in
+        match Lincons.Varset.choose_opt (Lincons.Varset.remove tq.tvar vars) with
+        | None -> cs
+        | Some x -> go (Fourier_motzkin.eliminate x cs)
+      in
+      go conj
+    in
+    List.filter_map (fun conj -> span_of_conj tq.tvar (project conj)) d
+
+let rec pp_formula fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | In_db y -> Format.fprintf fmt "O(%s)" y
+  | At (y, t, xs) ->
+    Format.fprintf fmt "T(%s, %s, (%a))" y t
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Format.pp_print_string)
+      xs
+  | Constr c -> Lincons.pp fmt c
+  | Not g -> Format.fprintf fmt "~(%a)" pp_formula g
+  | And (g, h) -> Format.fprintf fmt "(%a /\\ %a)" pp_formula g pp_formula h
+  | Or (g, h) -> Format.fprintf fmt "(%a \\/ %a)" pp_formula g pp_formula h
+  | Exists_r (x, g) -> Format.fprintf fmt "Er %s.(%a)" x pp_formula g
+  | Forall_r (x, g) -> Format.fprintf fmt "Ar %s.(%a)" x pp_formula g
+  | Exists_o (y, g) -> Format.fprintf fmt "Eo %s.(%a)" y pp_formula g
+  | Forall_o (y, g) -> Format.fprintf fmt "Ao %s.(%a)" y pp_formula g

@@ -1,0 +1,82 @@
+(** The constraint query language of Section 3 (linear fragment).
+
+    Many-sorted first-order logic over objects, time instants, and spatial
+    coordinates, with the atoms [O(y)], [T(y, t, x̄)], and linear
+    constraints.  Object quantifiers range over the finite set of OIDs in
+    the MOD (plus the query trajectory [γ], usable "in the same way as an
+    object"); real quantifiers are eliminated with Fourier–Motzkin.
+
+    Scope note (recorded in DESIGN.md): the paper's [len] and [unit]
+    operators need polynomial constraints, which is precisely why Section 4
+    introduces FO(f) — distance comparisons live in [Moq_core], not here.
+    [vel] is exposed as the {!Trajectory.velocity_after} primitive rather
+    than as a term constructor. *)
+
+module Q = Moq_numeric.Rat
+
+type ovar = string
+type rvar = Lincons.var
+
+type formula =
+  | True
+  | False
+  | In_db of ovar  (** [O(y)] *)
+  | At of ovar * rvar * rvar list
+      (** [T(y, t, (x1,...,xn))]: object [y] is at the position named by the
+          coordinate variables at time [t]. *)
+  | Constr of Lincons.t
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists_r of rvar * formula
+  | Forall_r of rvar * formula
+  | Exists_o of ovar * formula
+  | Forall_o of ovar * formula
+
+val conj : formula list -> formula
+val disj : formula list -> formula
+val exists_rs : rvar list -> formula -> formula
+
+type query = {
+  free : ovar;
+  gamma : Moq_mod.Trajectory.t option;  (** the query's own trajectory *)
+  body : formula;
+}
+
+val gamma_name : ovar
+(** The reserved object variable naming the query trajectory. *)
+
+val answer : Moq_mod.Mobdb.t -> query -> Moq_mod.Oid.t list
+(** [Q(D)] — evaluate over the current database (Proposition 1).  Sorted by
+    OID. *)
+
+val holds_for : Moq_mod.Mobdb.t -> query -> Moq_mod.Oid.t -> bool
+
+(** Snapshot-style answers: queries with a free time variable.  The paper
+    notes that snapshot answers "have finite representations in terms of
+    time constraints on [t]" — [when_holds] computes that representation by
+    eliminating every variable except the free time variable. *)
+
+type bound =
+  | Unbounded
+  | Inclusive of Q.t
+  | Exclusive of Q.t
+
+type span = { lo : bound; hi : bound }
+(** A (possibly degenerate) time interval with per-end strictness. *)
+
+val pp_span : Format.formatter -> span -> unit
+
+type tquery = {
+  tfree : ovar;       (** free object variable *)
+  tvar : rvar;        (** free time variable *)
+  tgamma : Moq_mod.Trajectory.t option;
+  tbody : formula;    (** free variables: [tfree] and [tvar] *)
+}
+
+val when_holds : Moq_mod.Mobdb.t -> tquery -> Moq_mod.Oid.t -> span list
+(** The set of time instants at which the formula holds for the object, as a
+    finite union of intervals (possibly overlapping, in no particular
+    order); empty if never. *)
+
+val pp_formula : Format.formatter -> formula -> unit

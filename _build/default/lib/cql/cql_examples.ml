@@ -1,0 +1,67 @@
+module Q = Moq_numeric.Rat
+module E = Lincons.Expr
+
+let coord_vars dim prefix = List.init dim (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let box ranges xvars =
+  if List.length ranges <> List.length xvars then invalid_arg "Cql_examples.box: arity"
+  else
+    List.concat
+      (List.map2
+         (fun (lo, hi) x ->
+           [ Lincons.ge (E.var x) (E.const lo); Lincons.le (E.var x) (E.const hi) ])
+         ranges xvars)
+
+let in_region region dim y t =
+  (* ∃x̄ (T(y, t, x̄) ∧ ψ(x̄)) *)
+  let xs = coord_vars dim "x_" in
+  Cql.exists_rs xs
+    (Cql.conj (Cql.At (y, t, xs) :: List.map (fun c -> Cql.Constr c) (region xs)))
+
+let window tau1 tau2 t =
+  [ Cql.Constr (Lincons.ge (E.var t) (E.const tau1));
+    Cql.Constr (Lincons.le (E.var t) (E.const tau2)) ]
+
+let inside ~region ~dim ~tau1 ~tau2 =
+  let y = "y" in
+  { Cql.free = y;
+    gamma = None;
+    body = Cql.Exists_r ("t", Cql.conj (window tau1 tau2 "t" @ [ in_region region dim y "t" ])) }
+
+let entering ~region ~dim ~tau1 ~tau2 =
+  (* Example 3:
+     ∃t (τ1 ≤ t ≤ τ2 ∧ inside(y,t)
+         ∧ ∃t' (t' < t ∧ ∀t'' (t' < t'' < t → ¬ inside(y,t'')))) *)
+  let y = "y" in
+  let before =
+    Cql.Exists_r
+      ( "t'",
+        Cql.And
+          ( Cql.Constr (Lincons.lt (E.var "t'") (E.var "t")),
+            Cql.Forall_r
+              ( "t''",
+                Cql.disj
+                  [ Cql.Constr (Lincons.le (E.var "t''") (E.var "t'"));
+                    Cql.Constr (Lincons.ge (E.var "t''") (E.var "t"));
+                    Cql.Not (in_region region dim y "t''");
+                  ] ) ) )
+  in
+  { Cql.free = y;
+    gamma = None;
+    body =
+      Cql.Exists_r
+        ("t", Cql.conj (window tau1 tau2 "t" @ [ in_region region dim y "t"; before ])) }
+
+let met_gamma ~gamma ~dim ~tau1 ~tau2 =
+  (* ∃t (τ1 ≤ t ≤ τ2 ∧ ∃x̄ (T(y,t,x̄) ∧ T(γ,t,x̄))) *)
+  let y = "y" in
+  let xs = coord_vars dim "x_" in
+  { Cql.free = y;
+    gamma = Some gamma;
+    body =
+      Cql.Exists_r
+        ( "t",
+          Cql.conj
+            (window tau1 tau2 "t"
+            @ [ Cql.exists_rs xs
+                  (Cql.conj [ Cql.At (y, "t", xs); Cql.At (Cql.gamma_name, "t", xs) ]) ]) ) }

@@ -1,0 +1,35 @@
+(** Ready-made CQL queries from the paper's Section 3 examples. *)
+
+module Q = Moq_numeric.Rat
+
+val box : (Q.t * Q.t) list -> Cql.rvar list -> Lincons.t list
+(** [box ranges xvars]: the axis-aligned region [lo_i ≤ x_i ≤ hi_i] as
+    constraints on the coordinate variables (the ψ of Example 3). *)
+
+val inside :
+  region:(Cql.rvar list -> Lincons.t list) ->
+  dim:int ->
+  tau1:Q.t ->
+  tau2:Q.t ->
+  Cql.query
+(** Objects that are inside the region at some instant of [[tau1, tau2]]. *)
+
+val entering :
+  region:(Cql.rvar list -> Lincons.t list) ->
+  dim:int ->
+  tau1:Q.t ->
+  tau2:Q.t ->
+  Cql.query
+(** Example 3: objects {e entering} the region during [[tau1, tau2]] — in the
+    region at some [t], and strictly outside throughout some nonempty open
+    interval [(t', t)] just before. *)
+
+val met_gamma :
+  gamma:Moq_mod.Trajectory.t ->
+  dim:int ->
+  tau1:Q.t ->
+  tau2:Q.t ->
+  Cql.query
+(** Example 11 ("what police cars were at the same positions as car #1404"):
+    objects at the same position as the query trajectory [γ] at some instant
+    of the window.  A location-dependent query in the paper's sense. *)

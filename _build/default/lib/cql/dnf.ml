@@ -1,0 +1,50 @@
+module FM = Fourier_motzkin
+
+type t = FM.conj list
+
+let top = [ [] ]
+let bottom = []
+
+let atom c = [ [ c ] ]
+let of_conj c = [ c ]
+
+let prune (d : t) : t = List.filter FM.satisfiable (List.map FM.dedup d)
+
+let or_ a b = a @ b
+
+let and_ a b =
+  prune (List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a)
+
+(* ¬(∨ᵢ Cᵢ) = ∧ᵢ (∨_{atom a ∈ Cᵢ} ¬a) *)
+let neg (d : t) : t =
+  List.fold_left
+    (fun acc conj ->
+      let negated : t =
+        List.concat_map (fun a -> List.map (fun c -> [ c ]) (Lincons.negate a)) conj
+      in
+      and_ acc negated)
+    top d
+
+let exists x d = prune (List.map (FM.eliminate x) d)
+
+let satisfiable d = List.exists FM.satisfiable d
+let is_true = satisfiable
+
+let eval env d = List.exists (List.for_all (Lincons.eval env)) d
+
+let pp fmt (d : t) =
+  match d with
+  | [] -> Format.pp_print_string fmt "false"
+  | _ ->
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.pp_print_string f " \\/ ")
+      (fun f conj ->
+        match conj with
+        | [] -> Format.pp_print_string f "true"
+        | _ ->
+          Format.fprintf f "(%a)"
+            (Format.pp_print_list
+               ~pp_sep:(fun f () -> Format.pp_print_string f " /\\ ")
+               Lincons.pp)
+            conj)
+      fmt d

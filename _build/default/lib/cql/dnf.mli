@@ -1,0 +1,24 @@
+(** Formulas in disjunctive normal form over linear constraints.
+
+    The working representation of the CQL evaluator: quantifier elimination
+    maps over disjuncts, and logical operations distribute.  Unsatisfiable
+    disjuncts are pruned eagerly (via {!Fourier_motzkin.satisfiable}) to
+    contain the blowup. *)
+
+type t = Fourier_motzkin.conj list
+
+val top : t
+val bottom : t
+val atom : Lincons.t -> t
+val of_conj : Fourier_motzkin.conj -> t
+val or_ : t -> t -> t
+val and_ : t -> t -> t
+val neg : t -> t
+val exists : Lincons.var -> t -> t
+val is_true : t -> bool
+(** Is the (ground) formula true?  A non-ground formula is satisfiable iff
+    it has any disjunct; for ground formulas this coincides with truth. *)
+
+val satisfiable : t -> bool
+val eval : (Lincons.var -> Moq_numeric.Rat.t) -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Q = Moq_numeric.Rat
+module L = Lincons
+module E = Lincons.Expr
+
+type conj = Lincons.t list
+
+(* Normalizing + deduplicating after every step is what keeps the
+   double-exponential tendency of FM in check on the formulas the CQL
+   evaluator produces (piece disjunctions negated under nested
+   quantifiers). *)
+let dedup cs = List.sort_uniq L.compare (List.map L.normalize cs)
+
+(* Solve [c] (an equality with nonzero coefficient on [x]) for [x]. *)
+let solve_for x (c : L.t) : E.t =
+  let a = E.coeff c.L.expr x in
+  assert (not (Q.is_zero a));
+  (* a*x + rest = 0  ->  x = -rest / a *)
+  let rest = E.subst x (E.const Q.zero) c.L.expr in
+  E.scale (Q.neg (Q.inv a)) rest
+
+let eliminate x (cs : conj) : conj =
+  let mentions, rest = List.partition (fun c -> not (Q.is_zero (E.coeff c.L.expr x))) cs in
+  if mentions = [] then cs
+  else begin
+    let eliminated =
+      match List.find_opt (fun c -> c.L.rel = L.Eq) mentions with
+      | Some eq_c ->
+        let sol = solve_for x eq_c in
+        rest
+        @ List.filter_map
+            (fun c -> if c == eq_c then None else Some (L.subst x sol c))
+            mentions
+      | None ->
+        (* All constraints with x are inequalities a*x + e rel 0.  Normalize:
+           a > 0 -> upper bound x rel (-e/a); a < 0 -> lower bound. *)
+        let lowers, uppers =
+          List.fold_left
+            (fun (lo, up) c ->
+              let a = E.coeff c.L.expr x in
+              let e = E.subst x (E.const Q.zero) c.L.expr in
+              let bound = E.scale (Q.neg (Q.inv a)) e in
+              if Q.sign a > 0 then (lo, (bound, c.L.rel) :: up)
+              else ((bound, c.L.rel) :: lo, up))
+            ([], []) mentions
+        in
+        let pairs =
+          List.concat_map
+            (fun (lo, rlo) ->
+              List.map
+                (fun (up, rup) ->
+                  if rlo = L.Lt || rup = L.Lt then L.lt lo up else L.le lo up)
+                uppers)
+            lowers
+        in
+        rest @ pairs
+    in
+    dedup eliminated
+  end
+
+let simplify cs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest ->
+      if L.is_ground c then
+        if L.ground_truth c then go acc rest else None
+      else go (c :: acc) rest
+  in
+  go [] cs
+
+(* Pick the cheapest variable: one with an equality (pure substitution), or
+   failing that the smallest lower×upper product. *)
+let choose_var (cs : conj) : L.var option =
+  let stats = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      L.Varset.iter
+        (fun x ->
+          let eqs, lo, up =
+            Option.value ~default:(0, 0, 0) (Hashtbl.find_opt stats x)
+          in
+          let a = E.coeff c.L.expr x in
+          let entry =
+            if c.L.rel = L.Eq then (eqs + 1, lo, up)
+            else if Q.sign a > 0 then (eqs, lo, up + 1)
+            else (eqs, lo + 1, up)
+          in
+          Hashtbl.replace stats x entry)
+        (L.vars c))
+    cs;
+  let best = ref None in
+  Hashtbl.iter
+    (fun x (eqs, lo, up) ->
+      let cost = if eqs > 0 then 0 else lo * up in
+      match !best with
+      | Some (_, c) when c <= cost -> ()
+      | _ -> best := Some (x, cost))
+    stats;
+  Option.map fst !best
+
+let rec eliminate_all (cs : conj) : conj =
+  match simplify (dedup cs) with
+  | None -> [ L.lt (E.const Q.one) (E.const Q.zero) ] (* canonical falsity *)
+  | Some cs ->
+    (match choose_var cs with
+     | None -> cs
+     | Some x -> eliminate_all (eliminate x cs))
+
+let rec satisfiable (cs : conj) : bool =
+  match simplify (dedup cs) with
+  | None -> false
+  | Some cs ->
+    (match choose_var cs with
+     | None -> true (* all constraints ground and true *)
+     | Some x -> satisfiable (eliminate x cs))

@@ -1,0 +1,24 @@
+(** Fourier–Motzkin quantifier elimination for conjunctions of linear
+    constraints — the complete QE procedure for the linear fragment the
+    paper's data model lives in (its general real-closed-field QE [7, 24]
+    restricted to the constraints Section 2 actually generates). *)
+
+type conj = Lincons.t list
+(** A conjunction of constraints. *)
+
+val dedup : conj -> conj
+(** Normalize every constraint and drop syntactic duplicates. *)
+
+val eliminate : Lincons.var -> conj -> conj
+(** [eliminate x cs] is a conjunction equivalent to [∃x. cs], not
+    mentioning [x].  Uses equality substitution when possible, otherwise the
+    classic lower×upper bound products. *)
+
+val eliminate_all : conj -> conj
+(** Eliminate every variable; the result is ground. *)
+
+val satisfiable : conj -> bool
+
+val simplify : conj -> conj option
+(** Drop trivially-true ground constraints; [None] if a ground constraint is
+    false. *)

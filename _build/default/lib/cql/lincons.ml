@@ -1,0 +1,140 @@
+module Q = Moq_numeric.Rat
+
+type var = string
+
+module VM = Map.Make (String)
+module Varset = Set.Make (String)
+
+module Expr = struct
+  type t = { coeffs : Q.t VM.t; const : Q.t }
+
+  let normalize coeffs = VM.filter (fun _ c -> not (Q.is_zero c)) coeffs
+
+  let const c = { coeffs = VM.empty; const = c }
+  let var x = { coeffs = VM.singleton x Q.one; const = Q.zero }
+
+  let of_list l c =
+    let coeffs =
+      List.fold_left
+        (fun m (a, x) ->
+          VM.update x (function None -> Some a | Some b -> Some (Q.add a b)) m)
+        VM.empty l
+    in
+    { coeffs = normalize coeffs; const = c }
+
+  let add e1 e2 =
+    { coeffs =
+        normalize
+          (VM.union (fun _ a b -> Some (Q.add a b)) e1.coeffs e2.coeffs);
+      const = Q.add e1.const e2.const }
+
+  let scale k e =
+    if Q.is_zero k then const Q.zero
+    else { coeffs = VM.map (Q.mul k) e.coeffs; const = Q.mul k e.const }
+
+  let neg e = scale Q.minus_one e
+  let sub e1 e2 = add e1 (neg e2)
+
+  let coeff e x = match VM.find_opt x e.coeffs with Some c -> c | None -> Q.zero
+  let constant e = e.const
+  let vars e = VM.fold (fun x _ s -> Varset.add x s) e.coeffs Varset.empty
+  let is_const e = VM.is_empty e.coeffs
+
+  let subst x by e =
+    let c = coeff e x in
+    if Q.is_zero c then e
+    else begin
+      let without = { e with coeffs = VM.remove x e.coeffs } in
+      add without (scale c by)
+    end
+
+  let eval env e =
+    VM.fold (fun x c acc -> Q.add acc (Q.mul c (env x))) e.coeffs e.const
+
+  let equal e1 e2 = Q.equal e1.const e2.const && VM.equal Q.equal e1.coeffs e2.coeffs
+
+  let pp fmt e =
+    let first = ref true in
+    VM.iter
+      (fun x c ->
+        if !first then begin
+          Format.fprintf fmt "%a*%s" Q.pp c x;
+          first := false
+        end
+        else Format.fprintf fmt " + %a*%s" Q.pp c x)
+      e.coeffs;
+    if !first then Q.pp fmt e.const
+    else if not (Q.is_zero e.const) then Format.fprintf fmt " + %a" Q.pp e.const
+end
+
+type rel = Eq | Le | Lt
+
+type t = { expr : Expr.t; rel : rel }
+
+let eq a b = { expr = Expr.sub a b; rel = Eq }
+let le a b = { expr = Expr.sub a b; rel = Le }
+let lt a b = { expr = Expr.sub a b; rel = Lt }
+let ge a b = le b a
+let gt a b = lt b a
+
+let vars c = Expr.vars c.expr
+
+let subst x by c = { c with expr = Expr.subst x by c.expr }
+
+let holds rel v =
+  match rel with
+  | Eq -> Q.sign v = 0
+  | Le -> Q.sign v <= 0
+  | Lt -> Q.sign v < 0
+
+let eval env c = holds c.rel (Expr.eval env c.expr)
+
+let is_ground c = Expr.is_const c.expr
+
+let ground_truth c =
+  if not (is_ground c) then invalid_arg "Lincons.ground_truth: not ground"
+  else holds c.rel (Expr.constant c.expr)
+
+let normalize c =
+  (* positive scale: gcd of all numerators over lcm of denominators *)
+  let module B = Moq_numeric.Bigint in
+  let nums, dens =
+    VM.fold
+      (fun _ v (ns, ds) -> (Q.num v :: ns, Q.den v :: ds))
+      c.expr.Expr.coeffs
+      ((if Q.is_zero c.expr.Expr.const then [] else [ Q.num c.expr.Expr.const ]),
+       [ Q.den c.expr.Expr.const ])
+  in
+  match nums with
+  | [] -> c
+  | _ ->
+    let g = List.fold_left (fun acc n -> B.gcd acc n) B.zero nums in
+    let l = List.fold_left (fun acc d -> B.div (B.mul acc d) (B.gcd acc d)) B.one dens in
+    if B.is_zero g then c
+    else begin
+      let k = Q.make l g (* positive since g, l > 0 *) in
+      { c with expr = Expr.scale k c.expr }
+    end
+
+let compare_rel r1 r2 =
+  let rank = function Eq -> 0 | Le -> 1 | Lt -> 2 in
+  Int.compare (rank r1) (rank r2)
+
+let compare c1 c2 =
+  let e1 = c1.expr and e2 = c2.expr in
+  let c = Q.compare e1.Expr.const e2.Expr.const in
+  if c <> 0 then c
+  else begin
+    let c = VM.compare Q.compare e1.Expr.coeffs e2.Expr.coeffs in
+    if c <> 0 then c else compare_rel c1.rel c2.rel
+  end
+
+let negate c =
+  match c.rel with
+  | Eq -> [ { expr = c.expr; rel = Lt }; { expr = Expr.neg c.expr; rel = Lt } ]
+  | Le -> [ { expr = Expr.neg c.expr; rel = Lt } ]
+  | Lt -> [ { expr = Expr.neg c.expr; rel = Le } ]
+
+let pp fmt c =
+  let op = match c.rel with Eq -> "=" | Le -> "<=" | Lt -> "<" in
+  Format.fprintf fmt "%a %s 0" Expr.pp c.expr op

@@ -1,0 +1,68 @@
+(** Linear constraints over named real variables (paper, Section 2:
+    [Σ aᵢxᵢ θ a₀] interpreted over the reals).
+
+    A constraint is kept in the normal form [expr rel 0] with
+    [rel ∈ {=, ≤, <}]; builders accept both sides. *)
+
+module Q = Moq_numeric.Rat
+
+type var = string
+
+module Varset : Set.S with type elt = var
+
+(** Linear expressions [Σ aᵢ·xᵢ + c] with no zero coefficients stored. *)
+module Expr : sig
+  type t
+
+  val const : Q.t -> t
+  val var : var -> t
+  val of_list : (Q.t * var) list -> Q.t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : Q.t -> t -> t
+  val neg : t -> t
+  val coeff : t -> var -> Q.t
+  val constant : t -> Q.t
+  val vars : t -> Varset.t
+  val is_const : t -> bool
+  val subst : var -> t -> t -> t
+  (** [subst x e expr] replaces [x] by [e]. *)
+
+  val eval : (var -> Q.t) -> t -> Q.t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type rel = Eq | Le | Lt
+
+type t = { expr : Expr.t; rel : rel }
+(** The constraint [expr rel 0]. *)
+
+val eq : Expr.t -> Expr.t -> t
+val le : Expr.t -> Expr.t -> t
+val lt : Expr.t -> Expr.t -> t
+val ge : Expr.t -> Expr.t -> t
+val gt : Expr.t -> Expr.t -> t
+
+val vars : t -> Varset.t
+val subst : var -> Expr.t -> t -> t
+val eval : (var -> Q.t) -> t -> bool
+
+val is_ground : t -> bool
+val ground_truth : t -> bool
+(** Truth value of a variable-free constraint.
+    @raise Invalid_argument otherwise. *)
+
+val normalize : t -> t
+(** Scale by the positive constant making the coefficient content 1, so
+    syntactically different multiples of the same constraint collide (and
+    bignum coefficients stay small through Fourier–Motzkin chains). *)
+
+val compare : t -> t -> int
+(** Total order on normalized constraints (for deduplication). *)
+
+val negate : t -> t list
+(** The negation as a disjunction of constraints:
+    [¬(e = 0) ≡ e < 0 ∨ -e < 0]; inequalities negate to one constraint. *)
+
+val pp : Format.formatter -> t -> unit

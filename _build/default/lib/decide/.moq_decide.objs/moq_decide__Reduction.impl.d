@@ -1,0 +1,1 @@
+lib/decide/reduction.ml: Hashtbl List Moq_geom Moq_mod Moq_numeric Turing

@@ -1,0 +1,1 @@
+lib/decide/reduction.mli: Moq_mod Moq_numeric Turing

@@ -1,0 +1,1 @@
+lib/decide/turing.ml: Hashtbl List Option

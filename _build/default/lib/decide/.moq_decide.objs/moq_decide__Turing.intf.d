@@ -1,0 +1,1 @@
+lib/decide/turing.mli: Hashtbl

@@ -1,0 +1,123 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+module T = Moq_mod.Trajectory
+
+(* Encoding: stationary objects in R^4.  An object at (step, cell, symbol,
+   tag) asserts that at computation step [step], tape cell [cell] holds
+   [symbol]; tag = -1 for plain cells, tag = state for the head cell.
+   Insertion times are chronological in (step, cell) order, matching the
+   paper's "objects sorted by their insertion times". *)
+
+let q = Q.of_int
+let dim = 4
+
+let initial_mod () = DB.empty ~dim ~tau:(q 0)
+
+let point step cell symbol tag =
+  Qvec.of_list [ q step; q cell; q symbol; q tag ]
+
+let encode_computation m ~max_steps =
+  let configs = Turing.run m ~max_steps in
+  let updates = ref [] in
+  let oid = ref 0 in
+  let time = ref 0 in
+  List.iteri
+    (fun step (c : Turing.config) ->
+      (* one object per touched cell (plus the head cell, always) *)
+      let cells =
+        List.sort_uniq compare (c.Turing.head :: Hashtbl.fold (fun i _ acc -> i :: acc) c.Turing.tape [])
+      in
+      List.iter
+        (fun cell ->
+          incr oid;
+          incr time;
+          let tag = if cell = c.Turing.head then c.Turing.state else -1 in
+          updates :=
+            U.New { oid = !oid; tau = q !time; a = Qvec.zero dim; b = point step cell (Turing.read c cell) tag }
+            :: !updates)
+        cells)
+    configs;
+  List.rev !updates
+
+(* Decode the MOD back into a configuration sequence; [None] if the
+   encoding is malformed. *)
+let decode (db : DB.t) : (int * int * int * int) list option =
+  let cells =
+    List.filter_map
+      (fun (_, tr) ->
+        match List.map Q.to_float (Qvec.to_list (T.position_exn tr (T.birth tr))) with
+        | [ s; c; y; g ] ->
+          Some (int_of_float s, int_of_float c, int_of_float y, int_of_float g)
+        | _ -> None)
+      (DB.objects db)
+  in
+  if List.length cells <> DB.cardinal db then None else Some (List.sort compare cells)
+
+let config_of_cells cells =
+  (* cells of one step: [(cell, symbol, tag)] -> a Turing.config, requiring
+     exactly one head marker *)
+  let tape = Hashtbl.create 16 in
+  let head = ref None in
+  let ok = ref true in
+  List.iter
+    (fun (cell, symbol, tag) ->
+      if symbol <> 0 then Hashtbl.replace tape cell symbol;
+      if tag >= 0 then begin
+        match !head with
+        | None -> head := Some (tag, cell)
+        | Some _ -> ok := false
+      end)
+    cells;
+  match !head with
+  | Some (state, head) when !ok -> Some { Turing.state; tape; head }
+  | _ -> None
+
+let configs_equal (a : Turing.config) (b : Turing.config) =
+  a.Turing.state = b.Turing.state
+  && a.Turing.head = b.Turing.head
+  && begin
+    let cells c = Hashtbl.fold (fun i y acc -> (i, y) :: acc) c.Turing.tape [] in
+    List.sort compare (cells a) = List.sort compare (cells b)
+  end
+
+let query_holds db m =
+  match decode db with
+  | None -> false
+  | Some cells ->
+    let steps =
+      List.fold_left (fun acc (s, _, _, _) -> max acc s) (-1) cells
+    in
+    if steps < 0 then false
+    else begin
+      let by_step =
+        List.init (steps + 1) (fun s ->
+            config_of_cells
+              (List.filter_map
+                 (fun (s', c, y, g) -> if s' = s then Some (c, y, g) else None)
+                 cells))
+      in
+      match by_step with
+      | Some c0 :: _ when configs_equal c0 Turing.initial || (c0.Turing.state = 0 && c0.Turing.head = 0) ->
+        let rec follow = function
+          | Some c :: (Some c' :: _ as rest) ->
+            (match Turing.step m c with
+             | Some expected -> configs_equal expected c' && follow rest
+             | None -> false)
+          | [ Some last ] -> Turing.is_halted m last
+          | _ -> false
+        in
+        follow by_step
+      | _ -> false
+    end
+
+let is_past_up_to m ~max_steps =
+  (* Q_M(D_M) = false on the initial (empty) MOD.  The query stops being
+     past as soon as some update sequence makes it true; the encoder of the
+     halting computation is exactly that sequence. *)
+  match Turing.halts_within m ~max_steps with
+  | Some k ->
+    let db = DB.apply_all_exn (initial_mod ()) (encode_computation m ~max_steps:(k + 1)) in
+    not (query_holds db m) (* halting computation found: the answer changed -> not past *)
+  | None -> true

@@ -1,0 +1,38 @@
+(** The Theorem 2 construction, executable.
+
+    The paper reduces TM halting to deciding whether a query is past: start
+    from a fixed MOD [D_M]; update sequences of [new] operations encode
+    candidate computations of [M] (objects sorted by insertion time encode a
+    sequence of configurations); the query [Q_M] checks whether the database
+    encodes a computation reaching the halting state.  Then
+    [Q_M] is past w.r.t. [D_M]  iff  no update sequence changes its answer
+    iff  [M] never halts — so deciding "past" decides halting.
+
+    We realize every piece operationally.  The {e checking predicate} is
+    implemented as a decoder over the MOD (the proof only needs its
+    existence as a constraint formula; building that formula is routine but
+    immaterial arithmetic coding), and the {e adversary} that makes a
+    non-past query reveal itself is the encoder producing the update
+    sequence from the halting computation. *)
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+
+val initial_mod : unit -> DB.t
+(** [D_M]: the empty starting MOD of the construction. *)
+
+val encode_computation : Turing.t -> max_steps:int -> U.t list
+(** The update sequence Δ encoding [M]'s computation prefix (one [new] per
+    (step, tape cell) plus one head marker per step), in chronological
+    order — the adversary's witness when [M] halts. *)
+
+val query_holds : DB.t -> Turing.t -> bool
+(** [Q_M(D)]: does the database encode a valid computation of [M] from the
+    blank tape that reaches the halting state? *)
+
+val is_past_up_to : Turing.t -> max_steps:int -> bool
+(** The semi-decision procedure the reduction shows cannot be completed to a
+    decision procedure: tries all encoded computation prefixes up to the
+    bound and reports whether [Q_M] stayed past so far.  Returns [false]
+    (query revealed future) iff [M] halts within [max_steps]. *)

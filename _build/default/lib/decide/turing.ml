@@ -1,0 +1,78 @@
+type direction = Left | Right
+
+type t = {
+  states : int;
+  halt : int;
+  symbols : int;
+  delta : (int * int, int * int * direction) Hashtbl.t;
+}
+
+let make ~states ~halt ~symbols delta =
+  if halt < 0 || halt >= states then invalid_arg "Turing.make: bad halt state";
+  Hashtbl.iter
+    (fun (s, y) (s', y', _) ->
+      if s < 0 || s >= states || y < 0 || y >= symbols || s' < 0 || s' >= states || y' < 0
+         || y' >= symbols
+      then invalid_arg "Turing.make: transition out of range")
+    delta;
+  { states; halt; symbols; delta }
+
+type config = { state : int; tape : (int, int) Hashtbl.t; head : int }
+
+let initial = { state = 0; tape = Hashtbl.create 16; head = 0 }
+
+let read c i = Option.value ~default:0 (Hashtbl.find_opt c.tape i)
+
+let is_halted m c = c.state = m.halt
+
+let step m c =
+  if is_halted m c then None
+  else begin
+    match Hashtbl.find_opt m.delta (c.state, read c c.head) with
+    | None -> None
+    | Some (s', y', d) ->
+      let tape = Hashtbl.copy c.tape in
+      if y' = 0 then Hashtbl.remove tape c.head else Hashtbl.replace tape c.head y';
+      Some { state = s'; tape; head = (match d with Left -> c.head - 1 | Right -> c.head + 1) }
+  end
+
+let run m ~max_steps =
+  let rec go acc c k =
+    if k >= max_steps then List.rev (c :: acc)
+    else begin
+      match step m c with
+      | None -> List.rev (c :: acc)
+      | Some c' -> go (c :: acc) c' (k + 1)
+    end
+  in
+  go [] initial 0
+
+let halts_within m ~max_steps =
+  let rec go c k =
+    if is_halted m c then Some k
+    else if k >= max_steps then None
+    else begin
+      match step m c with
+      | None -> None (* stuck without reaching the halt state *)
+      | Some c' -> go c' (k + 1)
+    end
+  in
+  go initial 0
+
+(* The 3-state, 2-symbol busy beaver (halts in 21 steps, writing six 1s).
+   States: 0 = A, 1 = B, 2 = C, 3 = HALT. *)
+let busy_beaver_3 () =
+  let delta = Hashtbl.create 8 in
+  Hashtbl.replace delta (0, 0) (1, 1, Right);
+  Hashtbl.replace delta (0, 1) (2, 1, Left);
+  Hashtbl.replace delta (1, 0) (0, 1, Left);
+  Hashtbl.replace delta (1, 1) (1, 1, Right);
+  Hashtbl.replace delta (2, 0) (1, 1, Left);
+  Hashtbl.replace delta (2, 1) (3, 1, Right);
+  make ~states:4 ~halt:3 ~symbols:2 delta
+
+let loop_forever () =
+  let delta = Hashtbl.create 2 in
+  Hashtbl.replace delta (0, 0) (0, 1, Right);
+  Hashtbl.replace delta (0, 1) (0, 1, Right);
+  make ~states:2 ~halt:1 ~symbols:2 delta

@@ -1,0 +1,41 @@
+(** Single-tape Turing machines on empty input — the source problem of the
+    paper's Theorem 2 reduction. *)
+
+type direction = Left | Right
+
+type t = {
+  states : int;  (** states are [0 .. states-1]; state 0 is initial *)
+  halt : int;    (** the halting state *)
+  symbols : int; (** tape symbols are [0 .. symbols-1]; 0 is blank *)
+  delta : (int * int, int * int * direction) Hashtbl.t;
+      (** [(state, symbol) -> (state', symbol', move)] *)
+}
+
+val make :
+  states:int -> halt:int -> symbols:int -> (int * int, int * int * direction) Hashtbl.t -> t
+
+type config = { state : int; tape : (int, int) Hashtbl.t; head : int }
+(** Sparse tape: absent cells are blank. *)
+
+val initial : config
+val read : config -> int -> int
+val step : t -> config -> config option
+(** [None] when no transition applies or the machine is already halted. *)
+
+val is_halted : t -> config -> bool
+
+val run : t -> max_steps:int -> config list
+(** The computation prefix: configurations [c_0, c_1, ...] until halting or
+    the step bound.  The last element is halted iff the machine halts within
+    the bound. *)
+
+val halts_within : t -> max_steps:int -> int option
+(** [Some k]: halts after exactly [k] steps. *)
+
+val busy_beaver_3 : unit -> t
+(** The 3-state, 2-symbol busy-beaver champion for ones written: halts from
+    the blank tape leaving six 1s (13 transitions under this simulator's
+    counting). *)
+
+val loop_forever : unit -> t
+(** A machine that provably never halts (moves right forever). *)

@@ -1,0 +1,1 @@
+lib/dstruct/bin_heap.mli:

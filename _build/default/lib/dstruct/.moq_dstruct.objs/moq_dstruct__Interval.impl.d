@@ -1,0 +1,1 @@
+lib/dstruct/interval.ml: Format Moq_poly

@@ -1,0 +1,1 @@
+lib/dstruct/interval.mli: Format Moq_poly

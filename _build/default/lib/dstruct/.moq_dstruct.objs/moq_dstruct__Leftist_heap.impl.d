@@ -1,0 +1,1 @@
+lib/dstruct/leftist_heap.ml: List Option Queue

@@ -1,0 +1,1 @@
+lib/dstruct/leftist_heap.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/order_list.mli:

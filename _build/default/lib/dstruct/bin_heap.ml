@@ -1,0 +1,68 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable data : ('k * 'v) array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let item = t.data.(0) in
+    let data = Array.make (max 8 (2 * cap)) item in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let swap t i j =
+  let x = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.cmp (fst t.data.(i)) (fst t.data.(p)) < 0 then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp (fst t.data.(l)) (fst t.data.(!smallest)) < 0 then smallest := l;
+  if r < t.len && t.cmp (fst t.data.(r)) (fst t.data.(!smallest)) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t k v =
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 8 (k, v)
+  else grow t;
+  t.data.(t.len) <- (k, v);
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let find_min t = if t.len = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let check_invariants t =
+  for i = 1 to t.len - 1 do
+    assert (t.cmp (fst t.data.((i - 1) / 2)) (fst t.data.(i)) <= 0)
+  done

@@ -1,0 +1,16 @@
+(** Array-based binary min-heap without arbitrary deletion.
+
+    Ablation baseline for the event queue (experiment A1 in DESIGN.md): a
+    plain heap cannot delete the events of a terminated or redirected object,
+    so a sweep built on it must keep stale events and filter them on pop —
+    exactly the problem the paper's Lemma 9 solves with the leftist tree. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+val find_min : ('k, 'v) t -> ('k * 'v) option
+val pop_min : ('k, 'v) t -> ('k * 'v) option
+val check_invariants : ('k, 'v) t -> unit

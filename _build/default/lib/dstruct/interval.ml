@@ -1,0 +1,67 @@
+module Make (F : Moq_poly.Field.ORDERED_FIELD) = struct
+  type t = { lo : F.t option; hi : F.t option }
+
+  let make lo hi =
+    (match lo, hi with
+     | Some a, Some b when F.compare a b > 0 -> invalid_arg "Interval.make: lo > hi"
+     | _ -> ());
+    { lo; hi }
+
+  let closed a b = make (Some a) (Some b)
+  let from a = { lo = Some a; hi = None }
+  let until b = { lo = None; hi = Some b }
+  let all = { lo = None; hi = None }
+  let point a = closed a a
+
+  let lo i = i.lo
+  let hi i = i.hi
+
+  let mem x i =
+    (match i.lo with None -> true | Some a -> F.compare a x <= 0)
+    && (match i.hi with None -> true | Some b -> F.compare x b <= 0)
+
+  let max_lo a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if F.compare x y >= 0 then x else y)
+
+  let min_hi a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if F.compare x y <= 0 then x else y)
+
+  let intersect i j =
+    let lo = max_lo i.lo j.lo and hi = min_hi i.hi j.hi in
+    match lo, hi with
+    | Some a, Some b when F.compare a b > 0 -> None
+    | _ -> Some { lo; hi }
+
+  let subset i j =
+    (match j.lo with
+     | None -> true
+     | Some a -> (match i.lo with None -> false | Some x -> F.compare a x <= 0))
+    && (match j.hi with
+        | None -> true
+        | Some b -> (match i.hi with None -> false | Some x -> F.compare x b <= 0))
+
+  let is_point i =
+    match i.lo, i.hi with
+    | Some a, Some b -> F.compare a b = 0
+    | _ -> false
+
+  let equal i j =
+    let eq a b =
+      match a, b with
+      | None, None -> true
+      | Some x, Some y -> F.compare x y = 0
+      | _ -> false
+    in
+    eq i.lo j.lo && eq i.hi j.hi
+
+  let pp fmt i =
+    let pb fmt = function
+      | None -> Format.pp_print_string fmt "inf"
+      | Some x -> F.pp fmt x
+    in
+    Format.fprintf fmt "[%a, %a]" pb i.lo pb i.hi
+end

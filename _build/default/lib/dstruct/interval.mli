@@ -1,0 +1,28 @@
+(** Closed time intervals, possibly unbounded.
+
+    The paper's query intervals [I] and trajectory lifetimes (Section 2
+    assumes all time intervals closed or unbounded). *)
+
+module Make (F : Moq_poly.Field.ORDERED_FIELD) : sig
+  type t
+
+  val make : F.t option -> F.t option -> t
+  (** [make lo hi]: [None] means unbounded on that side.
+      @raise Invalid_argument if [lo > hi]. *)
+
+  val closed : F.t -> F.t -> t
+  val from : F.t -> t
+  (** [[x, +inf)]. *)
+
+  val until : F.t -> t
+  val all : t
+  val point : F.t -> t
+  val lo : t -> F.t option
+  val hi : t -> F.t option
+  val mem : F.t -> t -> bool
+  val intersect : t -> t -> t option
+  val subset : t -> t -> bool
+  val is_point : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,157 @@
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  mutable left : ('k, 'v) node option;
+  mutable right : ('k, 'v) node option;
+  mutable parent : ('k, 'v) node option;
+  mutable npl : int; (* null-path length *)
+  mutable in_heap : bool;
+}
+
+type ('k, 'v) handle = ('k, 'v) node
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable root : ('k, 'v) node option;
+  mutable count : int;
+}
+
+let create ~cmp = { cmp; root = None; count = 0 }
+let length t = t.count
+let is_empty t = t.count = 0
+
+let npl = function None -> 0 | Some n -> n.npl
+
+let enforce_leftist x =
+  if npl x.left < npl x.right then begin
+    let l = x.left in
+    x.left <- x.right;
+    x.right <- l
+  end;
+  x.npl <- 1 + npl x.right
+
+let rec merge cmp a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some x, Some y ->
+    let x, y = if cmp x.key y.key <= 0 then (x, y) else (y, x) in
+    let m = merge cmp x.right (Some y) in
+    x.right <- m;
+    (match m with Some m -> m.parent <- Some x | None -> ());
+    enforce_leftist x;
+    Some x
+
+let set_root t r =
+  t.root <- r;
+  match r with Some r -> r.parent <- None | None -> ()
+
+let insert t k v =
+  let n = { key = k; value = v; left = None; right = None; parent = None; npl = 1; in_heap = true } in
+  set_root t (merge t.cmp t.root (Some n));
+  t.count <- t.count + 1;
+  n
+
+let of_list ~cmp l =
+  let nodes =
+    List.map
+      (fun (k, v) ->
+        { key = k; value = v; left = None; right = None; parent = None; npl = 1; in_heap = true })
+      l
+  in
+  (* round-robin pairwise merging: O(n) total *)
+  let q = Queue.create () in
+  List.iter (fun n -> Queue.add (Some n) q) nodes;
+  let root =
+    if Queue.is_empty q then None
+    else begin
+      while Queue.length q > 1 do
+        let a = Queue.pop q and b = Queue.pop q in
+        Queue.add (merge cmp a b) q
+      done;
+      Queue.pop q
+    end
+  in
+  let t = { cmp; root; count = List.length nodes } in
+  (match root with Some r -> r.parent <- None | None -> ());
+  (t, nodes)
+
+let find_min t = Option.map (fun n -> (n.key, n.value)) t.root
+
+let detach_children n =
+  let l = n.left and r = n.right in
+  n.left <- None;
+  n.right <- None;
+  (match l with Some l -> l.parent <- None | None -> ());
+  (match r with Some r -> r.parent <- None | None -> ());
+  (l, r)
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some n ->
+    n.in_heap <- false;
+    let l, r = detach_children n in
+    set_root t (merge t.cmp l r);
+    t.count <- t.count - 1;
+    Some (n.key, n.value)
+
+(* After a subtree under [p] shrank, restore the leftist invariant upward.
+   Stops as soon as a node's npl is unchanged (ancestors then unaffected). *)
+let rec fix_up = function
+  | None -> ()
+  | Some p ->
+    let old = p.npl in
+    enforce_leftist p;
+    if p.npl <> old then fix_up p.parent
+
+let delete t n =
+  if n.in_heap then begin
+    n.in_heap <- false;
+    t.count <- t.count - 1;
+    let p = n.parent in
+    n.parent <- None;
+    let l, r = detach_children n in
+    let sub = merge t.cmp l r in
+    match p with
+    | None -> set_root t sub
+    | Some p ->
+      (match p.left with
+       | Some c when c == n -> p.left <- sub
+       | _ -> p.right <- sub);
+      (match sub with Some s -> s.parent <- Some p | None -> ());
+      fix_up (Some p)
+  end
+
+let mem n = n.in_heap
+let key n = n.key
+let value n = n.value
+
+let to_list t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (go ((n.key, n.value) :: acc) n.left) n.right
+  in
+  go [] t.root
+
+let check_invariants t =
+  let rec check parent = function
+    | None -> 0
+    | Some n ->
+      assert n.in_heap;
+      (match parent with
+       | None -> assert (n.parent = None)
+       | Some p ->
+         (match n.parent with Some q -> assert (q == p) | None -> assert false);
+         assert (t.cmp p.key n.key <= 0));
+      let nl = check (Some n) n.left in
+      let nr = check (Some n) n.right in
+      assert (nl >= nr);
+      assert (n.npl = 1 + nr);
+      n.npl
+  in
+  ignore (check None t.root);
+  let rec count = function
+    | None -> 0
+    | Some n -> 1 + count n.left + count n.right
+  in
+  assert (count t.root = t.count)

@@ -1,0 +1,43 @@
+(** Height-biased leftist heap with handle deletion.
+
+    The event queue of the paper's Lemma 9: a priority queue that supports
+    deleting an arbitrary element in O(log n) through a handle ("deletion
+    from the heap requires pointers from objects in the object list ... we
+    can use a height biased leftist tree in place of a heap").  The sweep
+    keeps at most one event per pair of currently-adjacent curves and deletes
+    the pair's event when the pair splits, so the queue length never exceeds
+    the number of objects. *)
+
+type ('k, 'v) t
+type ('k, 'v) handle
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) handle
+(** O(log n). *)
+
+val of_list : cmp:('k -> 'k -> int) -> ('k * 'v) list -> ('k, 'v) t * ('k, 'v) handle list
+(** Build a heap of n elements in O(n) by round-robin pairwise merging
+    (the paper's Theorem 10 needs linear-time event-queue reconstruction).
+    Handles are returned in input order. *)
+
+val find_min : ('k, 'v) t -> ('k * 'v) option
+
+val pop_min : ('k, 'v) t -> ('k * 'v) option
+(** O(log n). *)
+
+val delete : ('k, 'v) t -> ('k, 'v) handle -> unit
+(** Remove an arbitrary element by handle, O(log n).  Idempotent: deleting a
+    handle twice (or a handle already removed by [pop_min]) is a no-op. *)
+
+val mem : ('k, 'v) handle -> bool
+(** Is the handle still in the heap? *)
+
+val key : ('k, 'v) handle -> 'k
+val value : ('k, 'v) handle -> 'v
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Unsorted. *)
+
+val check_invariants : ('k, 'v) t -> unit

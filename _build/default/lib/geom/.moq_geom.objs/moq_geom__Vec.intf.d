@@ -1,0 +1,1 @@
+lib/geom/vec.mli: Format Moq_poly

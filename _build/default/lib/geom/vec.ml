@@ -1,0 +1,52 @@
+module Make (F : Moq_poly.Field.ORDERED_FIELD) = struct
+  type t = F.t array
+
+  let of_list = Array.of_list
+  let of_array = Array.copy
+  let to_list = Array.to_list
+  let dim = Array.length
+  let get v i = v.(i)
+  let zero n = Array.make n F.zero
+
+  let check_dim a b =
+    if Array.length a <> Array.length b then invalid_arg "Vec: dimension mismatch"
+
+  let add a b =
+    check_dim a b;
+    Array.mapi (fun i x -> F.add x b.(i)) a
+
+  let sub a b =
+    check_dim a b;
+    Array.mapi (fun i x -> F.sub x b.(i)) a
+
+  let neg a = Array.map F.neg a
+  let scale c a = Array.map (F.mul c) a
+
+  let dot a b =
+    check_dim a b;
+    let acc = ref F.zero in
+    Array.iteri (fun i x -> acc := F.add !acc (F.mul x b.(i))) a;
+    !acc
+
+  let len2 a = dot a a
+  let dist2 a b = len2 (sub a b)
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+  let pp fmt v =
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") F.pp)
+      (Array.to_list v)
+end
+
+module Qvec = Make (Moq_poly.Field.Rat_field)
+
+module Fvec = struct
+  include Make (Moq_poly.Field.Float_field)
+
+  let len v = sqrt (len2 v)
+
+  let unit v =
+    let l = len v in
+    if l = 0.0 then invalid_arg "Vec.unit: zero vector" else scale (1.0 /. l) v
+end

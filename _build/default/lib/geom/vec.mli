@@ -1,0 +1,37 @@
+(** Points / vectors in R{^n} over an ordered field.
+
+    The paper's vector notation [x = (x_1, ..., x_n)] (Section 2).  Squared
+    length replaces [len] wherever possible so the exact backend stays inside
+    the rationals; the paper itself squares distances for the same reason
+    (Example 8). *)
+
+module Make (F : Moq_poly.Field.ORDERED_FIELD) : sig
+  type t
+
+  val of_list : F.t list -> t
+  val of_array : F.t array -> t
+  val to_list : t -> F.t list
+  val dim : t -> int
+  val get : t -> int -> F.t
+  val zero : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+  val dot : t -> t -> F.t
+  val len2 : t -> F.t
+  (** Squared Euclidean length. *)
+
+  val dist2 : t -> t -> F.t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Qvec : module type of Make (Moq_poly.Field.Rat_field)
+module Fvec : sig
+  include module type of Make (Moq_poly.Field.Float_field)
+
+  val len : t -> float
+  val unit : t -> t
+  (** Unit vector; @raise Invalid_argument on the zero vector. *)
+end

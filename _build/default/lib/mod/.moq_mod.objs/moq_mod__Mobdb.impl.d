@@ -1,0 +1,1 @@
+lib/mod/mobdb.ml: Format List Moq_geom Moq_numeric Oid Trajectory Update

@@ -1,0 +1,1 @@
+lib/mod/mobdb.mli: Format Moq_numeric Oid Trajectory Update

@@ -1,0 +1,1 @@
+lib/mod/mod_io.ml: Buffer List Mobdb Moq_geom Moq_numeric Printf String Trajectory Update

@@ -1,0 +1,1 @@
+lib/mod/mod_io.mli: Mobdb Update

@@ -1,0 +1,1 @@
+lib/mod/oid.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/mod/oid.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/mod/trajectory.ml: Format List Moq_geom Moq_numeric Moq_poly

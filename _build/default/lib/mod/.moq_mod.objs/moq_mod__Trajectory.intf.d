@@ -1,0 +1,1 @@
+lib/mod/trajectory.mli: Format Moq_geom Moq_numeric Moq_poly

@@ -1,0 +1,1 @@
+lib/mod/update.ml: Format Moq_geom Moq_numeric Oid

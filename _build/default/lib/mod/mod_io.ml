@@ -1,0 +1,177 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+
+let buf_vec b v = List.iter (fun c -> Buffer.add_char b ' '; Buffer.add_string b (Q.to_string c)) (Qvec.to_list v)
+
+let db_to_string db =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "moddb 1 %d %s\n" (Mobdb.dim db) (Q.to_string (Mobdb.last_update db)));
+  List.iter
+    (fun (o, tr) ->
+      (match Trajectory.death tr with
+       | Some d -> Buffer.add_string b (Printf.sprintf "object %d death %s\n" o (Q.to_string d))
+       | None -> Buffer.add_string b (Printf.sprintf "object %d\n" o));
+      List.iter
+        (fun (p : Trajectory.piece) ->
+          Buffer.add_string b "piece ";
+          Buffer.add_string b (Q.to_string p.Trajectory.start);
+          buf_vec b p.Trajectory.a;
+          buf_vec b p.Trajectory.b;
+          Buffer.add_char b '\n')
+        (Trajectory.pieces tr))
+    (Mobdb.objects db);
+  Buffer.contents b
+
+let updates_to_string ~dim us =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "updates 1 %d\n" dim);
+  List.iter
+    (fun u ->
+      (match u with
+       | Update.New { oid; tau; a; b = pos } ->
+         Buffer.add_string b (Printf.sprintf "new %d %s" oid (Q.to_string tau));
+         buf_vec b a;
+         buf_vec b pos
+       | Update.Chdir { oid; tau; a } ->
+         Buffer.add_string b (Printf.sprintf "chdir %d %s" oid (Q.to_string tau));
+         buf_vec b a
+       | Update.Terminate { oid; tau } ->
+         Buffer.add_string b (Printf.sprintf "terminate %d %s" oid (Q.to_string tau)));
+      Buffer.add_char b '\n')
+    us;
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+
+exception Parse of int * string
+
+let fail line msg = raise (Parse (line, msg))
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let rat line s = try Q.of_string s with _ -> fail line ("bad rational " ^ s)
+
+let int_ line s = try int_of_string s with _ -> fail line ("bad integer " ^ s)
+
+let vec line ws = Qvec.of_list (List.map (rat line) ws)
+
+let split_n line n l =
+  let rec go k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else begin
+      match rest with
+      | x :: rest -> go (k - 1) (x :: acc) rest
+      | [] -> fail line "too few fields"
+    end
+  in
+  go n [] l
+
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let db_of_string s =
+  try
+    match lines_of s with
+    | [] -> Error "empty input"
+    | (hline, header) :: rest ->
+      (match words header with
+       | [ "moddb"; "1"; d; tau ] ->
+         let dim = int_ hline d in
+         let tau = rat hline tau in
+         (* group: object line followed by its piece lines *)
+         let rec objects acc = function
+           | (l, line) :: rest when String.length line >= 6 && String.sub line 0 6 = "object" ->
+             let oid, death =
+               match words line with
+               | [ "object"; o ] -> (int_ l o, None)
+               | [ "object"; o; "death"; d ] -> (int_ l o, Some (rat l d))
+               | _ -> fail l "malformed object line"
+             in
+             let rec pieces acc rest =
+               match rest with
+               | (l', line') :: rest' when String.length line' >= 5 && String.sub line' 0 5 = "piece" ->
+                 (match words line' with
+                  | "piece" :: fields ->
+                    (match fields with
+                     | start :: coords when List.length coords = 2 * dim ->
+                       let a_ws, b_ws = split_n l' dim coords in
+                       pieces
+                         ({ Trajectory.start = rat l' start; a = vec l' a_ws; b = vec l' b_ws }
+                          :: acc)
+                         rest'
+                     | _ -> fail l' "piece arity mismatch")
+                  | _ -> fail l' "malformed piece line")
+               | rest' -> (List.rev acc, rest')
+             in
+             let ps, rest = pieces [] rest in
+             if ps = [] then fail l "object with no pieces"
+             else begin
+               let tr =
+                 try Trajectory.of_pieces ?death ps
+                 with Invalid_argument m -> fail l m
+               in
+               objects ((oid, tr) :: acc) rest
+             end
+           | (l, _) :: _ -> fail l "expected an object line"
+           | [] -> List.rev acc
+         in
+         let objs = objects [] rest in
+         let db =
+           List.fold_left
+             (fun db (o, tr) ->
+               try Mobdb.add_initial db o tr with Invalid_argument m -> fail hline m)
+             (Mobdb.empty ~dim ~tau) objs
+         in
+         Ok db
+       | _ -> Error "expected 'moddb 1 <dim> <tau>' header")
+  with Parse (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
+
+let updates_of_string s =
+  try
+    match lines_of s with
+    | [] -> Error "empty input"
+    | (hline, header) :: rest ->
+      (match words header with
+       | [ "updates"; "1"; d ] ->
+         let dim = int_ hline d in
+         let parse (l, line) =
+           match words line with
+           | "new" :: o :: tau :: coords when List.length coords = 2 * dim ->
+             let a_ws, b_ws = split_n l dim coords in
+             Update.New { oid = int_ l o; tau = rat l tau; a = vec l a_ws; b = vec l b_ws }
+           | "chdir" :: o :: tau :: coords when List.length coords = dim ->
+             Update.Chdir { oid = int_ l o; tau = rat l tau; a = vec l coords }
+           | [ "terminate"; o; tau ] -> Update.Terminate { oid = int_ l o; tau = rat l tau }
+           | _ -> fail l "malformed update line"
+         in
+         Ok (List.map parse rest)
+       | _ -> Error "expected 'updates 1 <dim>' header")
+  with Parse (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
+
+let write_file path contents =
+  let oc = open_out path in
+  try
+    output_string oc contents;
+    close_out oc
+  with e ->
+    close_out_noerr oc;
+    raise e
+
+let read_file path =
+  let ic = open_in path in
+  try
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with e ->
+    close_in_noerr ic;
+    raise e
+
+let save_db db path = write_file path (db_to_string db)
+let load_db path = db_of_string (read_file path)
+let save_updates ~dim us path = write_file path (updates_to_string ~dim us)
+let load_updates path = updates_of_string (read_file path)

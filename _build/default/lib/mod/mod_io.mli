@@ -1,0 +1,35 @@
+(** Plain-text serialization of MODs and update streams.
+
+    A line-oriented format with exact rational coordinates, so databases and
+    workloads round-trip losslessly:
+
+    {v
+    moddb 1 <dim> <last-update>
+    object <oid> [death <q>]
+    piece <start> <a_1> .. <a_dim> <b_1> .. <b_dim>
+    ...
+    v}
+
+    and for update streams:
+
+    {v
+    updates 1 <dim>
+    new <oid> <tau> <a_1> .. <a_dim> <b_1> .. <b_dim>
+    chdir <oid> <tau> <a_1> .. <a_dim>
+    terminate <oid> <tau>
+    v} *)
+
+val db_to_string : Mobdb.t -> string
+
+val db_of_string : string -> (Mobdb.t, string) result
+(** Parse; the error carries a line number and reason. *)
+
+val updates_to_string : dim:int -> Update.t list -> string
+val updates_of_string : string -> (Update.t list, string) result
+
+val save_db : Mobdb.t -> string -> unit
+(** [save_db db path]. *)
+
+val load_db : string -> (Mobdb.t, string) result
+val save_updates : dim:int -> Update.t list -> string -> unit
+val load_updates : string -> (Update.t list, string) result

@@ -1,0 +1,8 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt o = Format.fprintf fmt "o%d" o
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

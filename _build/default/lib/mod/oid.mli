@@ -1,0 +1,10 @@
+(** Object identifiers (the paper's infinite set [O] of OIDs). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,142 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module Qpiece = Moq_poly.Piecewise.Qpiece
+module QP = Moq_poly.Qpoly
+
+type piece = { start : Q.t; a : Qvec.t; b : Qvec.t }
+
+(* Invariants: [pieces] nonempty, strictly increasing starts, all the same
+   dimension, continuous at each junction, [death] (if any) strictly after
+   the last start. *)
+type t = { pieces : piece list; death : Q.t option }
+
+let position_of_piece p t = Qvec.add (Qvec.scale t p.a) p.b
+
+let lt a b = Q.compare a b < 0
+let le a b = Q.compare a b <= 0
+
+let validate pieces death =
+  (match pieces with [] -> invalid_arg "Trajectory: no pieces" | _ -> ());
+  let dim0 = Qvec.dim (List.hd pieces).a in
+  List.iter
+    (fun p ->
+      if Qvec.dim p.a <> dim0 || Qvec.dim p.b <> dim0 then
+        invalid_arg "Trajectory: dimension mismatch")
+    pieces;
+  let rec check = function
+    | p :: (p' :: _ as rest) ->
+      if not (lt p.start p'.start) then invalid_arg "Trajectory: unsorted pieces";
+      if not (Qvec.equal (position_of_piece p p'.start) (position_of_piece p' p'.start)) then
+        invalid_arg "Trajectory: discontinuous";
+      check rest
+    | [ p ] ->
+      (match death with
+       | Some d when not (lt p.start d) -> invalid_arg "Trajectory: death before last piece"
+       | _ -> ())
+    | [] -> ()
+  in
+  check pieces
+
+let of_pieces ?death pieces =
+  validate pieces death;
+  { pieces; death }
+
+let linear ~start ~a ~b = { pieces = [ { start; a; b } ]; death = None }
+
+let stationary ~start p =
+  linear ~start ~a:(Qvec.zero (Qvec.dim p)) ~b:p
+
+let birth tr = (List.hd tr.pieces).start
+let death tr = tr.death
+let dim tr = Qvec.dim (List.hd tr.pieces).a
+
+let defined_at tr t =
+  le (birth tr) t && (match tr.death with None -> true | Some d -> le t d)
+
+(* The piece in force at time [t] (last piece with start <= t). *)
+let piece_at tr t =
+  let rec find = function
+    | p :: (p' :: _ as rest) -> if lt t p'.start then p else find rest
+    | [ p ] -> p
+    | [] -> assert false
+  in
+  find tr.pieces
+
+let position tr t =
+  if defined_at tr t then Some (position_of_piece (piece_at tr t) t) else None
+
+let position_exn tr t =
+  match position tr t with
+  | Some p -> p
+  | None -> invalid_arg "Trajectory.position_exn: outside lifetime"
+
+let velocity_after tr t =
+  if not (defined_at tr t) then None
+  else begin
+    match tr.death with
+    | Some d when Q.equal t d -> Some (Qvec.zero (dim tr)) (* no motion after death *)
+    | _ -> Some (piece_at tr t).a
+  end
+
+let turns tr =
+  (* starts of non-first pieces where the velocity actually changes *)
+  let rec go = function
+    | p :: (p' :: _ as rest) ->
+      if Qvec.equal p.a p'.a then go rest else p'.start :: go rest
+    | _ -> []
+  in
+  go tr.pieces
+
+let pieces tr = tr.pieces
+
+let terminate tr tau =
+  if not (defined_at tr tau) then invalid_arg "Trajectory.terminate: outside lifetime"
+  else if not (lt (birth tr) tau) then invalid_arg "Trajectory.terminate: at or before birth"
+  else begin
+    let rec keep = function
+      | p :: rest -> if lt p.start tau then p :: keep rest else []
+      | [] -> []
+    in
+    { pieces = keep tr.pieces; death = Some tau }
+  end
+
+let chdir tr tau a =
+  if not (defined_at tr tau) then invalid_arg "Trajectory.chdir: not defined at tau"
+  else begin
+    let pos = position_exn tr tau in
+    (* x = a·(t - tau) + pos  =  a·t + (pos - a·tau) *)
+    let b = Qvec.sub pos (Qvec.scale tau a) in
+    let rec keep = function
+      | p :: rest -> if lt p.start tau then p :: keep rest else []
+      | [] -> []
+    in
+    { pieces = keep tr.pieces @ [ { start = tau; a; b } ]; death = None }
+  end
+
+let coord tr i =
+  let poly_of p = QP.of_list [ Qvec.get p.b i; Qvec.get p.a i ] in
+  Qpiece.make ?stop:tr.death (List.map (fun p -> (p.start, poly_of p)) tr.pieces)
+
+let equal t1 t2 =
+  let death_eq =
+    match t1.death, t2.death with
+    | None, None -> true
+    | Some a, Some b -> Q.equal a b
+    | _ -> false
+  in
+  death_eq
+  && List.length t1.pieces = List.length t2.pieces
+  && List.for_all2
+       (fun p q -> Q.equal p.start q.start && Qvec.equal p.a q.a && Qvec.equal p.b q.b)
+       t1.pieces t2.pieces
+
+let pp fmt tr =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "x = %a*t + %a, t >= %a@," Qvec.pp p.a Qvec.pp p.b Q.pp p.start)
+    tr.pieces;
+  (match tr.death with
+   | Some d -> Format.fprintf fmt "until %a" Q.pp d
+   | None -> ());
+  Format.fprintf fmt "@]"

@@ -1,0 +1,61 @@
+(** Trajectories: continuous piecewise-linear functions from time to R{^n}
+    (paper, Definition 1).
+
+    Each linear piece has the paper's form [x = A·t + B] valid from its start
+    time; the last piece extends to the object's termination time (or
+    forever).  Coordinates are exact rationals — the ground-truth data both
+    sweep backends read. *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+
+type t
+
+type piece = { start : Q.t; a : Qvec.t; b : Qvec.t }
+(** On [[start, next_start)]: position [a·t + b]. *)
+
+val linear : start:Q.t -> a:Qvec.t -> b:Qvec.t -> t
+(** The trajectory created by [new(o, start, A, B)]: [x = A t + B ∧ start ≤ t]. *)
+
+val stationary : start:Q.t -> Qvec.t -> t
+(** A fixed point from [start] on (the paper's "stationary points whose
+    motions are constant vectors"). *)
+
+val of_pieces : ?death:Q.t -> piece list -> t
+(** @raise Invalid_argument if empty, unsorted, or discontinuous. *)
+
+val terminate : t -> Q.t -> t
+(** [terminate tr tau]: the object ceases to exist after [tau]
+    ([T(o) ∧ t ≤ τ]).  @raise Invalid_argument if [tau] is outside the
+    current lifetime. *)
+
+val chdir : t -> Q.t -> Qvec.t -> t
+(** [chdir tr tau a]: keep the trajectory up to [tau], then move with
+    velocity [a] from the position at [tau] (paper's chdir semantics).
+    @raise Invalid_argument if the trajectory is not defined at [tau]. *)
+
+val birth : t -> Q.t
+val death : t -> Q.t option
+val defined_at : t -> Q.t -> bool
+val dim : t -> int
+
+val position : t -> Q.t -> Qvec.t option
+(** Position at a time instant; [None] outside the lifetime. *)
+
+val position_exn : t -> Q.t -> Qvec.t
+
+val velocity_after : t -> Q.t -> Qvec.t option
+(** Right derivative at a time instant — the paper's [vel] function. *)
+
+val turns : t -> Q.t list
+(** Time instants where the derivative is discontinuous (Definition:
+    "turn").  Excludes birth. *)
+
+val pieces : t -> piece list
+
+val coord : t -> int -> Moq_poly.Piecewise.Qpiece.t
+(** Coordinate [i] as a piecewise (degree ≤ 1) polynomial of time, domain
+    the object's lifetime. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

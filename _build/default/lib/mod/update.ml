@@ -1,0 +1,20 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+
+type t =
+  | New of { oid : Oid.t; tau : Q.t; a : Qvec.t; b : Qvec.t }
+  | Terminate of { oid : Oid.t; tau : Q.t }
+  | Chdir of { oid : Oid.t; tau : Q.t; a : Qvec.t }
+
+let time = function
+  | New { tau; _ } | Terminate { tau; _ } | Chdir { tau; _ } -> tau
+
+let oid = function
+  | New { oid; _ } | Terminate { oid; _ } | Chdir { oid; _ } -> oid
+
+let pp fmt = function
+  | New { oid; tau; a; b } ->
+    Format.fprintf fmt "new(%a, %a, %a, %a)" Oid.pp oid Q.pp tau Qvec.pp a Qvec.pp b
+  | Terminate { oid; tau } -> Format.fprintf fmt "terminate(%a, %a)" Oid.pp oid Q.pp tau
+  | Chdir { oid; tau; a } ->
+    Format.fprintf fmt "chdir(%a, %a, %a)" Oid.pp oid Q.pp tau Qvec.pp a

@@ -1,0 +1,15 @@
+(** Updates on a moving object database (paper, Definition 3). *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+
+type t =
+  | New of { oid : Oid.t; tau : Q.t; a : Qvec.t; b : Qvec.t }
+      (** Create object [oid] at time [tau] with trajectory [x = a·t + b ∧ tau ≤ t]. *)
+  | Terminate of { oid : Oid.t; tau : Q.t }
+  | Chdir of { oid : Oid.t; tau : Q.t; a : Qvec.t }
+      (** Change velocity to [a] at time [tau], keeping the position continuous. *)
+
+val time : t -> Q.t
+val oid : t -> Oid.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/rat.ml: Bigint Float Format Hashtbl Int64 String

@@ -1,0 +1,60 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation with base-[2{^30}] limbs stored
+    little-endian in an [int array].  The container is sealed (no zarith), so
+    the exact-arithmetic kernel of the whole reproduction rests on this
+    module.  All values are canonical: the magnitude has no leading zero limb
+    and zero has sign [0]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+
+val of_string : string -> t
+(** Decimal, with optional leading [-]. @raise Invalid_argument on junk. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated toward zero, so
+    [r] has the sign of [a] and [|r| < |b|].  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative, [gcd zero zero = zero]. *)
+
+val mul_int : t -> int -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val pow : t -> int -> t
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+(** Nearest float (may overflow to infinity for huge values). *)
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+(* Canonical rationals: den > 0, gcd(num, den) = 1. *)
+
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    if B.is_zero num then { n = B.zero; d = B.one }
+    else begin
+      let g = B.gcd num den in
+      { n = B.div num g; d = B.div den g }
+    end
+  end
+
+let zero = { n = B.zero; d = B.one }
+let one = { n = B.one; d = B.one }
+let minus_one = { n = B.minus_one; d = B.one }
+
+let of_bigint n = { n; d = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints p q = make (B.of_int p) (B.of_int q)
+
+let num x = x.n
+let den x = x.d
+
+let sign x = B.sign x.n
+let is_zero x = B.is_zero x.n
+
+let compare x y = B.compare (B.mul x.n y.d) (B.mul y.n x.d)
+let equal x y = B.equal x.n y.n && B.equal x.d y.d
+
+let neg x = { x with n = B.neg x.n }
+let abs x = { x with n = B.abs x.n }
+
+let add x y = make (B.add (B.mul x.n y.d) (B.mul y.n x.d)) (B.mul x.d y.d)
+let sub x y = make (B.sub (B.mul x.n y.d) (B.mul y.n x.d)) (B.mul x.d y.d)
+let mul x y = make (B.mul x.n y.n) (B.mul x.d y.d)
+let div x y = if is_zero y then raise Division_by_zero else make (B.mul x.n y.d) (B.mul x.d y.n)
+let inv x = if is_zero x then raise Division_by_zero else make x.d x.n
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor x =
+  let q, r = B.divmod x.n x.d in
+  if B.sign r < 0 then B.sub q B.one else q
+
+let ceil x =
+  let q, r = B.divmod x.n x.d in
+  if B.sign r > 0 then B.add q B.one else q
+
+let mediant a b = make (B.add a.n b.n) (B.add a.d b.d)
+
+let to_float x =
+  if is_zero x then 0.0
+  else begin
+    (* Naive [to_float num /. to_float den] overflows when the denominator
+       exceeds the float range (e.g. subnormal reconstructions).  Scale so the
+       integer quotient keeps ~80 significant bits, then rescale exactly. *)
+    let bn = B.num_bits x.n and bd = B.num_bits x.d in
+    let k = 80 - (bn - bd) in
+    let q =
+      if k >= 0 then B.div (B.shift_left x.n k) x.d
+      else B.div x.n (B.shift_left x.d (- k))
+    in
+    Float.ldexp (B.to_float q) (- k)
+  end
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite"
+  else if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* m in [0.5, 1), f = m * 2^e; m * 2^53 is an integer. *)
+    let mantissa = Int64.to_int (Int64.of_float (m *. 9007199254740992.0)) in
+    let e = e - 53 in
+    let mag = of_bigint (B.of_int mantissa) in
+    if e >= 0 then make (B.shift_left (num mag) e) B.one
+    else make (num mag) (B.shift_left B.one (- e))
+  end
+
+let to_string x =
+  if B.equal x.d B.one then B.to_string x.n
+  else B.to_string x.n ^ "/" ^ B.to_string x.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let p = B.of_string (String.sub s 0 i) in
+    let q = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make p q
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let whole = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let negative = String.length whole > 0 && whole.[0] = '-' in
+       let w = if whole = "" || whole = "-" || whole = "+" then B.zero else B.of_string whole in
+       let f = if frac = "" then zero
+         else make (B.of_string frac) (B.pow (B.of_int 10) (String.length frac)) in
+       let v = add (of_bigint (B.abs w)) f in
+       if negative || B.sign w < 0 then neg v else v)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let hash x = Hashtbl.hash (B.hash x.n, B.hash x.d)
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) a b = compare a b = 0
+  let ( </ ) a b = compare a b < 0
+  let ( <=/ ) a b = compare a b <= 0
+  let ( >/ ) a b = compare a b > 0
+  let ( >=/ ) a b = compare a b >= 0
+end

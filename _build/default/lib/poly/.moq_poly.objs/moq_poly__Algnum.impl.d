@@ -1,0 +1,1 @@
+lib/poly/algnum.ml: Format List Moq_numeric Qpoly Sturm

@@ -1,0 +1,1 @@
+lib/poly/algnum.mli: Format Moq_numeric Qpoly

@@ -1,0 +1,1 @@
+lib/poly/field.ml: Float Format Moq_numeric

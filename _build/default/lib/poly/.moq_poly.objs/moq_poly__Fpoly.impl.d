@@ -1,0 +1,1 @@
+lib/poly/fpoly.ml: Field List Moq_numeric Poly Qpoly

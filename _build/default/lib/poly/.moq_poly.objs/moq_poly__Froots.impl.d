@@ -1,0 +1,1 @@
+lib/poly/froots.ml: Fpoly List

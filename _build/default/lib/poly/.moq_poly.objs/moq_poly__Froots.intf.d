@@ -1,0 +1,1 @@
+lib/poly/froots.mli: Fpoly

@@ -1,0 +1,1 @@
+lib/poly/piecewise.ml: Format Fpoly List Moq_numeric Option Poly_intf Qpoly

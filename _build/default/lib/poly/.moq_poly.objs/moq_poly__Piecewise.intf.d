@@ -1,0 +1,1 @@
+lib/poly/piecewise.mli: Fpoly Moq_numeric Piecewise_intf Poly_intf Qpoly

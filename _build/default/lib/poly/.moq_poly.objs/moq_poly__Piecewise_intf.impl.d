@@ -1,0 +1,1 @@
+lib/poly/piecewise_intf.ml: Format Poly_intf

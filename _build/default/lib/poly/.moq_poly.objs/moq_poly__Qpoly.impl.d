@@ -1,0 +1,1 @@
+lib/poly/qpoly.ml: Field Poly

@@ -1,0 +1,1 @@
+lib/poly/sturm.ml: List Moq_numeric Qpoly

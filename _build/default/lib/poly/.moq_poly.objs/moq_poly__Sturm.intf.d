@@ -1,0 +1,1 @@
+lib/poly/sturm.mli: Moq_numeric Qpoly

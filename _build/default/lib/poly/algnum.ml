@@ -1,0 +1,211 @@
+module Q = Moq_numeric.Rat
+module P = Qpoly
+
+(* A [Root] value holds a squarefree polynomial [p], nonzero at [lo] and
+   [hi], with exactly one real root in the open interval (lo, hi).  The
+   interval is mutable: comparisons refine it in place (the interface is
+   pure — the represented number never changes). *)
+type t =
+  | Rational of Q.t
+  | Root of root
+
+and root = { p : P.t; mutable lo : Q.t; mutable hi : Q.t }
+
+let of_rat q = Rational q
+let of_int n = Rational (Q.of_int n)
+
+let half = Q.of_ints 1 2
+let midpoint a b = Q.mul half (Q.add a b)
+
+(* One bisection step.  Always narrows the interval (at least halves its
+   width).  Returns [Some m] when the root is discovered to be exactly the
+   rational [m]; the interval invariant still holds afterwards. *)
+let step r : Q.t option =
+  let m = midpoint r.lo r.hi in
+  match P.sign_at r.p m with
+  | 0 ->
+    r.lo <- midpoint r.lo m;
+    r.hi <- midpoint m r.hi;
+    Some m
+  | sm ->
+    if sm * P.sign_at r.p r.lo < 0 then r.hi <- m else r.lo <- m;
+    None
+
+let roots p =
+  if P.degree p <= 0 then []
+  else begin
+    let sf = P.squarefree p in
+    List.map
+      (function
+        | Sturm.Point q -> Rational q
+        | Sturm.Open_interval (lo, hi) -> Root { p = sf; lo; hi })
+      (Sturm.isolate p)
+  end
+
+let sign = function
+  | Rational q -> Q.sign q
+  | Root r ->
+    let rec go () =
+      if Q.sign r.lo >= 0 then 1
+      else if Q.sign r.hi <= 0 then -1
+      else if P.sign_at r.p Q.zero = 0 then 0 (* 0 in (lo,hi) and a root: it is the root *)
+      else begin
+        match step r with
+        | Some m -> Q.sign m
+        | None -> go ()
+      end
+    in
+    go ()
+
+(* Compare a rational against a [root]. *)
+let compare_rat_root q (r : root) =
+  if Q.compare q r.lo <= 0 then -1
+  else if Q.compare q r.hi >= 0 then 1
+  else if P.sign_at r.p q = 0 then 0
+  else if P.sign_at r.p q * P.sign_at r.p r.lo < 0 then 1 (* root in (lo, q): q greater *)
+  else -1
+
+(* Does [g] (nonzero) have a root in the open interval (lo, hi)?  Assumes
+   nothing about the endpoints. *)
+let has_root_in_open g lo hi =
+  if P.degree g <= 0 then false
+  else if Q.compare lo hi >= 0 then false
+  else begin
+    let sf = P.squarefree g in
+    let c = Sturm.chain sf in
+    let n = Sturm.count_roots_between c lo hi in
+    let n = if P.sign_at sf hi = 0 then n - 1 else n in
+    n > 0
+  end
+
+let compare_root_root (a : root) (b : root) =
+  if a == b then 0
+  else begin
+    let g = P.gcd a.p b.p in
+    let overlap_lo = Q.max a.lo b.lo and overlap_hi = Q.min a.hi b.hi in
+    (* A root of g inside both isolating intervals is a root of a.p in a's
+       interval (hence = alpha) and of b.p in b's (hence = beta). *)
+    if has_root_in_open g overlap_lo overlap_hi then 0
+    else begin
+      let rec separate () =
+        if Q.compare a.hi b.lo <= 0 then -1
+        else if Q.compare b.hi a.lo <= 0 then 1
+        else begin
+          let wa = Q.sub a.hi a.lo and wb = Q.sub b.hi b.lo in
+          let target, other = if Q.compare wa wb >= 0 then (a, b) else (b, a) in
+          match step target with
+          | Some m ->
+            let c = compare_rat_root m other in
+            if target == a then c else - c
+          | None -> separate ()
+        end
+      in
+      separate ()
+    end
+  end
+
+let compare x y =
+  match x, y with
+  | Rational a, Rational b -> Q.compare a b
+  | Rational a, Root b -> compare_rat_root a b
+  | Root a, Rational b -> - (compare_rat_root b a)
+  | Root a, Root b -> compare_root_root a b
+
+let equal x y = compare x y = 0
+
+let sign_of_poly_at q x =
+  match x with
+  | Rational v -> P.sign_at q v
+  | Root r ->
+    if P.is_zero q then 0
+    else if has_root_in_open (P.gcd q r.p) r.lo r.hi then 0
+    else begin
+      (* alpha is not a root of q: refine until q is root-free on the
+         interval, where its sign is constant. *)
+      let sf = P.squarefree q in
+      let c = Sturm.chain sf in
+      let rec go () =
+        let n = Sturm.count_roots_between c r.lo r.hi in
+        let inside = if P.sign_at sf r.hi = 0 then n - 1 else n in
+        if inside = 0 && P.sign_at q r.lo <> 0 then begin
+          let s = P.sign_at q (midpoint r.lo r.hi) in
+          assert (s <> 0);
+          s
+        end
+        else begin
+          match step r with
+          | Some m -> P.sign_at q m
+          | None -> go ()
+        end
+      in
+      go ()
+    end
+
+let to_rat = function
+  | Rational q -> Some q
+  | Root _ -> None
+
+let rec refine_until_width (x : t) (w : Q.t) : t =
+  match x with
+  | Rational _ -> x
+  | Root r ->
+    if Q.compare (Q.sub r.hi r.lo) w < 0 then x
+    else begin
+      match step r with
+      | Some m -> Rational m
+      | None -> refine_until_width x w
+    end
+
+let to_float x =
+  match refine_until_width x (Q.of_string "1/1000000000000000") with
+  | Rational q -> Q.to_float q
+  | Root r -> Q.to_float (midpoint r.lo r.hi)
+
+let rational_between x y =
+  let c = compare x y in
+  if c = 0 then invalid_arg "Algnum.rational_between: equal arguments"
+  else begin
+    let x, y = if c < 0 then (x, y) else (y, x) in
+    let rec go () =
+      match x, y with
+      | Rational a, Rational b -> midpoint a b
+      | Rational a, Root r -> if Q.compare a r.lo < 0 then midpoint a r.lo else (ignore (step r); go ())
+      | Root r, Rational b -> if Q.compare r.hi b < 0 then midpoint r.hi b else (ignore (step r); go ())
+      | Root r1, Root r2 ->
+        if Q.compare r1.hi r2.lo <= 0 then midpoint r1.hi r2.lo
+        else begin
+          ignore (step r1);
+          ignore (step r2);
+          go ()
+        end
+    in
+    go ()
+  end
+
+let rational_below = function
+  | Rational q -> Q.sub q Q.one
+  | Root r -> r.lo
+
+let rational_above = function
+  | Rational q -> Q.add q Q.one
+  | Root r -> r.hi
+
+let first_root_after p x =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if compare r x > 0 then Some r else find rest
+  in
+  find (roots p)
+
+let first_root_at_or_after p x =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if compare r x >= 0 then Some r else find rest
+  in
+  find (roots p)
+
+let pp fmt = function
+  | Rational q -> Q.pp fmt q
+  | Root r ->
+    Format.fprintf fmt "root(%a) in (%a,%a) ~ %.6g" P.pp r.p Q.pp r.lo Q.pp r.hi
+      (to_float (Root { r with lo = r.lo }))

@@ -1,0 +1,52 @@
+(** Exact real algebraic numbers.
+
+    Event times in the exact sweep backend are intersection times of
+    polynomial g-distance curves, i.e. real roots of rational polynomials
+    (irrational already for the paper's quadratic Euclidean distances).  This
+    module represents such roots exactly — as a squarefree defining polynomial
+    plus an isolating interval — and supports exact comparison, sign
+    evaluation of other polynomials at the number, and refinement to floats.
+    This stands in for the real-closed-field oracle the paper assumes. *)
+
+module Q = Moq_numeric.Rat
+
+type t
+
+val of_rat : Q.t -> t
+val of_int : int -> t
+
+val roots : Qpoly.t -> t list
+(** All distinct real roots, ascending.  Exact. *)
+
+val first_root_after : Qpoly.t -> t -> t option
+(** Least real root strictly greater than the given number. *)
+
+val first_root_at_or_after : Qpoly.t -> t -> t option
+
+val compare : t -> t -> int
+(** Exact total order. *)
+
+val equal : t -> t -> bool
+
+val sign : t -> int
+
+val sign_of_poly_at : Qpoly.t -> t -> int
+(** Exact sign of a polynomial evaluated at the algebraic number. *)
+
+val to_rat : t -> Q.t option
+(** [Some q] when the number is (detectably) rational. *)
+
+val rational_between : t -> t -> Q.t
+(** A rational strictly between two numbers.  @raise Invalid_argument if the
+    arguments are equal.  Used to pick the paper's "[τ' + ε]" sample instants
+    between consecutive events. *)
+
+val rational_below : t -> Q.t
+(** A rational strictly less than the number. *)
+
+val rational_above : t -> Q.t
+
+val to_float : t -> float
+(** Approximation after refining the isolating interval to width [< 1e-12]. *)
+
+val pp : Format.formatter -> t -> unit

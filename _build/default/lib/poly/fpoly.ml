@@ -1,0 +1,6 @@
+(** Polynomials with float coefficients — the fast benchmark backend. *)
+
+include Poly.Make (Field.Float_field)
+
+let of_qpoly (p : Qpoly.t) : t =
+  of_list (List.map Moq_numeric.Rat.to_float (Qpoly.to_list p))

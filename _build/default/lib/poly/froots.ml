@@ -1,0 +1,66 @@
+module P = Fpoly
+
+let bisection_steps = 200
+
+(* Root of a sign change in [a, b] with p(a), p(b) of opposite signs. *)
+let bisect p a b =
+  let sa = compare (P.eval p a) 0.0 in
+  let rec go a b k =
+    if k = 0 then 0.5 *. (a +. b)
+    else begin
+      let m = 0.5 *. (a +. b) in
+      if m <= a || m >= b then m
+      else begin
+        let sm = compare (P.eval p m) 0.0 in
+        if sm = 0 then m
+        else if sm = sa then go m b (k - 1)
+        else go a m (k - 1)
+      end
+    end
+  in
+  go a b bisection_steps
+
+let quadratic_roots c0 c1 c2 =
+  let disc = (c1 *. c1) -. (4.0 *. c2 *. c0) in
+  if disc < 0.0 then []
+  else if disc = 0.0 then [ -. c1 /. (2.0 *. c2) ]
+  else begin
+    (* numerically stable form: avoid cancellation in -c1 ± sqrt(disc) *)
+    let sq = sqrt disc in
+    let q = if c1 >= 0.0 then -0.5 *. (c1 +. sq) else -0.5 *. (c1 -. sq) in
+    if q = 0.0 then [ 0.0 ]
+    else List.sort_uniq compare [ q /. c2; c0 /. q ]
+  end
+
+let rec real_roots p =
+  match P.degree p with
+  | d when d <= 0 -> []
+  | 1 -> [ -. P.coeff p 0 /. P.coeff p 1 ]
+  | 2 -> quadratic_roots (P.coeff p 0) (P.coeff p 1) (P.coeff p 2)
+  | _ ->
+    (* p is monotone between consecutive critical points: bisect each
+       monotone segment bounded by the Cauchy bound. *)
+    let bound = P.cauchy_bound p in
+    let crits =
+      List.filter (fun c -> c > -. bound && c < bound) (real_roots (P.derivative p))
+    in
+    let cuts = (-. bound) :: crits @ [ bound ] in
+    let rec scan acc = function
+      | a :: (b :: _ as rest) ->
+        let va = P.eval p a and vb = P.eval p b in
+        let acc = if va = 0.0 then a :: acc else acc in
+        let acc = if va *. vb < 0.0 then bisect p a b :: acc else acc in
+        scan acc rest
+      | [ b ] -> if P.eval p b = 0.0 then b :: acc else acc
+      | [] -> acc
+    in
+    List.sort_uniq compare (scan [] cuts)
+
+(* Strict float comparison suffices: a root equal to the current instant is
+   excluded by [>], and a re-found crossing one ulp later is processed as a
+   harmless no-swap event (the jet already reflects the exchange).  Any
+   positive guard risks swallowing genuinely distinct crossings that cluster
+   within a few ulps. *)
+let first_root_after p t = List.find_opt (fun r -> r > t) (real_roots p)
+
+let first_root_at_or_after p t = List.find_opt (fun r -> r >= t) (real_roots p)

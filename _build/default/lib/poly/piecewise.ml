@@ -1,0 +1,190 @@
+module Make (P : Poly_intf.S) = struct
+  module P = P
+  module F = P.F
+
+  (* Invariants: [pieces] nonempty, strictly increasing start times; when
+     [stop = Some s], the last start precedes [s]. *)
+  type t = { pieces : (F.t * P.t) list; stop : F.t option }
+
+  let lt a b = F.compare a b < 0
+  let le a b = F.compare a b <= 0
+
+  let make ?stop pieces =
+    if pieces = [] then invalid_arg "Piecewise.make: empty"
+    else begin
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as rest) -> lt a b && sorted rest
+        | _ -> true
+      in
+      if not (sorted pieces) then invalid_arg "Piecewise.make: unsorted pieces"
+      else begin
+        (match stop with
+         | Some s ->
+           let last_start = fst (List.nth pieces (List.length pieces - 1)) in
+           if not (lt last_start s) then invalid_arg "Piecewise.make: stop before last piece"
+         | None -> ());
+        { pieces; stop }
+      end
+    end
+
+  let constant ~start v = { pieces = [ (start, P.constant v) ]; stop = None }
+  let of_poly ~start p = { pieces = [ (start, p) ]; stop = None }
+
+  let pieces c = c.pieces
+
+  let start c =
+    match c.pieces with
+    | (s, _) :: _ -> s
+    | [] -> assert false
+
+  let stop c = c.stop
+
+  let defined_at c t =
+    le (start c) t && (match c.stop with None -> true | Some s -> le t s)
+
+  (* The piece in force at time [t]: the last piece whose start is <= t.
+     At the right domain endpoint the final piece applies (closed stop, per
+     the paper's closed time intervals). *)
+  let piece_covering c t =
+    if not (defined_at c t) then invalid_arg "Piecewise: out of domain"
+    else begin
+      let rec find = function
+        | (_, p) :: ((b, _) :: _ as rest) -> if lt t b then (p, Some b) else find rest
+        | [ (_, p) ] -> (p, c.stop)
+        | [] -> assert false
+      in
+      find c.pieces
+    end
+
+  let eval c t = P.eval (fst (piece_covering c t)) t
+
+  let breakpoints c =
+    match c.pieces with
+    | _ :: rest -> List.map fst rest
+    | [] -> assert false
+
+  let map f c = { c with pieces = List.map (fun (a, p) -> (a, f p)) c.pieces }
+
+  let min_stop a b =
+    match a, b with
+    | None, s | s, None -> s
+    | Some x, Some y -> Some (if le x y then x else y)
+
+  let combine f c1 c2 =
+    let s = if le (start c1) (start c2) then start c2 else start c1 in
+    let stop = min_stop c1.stop c2.stop in
+    (match stop with
+     | Some e when not (lt s e) -> invalid_arg "Piecewise.combine: disjoint domains"
+     | _ -> ());
+    (* merged breakpoints within (s, stop) *)
+    let bps =
+      List.sort_uniq F.compare
+        (List.filter
+           (fun b -> lt s b && (match stop with None -> true | Some e -> lt b e))
+           (breakpoints c1 @ breakpoints c2))
+    in
+    let starts = s :: bps in
+    let pieces =
+      List.map
+        (fun a -> (a, f (fst (piece_covering c1 a)) (fst (piece_covering c2 a))))
+        starts
+    in
+    { pieces; stop }
+
+  let sub = combine P.sub
+
+  let compose_affine c ~scale ~offset =
+    let sc = F.compare scale F.zero in
+    if sc < 0 then invalid_arg "Piecewise.compose_affine: negative scale"
+    else if sc = 0 then begin
+      if not (defined_at c offset) then
+        invalid_arg "Piecewise.compose_affine: constant offset out of domain"
+      else constant ~start:offset (eval c offset)
+    end
+    else begin
+      (* theta(t) = scale*t + offset; theta is increasing, so pieces map to
+         pieces with starts theta^{-1}(a) = (a - offset) / scale. *)
+      let inv a = F.div (F.sub a offset) scale in
+      let theta = P.of_list [ offset; scale ] in
+      { pieces = List.map (fun (a, p) -> (inv a, P.compose p theta)) c.pieces;
+        stop = Option.map inv c.stop }
+    end
+
+  let clip c ~from_ ~until =
+    let s = match from_ with None -> start c | Some f -> if le (start c) f then f else start c in
+    let stop = min_stop c.stop until in
+    (match stop with
+     | Some e when not (lt s e) -> invalid_arg "Piecewise.clip: empty domain"
+     | _ -> ());
+    if not (defined_at c s) then invalid_arg "Piecewise.clip: from_ before domain"
+    else begin
+      (* keep pieces whose interval intersects [s, stop); re-anchor the one
+         covering s *)
+      let rec go = function
+        | (a, p) :: ((b, _) :: _ as rest) ->
+          if le b s then go rest
+          else ((if le a s then s else a), p) :: keep rest
+        | [ (a, p) ] -> [ ((if le a s then s else a), p) ]
+        | [] -> assert false
+      and keep = function
+        | (a, p) :: rest ->
+          (match stop with
+           | Some e when not (lt a e) -> []
+           | _ -> (a, p) :: keep rest)
+        | [] -> []
+      in
+      { pieces = go c.pieces; stop }
+    end
+
+  let extend_last_from c tau q ?stop () =
+    if not (lt (start c) tau) then invalid_arg "Piecewise.extend_last_from: tau before start"
+    else begin
+      let rec take = function
+        | (a, p) :: rest -> if lt a tau then (a, p) :: take rest else []
+        | [] -> []
+      in
+      { pieces = take c.pieces @ [ (tau, q) ]; stop }
+    end
+
+  let is_continuous c =
+    let rec go = function
+      | (_, p) :: (((b, p') :: _) as rest) ->
+        F.equal (P.eval p b) (P.eval p' b) && go rest
+      | _ -> true
+    in
+    go c.pieces
+
+  let equal c1 c2 =
+    let stop_eq =
+      match c1.stop, c2.stop with
+      | None, None -> true
+      | Some x, Some y -> F.compare x y = 0
+      | _ -> false
+    in
+    stop_eq
+    && List.length c1.pieces = List.length c2.pieces
+    && List.for_all2
+         (fun (a, p) (b, q) -> F.compare a b = 0 && P.equal p q)
+         c1.pieces c2.pieces
+
+  let pp fmt c =
+    Format.fprintf fmt "@[<v>";
+    List.iteri
+      (fun i (a, p) ->
+        if i > 0 then Format.fprintf fmt "@,";
+        Format.fprintf fmt "[%a..) %a" F.pp a P.pp p)
+      c.pieces;
+    (match c.stop with
+     | Some s -> Format.fprintf fmt "@,stop %a" F.pp s
+     | None -> ());
+    Format.fprintf fmt "@]"
+end
+
+module Qpiece = Make (Qpoly)
+module Fpiece = Make (Fpoly)
+
+let fpiece_of_qpiece c =
+  let f = Moq_numeric.Rat.to_float in
+  Fpiece.make
+    ?stop:(Option.map f (Qpiece.stop c))
+    (List.map (fun (a, p) -> (f a, Fpoly.of_qpoly p)) (Qpiece.pieces c))

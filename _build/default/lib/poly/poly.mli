@@ -1,0 +1,9 @@
+(** Dense univariate polynomials over an ordered field.
+
+    Polynomials represent time terms and instantiated generalized-distance
+    curves (paper, Sections 4–5).  The representation is a dense coefficient
+    array, lowest degree first, with no trailing zero coefficient; the zero
+    polynomial is the empty array.  See {!Poly_intf.S} for the operation
+    docs. *)
+
+module Make (F : Field.ORDERED_FIELD) : Poly_intf.S with module F = F

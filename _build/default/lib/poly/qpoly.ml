@@ -1,0 +1,4 @@
+(** Polynomials with exact rational coefficients — the coefficient domain of
+    every exact computation in the sweep engine. *)
+
+include Poly.Make (Field.Rat_field)

@@ -1,0 +1,89 @@
+module Q = Moq_numeric.Rat
+module P = Qpoly
+
+type chain = { p : P.t; seq : P.t list }
+
+let chain p =
+  if P.is_zero p then { p; seq = [] }
+  else begin
+    let rec build acc a b =
+      if P.is_zero b then List.rev acc
+      else begin
+        let r = P.neg (snd (P.divmod a b)) in
+        (* make remainders monic to keep rational coefficients small; scaling
+           by a positive constant preserves signs *)
+        let r = if P.is_zero r then r else P.scale (Q.inv (Q.abs (P.leading r))) r in
+        build (b :: acc) b r
+      end
+    in
+    { p; seq = build [ p ] p (P.derivative p) }
+  end
+
+let poly c = c.p
+
+let count_variations signs =
+  let rec go last acc = function
+    | [] -> acc
+    | 0 :: rest -> go last acc rest
+    | s :: rest -> if last <> 0 && s <> last then go s (acc + 1) rest else go s acc rest
+  in
+  go 0 0 signs
+
+let variations_at c x = count_variations (List.map (fun p -> P.sign_at p x) c.seq)
+
+let variations_at_neg_inf c = count_variations (List.map P.sign_at_neg_infinity c.seq)
+let variations_at_pos_inf c = count_variations (List.map P.sign_at_pos_infinity c.seq)
+
+let count_roots_between c lo hi =
+  if Q.compare lo hi > 0 then invalid_arg "Sturm.count_roots_between: lo > hi"
+  else variations_at c lo - variations_at c hi
+
+let count_real_roots c =
+  if P.is_zero c.p then 0 else variations_at_neg_inf c - variations_at_pos_inf c
+
+type isolated =
+  | Point of Q.t
+  | Open_interval of Q.t * Q.t
+
+let half = Q.of_ints 1 2
+
+let refine p lo hi =
+  let m = Q.mul half (Q.add lo hi) in
+  let sm = P.sign_at p m in
+  if sm = 0 then `Exact m
+  else if sm * P.sign_at p lo < 0 then `Narrower (lo, m)
+  else `Narrower (m, hi)
+
+let isolate p0 =
+  let p = P.squarefree p0 in
+  if P.degree p <= 0 then []
+  else begin
+    let c = chain p in
+    let bound = P.cauchy_bound p in
+    (* [shrink_around m lo hi] : m is a rational root inside (lo, hi); find a
+       delta such that (m-delta, m+delta) contains only the root m. *)
+    let rec shrink_around m lo hi delta =
+      let a = Q.max lo (Q.sub m delta) and b = Q.min hi (Q.add m delta) in
+      if P.sign_at p a <> 0 && P.sign_at p b <> 0 && count_roots_between c a b = 1
+      then (a, b)
+      else shrink_around m lo hi (Q.mul half delta)
+    in
+    (* Invariant: p nonzero at lo and hi. *)
+    let rec bisect lo hi acc =
+      let n = count_roots_between c lo hi in
+      if n = 0 then acc
+      else if n = 1 then Open_interval (lo, hi) :: acc
+      else begin
+        let m = Q.mul half (Q.add lo hi) in
+        if P.sign_at p m = 0 then begin
+          let a, b = shrink_around m lo hi (Q.mul half (Q.sub hi lo)) in
+          bisect lo a (Point m :: bisect b hi acc)
+        end
+        else bisect lo m (bisect m hi acc)
+      end
+    in
+    (* If an isolated interval's root happens to be its midpoint after one
+       refinement we still report the interval; Algnum detects exact-rational
+       roots lazily.  Cauchy bound endpoints are never roots. *)
+    bisect (Q.neg bound) bound []
+  end

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array List Moq_geom Moq_mod Moq_numeric Random

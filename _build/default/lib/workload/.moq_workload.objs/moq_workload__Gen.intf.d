@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Moq_mod Moq_numeric

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: List Moq_geom Moq_mod Moq_numeric Moq_poly

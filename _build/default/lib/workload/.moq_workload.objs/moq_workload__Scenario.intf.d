@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Moq_mod Moq_numeric Moq_poly

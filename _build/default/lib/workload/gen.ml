@@ -1,0 +1,109 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+
+let q = Q.of_int
+
+let rand_int st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+let rand_vec st dim bound =
+  Qvec.of_list (List.init dim (fun _ -> q (rand_int st (- bound) bound)))
+
+let uniform_db ~seed ~n ?(dim = 2) ?(extent = 1000) ?(speed = 10) () =
+  let st = Random.State.make [| seed |] in
+  let db = DB.empty ~dim ~tau:(q 0) in
+  let rec add db i =
+    if i > n then db
+    else begin
+      let tr =
+        T.linear ~start:(q 0) ~a:(rand_vec st dim speed) ~b:(rand_vec st dim extent)
+      in
+      add (DB.add_initial db i tr) (i + 1)
+    end
+  in
+  add db 1
+
+(* A permutation of 0..n-1 with exactly [k] inversions: start from the
+   identity and repeatedly swap a random adjacent in-order pair (each such
+   swap adds exactly one inversion). *)
+let permutation_with_inversions st n k =
+  let p = Array.init n (fun i -> i) in
+  let k = min k (n * (n - 1) / 2) in
+  let made = ref 0 in
+  while !made < k do
+    let i = Random.State.int st (n - 1) in
+    if p.(i) < p.(i + 1) then begin
+      let x = p.(i) in
+      p.(i) <- p.(i + 1);
+      p.(i + 1) <- x;
+      incr made
+    end
+  done;
+  p
+
+let inversions_db ~seed ~n ~inversions ~horizon =
+  if Q.sign horizon <= 0 then invalid_arg "Gen.inversions_db: horizon must be positive";
+  let st = Random.State.make [| seed |] in
+  let p = permutation_with_inversions st n inversions in
+  let db = DB.empty ~dim:1 ~tau:(q 0) in
+  (* object i: height i at time 0, height p(i)·n + i/(n+1) at the horizon —
+     the fractional epsilon keeps crossing times generically distinct *)
+  let rec add db i =
+    if i >= n then db
+    else begin
+      let b = q i in
+      let target = Q.add (q (p.(i) * n)) (Q.div (q i) (q (n + 1))) in
+      let a = Q.div (Q.sub target b) horizon in
+      let tr = T.linear ~start:(q 0) ~a:(Qvec.of_list [ a ]) ~b:(Qvec.of_list [ b ]) in
+      add (DB.add_initial db (i + 1) tr) (i + 1)
+    end
+  in
+  add db 0
+
+let live_oids db t = List.map fst (DB.live db t)
+
+let chdir_stream ~seed ~db ~start ~gap ~count ?(speed = 10) () =
+  let st = Random.State.make [| seed |] in
+  let dim = DB.dim db in
+  let rec go acc db i =
+    if i > count then List.rev acc
+    else begin
+      let tau = Q.add start (Q.mul (q i) gap) in
+      match live_oids db tau with
+      | [] -> List.rev acc
+      | oids ->
+        let o = List.nth oids (Random.State.int st (List.length oids)) in
+        let u = U.Chdir { oid = o; tau; a = rand_vec st dim speed } in
+        go (u :: acc) (DB.apply_exn db u) (i + 1)
+    end
+  in
+  go [] db 1
+
+let mixed_stream ~seed ~db ~start ~gap ~count ?(speed = 10) ?(extent = 1000) () =
+  let st = Random.State.make [| seed |] in
+  let dim = DB.dim db in
+  let next_oid = ref (1 + List.fold_left max 0 (DB.oids db)) in
+  let rec go acc db i =
+    if i > count then List.rev acc
+    else begin
+      let tau = Q.add start (Q.mul (q i) gap) in
+      let roll = Random.State.int st 10 in
+      let u =
+        if roll < 2 || live_oids db tau = [] then begin
+          let o = !next_oid in
+          incr next_oid;
+          U.New { oid = o; tau; a = rand_vec st dim speed; b = rand_vec st dim extent }
+        end
+        else begin
+          let oids = live_oids db tau in
+          let o = List.nth oids (Random.State.int st (List.length oids)) in
+          if roll = 2 && List.length oids > 1 then U.Terminate { oid = o; tau }
+          else U.Chdir { oid = o; tau; a = rand_vec st dim speed }
+        end
+      in
+      go (u :: acc) (DB.apply_exn db u) (i + 1)
+    end
+  in
+  go [] db 1

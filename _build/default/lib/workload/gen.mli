@@ -1,0 +1,44 @@
+(** Seeded synthetic workloads.
+
+    The paper motivates its model with air traffic and police-car fleets but
+    reports no datasets (it is a theory paper); these generators produce the
+    MODs and update streams the experiment harness sweeps, with full control
+    over the paper's two complexity knobs: the number of objects N and the
+    number of support changes m. *)
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+
+val uniform_db :
+  seed:int -> n:int -> ?dim:int -> ?extent:int -> ?speed:int -> unit -> DB.t
+(** [n] objects (OIDs 1..n) born at time 0 with integer positions in
+    [[-extent, extent]^dim] and integer velocities in [[-speed, speed]^dim].
+    Default [dim = 2], [extent = 1000], [speed = 10]. *)
+
+val inversions_db : seed:int -> n:int -> inversions:int -> horizon:Q.t -> DB.t
+(** One-dimensional workload with an exactly controlled number of support
+    changes: object [i] starts at height [i] and moves linearly so that at
+    [horizon] the heights realize a permutation with the requested number of
+    inversions — under the [coordinate 0] g-distance, the sweep performs
+    exactly [inversions] adjacent swaps (several may share an instant).
+    [inversions] is clamped to [n(n-1)/2]. *)
+
+val chdir_stream :
+  seed:int -> db:DB.t -> start:Q.t -> gap:Q.t -> count:int -> ?speed:int -> unit -> U.t list
+(** [count] direction changes on random live objects, one every [gap],
+    beginning at [start + gap]. *)
+
+val mixed_stream :
+  seed:int ->
+  db:DB.t ->
+  start:Q.t ->
+  gap:Q.t ->
+  count:int ->
+  ?speed:int ->
+  ?extent:int ->
+  unit ->
+  U.t list
+(** Like {!chdir_stream} with a mix of [new] (20%), [terminate] (10%) and
+    [chdir] (70%) updates.  Freshly created OIDs start above any existing
+    OID. *)

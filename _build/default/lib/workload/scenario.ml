@@ -1,0 +1,56 @@
+module Q = Moq_numeric.Rat
+module QP = Moq_poly.Qpoly
+module Qpiece = Moq_poly.Piecewise.Qpiece
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+
+let q = Q.of_int
+let qpoly l = QP.of_list (List.map Q.of_string l)
+let vec l = Qvec.of_list (List.map Q.of_int l)
+let vecs l = Qvec.of_list (List.map Q.of_string l)
+
+let example1_airplane () =
+  T.of_pieces
+    [ { start = q 0; a = vec [ 2; -1; 0 ]; b = vec [ -40; 23; 30 ] };
+      { start = q 21; a = vec [ 0; -1; -5 ]; b = vec [ 2; 23; 135 ] };
+      { start = q 22; a = vecs [ "1/2"; "0"; "-1" ]; b = vec [ -9; 1; 47 ] };
+    ]
+
+let example2_landing () = T.chdir (example1_airplane ()) (q 47) (vec [ 0; 0; 0 ])
+
+let figure2_curves () =
+  (* o1 = 10 - t/2; o2 = 2 + t/2: cross at D = 8 *)
+  ( Qpiece.of_poly ~start:(q 0) (qpoly [ "10"; "-1/2" ]),
+    Qpiece.of_poly ~start:(q 0) (qpoly [ "2"; "1/2" ]) )
+
+let figure2_o1_after_a c1 =
+  (* from (3, 8.5) with slope +1/2: 7 + t/2 *)
+  Qpiece.extend_last_from c1 (q 3) (qpoly [ "7"; "1/2" ]) ()
+
+let figure2_o2_after_b c2 =
+  (* from (5, 4.5) with slope 3: 3t - 21/2, crossing o1' at C = 7 *)
+  Qpiece.extend_last_from c2 (q 5) (qpoly [ "-21/2"; "3" ]) ()
+
+(* Curves engineered to the paper's Example 12 event times:
+     o3(t) = 10
+     o4(t) = 10 - (t-8)(t-17)/34        crosses o3 at 8 and 17
+     o2(t) = 14 - 4t/31                 crosses o3 at 31
+     o1(t) = 20 - 113t/155 until 12, then slope -97/930
+                                        crosses o2 at 10, and o3 at 24 *)
+let example12_curves () =
+  let o3 = Qpiece.constant ~start:(q 0) (q 10) in
+  let o4 = Qpiece.of_poly ~start:(q 0) (qpoly [ "204/34"; "25/34"; "-1/34" ]) in
+  let o2 = Qpiece.of_poly ~start:(q 0) (qpoly [ "14"; "-4/31" ]) in
+  let o1 =
+    Qpiece.make
+      [ (q 0, qpoly [ "20"; "-113/155" ]);
+        (q 12, QP.add (qpoly [ "1744/155" ]) (QP.mul (qpoly [ "-97/930" ]) (qpoly [ "-12"; "1" ])));
+      ]
+  in
+  (o1, o2, o3, o4)
+
+let example12_o1_after_chdir o1 =
+  (* from (20, 4844/465) with slope -97/465: crosses o3 = 10 at t = 22 *)
+  Qpiece.extend_last_from o1 (q 20)
+    (QP.add (qpoly [ "4844/465" ]) (QP.mul (qpoly [ "-97/465" ]) (qpoly [ "-20"; "1" ])))
+    ()

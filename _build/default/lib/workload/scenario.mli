@@ -1,0 +1,32 @@
+(** The paper's named scenarios, as reusable fixtures (figures F1–F3 of
+    DESIGN.md). *)
+
+module Q = Moq_numeric.Rat
+module Qpiece = Moq_poly.Piecewise.Qpiece
+module T = Moq_mod.Trajectory
+
+val example1_airplane : unit -> T.t
+(** Example 1: the 3-piece 3-d airplane trajectory. *)
+
+val example2_landing : unit -> T.t
+(** Example 2: the same airplane after [chdir(o, 47, (0,0,0))]. *)
+
+val figure2_curves : unit -> Qpiece.t * Qpiece.t
+(** Figure 2: g-distance curves of [o1] (higher, falling) and [o2] (lower,
+    rising), expected to cross at D = 8. *)
+
+val figure2_o1_after_a : Qpiece.t -> Qpiece.t
+(** The [chdir] on [o1] at A = 3 that cancels the crossing at D. *)
+
+val figure2_o2_after_b : Qpiece.t -> Qpiece.t
+(** The [chdir] on [o2] at B = 5 that re-creates the crossing at C = 7 < D. *)
+
+val example12_curves : unit -> Qpiece.t * Qpiece.t * Qpiece.t * Qpiece.t
+(** Figure 3 / Example 12: the curves of [o1..o4], engineered so the sweep
+    reproduces the paper's trace exactly: initial order [o4 < o3 < o2 < o1];
+    crossings at 8 ([o3,o4]), 10 ([o1,o2]), 17 ([o3,o4] again); without the
+    update, [o1,o3] cross at 24 and [o2,o3] at 31. *)
+
+val example12_o1_after_chdir : Qpiece.t -> Qpiece.t
+(** The update at time 20 on [o1] (the dashed curve): the crossing expected
+    at 24 moves earlier, to 22. *)

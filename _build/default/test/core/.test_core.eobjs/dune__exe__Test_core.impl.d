@@ -1,0 +1,1 @@
+test/core/test_core.ml: Alcotest List Moq_core Moq_geom Moq_mod Moq_numeric Moq_poly Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/core/test_core_edge.ml: Alcotest List Moq_core Moq_geom Moq_mod Moq_numeric Moq_poly Moq_workload Option QCheck QCheck_alcotest

@@ -1,0 +1,267 @@
+module Q = Moq_numeric.Rat
+module L = Moq_cql.Lincons
+module E = Moq_cql.Lincons.Expr
+module FM = Moq_cql.Fourier_motzkin
+module Dnf = Moq_cql.Dnf
+module Cql = Moq_cql.Cql
+module Ex = Moq_cql.Cql_examples
+module T = Moq_mod.Trajectory
+module U = Moq_mod.Update
+module DB = Moq_mod.Mobdb
+module Qvec = Moq_geom.Vec.Qvec
+
+let q = Q.of_int
+let vec l = Qvec.of_list (List.map Q.of_int l)
+
+let prop ?(count = 200) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Linear expressions / constraints                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr () =
+  let e = E.of_list [ (q 2, "x"); (q 3, "y"); (q (-2), "x") ] (q 5) in
+  Alcotest.(check string) "coeff collapsed" "0" (Q.to_string (E.coeff e "x"));
+  Alcotest.(check string) "coeff y" "3" (Q.to_string (E.coeff e "y"));
+  let env = function "y" -> q 4 | _ -> Q.zero in
+  Alcotest.(check string) "eval" "17" (Q.to_string (E.eval env e));
+  let e2 = E.subst "y" (E.var "z") e in
+  Alcotest.(check string) "subst moves" "3" (Q.to_string (E.coeff e2 "z"))
+
+let test_constraint_eval () =
+  (* 2x - y <= 3 *)
+  let c = L.le (E.of_list [ (q 2, "x"); (q (-1), "y") ] Q.zero) (E.const (q 3)) in
+  let env1 = function "x" -> q 1 | "y" -> q 0 | _ -> Q.zero in
+  let env2 = function "x" -> q 5 | "y" -> q 0 | _ -> Q.zero in
+  Alcotest.(check bool) "sat" true (L.eval env1 c);
+  Alcotest.(check bool) "unsat" false (L.eval env2 c)
+
+let test_negate () =
+  let c = L.eq (E.var "x") (E.const (q 3)) in
+  let negs = L.negate c in
+  Alcotest.(check int) "eq splits" 2 (List.length negs);
+  let env v = if v = "x" then q 3 else Q.zero in
+  Alcotest.(check bool) "x=3 fails both" false (List.exists (L.eval env) negs);
+  let env4 v = if v = "x" then q 4 else Q.zero in
+  Alcotest.(check bool) "x=4 passes one" true (List.exists (L.eval env4) negs)
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fm_basic () =
+  (* ∃x. 1 <= x ∧ x <= 5: satisfiable *)
+  let cs = [ L.ge (E.var "x") (E.const (q 1)); L.le (E.var "x") (E.const (q 5)) ] in
+  Alcotest.(check bool) "sat" true (FM.satisfiable cs);
+  (* ∃x. 5 < x ∧ x < 1: unsat *)
+  let cs2 = [ L.gt (E.var "x") (E.const (q 5)); L.lt (E.var "x") (E.const (q 1)) ] in
+  Alcotest.(check bool) "unsat" false (FM.satisfiable cs2);
+  (* strictness: ∃x. 3 <= x ∧ x <= 3 sat, but 3 < x ∧ x <= 3 unsat *)
+  Alcotest.(check bool) "point sat" true
+    (FM.satisfiable [ L.ge (E.var "x") (E.const (q 3)); L.le (E.var "x") (E.const (q 3)) ]);
+  Alcotest.(check bool) "strict point unsat" false
+    (FM.satisfiable [ L.gt (E.var "x") (E.const (q 3)); L.le (E.var "x") (E.const (q 3)) ])
+
+let test_fm_equality_subst () =
+  (* ∃x. x = 2y ∧ x <= 3 ∧ y >= 2: becomes 2y <= 3 ∧ y >= 2: unsat *)
+  let cs =
+    [ L.eq (E.var "x") (E.scale (q 2) (E.var "y"));
+      L.le (E.var "x") (E.const (q 3));
+      L.ge (E.var "y") (E.const (q 2));
+    ]
+  in
+  let elim = FM.eliminate "x" cs in
+  Alcotest.(check bool) "x gone" true
+    (List.for_all (fun c -> not (L.Varset.mem "x" (L.vars c))) elim);
+  Alcotest.(check bool) "unsat after projecting y" false (FM.satisfiable cs)
+
+let test_fm_unbounded () =
+  (* ∃x. x >= y: always true, so eliminating x leaves nothing binding *)
+  let cs = [ L.ge (E.var "x") (E.var "y") ] in
+  Alcotest.(check bool) "sat" true (FM.satisfiable cs)
+
+(* Property: FM elimination preserves satisfiability vs. a grid search
+   witness on 2-variable systems. *)
+let arb_system =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 5)
+    (QCheck.map
+       (fun (a, b, c, r) ->
+         let expr = E.of_list [ (q a, "x"); (q b, "y") ] (q c) in
+         match r mod 3 with
+         | 0 -> { L.expr; rel = L.Eq }
+         | 1 -> { L.expr; rel = L.Le }
+         | _ -> { L.expr; rel = L.Lt })
+       QCheck.(quad (int_range (-4) 4) (int_range (-4) 4) (int_range (-6) 6) small_int))
+
+let grid_witness cs =
+  (* search x, y in quarter-integer grid [-12, 12]; sound for "found" only *)
+  let vals = List.init 193 (fun i -> Q.div (q (i - 96)) (q 4)) in
+  List.exists
+    (fun x ->
+      List.exists
+        (fun y ->
+          let env v = if v = "x" then x else if v = "y" then y else Q.zero in
+          List.for_all (L.eval env) cs)
+        vals)
+    vals
+
+let fm_props =
+  [ prop ~count:300 "grid witness implies FM sat" arb_system (fun cs ->
+        (not (grid_witness cs)) || FM.satisfiable cs);
+    prop ~count:300 "FM unsat implies no witness" arb_system (fun cs ->
+        FM.satisfiable cs || not (grid_witness cs));
+    prop ~count:200 "eliminate removes the variable" arb_system (fun cs ->
+        List.for_all
+          (fun c -> not (L.Varset.mem "x" (L.vars c)))
+          (FM.eliminate "x" cs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* DNF                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dnf_logic () =
+  let cx = L.ge (E.var "x") (E.const (q 0)) in
+  let a = Dnf.atom cx in
+  Alcotest.(check bool) "neg . neg sat-equivalent" true
+    (Dnf.satisfiable (Dnf.neg (Dnf.neg a)) = Dnf.satisfiable a);
+  Alcotest.(check bool) "a and not a unsat" false (Dnf.satisfiable (Dnf.and_ a (Dnf.neg a)));
+  Alcotest.(check bool) "a or not a sat" true (Dnf.satisfiable (Dnf.or_ a (Dnf.neg a)));
+  Alcotest.(check bool) "exists x. x >= 0" true (Dnf.satisfiable (Dnf.exists "x" a))
+
+(* ------------------------------------------------------------------ *)
+(* CQL evaluation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Three 2-d objects:
+   o1 crosses the box [10,20]^2 (enters it),
+   o2 starts inside the box and leaves,
+   o3 stays far away. *)
+let make_db () =
+  let db = DB.empty ~dim:2 ~tau:(q (-10)) in
+  let db = DB.apply_exn db (U.New { oid = 1; tau = q 0; a = vec [ 1; 1 ]; b = vec [ 0; 0 ] }) in
+  let db = DB.apply_exn db (U.New { oid = 2; tau = q 1; a = vec [ 1; 0 ]; b = vec [ 14; 15 ] }) in
+  let db = DB.apply_exn db (U.New { oid = 3; tau = q 2; a = vec [ 0; 1 ]; b = vec [ -100; 0 ] }) in
+  db
+
+let region = Ex.box [ (q 10, q 20); (q 10, q 20) ]
+
+let test_cql_inside () =
+  let db = make_db () in
+  let qr = Ex.inside ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  Alcotest.(check (list int)) "o1 o2 inside" [ 1; 2 ] (Cql.answer db qr);
+  (* restrict the window before o1 arrives (o1 at (t,t): inside from t=10) *)
+  let qr2 = Ex.inside ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 9) in
+  Alcotest.(check (list int)) "only o2 early" [ 2 ] (Cql.answer db qr2)
+
+let test_cql_entering () =
+  let db = make_db () in
+  (* o1 enters at t=10; o2 was already inside at its creation, but time
+     instants before its birth are "not in the region", so o2 also counts as
+     entering at its birth -- standard constraint semantics.  o3 never. *)
+  let qr = Ex.entering ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  let ans = Cql.answer db qr in
+  Alcotest.(check bool) "o1 enters" true (List.mem 1 ans);
+  Alcotest.(check bool) "o3 never" false (List.mem 3 ans);
+  (* window that excludes o1's entering moment *)
+  let qr2 = Ex.entering ~region ~dim:2 ~tau1:(q 12) ~tau2:(q 30) in
+  Alcotest.(check bool) "o1 not entering later" false (List.mem 1 (Cql.answer db qr2))
+
+let test_cql_met_gamma () =
+  let db = make_db () in
+  (* gamma follows exactly o1's trajectory: o1 meets it everywhere *)
+  let gamma = T.linear ~start:(q 0) ~a:(vec [ 1; 1 ]) ~b:(vec [ 0; 0 ]) in
+  let qr = Ex.met_gamma ~gamma ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  let ans = Cql.answer db qr in
+  Alcotest.(check bool) "o1 meets" true (List.mem 1 ans);
+  Alcotest.(check bool) "o3 does not" false (List.mem 3 ans);
+  (* o2 at (14+t', 15); gamma at (t,t); meet needs t = 15 and 14 + t - 1 =
+     15 -- o2's param: position (t+13, 15) at time t, so meet at t = 15 when
+     gamma is at (15,15) and o2 at (28,15)?  No: they never meet. *)
+  Alcotest.(check bool) "o2 does not" false (List.mem 2 ans)
+
+let test_cql_terminated_past () =
+  (* terminated object still answers past queries over its lifetime *)
+  let db = make_db () in
+  let db = DB.apply_exn db (U.Terminate { oid = 1; tau = q 15 }) in
+  let qr = Ex.inside ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  Alcotest.(check bool) "o1 was inside before death" true (List.mem 1 (Cql.answer db qr));
+  let db2 = DB.apply_exn (make_db ()) (U.Terminate { oid = 1; tau = q 9 }) in
+  Alcotest.(check bool) "o1 died before entering" false (List.mem 1 (Cql.answer db2 qr))
+
+let test_cql_multi_piece () =
+  (* object turns: heads toward the box, then turns away before reaching it *)
+  let db = DB.empty ~dim:2 ~tau:(q (-1)) in
+  let db = DB.apply_exn db (U.New { oid = 5; tau = q 0; a = vec [ 1; 1 ]; b = vec [ 0; 0 ] }) in
+  let db = DB.apply_exn db (U.Chdir { oid = 5; tau = q 8; a = vec [ -1; -1 ] }) in
+  let qr = Ex.inside ~region ~dim:2 ~tau1:(q 0) ~tau2:(q 30) in
+  Alcotest.(check (list int)) "never inside" [] (Cql.answer db qr);
+  (* and one that turns inside the box *)
+  let db2 = DB.apply_exn db (U.Chdir { oid = 5; tau = q 9; a = vec [ 2; 2 ] }) in
+  Alcotest.(check (list int)) "turn back in" [ 5 ] (Cql.answer db2 qr)
+
+(* ------------------------------------------------------------------ *)
+(* when_holds: finite time representation of snapshot answers           *)
+(* ------------------------------------------------------------------ *)
+
+let in_box_body y tvar =
+  (* ∃x0 x1 (T(y, t, x̄) ∧ x̄ ∈ [10,20]²) *)
+  Cql.exists_rs [ "x0"; "x1" ]
+    (Cql.conj
+       (Cql.At (y, tvar, [ "x0"; "x1" ])
+        :: List.map (fun c -> Cql.Constr c) (Ex.box [ (q 10, q 20); (q 10, q 20) ] [ "x0"; "x1" ])))
+
+let test_when_holds_inside () =
+  let db = make_db () in
+  let tq = { Cql.tfree = "y"; tvar = "t"; tgamma = None; tbody = in_box_body "y" "t" } in
+  let span_strings o =
+    List.sort compare
+      (List.map (fun s -> Format.asprintf "%a" Cql.pp_span s) (Cql.when_holds db tq o))
+  in
+  (* o1 moves along (t, t): inside the box exactly for t in [10, 20] *)
+  Alcotest.(check (list string)) "o1 window" [ "[10, 20]" ] (span_strings 1);
+  (* o2 at (14+t, 15): x in [10,20] for t <= 6, clipped by birth at 1 *)
+  Alcotest.(check (list string)) "o2 window" [ "[1, 6]" ] (span_strings 2);
+  (* o3 never inside *)
+  Alcotest.(check (list string)) "o3 never" [] (span_strings 3)
+
+let test_when_holds_strictness () =
+  (* strict constraint: x strictly beyond 5 for an object at x = t *)
+  let db = DB.empty ~dim:1 ~tau:(q 0) in
+  let db = DB.add_initial db 1 (T.linear ~start:(q 0) ~a:(Qvec.of_list [ q 1 ]) ~b:(Qvec.of_list [ q 0 ])) in
+  let body =
+    Cql.exists_rs [ "x0" ]
+      (Cql.And (Cql.At ("y", "t", [ "x0" ]), Cql.Constr (L.gt (E.var "x0") (E.const (q 5)))))
+  in
+  let tq = { Cql.tfree = "y"; tvar = "t"; tgamma = None; tbody = body } in
+  match Cql.when_holds db tq 1 with
+  | [ s ] -> Alcotest.(check string) "open at 5" "(5, +inf)" (Format.asprintf "%a" Cql.pp_span s)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let () =
+  Alcotest.run "cql"
+    [ ("lincons", [
+        Alcotest.test_case "expr ops" `Quick test_expr;
+        Alcotest.test_case "constraint eval" `Quick test_constraint_eval;
+        Alcotest.test_case "negate" `Quick test_negate;
+      ]);
+      ("fourier-motzkin", [
+        Alcotest.test_case "basic" `Quick test_fm_basic;
+        Alcotest.test_case "equality subst" `Quick test_fm_equality_subst;
+        Alcotest.test_case "unbounded" `Quick test_fm_unbounded;
+      ]);
+      ("fm-props", fm_props);
+      ("dnf", [ Alcotest.test_case "logic" `Quick test_dnf_logic ]);
+      ("when-holds", [
+        Alcotest.test_case "inside-region windows" `Quick test_when_holds_inside;
+        Alcotest.test_case "strict bounds" `Quick test_when_holds_strictness;
+      ]);
+      ("cql-eval", [
+        Alcotest.test_case "inside (window)" `Quick test_cql_inside;
+        Alcotest.test_case "entering (example 3)" `Quick test_cql_entering;
+        Alcotest.test_case "met gamma (example 11)" `Quick test_cql_met_gamma;
+        Alcotest.test_case "terminated past" `Quick test_cql_terminated_past;
+        Alcotest.test_case "multi-piece trajectories" `Quick test_cql_multi_piece;
+      ]);
+    ]

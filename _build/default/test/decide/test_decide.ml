@@ -1,0 +1,79 @@
+module Turing = Moq_decide.Turing
+module Reduction = Moq_decide.Reduction
+module DB = Moq_mod.Mobdb
+
+let test_busy_beaver_halts () =
+  let m = Turing.busy_beaver_3 () in
+  (match Turing.halts_within m ~max_steps:100 with
+   | Some k -> Alcotest.(check int) "halts in 13 transitions" 13 k
+   | None -> Alcotest.fail "BB3 must halt");
+  (* it writes six 1s *)
+  let final = List.rev (Turing.run m ~max_steps:100) |> List.hd in
+  let ones = Hashtbl.fold (fun _ y acc -> if y = 1 then acc + 1 else acc) final.Turing.tape 0 in
+  Alcotest.(check int) "six ones" 6 ones;
+  Alcotest.(check bool) "halted" true (Turing.is_halted m final)
+
+let test_loop_never_halts () =
+  let m = Turing.loop_forever () in
+  Alcotest.(check bool) "no halt in 10000" true (Turing.halts_within m ~max_steps:10000 = None)
+
+let test_step_semantics () =
+  let m = Turing.busy_beaver_3 () in
+  let c0 = Turing.initial in
+  (match Turing.step m c0 with
+   | Some c1 ->
+     Alcotest.(check int) "state B" 1 c1.Turing.state;
+     Alcotest.(check int) "head moved right" 1 c1.Turing.head;
+     Alcotest.(check int) "wrote 1" 1 (Turing.read c1 0)
+   | None -> Alcotest.fail "must step");
+  (* halted configs do not step *)
+  let halted = { Turing.state = m.Turing.halt; tape = Hashtbl.create 1; head = 0 } in
+  Alcotest.(check bool) "halted is stuck" true (Turing.step m halted = None)
+
+let test_encoding_checks_out () =
+  (* the encoded halting computation satisfies the query *)
+  let m = Turing.busy_beaver_3 () in
+  let updates = Reduction.encode_computation m ~max_steps:25 in
+  let db = DB.apply_all_exn (Reduction.initial_mod ()) updates in
+  Alcotest.(check bool) "query true on halting computation" true (Reduction.query_holds db m);
+  (* a truncated (non-halting) prefix does not *)
+  let updates' = Reduction.encode_computation m ~max_steps:10 in
+  let db' = DB.apply_all_exn (Reduction.initial_mod ()) updates' in
+  Alcotest.(check bool) "query false on prefix" false (Reduction.query_holds db' m)
+
+let test_encoding_rejects_forgery () =
+  (* a computation of machine A does not satisfy machine B's query unless it
+     happens to be a valid halting computation of B too *)
+  let bb = Turing.busy_beaver_3 () in
+  let loop = Turing.loop_forever () in
+  let updates = Reduction.encode_computation bb ~max_steps:25 in
+  let db = DB.apply_all_exn (Reduction.initial_mod ()) updates in
+  Alcotest.(check bool) "BB trace is not a LOOP halting computation" false
+    (Reduction.query_holds db loop)
+
+let test_reduction_theorem2 () =
+  (* "is past" is exactly "does not halt (within the bound)" *)
+  Alcotest.(check bool) "halting machine: query not past" false
+    (Reduction.is_past_up_to (Turing.busy_beaver_3 ()) ~max_steps:100);
+  Alcotest.(check bool) "looping machine: query past so far" true
+    (Reduction.is_past_up_to (Turing.loop_forever ()) ~max_steps:2000)
+
+let test_empty_db_query_false () =
+  let m = Turing.busy_beaver_3 () in
+  Alcotest.(check bool) "empty MOD: no computation encoded" false
+    (Reduction.query_holds (Reduction.initial_mod ()) m)
+
+let () =
+  Alcotest.run "decide"
+    [ ("turing", [
+        Alcotest.test_case "busy beaver halts" `Quick test_busy_beaver_halts;
+        Alcotest.test_case "loop never halts" `Quick test_loop_never_halts;
+        Alcotest.test_case "step semantics" `Quick test_step_semantics;
+      ]);
+      ("reduction", [
+        Alcotest.test_case "encoding satisfies query" `Quick test_encoding_checks_out;
+        Alcotest.test_case "encoding rejects forgery" `Quick test_encoding_rejects_forgery;
+        Alcotest.test_case "theorem 2 equivalence" `Quick test_reduction_theorem2;
+        Alcotest.test_case "empty db" `Quick test_empty_db_query_false;
+      ]);
+    ]

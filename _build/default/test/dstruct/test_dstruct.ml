@@ -1,0 +1,324 @@
+module OL = Moq_dstruct.Order_list
+module LH = Moq_dstruct.Leftist_heap
+module BH = Moq_dstruct.Bin_heap
+module QI = Moq_dstruct.Interval.Make (Moq_poly.Field.Rat_field)
+module Q = Moq_numeric.Rat
+
+let prop ?(count = 200) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Order_list                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ol_insert_sorted () =
+  let t = OL.create () in
+  let hs = List.map (fun v -> OL.insert_sorted ~cmp:compare t v) [ 5; 1; 3; 2; 4 ] in
+  OL.check_invariants t;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (OL.to_list t);
+  Alcotest.(check int) "length" 5 (OL.length t);
+  List.iter2
+    (fun handle v -> Alcotest.(check int) "elt" v (OL.elt handle))
+    hs [ 5; 1; 3; 2; 4 ]
+
+let test_ol_neighbors () =
+  let t = OL.create () in
+  let h3 = OL.insert_sorted ~cmp:compare t 3 in
+  let _ = OL.insert_sorted ~cmp:compare t 1 in
+  let h5 = OL.insert_sorted ~cmp:compare t 5 in
+  (match OL.next t h3 with
+   | Some n -> Alcotest.(check int) "next of 3" 5 (OL.elt n)
+   | None -> Alcotest.fail "next");
+  (match OL.prev t h3 with
+   | Some p -> Alcotest.(check int) "prev of 3" 1 (OL.elt p)
+   | None -> Alcotest.fail "prev");
+  Alcotest.(check bool) "last has no next" true (OL.next t h5 = None);
+  (match OL.first t with
+   | Some f -> Alcotest.(check int) "first" 1 (OL.elt f)
+   | None -> Alcotest.fail "first")
+
+let test_ol_delete () =
+  let t = OL.create () in
+  let handles = List.map (fun v -> OL.insert_sorted ~cmp:compare t v) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let h4 = List.nth handles 3 in
+  OL.delete t h4;
+  OL.check_invariants t;
+  Alcotest.(check (list int)) "after delete" [ 1; 2; 3; 5; 6; 7 ] (OL.to_list t);
+  (* remaining handles still point at their elements *)
+  Alcotest.(check int) "handle stable" 5 (OL.elt (List.nth handles 4));
+  Alcotest.check_raises "double delete" (Invalid_argument "Order_list: delete: handle already deleted")
+    (fun () -> OL.delete t h4)
+
+let test_ol_swap_adjacent () =
+  let t = OL.create () in
+  let handles = List.map (fun v -> OL.insert_sorted ~cmp:compare t v) [ 1; 2; 3 ] in
+  let h1 = List.nth handles 0 and h2 = List.nth handles 1 in
+  OL.swap_adjacent t h1 h2;
+  Alcotest.(check (list int)) "swapped" [ 2; 1; 3 ] (OL.to_list t);
+  (* payloads moved: h1 now holds 2 *)
+  Alcotest.(check int) "payload swap" 2 (OL.elt h1);
+  Alcotest.check_raises "not adjacent" (Invalid_argument "Order_list.swap_adjacent: not adjacent")
+    (fun () -> OL.swap_adjacent t h2 h2)
+
+let test_ol_rank_nth () =
+  let t = OL.create () in
+  let handles = List.map (fun v -> OL.insert_sorted ~cmp:compare t v) [ 10; 20; 30; 40 ] in
+  List.iteri (fun i handle -> Alcotest.(check int) "rank" i (OL.rank t handle)) handles;
+  (match OL.nth t 2 with
+   | Some n -> Alcotest.(check int) "nth 2" 30 (OL.elt n)
+   | None -> Alcotest.fail "nth");
+  Alcotest.(check bool) "nth out of range" true (OL.nth t 4 = None)
+
+(* Model-based random testing: a sequence of ops against a sorted-list model. *)
+type ol_op = Insert of int | DeleteNth of int | SwapAt of int
+
+let arb_ol_ops =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 120)
+    (QCheck.map
+       (fun (which, v) ->
+         if which mod 4 < 2 then Insert v
+         else if which mod 4 = 2 then DeleteNth (abs v)
+         else SwapAt (abs v))
+       (QCheck.pair QCheck.small_int (QCheck.int_range (-50) 50)))
+
+(* Sorted-mode model: inserts and deletes only.  (insert_sorted is only
+   meaningful while the sequence is sorted, which is the sweep's invariant:
+   adjacent swaps happen exactly when the evolving comparator reorders.) *)
+let run_ol_model ops =
+  let t = OL.create () in
+  let model = ref [] in
+  let apply = function
+    | Insert v ->
+      ignore (OL.insert_sorted ~cmp:compare t v);
+      model := List.merge compare [ v ] !model
+    | DeleteNth i | SwapAt i ->
+      let n = OL.length t in
+      if n > 0 then begin
+        let i = i mod n in
+        (match OL.nth t i with
+         | Some handle -> OL.delete t handle
+         | None -> assert false);
+        model := List.filteri (fun j _ -> j <> i) !model
+      end
+  in
+  List.iter
+    (fun op ->
+      apply op;
+      OL.check_invariants t;
+      if OL.to_list t <> !model then failwith "model mismatch")
+    ops;
+  true
+
+(* Positional-mode model: build once, then adjacent swaps and positional
+   deletes against a plain list model. *)
+let run_ol_swap_model (init, ops) =
+  let t = OL.create () in
+  List.iter (fun v -> ignore (OL.insert_sorted ~cmp:compare t v)) init;
+  let model = ref (List.sort compare init) in
+  let apply = function
+    | Insert _ -> ()
+    | DeleteNth i ->
+      let n = OL.length t in
+      if n > 0 then begin
+        let i = i mod n in
+        OL.delete t (Option.get (OL.nth t i));
+        model := List.filteri (fun j _ -> j <> i) !model
+      end
+    | SwapAt i ->
+      let n = OL.length t in
+      if n >= 2 then begin
+        let i = i mod (n - 1) in
+        OL.swap_adjacent t (Option.get (OL.nth t i)) (Option.get (OL.nth t (i + 1)));
+        let arr = Array.of_list !model in
+        let x = arr.(i) in
+        arr.(i) <- arr.(i + 1);
+        arr.(i + 1) <- x;
+        model := Array.to_list arr
+      end
+  in
+  List.iter
+    (fun op ->
+      apply op;
+      OL.check_invariants t;
+      if OL.to_list t <> !model then failwith "swap model mismatch")
+    ops;
+  true
+
+let ol_props =
+  [ prop "model-based ops" arb_ol_ops run_ol_model;
+    prop "swap/delete positional model"
+      (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 2 30) (QCheck.int_range 0 100)) arb_ol_ops)
+      run_ol_swap_model;
+    prop "ranks consistent after ops" arb_ol_ops (fun ops ->
+        let t = OL.create () in
+        List.iter (function Insert v -> ignore (OL.insert_sorted ~cmp:compare t v) | _ -> ()) ops;
+        let rec check i =
+          if i >= OL.length t then true
+          else begin
+            match OL.nth t i with
+            | Some handle -> OL.rank t handle = i && check (i + 1)
+            | None -> false
+          end
+        in
+        check 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Leftist heap                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lh_basic () =
+  let t = LH.create ~cmp:compare in
+  let _ = LH.insert t 5 "e" in
+  let _ = LH.insert t 1 "a" in
+  let _ = LH.insert t 3 "c" in
+  LH.check_invariants t;
+  Alcotest.(check (option (pair int string))) "min" (Some (1, "a")) (LH.find_min t);
+  Alcotest.(check (option (pair int string))) "pop" (Some (1, "a")) (LH.pop_min t);
+  Alcotest.(check (option (pair int string))) "pop2" (Some (3, "c")) (LH.pop_min t);
+  Alcotest.(check int) "length" 1 (LH.length t)
+
+let test_lh_delete_handle () =
+  let t = LH.create ~cmp:compare in
+  let handles = List.map (fun k -> LH.insert t k (string_of_int k)) [ 7; 3; 9; 1; 5; 8; 2 ] in
+  let h9 = List.nth handles 2 in
+  LH.delete t h9;
+  LH.check_invariants t;
+  Alcotest.(check int) "length" 6 (LH.length t);
+  Alcotest.(check bool) "mem false" false (LH.mem h9);
+  (* delete is idempotent *)
+  LH.delete t h9;
+  Alcotest.(check int) "still 6" 6 (LH.length t);
+  (* drain in order, 9 gone *)
+  let rec drain acc = match LH.pop_min t with None -> List.rev acc | Some (k, _) -> drain (k :: acc) in
+  Alcotest.(check (list int)) "drain" [ 1; 2; 3; 5; 7; 8 ] (drain [])
+
+let test_lh_delete_root () =
+  let t = LH.create ~cmp:compare in
+  let h1 = LH.insert t 1 () in
+  let _ = LH.insert t 2 () in
+  LH.delete t h1;
+  LH.check_invariants t;
+  Alcotest.(check (option (pair int unit))) "min" (Some (2, ())) (LH.find_min t)
+
+type lh_op = Push of int | Pop | DeleteIdx of int
+
+let arb_lh_ops =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 150)
+    (QCheck.map
+       (fun (which, v) ->
+         if which mod 3 = 0 then Push v else if which mod 3 = 1 then Pop else DeleteIdx (abs v))
+       (QCheck.pair QCheck.small_int (QCheck.int_range 0 100)))
+
+let run_lh_model ops =
+  let t = LH.create ~cmp:compare in
+  (* model: multiset as sorted list; track live handles *)
+  let model = ref [] in
+  let live = ref [] in
+  let apply = function
+    | Push v ->
+      let handle = LH.insert t v () in
+      live := (v, handle) :: !live;
+      model := List.merge compare [ v ] !model
+    | Pop ->
+      (match LH.pop_min t, !model with
+       | None, [] -> ()
+       | Some (k, ()), m :: rest ->
+         if k <> m then failwith "pop mismatch";
+         model := rest;
+         live := List.filter (fun (_, handle) -> LH.mem handle) !live
+       | _ -> failwith "pop disagreement")
+    | DeleteIdx i ->
+      if !live <> [] then begin
+        let i = i mod List.length !live in
+        let v, handle = List.nth !live i in
+        if LH.mem handle then begin
+          LH.delete t handle;
+          (* remove one occurrence of v from model *)
+          let rec remove = function
+            | [] -> failwith "model missing"
+            | x :: rest -> if x = v then rest else x :: remove rest
+          in
+          model := remove !model
+        end;
+        live := List.filteri (fun j _ -> j <> i) !live
+      end
+  in
+  List.iter
+    (fun op ->
+      apply op;
+      LH.check_invariants t;
+      if LH.length t <> List.length !model then failwith "length mismatch")
+    ops;
+  (* final drain matches sorted model *)
+  let rec drain acc = match LH.pop_min t with None -> List.rev acc | Some (k, ()) -> drain (k :: acc) in
+  drain [] = !model
+
+let lh_props = [ prop "model-based heap ops" arb_lh_ops run_lh_model ]
+
+(* ------------------------------------------------------------------ *)
+(* Binary heap                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bh_heapsort () =
+  let t = BH.create ~cmp:compare in
+  List.iter (fun k -> BH.insert t k ()) [ 4; 1; 7; 3; 9; 2 ];
+  BH.check_invariants t;
+  let rec drain acc = match BH.pop_min t with None -> List.rev acc | Some (k, ()) -> drain (k :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 7; 9 ] (drain [])
+
+let bh_props =
+  [ prop "heapsort equals sort" (QCheck.list_of_size (QCheck.Gen.int_range 0 80) QCheck.int)
+      (fun l ->
+        let t = BH.create ~cmp:compare in
+        List.iter (fun k -> BH.insert t k ()) l;
+        let rec drain acc = match BH.pop_min t with None -> List.rev acc | Some (k, ()) -> drain (k :: acc) in
+        drain [] = List.sort compare l);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q = Q.of_int
+
+let test_interval () =
+  let i = QI.closed (q 1) (q 5) in
+  Alcotest.(check bool) "mem" true (QI.mem (q 3) i);
+  Alcotest.(check bool) "mem lo" true (QI.mem (q 1) i);
+  Alcotest.(check bool) "not mem" false (QI.mem (q 6) i);
+  Alcotest.(check bool) "unbounded" true (QI.mem (q 1000) (QI.from (q 0)));
+  (match QI.intersect i (QI.closed (q 3) (q 9)) with
+   | Some j -> Alcotest.(check bool) "intersect" true (QI.equal j (QI.closed (q 3) (q 5)))
+   | None -> Alcotest.fail "intersect");
+  Alcotest.(check bool) "disjoint" true (QI.intersect i (QI.closed (q 6) (q 7)) = None);
+  Alcotest.(check bool) "touching point" true
+    (match QI.intersect i (QI.closed (q 5) (q 7)) with
+     | Some j -> QI.is_point j
+     | None -> false);
+  Alcotest.(check bool) "subset" true (QI.subset (QI.closed (q 2) (q 3)) i);
+  Alcotest.(check bool) "subset of all" true (QI.subset i QI.all);
+  Alcotest.(check bool) "all not subset" false (QI.subset QI.all i);
+  Alcotest.check_raises "bad interval" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (QI.closed (q 5) (q 1)))
+
+let () =
+  Alcotest.run "dstruct"
+    [ ("order_list", [
+        Alcotest.test_case "insert sorted" `Quick test_ol_insert_sorted;
+        Alcotest.test_case "neighbors" `Quick test_ol_neighbors;
+        Alcotest.test_case "delete/splice" `Quick test_ol_delete;
+        Alcotest.test_case "swap adjacent" `Quick test_ol_swap_adjacent;
+        Alcotest.test_case "rank/nth" `Quick test_ol_rank_nth;
+      ]);
+      ("order_list-props", ol_props);
+      ("leftist_heap", [
+        Alcotest.test_case "basic" `Quick test_lh_basic;
+        Alcotest.test_case "delete by handle" `Quick test_lh_delete_handle;
+        Alcotest.test_case "delete root" `Quick test_lh_delete_root;
+      ]);
+      ("leftist_heap-props", lh_props);
+      ("bin_heap", [ Alcotest.test_case "heapsort" `Quick test_bh_heapsort ]);
+      ("bin_heap-props", bh_props);
+      ("interval", [ Alcotest.test_case "ops" `Quick test_interval ]);
+    ]

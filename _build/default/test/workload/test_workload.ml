@@ -1,0 +1,176 @@
+module Q = Moq_numeric.Rat
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+module Gen = Moq_workload.Gen
+module Scenario = Moq_workload.Scenario
+module BX = Moq_core.Backend.Exact
+module EX = Moq_core.Engine.Make (BX)
+module KnnX = Moq_core.Knn.Make (BX)
+module Gdist = Moq_core.Gdist
+module Qvec = Moq_geom.Vec.Qvec
+
+let q = Q.of_int
+
+let prop ?(count = 50) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let test_uniform_db () =
+  let db = Gen.uniform_db ~seed:42 ~n:50 () in
+  Alcotest.(check int) "50 objects" 50 (DB.cardinal db);
+  Alcotest.(check int) "dim 2" 2 (DB.dim db);
+  (* deterministic: same seed, same db *)
+  let db' = Gen.uniform_db ~seed:42 ~n:50 () in
+  List.iter2
+    (fun (o, tr) (o', tr') ->
+      Alcotest.(check int) "oid" o o';
+      Alcotest.(check bool) "trajectory" true (T.equal tr tr'))
+    (DB.objects db) (DB.objects db');
+  (* different seed differs *)
+  let db2 = Gen.uniform_db ~seed:43 ~n:50 () in
+  Alcotest.(check bool) "seed matters" false
+    (List.for_all2 (fun (_, a) (_, b) -> T.equal a b) (DB.objects db) (DB.objects db2))
+
+(* swaps, not popped events: simultaneous multi-way intersections are one
+   batch but still one swap per inverted pair *)
+let count_crossings db ~hi =
+  let g = Gdist.coordinate 0 in
+  let r = KnnX.run ~db ~gdist:g ~k:1 ~lo:(q 0) ~hi in
+  r.KnnX.stats.KnnX.E.swaps
+
+let test_inversions_controlled () =
+  (* the number of sweep crossings equals the requested inversions *)
+  List.iter
+    (fun inv ->
+      let db = Gen.inversions_db ~seed:7 ~n:12 ~inversions:inv ~horizon:(q 100) in
+      Alcotest.(check int)
+        (Printf.sprintf "crossings for %d inversions" inv)
+        inv
+        (count_crossings db ~hi:(q 100)))
+    [ 0; 1; 5; 20; 50 ]
+
+let prop_inversions =
+  prop "inversions = crossings" (QCheck.pair (QCheck.int_range 2 15) (QCheck.int_range 0 40))
+    (fun (n, inv) ->
+      let inv = min inv (n * (n - 1) / 2) in
+      let db = Gen.inversions_db ~seed:(n + inv) ~n ~inversions:inv ~horizon:(q 50) in
+      count_crossings db ~hi:(q 50) = inv)
+
+let test_chdir_stream () =
+  let db = Gen.uniform_db ~seed:1 ~n:10 () in
+  let us = Gen.chdir_stream ~seed:2 ~db ~start:(q 0) ~gap:(q 5) ~count:8 () in
+  Alcotest.(check int) "8 updates" 8 (List.length us);
+  (* all applicable in order, chronological *)
+  let final = DB.apply_all_exn db us in
+  Alcotest.(check string) "clock" "40" (Q.to_string (DB.last_update final));
+  List.iter (function U.Chdir _ -> () | _ -> Alcotest.fail "expected chdir") us
+
+let test_mixed_stream () =
+  let db = Gen.uniform_db ~seed:1 ~n:10 () in
+  let us = Gen.mixed_stream ~seed:3 ~db ~start:(q 0) ~gap:(q 2) ~count:40 () in
+  Alcotest.(check int) "40 updates" 40 (List.length us);
+  let final = DB.apply_all_exn db us in
+  Alcotest.(check bool) "objects grew or shrank sensibly" true (DB.cardinal final >= 10);
+  let kinds =
+    List.fold_left
+      (fun (n, t, c) -> function
+        | U.New _ -> (n + 1, t, c)
+        | U.Terminate _ -> (n, t + 1, c)
+        | U.Chdir _ -> (n, t, c + 1))
+      (0, 0, 0) us
+  in
+  let n, _, c = kinds in
+  Alcotest.(check bool) "has news and chdirs" true (n > 0 && c > 0)
+
+let test_scenario_example1 () =
+  let tr = Scenario.example1_airplane () in
+  Alcotest.(check (list string)) "turns" [ "21"; "22" ] (List.map Q.to_string (T.turns tr));
+  let tr2 = Scenario.example2_landing () in
+  Alcotest.(check bool) "landed and parked" true
+    (Qvec.equal (T.position_exn tr2 (q 47)) (T.position_exn tr2 (q 99)))
+
+(* the Scenario curves must reproduce the paper's Example 12 trace (the
+   deep assertions live in test/core; here we pin the scenario fixture) *)
+let test_scenario_example12 () =
+  let o1, o2, o3, o4 = Scenario.example12_curves () in
+  let eng =
+    EX.create ~start:(q 0) ~horizon:(q 40)
+      [ (EX.Obj (1, 0), o1); (EX.Obj (2, 0), o2); (EX.Obj (3, 0), o3); (EX.Obj (4, 0), o4) ]
+  in
+  let points = ref [] in
+  EX.advance eng ~upto:(q 20) ~emit:(function
+    | EX.Point i -> points := BX.instant_to_float i :: !points
+    | EX.Span _ -> ());
+  Alcotest.(check (list (float 1e-9))) "events before 20" [ 8.0; 10.0; 17.0 ] (List.rev !points);
+  EX.replace_curve eng ~at:(q 20) (EX.Obj (1, 0)) (Scenario.example12_o1_after_chdir o1);
+  points := [];
+  EX.advance eng ~upto:(q 40) ~emit:(function
+    | EX.Point i -> points := BX.instant_to_float i :: !points
+    | EX.Span _ -> ());
+  Alcotest.(check (list (float 1e-9))) "events after update" [ 22.0; 31.0 ] (List.rev !points)
+
+(* Regression: coincident crossing clusters once made the engine drop a
+   neighbour's pending event without rescheduling it (the pair's crossing was
+   then lost and the final order stayed wrong).  The inversions workload is
+   dense in such clusters; both backends must end in the true final order. *)
+let test_coincident_cluster_final_order () =
+  let module EF = Moq_core.Engine.Make (Moq_core.Backend.Approx) in
+  let module BF = Moq_core.Backend.Approx in
+  let n = 64 in
+  let db = Gen.inversions_db ~seed:n ~n ~inversions:(2 * n) ~horizon:(q 1000) in
+  let gd = Gdist.coordinate 0 in
+  let ex =
+    EX.create ~start:(q 0) ~horizon:(q 1000)
+      (List.map (fun (o, tr) -> (EX.Obj (o, 0), BX.curve_of_qpiece (Gdist.curve gd tr)))
+         (DB.objects db))
+  in
+  let ef =
+    EF.create ~start:0.0 ~horizon:1000.0
+      (List.map (fun (o, tr) -> (EF.Obj (o, 0), BF.curve_of_qpiece (Gdist.curve gd tr)))
+         (DB.objects db))
+  in
+  EX.advance ex ~upto:(q 1000) ~emit:(fun _ -> ());
+  EF.advance ef ~upto:1000.0 ~emit:(fun _ -> ());
+  EX.check_invariants ex;
+  EF.check_invariants ef;
+  let ox = List.map (fun e -> match EX.label e with EX.Obj (o, _) -> o | _ -> -1) (EX.order ex) in
+  let of_ = List.map (fun e -> match EF.label e with EF.Obj (o, _) -> o | _ -> -1) (EF.order ef) in
+  Alcotest.(check (list int)) "final orders identical" ox of_;
+  Alcotest.(check int) "exact swaps = inversions" (2 * n) (EX.stats ex).EX.swaps;
+  let sf = EF.stats ef in
+  Alcotest.(check int) "float swaps = inversions" (2 * n) sf.EF.swaps
+
+let test_scenario_figure2 () =
+  let c1, c2 = Scenario.figure2_curves () in
+  let module C = EX.C in
+  (match C.first_crossing ~after:(BX.instant_of_scalar (q 0)) c1 c2 with
+   | Some i -> Alcotest.(check (float 1e-9)) "D = 8" 8.0 (BX.instant_to_float i)
+   | None -> Alcotest.fail "expected crossing at D");
+  let c1' = Scenario.figure2_o1_after_a c1 in
+  (match C.first_crossing ~after:(BX.instant_of_scalar (q 3)) c1' c2 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "crossing should be cancelled");
+  let c2' = Scenario.figure2_o2_after_b c2 in
+  (match C.first_crossing ~after:(BX.instant_of_scalar (q 5)) c1' c2' with
+   | Some i -> Alcotest.(check (float 1e-9)) "C = 7" 7.0 (BX.instant_to_float i)
+   | None -> Alcotest.fail "expected crossing at C")
+
+let () =
+  Alcotest.run "workload"
+    [ ("gen", [
+        Alcotest.test_case "uniform deterministic" `Quick test_uniform_db;
+        Alcotest.test_case "inversions controlled" `Quick test_inversions_controlled;
+        prop_inversions;
+        Alcotest.test_case "chdir stream" `Quick test_chdir_stream;
+        Alcotest.test_case "mixed stream" `Quick test_mixed_stream;
+      ]);
+      ("scenario", [
+        Alcotest.test_case "example 1/2 airplane" `Quick test_scenario_example1;
+        Alcotest.test_case "example 12 trace" `Quick test_scenario_example12;
+        Alcotest.test_case "figure 2 crossings" `Quick test_scenario_figure2;
+      ]);
+      ("regression", [
+        Alcotest.test_case "coincident clusters: no lost events" `Quick
+          test_coincident_cluster_final_order;
+      ]);
+    ]
