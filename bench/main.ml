@@ -482,6 +482,47 @@ let a2 () =
   row "both backends must agree on every event (same m); exactness costs a constant factor\n"
 
 (* ------------------------------------------------------------------ *)
+(* R1: durable store -- WAL ingest and crash-recovery throughput       *)
+(* ------------------------------------------------------------------ *)
+
+module DStore = Moq_durable.Store
+
+let r1 () =
+  header "R1" "Durable store: WAL ingest and crash-recovery throughput (fsync off)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "moq_bench_r1_%d" (Unix.getpid ()))
+  in
+  row "%8s %8s %16s %20s %10s\n" "N" "updates" "ingest (us/upd)" "recover (us/replay)" "replayed";
+  List.iter
+    (fun n ->
+      let db = Gen.uniform_db ~seed:n ~n () in
+      let count = 2000 in
+      let us =
+        Gen.mixed_stream ~seed:(n + 1) ~db ~start:(q 0) ~gap:(Q.of_string "1/8") ~count ()
+      in
+      let t_ingest, store =
+        time_once (fun () ->
+            let store = DStore.init ~fsync:false ~checkpoint_every:512 ~dir db in
+            List.iter (fun u -> ignore (DStore.append store u)) us;
+            store)
+      in
+      DStore.close store;
+      let t_rec, r =
+        timed (fun () ->
+            match DStore.recover ~dir with Ok r -> r | Error e -> failwith e)
+      in
+      row "%8d %8d %16.2f %20.2f %10d\n" n count
+        (t_ingest /. float_of_int count *. 1e6)
+        (t_rec /. float_of_int (max 1 r.DStore.replayed) *. 1e6)
+        r.DStore.replayed)
+    [ 64; 256; 1024 ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  row "replay re-validates every record (CRC + Mobdb.apply); the checkpoint cadence bounds\n";
+  row "how much log a crash can leave -- recovery cost tracks records since the snapshot\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment id               *)
 (* ------------------------------------------------------------------ *)
 
@@ -571,7 +612,7 @@ let bechamel_suite () =
 let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
-    ("b3", b3); ("a1", a1); ("a2", a2) ]
+    ("b3", b3); ("a1", a1); ("a2", a2); ("r1", r1) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

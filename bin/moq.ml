@@ -5,7 +5,9 @@
      moq knn ...                k-NN timeline on a random workload
      moq monitor ...            continuous query under a random update stream
      moq classify ...           past/continuing/future classification
-     moq reduction ...          the Theorem 2 halting reduction *)
+     moq reduction ...          the Theorem 2 halting reduction
+     moq replay ...             ingest an update stream into a durable store
+     moq recover ...            rebuild a MOD from checkpoint + write-ahead log *)
 
 module Q = Moq_numeric.Rat
 module Qvec = Moq_geom.Vec.Qvec
@@ -22,10 +24,31 @@ module Gen = Moq_workload.Gen
 module Scenario = Moq_workload.Scenario
 module Turing = Moq_decide.Turing
 module Reduction = Moq_decide.Reduction
+module Store = Moq_durable.Store
+module Sanitize = Moq_durable.Sanitize
+module Wal = Moq_durable.Wal
 
 open Cmdliner
 
 let q = Q.of_int
+
+(* Parse and filesystem failures exit with a diagnostic, never a raw
+   exception.  Mod_io's string errors look like "line N: msg"; rewrite them
+   to the conventional "file:N: msg". *)
+let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let die_parse path e =
+  let file_line =
+    if String.length e > 5 && String.sub e 0 5 = "line " then begin
+      match String.index_opt e ':' with
+      | Some i -> Some (String.sub e 5 (i - 5), String.sub e (i + 1) (String.length e - i - 1))
+      | None -> None
+    end
+    else None
+  in
+  match file_line with
+  | Some (line, msg) -> die "%s:%s:%s" path line msg
+  | None -> die "%s: %s" path e
 
 let trace_example12 () =
   let o1, o2, o3, o4 = Scenario.example12_curves () in
@@ -82,7 +105,7 @@ let load_or_gen dbfile seed n =
   | Some path ->
     (match Moq_mod.Mod_io.load_db path with
      | Ok db -> db
-     | Error e -> failwith (path ^ ": " ^ e))
+     | Error e -> die_parse path e)
   | None -> Gen.uniform_db ~seed ~n ~extent:100 ~speed:6 ()
 
 let generate_run seed n count gap out updates_out =
@@ -107,7 +130,7 @@ let generate_cmd =
 let show_run path =
   match Moq_mod.Mod_io.load_db path with
   | Ok db -> Format.printf "%a@." DB.pp db
-  | Error e -> Format.eprintf "%s: %s@." path e
+  | Error e -> die_parse path e
 
 let show_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -178,9 +201,94 @@ let reduction_cmd =
   Cmd.v (Cmd.info "reduction" ~doc:"Theorem 2: halting reduction demo")
     Term.(const reduction_run $ machine $ steps)
 
+(* ------------------------------------------------------------------ *)
+(* Durable store: replay (ingest) and recover                          *)
+(* ------------------------------------------------------------------ *)
+
+let store_arg =
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
+       ~doc:"Durable store directory (checkpoint.mod + wal.log)")
+
+let replay_run store_dir dbfile updates_file seed n count gap every no_fsync =
+  let fsync = not no_fsync in
+  let store =
+    if Sys.file_exists (Filename.concat store_dir "checkpoint.mod") then begin
+      match Store.open_ ~fsync ~checkpoint_every:every ~dir:store_dir () with
+      | Ok (store, r) ->
+        Format.printf "opened store %s: %a@." store_dir Store.pp_recovery r;
+        (match r.Store.tail with
+         | Wal.Clean -> ()
+         | Wal.Corrupt _ as tail ->
+           Format.eprintf "warning: %s/wal.log %a (tail dropped)@." store_dir Wal.pp_tail tail);
+        store
+      | Error e -> die "%s" e
+    end
+    else begin
+      let db = load_or_gen dbfile seed n in
+      Format.printf "initialized store %s from %s (%d objects)@." store_dir
+        (match dbfile with Some p -> p | None -> "a generated workload")
+        (DB.cardinal db);
+      Store.init ~fsync ~checkpoint_every:every ~dir:store_dir db
+    end
+  in
+  let updates =
+    match updates_file with
+    | Some path ->
+      (match Moq_mod.Mod_io.load_updates path with
+       | Ok us -> us
+       | Error e -> die_parse path e)
+    | None ->
+      Gen.mixed_stream ~seed:(seed + 1) ~db:(Store.db store) ~start:(Store.clock store)
+        ~gap:(q gap) ~count ()
+  in
+  let san = Sanitize.create () in
+  List.iter (fun u -> ignore (Store.ingest store san u)) updates;
+  Store.close store;
+  Format.printf "ingested %d updates: %a@." (List.length updates) Sanitize.pp_counters
+    (Sanitize.counters san);
+  (match Sanitize.quarantined san with
+   | [] -> ()
+   | held -> Format.printf "%d updates left in quarantine@." (List.length held));
+  Format.printf "store now at clock %s with %d objects@."
+    (Q.to_string (Store.clock store)) (DB.cardinal (Store.db store))
+
+let replay_cmd =
+  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file (mod_io format); generated when absent") in
+  let count = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Generated updates") in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
+  let every = Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (accepted updates)") in
+  let no_fsync = Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync per record (benchmarks only)") in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Ingest an update stream into a durable store through the sanitizer (WAL + checkpoints)")
+    Term.(const replay_run $ store_arg $ db_arg $ updates $ seed_arg $ n_arg $ count $ gap $ every $ no_fsync)
+
+let recover_run store_dir =
+  match Store.recover ~dir:store_dir with
+  | Ok r ->
+    Format.printf "%a@." Store.pp_recovery r;
+    (match r.Store.tail with
+     | Wal.Clean -> ()
+     | Wal.Corrupt _ as tail ->
+       Format.eprintf "warning: %s/wal.log %a; recovered to the last good record@."
+         store_dir Wal.pp_tail tail)
+  | Error e -> die "recovery failed: %s" e
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Reconstruct the MOD and clock from a store's checkpoint + write-ahead log")
+    Term.(const recover_run $ store_arg)
+
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "moq" ~doc)
-          [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd; show_cmd ]))
+  try
+    exit
+      (Cmd.eval
+         (Cmd.group (Cmd.info "moq" ~doc)
+            [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
+              show_cmd; replay_cmd; recover_cmd ]))
+  with
+  | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
+  | Sys_error msg -> die "%s" msg
+  | Unix.Unix_error (err, fn, arg) -> die "%s: %s (%s)" fn (Unix.error_message err) arg

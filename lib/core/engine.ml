@@ -49,6 +49,8 @@ module Make (B : Backend.S) = struct
     mutable comparisons : int;
         (* curve-order comparisons: the cost unit of the paper's analysis,
            which excludes intersection computation *)
+    mutable audit_failures : int; (* audits that found a violated invariant *)
+    mutable rebuilds : int;       (* full O(N log N) self-healing rebuilds *)
   }
 
   type t = {
@@ -194,7 +196,7 @@ module Make (B : Backend.S) = struct
         now = start_i;
         horizon;
         by_label = Hashtbl.create 64;
-        stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0 };
+        stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0; audit_failures = 0; rebuilds = 0 };
       }
     in
     let entries =
@@ -526,6 +528,132 @@ module Make (B : Backend.S) = struct
     (* the wholesale curve change preserves values at [at] but may invert
        just-after-now jets anywhere: one O(N) settling pass *)
     settle t (order t)
+
+  (* ---------------------------------------------------------------- *)
+  (* Invariant audit + self-healing rebuild.                           *)
+
+  (* Non-raising sweep audit: collect violations of the structural
+     invariants instead of asserting.  O(N) comparisons plus the order
+     list's structural check. *)
+  let audit t =
+    let violations = ref [] in
+    let note fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    (* 1. order-list structure (AVL balance, sizes, parent pointers) *)
+    (try OL.check_invariants t.order
+     with e -> note "order list structure: %s" (Printexc.to_string e));
+    let entries = order t in
+    (* 2. sorted w.r.t. just-after-now; an inversion is only legal when
+       backed by a pending crossing batched exactly at [now] *)
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if cmp_entries_at t t.now a b > 0 then begin
+          let excused =
+            match a.right_event with
+            | Some h -> LH.mem h && B.compare_instant (LH.key h) t.now = 0
+            | None -> false
+          in
+          if not excused then
+            note "order violated at (%a, %a) with no pending event at now"
+              pp_label a.lbl pp_label b.lbl
+        end;
+        sorted rest
+      | _ -> ()
+    in
+    sorted entries;
+    (* 3. one live event per adjacent pair, correctly targeted *)
+    let rec events = function
+      | l :: (r :: _ as rest) ->
+        (match l.right_event with
+         | Some h ->
+           if not (LH.mem h) then
+             note "stale (deleted) event handle on %a" pp_label l.lbl
+           else begin
+             match LH.value h with
+             | Cross (a, b) ->
+               if not (a == l && b == r) then
+                 note "event on %a targets a non-adjacent pair" pp_label l.lbl
+             | _ -> note "right event of %a is not a crossing" pp_label l.lbl
+           end
+         | None -> ());
+        events rest
+      | [ e ] ->
+        if e.right_event <> None then note "last entry %a holds an event" pp_label e.lbl
+      | [] -> ()
+    in
+    events entries;
+    (* 4. dead/unmounted entries must not appear on the sweep line *)
+    List.iter
+      (fun e ->
+        if e.dead then note "dead entry %a still mounted" pp_label e.lbl)
+      entries;
+    (* 5. monotone batch times: no event precedes the clock *)
+    (match LH.find_min t.queue with
+     | Some (i, _) when B.compare_instant i t.now < 0 ->
+       note "pending event precedes the clock"
+     | _ -> ());
+    List.rev !violations
+
+  (* Theorem 10 fallback: discard the sweep structures and rebuild them
+     from the entries' curves in O(N log N) — a graceful degradation when
+     an audit finds corrupted state (instead of crashing mid-stream). *)
+  let rebuild t =
+    t.stats.rebuilds <- t.stats.rebuilds + 1;
+    let mounted = order t in
+    List.iter
+      (fun e ->
+        (match e.node with Some n -> OL.delete t.order n | None -> ());
+        e.node <- None;
+        e.right_event <- None)
+      mounted;
+    (* every non-dead entry is re-examined against the clock: alive curves
+       are re-sorted onto the line (healing entries that missed a birth or
+       death event), future ones get fresh birth events *)
+    let candidates = Hashtbl.fold (fun _ e acc -> if e.dead then acc else e :: acc) t.by_label [] in
+    let alive, future =
+      List.partition
+        (fun e ->
+          B.compare_instant_scalar t.now (PW.start e.curve) >= 0
+          && (match PW.stop e.curve with
+              | None -> true
+              | Some s -> B.compare_instant_scalar t.now s <= 0))
+        candidates
+    in
+    t.queue <- LH.create ~cmp:B.compare_instant;
+    let sorted = List.sort (cmp_entries_at t t.now) alive in
+    List.iter
+      (fun e ->
+        e.node <- Some (OL.insert_sorted ~cmp:(cmp_entries_at t t.now) t.order e))
+      sorted;
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+        schedule_pair t a b;
+        pairs rest
+      | _ -> ()
+    in
+    pairs sorted;
+    List.iter
+      (fun e ->
+        schedule_death t e;
+        schedule_jumps t e)
+      sorted;
+    List.iter
+      (fun e ->
+        let s = PW.start e.curve in
+        if B.compare_instant_scalar t.now s < 0 then begin
+          match t.horizon with
+          | Some h when F.compare s h > 0 -> ()
+          | _ -> ignore (LH.insert t.queue (B.instant_of_scalar s) (Birth e))
+        end
+        else e.dead <- true (* lifetime entirely behind the clock *))
+      future
+
+  let audit_and_heal t =
+    match audit t with
+    | [] -> []
+    | violations ->
+      t.stats.audit_failures <- t.stats.audit_failures + 1;
+      rebuild t;
+      violations
 
   let check_invariants t =
     OL.check_invariants t.order;

@@ -47,6 +47,9 @@ module Make (B : Backend.S) : sig
     mutable comparisons : int;
         (** curve-order comparisons — the cost unit of the paper's analysis,
             which explicitly excludes intersection computation *)
+    mutable audit_failures : int;
+        (** {!audit_and_heal} passes that found a violated invariant *)
+    mutable rebuilds : int;  (** self-healing {!rebuild} passes performed *)
   }
 
   val create : start:B.P.F.t -> ?horizon:B.P.F.t -> (label * B.PW.t) list -> t
@@ -121,7 +124,26 @@ module Make (B : Backend.S) : sig
       Rebuilds all pending events in O(N) heap construction without
       re-sorting the object list. *)
 
+  val audit : t -> string list
+  (** Non-raising invariant audit: order list sorted by curve value at the
+      current clock (modulo crossings batched exactly at [now]), heap and
+      adjacency consistency (one live event per adjacent pair, correctly
+      targeted), no dead entries mounted, and no pending event before the
+      clock (monotone batch times).  Returns human-readable violations,
+      [[]] when clean. *)
+
+  val rebuild : t -> unit
+  (** The Theorem 10 fallback: discard the sweep structures and rebuild the
+      object list and event queue from the entries' curves at the current
+      clock, in O(N log N).  Also heals entries whose birth or death event
+      was lost.  Semantics-preserving on a healthy engine. *)
+
+  val audit_and_heal : t -> string list
+  (** {!audit}; on any violation, count it in {!stats} and {!rebuild}.
+      Returns the violations found (empty = healthy, no rebuild). *)
+
   val check_invariants : t -> unit
   (** Order list sorted w.r.t. "just after now", one event per adjacent
-      pair, no stale events (tests). *)
+      pair, no stale events (tests; raises on violation — production paths
+      use {!audit_and_heal}). *)
 end

@@ -231,4 +231,27 @@ module Make (B : Backend.S) = struct
   let engine m = m.engine
   let db m = m.db
   let clock m = m.clock
+
+  (* Robustness hooks: a long-lived monitor periodically audits the sweep
+     invariants and, on violation, falls back to the O(N log N) rebuild
+     (Theorem 10's initialization cost) instead of crashing mid-stream. *)
+  let audit m =
+    let eng = E.audit m.engine in
+    let local = ref [] in
+    if Q.compare m.clock m.hi > 0 then
+      local := "monitor clock past the interval end" :: !local;
+    if Q.compare (DB.last_update m.db) m.clock > 0 && Q.compare m.clock m.hi < 0 then
+      local := "validated clock behind the database's last update" :: !local;
+    eng @ List.rev !local
+
+  let audit_and_heal m =
+    match audit m with
+    | [] -> []
+    | violations ->
+      (E.stats m.engine).E.audit_failures <- (E.stats m.engine).E.audit_failures + 1;
+      E.rebuild m.engine;
+      if Q.compare m.clock m.hi > 0 then m.clock <- m.hi;
+      violations
+
+  let heal m = E.rebuild m.engine
 end

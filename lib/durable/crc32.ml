@@ -1,0 +1,22 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8)) s;
+  !crc lxor 0xFFFFFFFF
+
+let to_hex c = Printf.sprintf "%08x" (c land 0xFFFFFFFF)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else begin
+    try Some (int_of_string ("0x" ^ s)) with Failure _ -> None
+  end

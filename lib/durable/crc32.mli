@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings.
+
+    Protects write-ahead-log records and checkpoint payloads against
+    bit rot and torn writes.  Pure OCaml, table-driven; values fit in a
+    native [int] (the platform guarantees 63-bit ints). *)
+
+val string : string -> int
+(** CRC of a whole string. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex (8 digits). *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] on malformed input. *)

@@ -1,0 +1,62 @@
+module Q = Moq_numeric.Rat
+module U = Moq_mod.Update
+
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| 0x6d6f71; seed |]
+
+let int t n = Random.State.int t n
+
+let flip t p = Random.State.float t 1.0 < p
+
+let drop t ~p l = List.filter (fun _ -> not (flip t p)) l
+
+let duplicate t ~p l =
+  List.concat_map (fun x -> if flip t p then [ x; x ] else [ x ]) l
+
+let rec reorder t ~p = function
+  | a :: b :: rest when flip t p -> b :: reorder t ~p (a :: rest)
+  | a :: rest -> a :: reorder t ~p rest
+  | [] -> []
+
+let corrupt_one t u =
+  match Random.State.int t 3 with
+  | 0 ->
+    (* stale: send the update into the past *)
+    let back tau = Q.sub tau (Q.of_int (1 + Random.State.int t 50)) in
+    (match u with
+     | U.New n -> U.New { n with tau = back n.tau }
+     | U.Chdir c -> U.Chdir { c with tau = back c.tau }
+     | U.Terminate te -> U.Terminate { te with tau = back te.tau })
+  | 1 ->
+    (* unknown oid *)
+    let ghost = 1_000_000 + Random.State.int t 1000 in
+    (match u with
+     | U.New n -> U.New { n with oid = ghost }
+     | U.Chdir c -> U.Chdir { c with oid = ghost }
+     | U.Terminate te -> U.Terminate { te with oid = ghost })
+  | _ ->
+    (* duplicate creation of a (probably) existing object *)
+    (match u with
+     | U.Chdir { oid; tau; a } -> U.New { oid; tau; a; b = a }
+     | U.Terminate { oid; tau } ->
+       U.New { oid; tau; a = Moq_geom.Vec.Qvec.zero 1; b = Moq_geom.Vec.Qvec.zero 1 }
+     | U.New n -> U.New { n with oid = max 1 (n.oid / 2) })
+
+let corrupt_updates t ~p l = List.map (fun u -> if flip t p then corrupt_one t u else u) l
+
+let mangle t l =
+  l |> drop t ~p:0.1 |> duplicate t ~p:0.1 |> reorder t ~p:0.15 |> corrupt_updates t ~p:0.15
+
+let truncate_string t s =
+  if s = "" then s else String.sub s 0 (Random.State.int t (String.length s))
+
+let bit_flip t s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Random.State.int t (Bytes.length b) in
+    let bit = 1 lsl Random.State.int t 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+    Bytes.to_string b
+  end

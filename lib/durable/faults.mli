@@ -1,0 +1,47 @@
+(** Deterministic fault injection for the durability test harness.
+
+    Every mutation is driven by a seeded PRNG, so a failing case replays
+    exactly from its seed.  Two layers of faults:
+
+    - {b stream faults} — drop / duplicate / reorder / corrupt updates
+      before they reach the sanitizer (a flaky upstream feed);
+    - {b file faults} — truncate or bit-flip raw log bytes (a crash or
+      bit rot under the write-ahead log). *)
+
+module U := Moq_mod.Update
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t n] in [[0, n)]; exposed so harnesses can make seeded choices
+    (e.g. the kill point) from the same deterministic stream. *)
+
+(* Stream faults *)
+
+val drop : t -> p:float -> 'a list -> 'a list
+(** Drop each element independently with probability [p]. *)
+
+val duplicate : t -> p:float -> 'a list -> 'a list
+(** After each element, with probability [p], emit it a second time. *)
+
+val reorder : t -> p:float -> 'a list -> 'a list
+(** Swap adjacent elements with probability [p] (a one-pass shuffle that
+    models small delivery races). *)
+
+val corrupt_updates : t -> p:float -> U.t list -> U.t list
+(** With probability [p], damage an update in a semantically hostile way:
+    send its time into the past (stale), retarget an unknown OID, or turn
+    it into a duplicate [new]. *)
+
+val mangle : t -> U.t list -> U.t list
+(** A default cocktail of the four stream faults. *)
+
+(* File faults *)
+
+val truncate_string : t -> string -> string
+(** Cut at a uniformly random byte (a torn write). *)
+
+val bit_flip : t -> string -> string
+(** Flip one uniformly random bit.  Returns the input unchanged if empty. *)

@@ -1,0 +1,108 @@
+module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+
+type reason =
+  | Stale
+  | Duplicate_oid
+  | Unknown_oid
+  | Not_defined
+  | Dimension
+
+let reason_of_error : DB.error -> reason = function
+  | DB.Stale_update _ -> Stale
+  | DB.Duplicate_oid _ -> Duplicate_oid
+  | DB.Unknown_oid _ -> Unknown_oid
+  | DB.Not_defined_at _ -> Not_defined
+  | DB.Dimension_mismatch -> Dimension
+
+let pp_reason fmt r =
+  Format.pp_print_string fmt
+    (match r with
+     | Stale -> "stale"
+     | Duplicate_oid -> "duplicate-oid"
+     | Unknown_oid -> "unknown-oid"
+     | Not_defined -> "not-defined"
+     | Dimension -> "dimension-mismatch")
+
+type verdict =
+  | Accepted of DB.t
+  | Rejected of reason * DB.error
+  | Quarantined of reason * DB.error
+
+type counters = {
+  mutable accepted : int;
+  mutable stale : int;
+  mutable duplicate_oid : int;
+  mutable unknown_oid : int;
+  mutable not_defined : int;
+  mutable dimension : int;
+}
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "accepted %d, rejected %d (stale %d, duplicate-oid %d, dimension %d), quarantined %d (unknown-oid %d, not-defined %d)"
+    c.accepted
+    (c.stale + c.duplicate_oid + c.dimension)
+    c.stale c.duplicate_oid c.dimension
+    (c.unknown_oid + c.not_defined)
+    c.unknown_oid c.not_defined
+
+type t = {
+  counters : counters;
+  mutable quarantine : (U.t * DB.error) list;  (* newest first *)
+}
+
+let create () =
+  { counters =
+      { accepted = 0; stale = 0; duplicate_oid = 0; unknown_oid = 0;
+        not_defined = 0; dimension = 0 };
+    quarantine = [] }
+
+let counters t = t.counters
+let rejected t = t.counters.stale + t.counters.duplicate_oid + t.counters.dimension
+let quarantined t = List.rev t.quarantine
+
+let take_quarantine t =
+  let held = List.rev t.quarantine in
+  t.quarantine <- [];
+  held
+
+let bump t = function
+  | Stale -> t.counters.stale <- t.counters.stale + 1
+  | Duplicate_oid -> t.counters.duplicate_oid <- t.counters.duplicate_oid + 1
+  | Unknown_oid -> t.counters.unknown_oid <- t.counters.unknown_oid + 1
+  | Not_defined -> t.counters.not_defined <- t.counters.not_defined + 1
+  | Dimension -> t.counters.dimension <- t.counters.dimension + 1
+
+let classify t db u =
+  match DB.apply db u with
+  | Ok db' ->
+    t.counters.accepted <- t.counters.accepted + 1;
+    Accepted db'
+  | Error e ->
+    let r = reason_of_error e in
+    bump t r;
+    (match r with
+     | Unknown_oid | Not_defined ->
+       t.quarantine <- (u, e) :: t.quarantine;
+       Quarantined (r, e)
+     | Stale | Duplicate_oid | Dimension -> Rejected (r, e))
+
+(* Retry the quarantine in arrival order.  An update that re-quarantines is
+   counted again under its (possibly new) reason; one whose error became
+   permanent graduates to a reject. *)
+let retry_quarantine t db =
+  let held = take_quarantine t in
+  List.fold_left
+    (fun db (u, _) ->
+      match classify t db u with Accepted db' -> db' | Rejected _ | Quarantined _ -> db)
+    db held
+
+let ingest_all t db us =
+  List.fold_left
+    (fun db u ->
+      match classify t db u with
+      | Accepted db' ->
+        if t.quarantine = [] then db' else retry_quarantine t db'
+      | Rejected _ | Quarantined _ -> db)
+    db us

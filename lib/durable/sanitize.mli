@@ -1,0 +1,70 @@
+(** Update-stream sanitizer: classify each incoming update instead of
+    letting one bad record abort a batch.
+
+    Every update is tried against the current {!Moq_mod.Mobdb.t}; the
+    {!Moq_mod.Mobdb.error} it produces decides its fate:
+
+    - {b accept} — the update applied; the database advances.
+    - {b reject} — permanently invalid ([Stale_update], [Duplicate_oid],
+      [Dimension_mismatch]): replaying it later can never succeed.
+    - {b quarantine} — possibly mis-ordered ([Unknown_oid],
+      [Not_defined_at]): a [new] for the object may still be in flight, so
+      the update is held aside and retried after later accepts.
+
+    Per-reason counters are kept for stats/monitoring. *)
+
+module DB := Moq_mod.Mobdb
+module U := Moq_mod.Update
+
+type reason =
+  | Stale
+  | Duplicate_oid
+  | Unknown_oid
+  | Not_defined
+  | Dimension
+
+val reason_of_error : DB.error -> reason
+val pp_reason : Format.formatter -> reason -> unit
+
+type verdict =
+  | Accepted of DB.t
+  | Rejected of reason * DB.error
+  | Quarantined of reason * DB.error
+
+type counters = {
+  mutable accepted : int;
+  mutable stale : int;
+  mutable duplicate_oid : int;
+  mutable unknown_oid : int;
+  mutable not_defined : int;
+  mutable dimension : int;
+}
+
+val pp_counters : Format.formatter -> counters -> unit
+
+type t
+
+val create : unit -> t
+val counters : t -> counters
+
+val rejected : t -> int
+(** Total permanently rejected. *)
+
+val quarantined : t -> (U.t * DB.error) list
+(** Updates currently held in quarantine, oldest first. *)
+
+val take_quarantine : t -> (U.t * DB.error) list
+(** Like {!quarantined}, but empties the quarantine — callers that log
+    accepts themselves (e.g. {!Store.ingest}) drain and re-classify. *)
+
+val classify : t -> DB.t -> U.t -> verdict
+(** Classify one update, bumping counters and (for quarantine verdicts)
+    remembering the update for {!retry_quarantine}.  Never raises. *)
+
+val ingest_all : t -> DB.t -> U.t list -> DB.t
+(** Fold {!classify} over a batch, retrying the quarantine after each
+    accept; returns the database with every acceptable update applied. *)
+
+val retry_quarantine : t -> DB.t -> DB.t
+(** Re-attempt quarantined updates in arrival order; each may accept, be
+    re-quarantined, or graduate to a permanent reject. *)

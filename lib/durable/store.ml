@@ -1,0 +1,183 @@
+module DB = Moq_mod.Mobdb
+module IO = Moq_mod.Mod_io
+module Q = Moq_numeric.Rat
+module U = Moq_mod.Update
+
+let checkpoint_file dir = Filename.concat dir "checkpoint.mod"
+let wal_file dir = Filename.concat dir "wal.log"
+
+type t = {
+  dir : string;
+  fsync : bool;
+  checkpoint_every : int;
+  mutable db : DB.t;
+  mutable wal : Wal.writer;
+  mutable pending : int;  (* accepts since the last checkpoint *)
+}
+
+type recovery = {
+  db : DB.t;
+  clock : Q.t;
+  replayed : int;
+  stale_skipped : int;
+  invalid_skipped : int;
+  tail : Wal.tail;
+}
+
+let pp_recovery fmt r =
+  Format.fprintf fmt
+    "recovered to clock %a: %d objects, %d log records replayed (%d stale, %d invalid skipped), log tail %a"
+    Q.pp r.clock (DB.cardinal r.db) r.replayed r.stale_skipped r.invalid_skipped
+    Wal.pp_tail r.tail
+
+(* ---------------------------------------------------------------- *)
+(* Checkpoint: db_to_string + "# crc <hex>" trailer, tmp + rename.   *)
+
+let write_checkpoint ~fsync dir db =
+  let payload = IO.db_to_string db in
+  let trailer = Printf.sprintf "# crc %s\n" (Crc32.to_hex (Crc32.string payload)) in
+  let tmp = checkpoint_file dir ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc payload;
+     output_string oc trailer;
+     flush oc;
+     if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp (checkpoint_file dir)
+
+let read_checkpoint dir =
+  let path = checkpoint_file dir in
+  match (try Ok (IO.read_file path) with Sys_error e -> Error e) with
+  | Error e -> Error e
+  | Ok s ->
+    let trailer_at =
+      (* position of the final "# crc ..." line *)
+      let stripped = if s <> "" && s.[String.length s - 1] = '\n'
+        then String.sub s 0 (String.length s - 1) else s in
+      match String.rindex_opt stripped '\n' with
+      | Some i -> Some (i + 1)
+      | None -> None
+    in
+    (match trailer_at with
+     | Some i when String.length s - i >= 6 && String.sub s i 6 = "# crc " ->
+       let payload = String.sub s 0 i in
+       let hex = String.trim (String.sub s (i + 6) (String.length s - i - 6)) in
+       (match Crc32.of_hex hex with
+        | Some crc when Crc32.string payload = crc ->
+          (match IO.db_of_string payload with
+           | Ok db -> Ok db
+           | Error e -> Error (path ^ ": " ^ e))
+        | Some _ -> Error (path ^ ": checkpoint CRC mismatch")
+        | None -> Error (path ^ ": malformed checkpoint CRC trailer"))
+     | _ -> Error (path ^ ": checkpoint missing its CRC trailer"))
+
+(* ---------------------------------------------------------------- *)
+
+let init ?(fsync = true) ?(checkpoint_every = 256) ~dir db =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  write_checkpoint ~fsync dir db;
+  let wal = Wal.create ~fsync ~path:(wal_file dir) ~dim:(DB.dim db) () in
+  { dir; fsync; checkpoint_every; db; wal; pending = 0 }
+
+let recover ~dir =
+  match read_checkpoint dir with
+  | Error e -> Error e
+  | Ok db ->
+    let wal_path = wal_file dir in
+    if not (Sys.file_exists wal_path) then
+      Ok { db; clock = DB.last_update db; replayed = 0; stale_skipped = 0;
+           invalid_skipped = 0; tail = Wal.Clean }
+    else begin
+      match Wal.read wal_path with
+      | Error e -> Error e
+      | Ok r ->
+        if r.Wal.dim <> 0 && r.Wal.dim <> DB.dim db then
+          Error (Printf.sprintf "%s: log dimension %d, checkpoint dimension %d"
+                   wal_path r.Wal.dim (DB.dim db))
+        else begin
+          let db = ref db and replayed = ref 0 and stale = ref 0 and invalid = ref 0 in
+          List.iter
+            (fun u ->
+              match DB.apply !db u with
+              | Ok db' ->
+                db := db';
+                incr replayed
+              | Error (DB.Stale_update _) -> incr stale
+              | Error _ -> incr invalid)
+            r.Wal.updates;
+          Ok { db = !db; clock = DB.last_update !db; replayed = !replayed;
+               stale_skipped = !stale; invalid_skipped = !invalid; tail = r.Wal.tail }
+        end
+    end
+
+let open_ ?(fsync = true) ?(checkpoint_every = 256) ~dir () =
+  match recover ~dir with
+  | Error e -> Error e
+  | Ok r ->
+    let wal_path = wal_file dir in
+    let wal =
+      if Sys.file_exists wal_path then begin
+        match Wal.read wal_path with
+        | Ok { Wal.good_bytes; _ } when good_bytes > 0 ->
+          Wal.open_append ~fsync ~path:wal_path ~good_bytes ()
+        | Ok _ (* torn header: rewrite from scratch *) | Error _ ->
+          Wal.create ~fsync ~path:wal_path ~dim:(DB.dim r.db) ()
+      end
+      else Wal.create ~fsync ~path:wal_path ~dim:(DB.dim r.db) ()
+    in
+    Ok ({ dir; fsync; checkpoint_every; db = r.db; wal; pending = 0 }, r)
+
+let db (t : t) = t.db
+let clock (t : t) = DB.last_update t.db
+let dim (t : t) = DB.dim t.db
+
+let checkpoint_now (t : t) =
+  write_checkpoint ~fsync:t.fsync t.dir t.db;
+  Wal.close t.wal;
+  t.wal <- Wal.create ~fsync:t.fsync ~path:(wal_file t.dir) ~dim:(DB.dim t.db) ();
+  t.pending <- 0
+
+let append (t : t) u =
+  match DB.apply t.db u with
+  | Error e -> Error e
+  | Ok db' ->
+    (* log before advancing: the record is on disk before anyone can see
+       the new state *)
+    Wal.append t.wal u;
+    t.db <- db';
+    t.pending <- t.pending + 1;
+    if t.pending >= t.checkpoint_every then checkpoint_now t;
+    Ok ()
+
+let ingest (t : t) san u =
+  let v = Sanitize.classify san t.db u in
+  (match v with
+   | Sanitize.Accepted _ ->
+     (match append t u with
+      | Ok () -> ()
+      | Error _ -> () (* unreachable: classify just accepted against t.db *));
+     (* an accept can unblock quarantined updates (e.g. the [new] a
+        quarantined [chdir] was waiting for); drain until a fixpoint *)
+     let rec drain () =
+       let held = Sanitize.take_quarantine san in
+       if held <> [] then begin
+         let progress = ref false in
+         List.iter
+           (fun (hu, _) ->
+             match Sanitize.classify san t.db hu with
+             | Sanitize.Accepted _ ->
+               (match append t hu with Ok () -> progress := true | Error _ -> ())
+             | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ())
+           held;
+         if !progress then drain ()
+       end
+     in
+     drain ()
+   | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ());
+  v
+
+let close (t : t) = Wal.close t.wal

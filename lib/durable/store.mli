@@ -1,0 +1,68 @@
+(** Durable moving-object store: checkpoint + write-ahead log.
+
+    A store is a directory holding
+
+    - [checkpoint.mod] — a {!Moq_mod.Mod_io.db_to_string} snapshot with a
+      CRC-32 trailer, written atomically (tmp file + rename);
+    - [wal.log] — a {!Wal} of every accepted update since that snapshot.
+
+    Accepted updates are fsync'd to the log before the in-memory database
+    advances; every [checkpoint_every] accepts the snapshot is rewritten and
+    the log reset.  {!recover} rebuilds [(db, clock)] from snapshot + log
+    suffix after a crash: log records at or before the snapshot's clock are
+    skipped as stale (a crash between checkpoint and log reset leaves
+    them), and a corrupt log tail is cut at the last good record and
+    reported — never raised. *)
+
+module DB := Moq_mod.Mobdb
+module Q := Moq_numeric.Rat
+module U := Moq_mod.Update
+
+type t
+
+type recovery = {
+  db : DB.t;
+  clock : Q.t;  (** the recovered update clock, [DB.last_update db] *)
+  replayed : int;  (** log records applied on top of the checkpoint *)
+  stale_skipped : int;  (** log records predating the checkpoint *)
+  invalid_skipped : int;
+      (** CRC-valid records the database nevertheless refused — checkpoint
+          and log disagree; counted, skipped, reported, not fatal *)
+  tail : Wal.tail;
+}
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+val init : ?fsync:bool -> ?checkpoint_every:int -> dir:string -> DB.t -> t
+(** Create (or reset) a store seeded with a database snapshot.
+    [checkpoint_every] defaults to 256 accepted updates. *)
+
+val recover : dir:string -> (recovery, string) result
+(** Read-only reconstruction.  [Error] only when the store is absent or its
+    checkpoint is unreadable/corrupt. *)
+
+val open_ :
+  ?fsync:bool -> ?checkpoint_every:int -> dir:string -> unit ->
+  (t * recovery, string) result
+(** {!recover}, then reopen the log for appending — truncating any corrupt
+    tail so subsequent appends stay replayable. *)
+
+val append : t -> U.t -> (unit, DB.error) result
+(** Validate against the in-memory database; on acceptance, log (fsync) and
+    advance.  A rejected update leaves both the log and the database
+    untouched. *)
+
+val ingest : t -> Sanitize.t -> U.t -> Sanitize.verdict
+(** Run one update through the sanitizer against the store's database.
+    Accepts are logged via {!append}; an accept then drains the sanitizer's
+    quarantine, logging any updates it releases.  Rejects and quarantines
+    leave the store untouched.  Never raises. *)
+
+val db : t -> DB.t
+val clock : t -> Q.t
+val dim : t -> int
+
+val checkpoint_now : t -> unit
+(** Force a snapshot + log reset. *)
+
+val close : t -> unit

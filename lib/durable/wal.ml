@@ -1,0 +1,123 @@
+module IO = Moq_mod.Mod_io
+module U = Moq_mod.Update
+
+type tail = Clean | Corrupt of { line : int; reason : string }
+
+let pp_tail fmt = function
+  | Clean -> Format.pp_print_string fmt "clean"
+  | Corrupt { line; reason } -> Format.fprintf fmt "corrupt at line %d: %s" line reason
+
+type replay = {
+  dim : int;
+  updates : U.t list;
+  tail : tail;
+  good_bytes : int;
+}
+
+let header_line dim = Printf.sprintf "wal 1 %d" dim
+
+let record_line u =
+  let payload = IO.update_to_line u in
+  Printf.sprintf "u %s %s" (Crc32.to_hex (Crc32.string payload)) payload
+
+(* ---------------------------------------------------------------- *)
+
+(* Split into (line_number, byte_offset_past_line, content) keeping track of
+   whether the final line was newline-terminated — a torn append leaves a
+   partial last line that must still pass its CRC to be believed. *)
+let scan_lines s =
+  let n = String.length s in
+  let out = ref [] in
+  let line = ref 1 in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '\n' then begin
+      out := (!line, !i + 1, String.sub s !start (!i - !start)) :: !out;
+      incr line;
+      start := !i + 1
+    end;
+    incr i
+  done;
+  if !start < n then out := (!line, n, String.sub s !start (n - !start)) :: !out;
+  List.rev !out
+
+let parse_record ~dim content =
+  match String.index_opt content ' ' with
+  | Some 1 when content.[0] = 'u' && String.length content >= 11 ->
+    let crc_s = String.sub content 2 8 in
+    if String.length content < 11 || content.[10] <> ' ' then Error "malformed record"
+    else begin
+      let payload = String.sub content 11 (String.length content - 11) in
+      match Crc32.of_hex crc_s with
+      | None -> Error "malformed CRC"
+      | Some crc ->
+        if Crc32.string payload <> crc then Error "CRC mismatch"
+        else begin
+          match IO.update_of_line ~dim payload with
+          | Ok u -> Ok u
+          | Error e -> Error ("CRC-valid record fails to parse: " ^ e)
+        end
+    end
+  | _ -> Error "malformed record"
+
+let torn_header reason =
+  { dim = 0; updates = []; tail = Corrupt { line = 1; reason }; good_bytes = 0 }
+
+let read path =
+  match (try Ok (IO.read_file path) with Sys_error e -> Error e) with
+  | Error e -> Error e
+  | Ok s ->
+    (match scan_lines s with
+     | [] -> Ok (torn_header "empty log (header write lost)")
+     | (_, hdr_end, hdr) :: records ->
+       let hdr_terminated = hdr_end >= 1 && s.[hdr_end - 1] = '\n' in
+       (match String.split_on_char ' ' (String.trim hdr) with
+        | [ "wal"; "1"; d ] when (match int_of_string_opt d with Some d -> d >= 1 | None -> false) ->
+          let dim = int_of_string d in
+          let rec go acc good = function
+            | [] -> { dim; updates = List.rev acc; tail = Clean; good_bytes = good }
+            | (line, past, content) :: rest ->
+              (match parse_record ~dim content with
+               | Ok u -> go (u :: acc) past rest
+               | Error reason ->
+                 { dim; updates = List.rev acc; tail = Corrupt { line; reason };
+                   good_bytes = good })
+          in
+          Ok (go [] hdr_end records)
+        | _ when not hdr_terminated ->
+          (* a crash mid-creation tore the header itself: no records to
+             replay, but the checkpoint is still authoritative *)
+          Ok (torn_header "torn header")
+        | _ -> Error (path ^ ": bad write-ahead log header")))
+
+(* ---------------------------------------------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  fsync : bool;
+}
+
+let sync w =
+  flush w.oc;
+  if w.fsync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let create ?(fsync = true) ~path ~dim () =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  let w = { oc; fsync } in
+  output_string oc (header_line dim);
+  output_char oc '\n';
+  sync w;
+  w
+
+let open_append ?(fsync = true) ~path ~good_bytes () =
+  (try Unix.truncate path good_bytes with Unix.Unix_error _ -> ());
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  { oc; fsync }
+
+let append w u =
+  output_string w.oc (record_line u);
+  output_char w.oc '\n';
+  sync w
+
+let close w = close_out w.oc

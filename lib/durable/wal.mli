@@ -1,0 +1,54 @@
+(** Write-ahead log for chronological update streams.
+
+    A text file in the spirit of {!Moq_mod.Mod_io}'s line format, one record
+    per update, each protected by a CRC-32 of its payload:
+
+    {v
+    wal 1 <dim>
+    u <crc32-hex> new 3 7 1 0 5 5
+    u <crc32-hex> chdir 3 9 -1 0
+    ...
+    v}
+
+    Appends are flushed and (by default) fsync'd record-by-record, so after
+    a crash the file is a valid prefix plus at most one torn record.  Replay
+    tolerates that: it stops at the first record whose CRC or parse fails
+    and reports it, returning every record before it. *)
+
+module U := Moq_mod.Update
+
+type tail =
+  | Clean  (** every record verified *)
+  | Corrupt of { line : int; reason : string }
+      (** replay stopped here; earlier records are intact *)
+
+val pp_tail : Format.formatter -> tail -> unit
+
+type replay = {
+  dim : int;  (** 0 when the header itself was torn (no records survive) *)
+  updates : U.t list;  (** chronological, CRC-verified *)
+  tail : tail;
+  good_bytes : int;
+      (** byte offset just past the last good record — truncate here before
+          appending to a log with a corrupt tail *)
+}
+
+val read : string -> (replay, string) result
+(** [read path].  [Error] only when the file is missing or its header is
+    unreadable; record-level damage is reported via [tail], never raised. *)
+
+type writer
+
+val create : ?fsync:bool -> path:string -> dim:int -> unit -> writer
+(** Truncate/create the log and write the header.  [fsync] (default [true])
+    syncs every append; tests and benchmarks may disable it. *)
+
+val open_append :
+  ?fsync:bool -> path:string -> good_bytes:int -> unit -> writer
+(** Re-open an existing log for appending after {!read}: the file is first
+    truncated to [good_bytes], dropping any corrupt tail. *)
+
+val append : writer -> U.t -> unit
+(** Append one CRC'd record; flush (and fsync) before returning. *)
+
+val close : writer -> unit

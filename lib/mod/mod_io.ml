@@ -23,21 +23,26 @@ let db_to_string db =
     (Mobdb.objects db);
   Buffer.contents b
 
+let update_to_line u =
+  let b = Buffer.create 64 in
+  (match u with
+   | Update.New { oid; tau; a; b = pos } ->
+     Buffer.add_string b (Printf.sprintf "new %d %s" oid (Q.to_string tau));
+     buf_vec b a;
+     buf_vec b pos
+   | Update.Chdir { oid; tau; a } ->
+     Buffer.add_string b (Printf.sprintf "chdir %d %s" oid (Q.to_string tau));
+     buf_vec b a
+   | Update.Terminate { oid; tau } ->
+     Buffer.add_string b (Printf.sprintf "terminate %d %s" oid (Q.to_string tau)));
+  Buffer.contents b
+
 let updates_to_string ~dim us =
   let b = Buffer.create 1024 in
   Buffer.add_string b (Printf.sprintf "updates 1 %d\n" dim);
   List.iter
     (fun u ->
-      (match u with
-       | Update.New { oid; tau; a; b = pos } ->
-         Buffer.add_string b (Printf.sprintf "new %d %s" oid (Q.to_string tau));
-         buf_vec b a;
-         buf_vec b pos
-       | Update.Chdir { oid; tau; a } ->
-         Buffer.add_string b (Printf.sprintf "chdir %d %s" oid (Q.to_string tau));
-         buf_vec b a
-       | Update.Terminate { oid; tau } ->
-         Buffer.add_string b (Printf.sprintf "terminate %d %s" oid (Q.to_string tau)));
+      Buffer.add_string b (update_to_line u);
       Buffer.add_char b '\n')
     us;
   Buffer.contents b
@@ -50,9 +55,18 @@ let fail line msg = raise (Parse (line, msg))
 
 let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
-let rat line s = try Q.of_string s with _ -> fail line ("bad rational " ^ s)
+(* Only parse-shaped failures become [Parse]; resource exhaustion
+   (Out_of_memory, Stack_overflow) must keep propagating. *)
+let rat line s =
+  try Q.of_string s
+  with Invalid_argument _ | Failure _ | Division_by_zero -> fail line ("bad rational " ^ s)
 
-let int_ line s = try int_of_string s with _ -> fail line ("bad integer " ^ s)
+let int_ line s =
+  try int_of_string s with Failure _ -> fail line ("bad integer " ^ s)
+
+let dim_ line s =
+  let d = int_ line s in
+  if d < 1 then fail line (Printf.sprintf "dimension must be >= 1, got %d" d) else d
 
 let vec line ws = Qvec.of_list (List.map (rat line) ws)
 
@@ -79,7 +93,7 @@ let db_of_string s =
     | (hline, header) :: rest ->
       (match words header with
        | [ "moddb"; "1"; d; tau ] ->
-         let dim = int_ hline d in
+         let dim = dim_ hline d in
          let tau = rat hline tau in
          (* group: object line followed by its piece lines *)
          let rec objects acc = function
@@ -97,9 +111,19 @@ let db_of_string s =
                   | "piece" :: fields ->
                     (match fields with
                      | start :: coords when List.length coords = 2 * dim ->
+                       let start = rat l' start in
+                       (match acc with
+                        | (prev : Trajectory.piece) :: _ ->
+                          let c = Q.compare start prev.Trajectory.start in
+                          if c = 0 then
+                            fail l' ("duplicate piece start time " ^ Q.to_string start)
+                          else if c < 0 then
+                            fail l' ("piece start time " ^ Q.to_string start
+                                     ^ " not after previous piece")
+                        | [] -> ());
                        let a_ws, b_ws = split_n l' dim coords in
                        pieces
-                         ({ Trajectory.start = rat l' start; a = vec l' a_ws; b = vec l' b_ws }
+                         ({ Trajectory.start; a = vec l' a_ws; b = vec l' b_ws }
                           :: acc)
                          rest'
                      | _ -> fail l' "piece arity mismatch")
@@ -129,6 +153,24 @@ let db_of_string s =
        | _ -> Error "expected 'moddb 1 <dim> <tau>' header")
   with Parse (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
 
+(* One update line; raises [Parse] with the supplied line number. *)
+let parse_update_line ~dim (l, line) =
+  match words line with
+  | "new" :: o :: tau :: coords when List.length coords = 2 * dim ->
+    let a_ws, b_ws = split_n l dim coords in
+    Update.New { oid = int_ l o; tau = rat l tau; a = vec l a_ws; b = vec l b_ws }
+  | "chdir" :: o :: tau :: coords when List.length coords = dim ->
+    Update.Chdir { oid = int_ l o; tau = rat l tau; a = vec l coords }
+  | [ "terminate"; o; tau ] -> Update.Terminate { oid = int_ l o; tau = rat l tau }
+  | _ -> fail l "malformed update line"
+
+let update_of_line ~dim s =
+  if dim < 1 then Error "dimension must be >= 1"
+  else begin
+    try Ok (parse_update_line ~dim (1, String.trim s))
+    with Parse (_, m) -> Error m
+  end
+
 let updates_of_string s =
   try
     match lines_of s with
@@ -136,18 +178,8 @@ let updates_of_string s =
     | (hline, header) :: rest ->
       (match words header with
        | [ "updates"; "1"; d ] ->
-         let dim = int_ hline d in
-         let parse (l, line) =
-           match words line with
-           | "new" :: o :: tau :: coords when List.length coords = 2 * dim ->
-             let a_ws, b_ws = split_n l dim coords in
-             Update.New { oid = int_ l o; tau = rat l tau; a = vec l a_ws; b = vec l b_ws }
-           | "chdir" :: o :: tau :: coords when List.length coords = dim ->
-             Update.Chdir { oid = int_ l o; tau = rat l tau; a = vec l coords }
-           | [ "terminate"; o; tau ] -> Update.Terminate { oid = int_ l o; tau = rat l tau }
-           | _ -> fail l "malformed update line"
-         in
-         Ok (List.map parse rest)
+         let dim = dim_ hline d in
+         Ok (List.map (parse_update_line ~dim) rest)
        | _ -> Error "expected 'updates 1 <dim>' header")
   with Parse (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
 

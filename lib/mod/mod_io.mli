@@ -19,13 +19,33 @@
     terminate <oid> <tau>
     v} *)
 
+exception Parse of int * string
+(** Raised internally with (line, reason); the string-level entry points
+    below catch it and return [Error].  Exposed so lower-level per-line
+    consumers (the write-ahead log, the CLI) can report precise positions. *)
+
 val db_to_string : Mobdb.t -> string
 
 val db_of_string : string -> (Mobdb.t, string) result
-(** Parse; the error carries a line number and reason. *)
+(** Parse; the error carries a line number and reason.  Rejects non-positive
+    dimensions, malformed rationals, and duplicate or non-increasing piece
+    start times, each with the offending line number. *)
 
 val updates_to_string : dim:int -> Update.t list -> string
 val updates_of_string : string -> (Update.t list, string) result
+
+val update_to_line : Update.t -> string
+(** One update in the line format above, without the trailing newline — the
+    write-ahead log's record payload. *)
+
+val update_of_line : dim:int -> string -> (Update.t, string) result
+(** Parse a single update line (inverse of {!update_to_line}). *)
+
+val read_file : string -> string
+(** Whole-file slurp. @raise Sys_error *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. @raise Sys_error *)
 
 val save_db : Mobdb.t -> string -> unit
 (** [save_db db path]. *)

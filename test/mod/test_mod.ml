@@ -201,7 +201,10 @@ let test_io_errors () =
   check_err "no pieces" "moddb 1 2 0\nobject 1\n";
   check_err "bad arity" "moddb 1 2 0\nobject 1\npiece 0 1 2 3\n";
   check_err "bad rational" "moddb 1 1 0\nobject 1\npiece zero 1 2\n";
-  check_err "discontinuous" "moddb 1 1 0\nobject 1\npiece 0 1 0\npiece 1 1 5\n"
+  check_err "discontinuous" "moddb 1 1 0\nobject 1\npiece 0 1 0\npiece 1 1 5\n";
+  check_err "empty vectors" "moddb 1 0 0\nobject 1\npiece 0\n";
+  check_err "duplicate piece start" "moddb 1 1 0\nobject 1\npiece 0 1 0\npiece 0 1 0\n";
+  check_err "out-of-order piece start" "moddb 1 1 0\nobject 1\npiece 3 1 3\npiece 1 1 1\n"
 
 (* Random update sequences keep trajectories continuous and clock monotone. *)
 let arb_update_seq =
@@ -209,32 +212,77 @@ let arb_update_seq =
   list_of_size (Gen.int_range 1 60)
     (triple (int_range 0 5) (int_range 1 8) (pair (int_range (-9) 9) (int_range (-9) 9)))
 
+(* Interpret a random op list as a chronological update stream; returns the
+   resulting database and the accepted updates, oldest first. *)
+let replay_ops ops =
+  let db = ref (DB.empty ~dim:2 ~tau:(q 0)) in
+  let accepted = ref [] in
+  let time = ref 0 in
+  List.iter
+    (fun (kind, o, (ax, ay)) ->
+      incr time;
+      let tau = q !time in
+      let u =
+        if kind <= 2 || not (DB.mem !db o) then
+          U.New { oid = o + (!time * 100); tau; a = vec [ ax; ay ]; b = vec [ 0; 0 ] }
+        else if kind = 3 then U.Terminate { oid = o; tau }
+        else U.Chdir { oid = o; tau; a = vec [ ax; ay ] }
+      in
+      match DB.apply !db u with
+      | Ok db' ->
+        db := db';
+        accepted := u :: !accepted
+      | Error _ -> ())
+    ops;
+  (!db, List.rev !accepted)
+
 let prop_updates_continuous =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"random updates: continuity & monotone clock" arb_update_seq
        (fun ops ->
-         let db = ref (DB.empty ~dim:2 ~tau:(q 0)) in
-         let time = ref 0 in
-         List.iter
-           (fun (kind, o, (ax, ay)) ->
-             incr time;
-             let tau = q !time in
-             let u =
-               if kind <= 2 || not (DB.mem !db o) then
-                 U.New { oid = o + (!time * 100); tau; a = vec [ ax; ay ]; b = vec [ 0; 0 ] }
-               else if kind = 3 then U.Terminate { oid = o; tau }
-               else U.Chdir { oid = o; tau; a = vec [ ax; ay ] }
-             in
-             match DB.apply !db u with
-             | Ok db' -> db := db'
-             | Error _ -> ())
-           ops;
+         let db, _ = replay_ops ops in
          List.for_all
            (fun (_, tr) ->
              (* each coordinate curve must be continuous *)
              List.for_all (fun i -> Moq_poly.Piecewise.Qpiece.is_continuous (T.coord tr i)) [ 0; 1 ])
-           (DB.objects !db)
-         && Q.compare (DB.last_update !db) (q 0) >= 0))
+           (DB.objects db)
+         && Q.compare (DB.last_update db) (q 0) >= 0))
+
+let db_equal a b =
+  DB.dim a = DB.dim b
+  && Q.compare (DB.last_update a) (DB.last_update b) = 0
+  && List.length (DB.objects a) = List.length (DB.objects b)
+  && List.for_all2
+       (fun (o, tr) (o', tr') -> o = o' && T.equal tr tr')
+       (DB.objects a) (DB.objects b)
+
+let prop_db_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random db: db_to_string/db_of_string roundtrip"
+       arb_update_seq
+       (fun ops ->
+         let db, _ = replay_ops ops in
+         match IO.db_of_string (IO.db_to_string db) with
+         | Ok db' -> db_equal db db'
+         | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e))
+
+let prop_updates_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random updates: serialization roundtrip" arb_update_seq
+       (fun ops ->
+         let _, us = replay_ops ops in
+         let pp u = Format.asprintf "%a" U.pp u in
+         (* batch format *)
+         (match IO.updates_of_string (IO.updates_to_string ~dim:2 us) with
+          | Ok us' -> List.map pp us = List.map pp us'
+          | Error e -> QCheck.Test.fail_reportf "batch parse failed: %s" e)
+         (* single-line codec, as used by the write-ahead log *)
+         && List.for_all
+              (fun u ->
+                match IO.update_of_line ~dim:2 (IO.update_to_line u) with
+                | Ok u' -> pp u = pp u'
+                | Error e -> QCheck.Test.fail_reportf "line parse failed: %s" e)
+              us))
 
 let () =
   Alcotest.run "mod"
@@ -257,5 +305,7 @@ let () =
         Alcotest.test_case "db roundtrip" `Quick test_io_roundtrip;
         Alcotest.test_case "updates roundtrip" `Quick test_io_updates_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_io_errors;
+        prop_db_roundtrip;
+        prop_updates_roundtrip;
       ]);
     ]
