@@ -35,8 +35,52 @@ module Cql = Moq_cql.Cql
 module Cql_ex = Moq_cql.Cql_examples
 module Turing = Moq_decide.Turing
 module Reduction = Moq_decide.Reduction
+module Registry = Moq_obs.Registry
+module Sink = Moq_obs.Sink
+module Json = Moq_obs.Json
 
 let q = Q.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results.  Each experiment runs against a fresh
+   registry (instrumented experiments thread [!bench_sink] into the
+   engine/store they exercise); the driver times the whole experiment and
+   writes BENCH_<ID>.json — schema {exp, n, seed, wall_s, counters} — to
+   the current directory, or $MOQ_BENCH_DIR when set.                   *)
+
+let bench_reg = ref (Registry.create ())
+let bench_sink = ref Sink.noop
+let bench_n = ref 0
+let bench_seed = ref 0
+
+let bench_dir () =
+  match Sys.getenv_opt "MOQ_BENCH_DIR" with Some d -> d | None -> "."
+
+let write_bench_json id wall =
+  let counters = Registry.flatten !bench_reg in
+  let j =
+    Json.Obj
+      [ ("exp", Json.Str id);
+        ("n", Json.Int !bench_n);
+        ("seed", Json.Int !bench_seed);
+        ("wall_s", Json.Float wall);
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) counters));
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) (Printf.sprintf "BENCH_%s.json" id) in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc
+
+let run_experiment (id, f) =
+  bench_reg := Registry.create ();
+  bench_sink := Sink.of_registry !bench_reg;
+  bench_n := 0;
+  bench_seed := 0;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  write_bench_json id (Unix.gettimeofday () -. t0)
 
 let time_once f =
   let t0 = Unix.gettimeofday () in
@@ -189,8 +233,12 @@ let t2 () =
 let t4 () =
   header "T4" "Past k-NN sweep: O((m+N) log N) -- scaling in N (m ~ 2N) and in m (N fixed)";
   let run_inversions ~n ~inv =
+    bench_n := max !bench_n n;
+    bench_seed := n + inv;
     let db = Gen.inversions_db ~seed:(n + inv) ~n ~inversions:inv ~horizon:(q 1000) in
-    timed (fun () -> KnnF.run ~db ~gdist:(Gdist.coordinate 0) ~k:2 ~lo:(q 0) ~hi:(q 1000))
+    timed (fun () ->
+        KnnF.run_obs ~sink:!bench_sink ~db ~gdist:(Gdist.coordinate 0) ~k:2
+          ~lo:(q 0) ~hi:(q 1000))
   in
   row "-- N sweep (m = 2N):\n%8s %8s %12s %20s\n" "N" "m" "time (s)" "us/((m+N)logN)";
   List.iter
@@ -216,19 +264,21 @@ let t4 () =
 
 (* Support-maintenance-only monitor (materialize:false): Theorems 5 and 10
    bound the support maintenance, not the answer materialization. *)
-let nearest_monitor_f db =
+let nearest_monitor_f ?(sink = Sink.noop) db =
   let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
   let gdist = Gdist.euclidean_sq ~gamma in
   let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 1000)) in
-  MonF.create ~materialize:false ~db ~gdist ~query ()
+  MonF.create ~sink ~materialize:false ~db ~gdist ~query ()
 
 let t5a () =
   header "T5a" "Theorem 5(1): monitor initialization vs N -- O(N log N)";
   row "%8s %12s %18s\n" "N" "time (s)" "us/(N logN)";
   List.iter
     (fun n ->
+      bench_n := max !bench_n n;
+      bench_seed := n;
       let db = Gen.uniform_db ~seed:n ~n () in
-      let t, _ = timed (fun () -> nearest_monitor_f db) in
+      let t, _ = timed (fun () -> nearest_monitor_f ~sink:!bench_sink db) in
       row "%8d %12.4f %18.4f\n" n t (t /. (float_of_int n *. log (float_of_int n)) *. 1e6))
     [ 128; 256; 512; 1024; 2048; 4096 ];
   row "paper: normalized column flat => O(N log N) initialization\n"
@@ -257,9 +307,11 @@ let t5b () =
                ~b:(Qvec.of_list [ q (i * 1000) ]))
       done;
       let db = !db in
+      bench_n := max !bench_n n;
+      bench_seed := n + 1;
       let gdist = Gdist.coordinate 0 in
       let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 1000)) in
-      let m = MonF.create ~materialize:false ~db ~gdist ~query () in
+      let m = MonF.create ~sink:!bench_sink ~materialize:false ~db ~gdist ~query () in
       let updates = Gen.chdir_stream ~seed:(n + 1) ~db ~start:(q 0) ~gap:(q 5) ~count:100 ~speed:1 () in
       let t, () = timed ~reps:1 (fun () -> List.iter (MonF.apply_update_exn m) updates) in
       let per = t /. 100.0 *. 1e6 in
@@ -272,7 +324,7 @@ let t5b () =
   List.iter
     (fun gap ->
       let db = Gen.uniform_db ~seed:99 ~n:512 () in
-      let m = nearest_monitor_f db in
+      let m = nearest_monitor_f ~sink:!bench_sink db in
       let updates = Gen.chdir_stream ~seed:100 ~db ~start:(q 0) ~gap:(q gap) ~count:50 () in
       let t, () = timed ~reps:1 (fun () -> List.iter (MonF.apply_update_exn m) updates) in
       row "%8d %17.2f %12d\n" gap (t /. 50.0 *. 1e6) (MonF.stats m).MonF.E.crossings)
@@ -496,6 +548,8 @@ let r1 () =
   row "%8s %8s %16s %20s %10s\n" "N" "updates" "ingest (us/upd)" "recover (us/replay)" "replayed";
   List.iter
     (fun n ->
+      bench_n := max !bench_n n;
+      bench_seed := n;
       let db = Gen.uniform_db ~seed:n ~n () in
       let count = 2000 in
       let us =
@@ -503,14 +557,18 @@ let r1 () =
       in
       let t_ingest, store =
         time_once (fun () ->
-            let store = DStore.init ~fsync:false ~checkpoint_every:512 ~dir db in
+            let store =
+              DStore.init ~fsync:false ~checkpoint_every:512 ~sink:!bench_sink ~dir db
+            in
             List.iter (fun u -> ignore (DStore.append store u)) us;
             store)
       in
       DStore.close store;
       let t_rec, r =
         timed (fun () ->
-            match DStore.recover ~dir with Ok r -> r | Error e -> failwith e)
+            match DStore.recover_obs ~sink:!bench_sink ~dir with
+            | Ok r -> r
+            | Error e -> failwith e)
       in
       row "%8d %8d %16.2f %20.2f %10d\n" n count
         (t_ingest /. float_of_int count *. 1e6)
@@ -620,12 +678,12 @@ let () =
   | [] ->
     Printf.printf "moq experiment harness -- reproducing every figure and theorem\n";
     Printf.printf "(experiment index: DESIGN.md section 5; recorded results: EXPERIMENTS.md)\n";
-    List.iter (fun (_, f) -> f ()) experiments
+    List.iter (fun (id, f) -> run_experiment (id, f)) experiments
   | [ "bechamel" ] -> bechamel_suite ()
   | ids ->
     List.iter
       (fun id ->
         match List.assoc_opt id experiments with
-        | Some f -> f ()
+        | Some f -> run_experiment (id, f)
         | None -> Printf.eprintf "unknown experiment %S\n" id)
       ids

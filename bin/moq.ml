@@ -27,6 +27,10 @@ module Reduction = Moq_decide.Reduction
 module Store = Moq_durable.Store
 module Sanitize = Moq_durable.Sanitize
 module Wal = Moq_durable.Wal
+module Registry = Moq_obs.Registry
+module Sink = Moq_obs.Sink
+module Export = Moq_obs.Export
+module Trace = Moq_obs.Trace
 
 open Cmdliner
 
@@ -87,15 +91,6 @@ let trace_figure2 () =
   Format.printf "  chdir(o2) at B = 5 (earlier crossing C expected)@.";
   EX.advance eng ~upto:(q 20) ~emit
 
-let trace_cmd =
-  let scenario =
-    Arg.(required & pos 0 (some (enum [ ("example12", `Example12); ("figure2", `Figure2) ])) None
-         & info [] ~docv:"SCENARIO" ~doc:"example12 or figure2")
-  in
-  let run = function `Example12 -> trace_example12 () | `Figure2 -> trace_figure2 () in
-  Cmd.v (Cmd.info "trace" ~doc:"Replay a scenario from the paper")
-    Term.(const run $ scenario)
-
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 let n_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of objects")
 let db_arg = Arg.(value & opt (some file) None & info [ "db" ] ~doc:"Load the MOD from a file instead of generating one")
@@ -107,6 +102,68 @@ let load_or_gen dbfile seed n =
      | Ok db -> db
      | Error e -> die_parse path e)
   | None -> Gen.uniform_db ~seed ~n ~extent:100 ~speed:6 ()
+
+let load_updates path =
+  match Moq_mod.Mod_io.load_updates path with
+  | Ok us -> us
+  | Error e -> die_parse path e
+
+(* Trace a monitored workload: one span per phase, one per update (annotated
+   with the update itself), emitted as an indented span log or JSON. *)
+let trace_workload seed n count gap dbfile updates_file as_json =
+  let tr = Trace.create () in
+  let db = Trace.with_span tr "load-db" (fun () -> load_or_gen dbfile seed n) in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let hi = q (count * gap + 20) in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) hi) in
+  let m =
+    Trace.with_span tr "monitor-init" (fun () -> MonX.create ~db ~gdist ~query ())
+  in
+  let updates =
+    match updates_file with
+    | Some path -> load_updates path
+    | None -> Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 0) ~gap:(q gap) ~count ()
+  in
+  Trace.with_span tr "apply-updates" (fun () ->
+      List.iter
+        (fun u ->
+          let sp = Trace.begin_span tr "update" in
+          Trace.annotate sp (Format.asprintf "%a" Moq_mod.Update.pp u);
+          (match MonX.apply_update m u with
+           | Ok () -> ()
+           | Error e -> Trace.annotate sp (Format.asprintf "rejected: %a" DB.pp_error e));
+          Trace.end_span tr sp)
+        updates);
+  ignore (Trace.with_span tr "finalize" (fun () -> MonX.finalize m));
+  if as_json then print_endline (Moq_obs.Json.to_string (Trace.to_json tr))
+  else Format.printf "%a@." Trace.pp tr
+
+let trace_cmd =
+  let scenario =
+    Arg.(required
+         & pos 0
+             (some (enum
+                [ ("example12", `Example12); ("figure2", `Figure2);
+                  ("workload", `Workload) ]))
+             None
+         & info [] ~docv:"SCENARIO"
+             ~doc:"example12, figure2, or workload (monitored update stream with span tracing)")
+  in
+  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file for the workload scenario; generated when absent") in
+  let count = Arg.(value & opt int 10 & info [ "count" ] ~doc:"Generated updates (workload scenario)") in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the span log as JSON") in
+  let run scenario seed n count gap dbfile updates json =
+    match scenario with
+    | `Example12 -> trace_example12 ()
+    | `Figure2 -> trace_figure2 ()
+    | `Workload -> trace_workload seed n count gap dbfile updates json
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a scenario from the paper, or a workload with span tracing")
+    Term.(const run $ scenario $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ json)
 
 let generate_run seed n count gap out updates_out =
   let db = Gen.uniform_db ~seed ~n ~extent:100 ~speed:6 () in
@@ -267,6 +324,13 @@ let recover_run store_dir =
   match Store.recover ~dir:store_dir with
   | Ok r ->
     Format.printf "%a@." Store.pp_recovery r;
+    (* machine-greppable recovery stats, kept off stdout *)
+    Format.eprintf
+      "recovery-stats: checkpoint=%s replayed=%d dropped=%d stale=%d invalid=%d tail=%a@."
+      (Filename.concat store_dir "checkpoint.mod")
+      r.Store.replayed
+      (r.Store.stale_skipped + r.Store.invalid_skipped)
+      r.Store.stale_skipped r.Store.invalid_skipped Wal.pp_tail r.Store.tail;
     (match r.Store.tail with
      | Wal.Clean -> ()
      | Wal.Corrupt _ as tail ->
@@ -280,6 +344,67 @@ let recover_cmd =
        ~doc:"Reconstruct the MOD and clock from a store's checkpoint + write-ahead log")
     Term.(const recover_run $ store_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: replay a workload end to end with a live sink, dump the  *)
+(* registry.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stats_run seed n count gap dbfile updates_file store_dir every format =
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let dir =
+    match store_dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "moq-stats-%d" (Unix.getpid ()))
+  in
+  let db = load_or_gen dbfile seed n in
+  let store = Store.init ~fsync:false ~checkpoint_every:every ~sink ~dir db in
+  let san = Sanitize.create ~sink () in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let hi = q (count * gap + 20) in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) hi) in
+  let m = MonX.create ~sink ~db ~gdist ~query () in
+  let updates =
+    match updates_file with
+    | Some path -> load_updates path
+    | None -> Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 0) ~gap:(q gap) ~count ()
+  in
+  List.iter
+    (fun u ->
+      match Store.ingest store san u with
+      | Sanitize.Accepted _ ->
+        (match MonX.apply_update m u with Ok () -> () | Error _ -> ())
+      | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ())
+    updates;
+  ignore (MonX.audit_and_heal m);
+  ignore (MonX.finalize m);
+  Store.close store;
+  (* past-query and recovery paths, so their metrics are populated too *)
+  ignore (KnnX.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi);
+  (match Store.recover_obs ~sink ~dir with Ok _ -> () | Error _ -> ());
+  match format with
+  | `Json -> print_endline (Export.json_string reg)
+  | `Prometheus -> print_string (Export.prometheus reg)
+
+let stats_cmd =
+  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file (mod_io format); generated when absent") in
+  let count = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Generated updates") in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
+  let store = Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Durable store directory (a temp directory when absent)") in
+  let every = Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (accepted updates)") in
+  let format =
+    Arg.(value
+         & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
+         & info [ "format" ] ~doc:"json or prometheus")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Replay a workload through the instrumented store, monitor and sweep; dump the metric registry")
+    Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format)
+
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
   try
@@ -287,7 +412,7 @@ let () =
       (Cmd.eval
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
-              show_cmd; replay_cmd; recover_cmd ]))
+              show_cmd; replay_cmd; recover_cmd; stats_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

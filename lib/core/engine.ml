@@ -2,6 +2,7 @@ module Oid = Moq_mod.Oid
 module Q = Moq_numeric.Rat
 module OL = Moq_dstruct.Order_list
 module LH = Moq_dstruct.Leftist_heap
+module Sink = Moq_obs.Sink
 
 module Make (B : Backend.S) = struct
   module C = Curves.Make (B)
@@ -51,7 +52,22 @@ module Make (B : Backend.S) = struct
            which excludes intersection computation *)
     mutable audit_failures : int; (* audits that found a violated invariant *)
     mutable rebuilds : int;       (* full O(N log N) self-healing rebuilds *)
+    (* audit violations by invariant kind (see [violation_kind]) *)
+    mutable audit_structure : int;
+    mutable audit_order : int;
+    mutable audit_event : int;
+    mutable audit_dead : int;
+    mutable audit_clock : int;
   }
+
+  type violation_kind = V_structure | V_order | V_event | V_dead | V_clock
+
+  let violation_kind_name = function
+    | V_structure -> "structure"
+    | V_order -> "order"
+    | V_event -> "event"
+    | V_dead -> "dead"
+    | V_clock -> "clock"
 
   type t = {
     order : entry OL.t;
@@ -60,6 +76,7 @@ module Make (B : Backend.S) = struct
     horizon : F.t option;
     by_label : (label, entry) Hashtbl.t;
     stats : stats;
+    sink : Sink.t;
   }
 
   let now t = t.now
@@ -188,7 +205,7 @@ module Make (B : Backend.S) = struct
     | Some p, Some _ -> schedule_around t p
     | _ -> ()
 
-  let create ~start ?horizon curves =
+  let create ?(sink = Sink.noop) ~start ?horizon curves =
     let start_i = B.instant_of_scalar start in
     let t =
       { order = OL.create ();
@@ -196,7 +213,9 @@ module Make (B : Backend.S) = struct
         now = start_i;
         horizon;
         by_label = Hashtbl.create 64;
-        stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0; audit_failures = 0; rebuilds = 0 };
+        stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0; audit_failures = 0; rebuilds = 0;
+                  audit_structure = 0; audit_order = 0; audit_event = 0; audit_dead = 0; audit_clock = 0 };
+        sink;
       }
     in
     let entries =
@@ -356,6 +375,8 @@ module Make (B : Backend.S) = struct
       Format.eprintf "@."
     end;
     t.stats.batches <- t.stats.batches + 1;
+    let cmp0 = t.stats.comparisons in
+    let swaps0 = t.stats.swaps in
     let touched = ref [] in
     let deaths = ref [] in
     (* births first: objects created at i take part in the i-order *)
@@ -393,7 +414,35 @@ module Make (B : Backend.S) = struct
           Hashtbl.replace seen e.lbl ();
           schedule_around t e
         end)
-      !disturbed
+      !disturbed;
+    if Sink.active t.sink then begin
+      (* per-event telemetry: the paper's m (support changes) and Lemma 9's
+         O(log N) order-list work per event, as comparisons per event *)
+      let nev = List.length events in
+      let classify (c, b, d, j) = function
+        | Cross _ -> (c + 1, b, d, j)
+        | Birth _ -> (c, b + 1, d, j)
+        | Death _ -> (c, b, d + 1, j)
+        | Jump _ -> (c, b, d, j + 1)
+      in
+      let nc, nb, nd, nj = List.fold_left classify (0, 0, 0, 0) events in
+      (* a simultaneous batch resolves several transpositions under one
+         popped crossing event, so the paper's m is counted in swaps *)
+      let nswaps = t.stats.swaps - swaps0 in
+      Sink.count t.sink "moq_sweep_batches_total" 1;
+      Sink.count t.sink "moq_sweep_events_total" nev;
+      Sink.count t.sink "moq_sweep_crossings_total" nc;
+      Sink.count t.sink "moq_sweep_swaps_total" nswaps;
+      Sink.count t.sink "moq_sweep_births_total" nb;
+      Sink.count t.sink "moq_sweep_deaths_total" nd;
+      Sink.count t.sink "moq_sweep_jumps_total" nj;
+      Sink.count t.sink "moq_sweep_support_changes_total" (nswaps + nb + nd);
+      Sink.count t.sink "moq_sweep_comparisons_total" (t.stats.comparisons - cmp0);
+      Sink.observe t.sink "moq_sweep_ops_per_event"
+        (float_of_int (t.stats.comparisons - cmp0) /. float_of_int (max 1 nev));
+      Sink.set t.sink "moq_sweep_order_len" (float_of_int (OL.length t.order));
+      Sink.set t.sink "moq_sweep_queue_len" (float_of_int (LH.length t.queue))
+    end
 
   let advance t ~upto ~emit =
     let continue_ = ref true in
@@ -429,7 +478,11 @@ module Make (B : Backend.S) = struct
       Hashtbl.replace t.by_label lbl e;
       t.stats.births <- t.stats.births + 1;
       mount t t.now e;
-      settle t [ e ]
+      settle t [ e ];
+      if Sink.active t.sink then begin
+        Sink.count t.sink "moq_engine_inserts_total" 1;
+        Sink.count t.sink "moq_sweep_support_changes_total" 1
+      end
     end
 
   let remove t ~at lbl =
@@ -441,7 +494,11 @@ module Make (B : Backend.S) = struct
       let p = prev_entry t e and n = next_entry t e in
       unmount t e;
       (* the newly adjacent pair may cross exactly at the update instant *)
-      settle t (List.filter_map Fun.id [ p; n ])
+      settle t (List.filter_map Fun.id [ p; n ]);
+      if Sink.active t.sink then begin
+        Sink.count t.sink "moq_engine_removes_total" 1;
+        Sink.count t.sink "moq_sweep_support_changes_total" 1
+      end
 
   let replace_curve t ~at lbl c =
     match find t lbl with
@@ -458,7 +515,8 @@ module Make (B : Backend.S) = struct
       schedule_around t e;
       schedule_death t e;
       schedule_jumps t e;
-      settle t [ e ]
+      settle t [ e ];
+      Sink.count t.sink "moq_engine_replaces_total" 1
 
   let replace_all_curves_now t f =
     (* Theorem 10: no re-sorting; rebuild the event queue in O(N). *)
@@ -527,7 +585,8 @@ module Make (B : Backend.S) = struct
     replace_all_curves_now t f;
     (* the wholesale curve change preserves values at [at] but may invert
        just-after-now jets anywhere: one O(N) settling pass *)
-    settle t (order t)
+    settle t (order t);
+    Sink.count t.sink "moq_engine_mass_replaces_total" 1
 
   (* ---------------------------------------------------------------- *)
   (* Invariant audit + self-healing rebuild.                           *)
@@ -535,12 +594,14 @@ module Make (B : Backend.S) = struct
   (* Non-raising sweep audit: collect violations of the structural
      invariants instead of asserting.  O(N) comparisons plus the order
      list's structural check. *)
-  let audit t =
+  let audit_kinds t =
     let violations = ref [] in
-    let note fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    let note kind fmt =
+      Format.kasprintf (fun s -> violations := (kind, s) :: !violations) fmt
+    in
     (* 1. order-list structure (AVL balance, sizes, parent pointers) *)
     (try OL.check_invariants t.order
-     with e -> note "order list structure: %s" (Printexc.to_string e));
+     with e -> note V_structure "order list structure: %s" (Printexc.to_string e));
     let entries = order t in
     (* 2. sorted w.r.t. just-after-now; an inversion is only legal when
        backed by a pending crossing batched exactly at [now] *)
@@ -553,7 +614,7 @@ module Make (B : Backend.S) = struct
             | None -> false
           in
           if not excused then
-            note "order violated at (%a, %a) with no pending event at now"
+            note V_order "order violated at (%a, %a) with no pending event at now"
               pp_label a.lbl pp_label b.lbl
         end;
         sorted rest
@@ -566,38 +627,59 @@ module Make (B : Backend.S) = struct
         (match l.right_event with
          | Some h ->
            if not (LH.mem h) then
-             note "stale (deleted) event handle on %a" pp_label l.lbl
+             note V_event "stale (deleted) event handle on %a" pp_label l.lbl
            else begin
              match LH.value h with
              | Cross (a, b) ->
                if not (a == l && b == r) then
-                 note "event on %a targets a non-adjacent pair" pp_label l.lbl
-             | _ -> note "right event of %a is not a crossing" pp_label l.lbl
+                 note V_event "event on %a targets a non-adjacent pair" pp_label l.lbl
+             | _ -> note V_event "right event of %a is not a crossing" pp_label l.lbl
            end
          | None -> ());
         events rest
       | [ e ] ->
-        if e.right_event <> None then note "last entry %a holds an event" pp_label e.lbl
+        if e.right_event <> None then
+          note V_event "last entry %a holds an event" pp_label e.lbl
       | [] -> ()
     in
     events entries;
     (* 4. dead/unmounted entries must not appear on the sweep line *)
     List.iter
       (fun e ->
-        if e.dead then note "dead entry %a still mounted" pp_label e.lbl)
+        if e.dead then note V_dead "dead entry %a still mounted" pp_label e.lbl)
       entries;
     (* 5. monotone batch times: no event precedes the clock *)
     (match LH.find_min t.queue with
      | Some (i, _) when B.compare_instant i t.now < 0 ->
-       note "pending event precedes the clock"
+       note V_clock "pending event precedes the clock"
      | _ -> ());
     List.rev !violations
+
+  let audit t = List.map snd (audit_kinds t)
+
+  (* Record audit findings in the per-kind stats fields and the sink —
+     shared with {!Monitor.audit_and_heal}, which adds its own
+     monitor-level violations. *)
+  let note_violations t violations =
+    List.iter
+      (fun (kind, _) ->
+        (match kind with
+         | V_structure -> t.stats.audit_structure <- t.stats.audit_structure + 1
+         | V_order -> t.stats.audit_order <- t.stats.audit_order + 1
+         | V_event -> t.stats.audit_event <- t.stats.audit_event + 1
+         | V_dead -> t.stats.audit_dead <- t.stats.audit_dead + 1
+         | V_clock -> t.stats.audit_clock <- t.stats.audit_clock + 1);
+        if Sink.active t.sink then
+          Sink.count t.sink
+            ("moq_engine_audit_violation_" ^ violation_kind_name kind ^ "_total") 1)
+      violations
 
   (* Theorem 10 fallback: discard the sweep structures and rebuild them
      from the entries' curves in O(N log N) — a graceful degradation when
      an audit finds corrupted state (instead of crashing mid-stream). *)
   let rebuild t =
     t.stats.rebuilds <- t.stats.rebuilds + 1;
+    Sink.count t.sink "moq_engine_rebuilds_total" 1;
     let mounted = order t in
     List.iter
       (fun e ->
@@ -648,12 +730,15 @@ module Make (B : Backend.S) = struct
       future
 
   let audit_and_heal t =
-    match audit t with
+    Sink.count t.sink "moq_engine_audits_total" 1;
+    match audit_kinds t with
     | [] -> []
     | violations ->
       t.stats.audit_failures <- t.stats.audit_failures + 1;
+      Sink.count t.sink "moq_engine_audit_failures_total" 1;
+      note_violations t violations;
       rebuild t;
-      violations
+      List.map snd violations
 
   let check_invariants t =
     OL.check_invariants t.order;

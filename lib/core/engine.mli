@@ -50,9 +50,25 @@ module Make (B : Backend.S) : sig
     mutable audit_failures : int;
         (** {!audit_and_heal} passes that found a violated invariant *)
     mutable rebuilds : int;  (** self-healing {!rebuild} passes performed *)
+    mutable audit_structure : int;
+        (** order-list structural violations (AVL balance, sizes) found *)
+    mutable audit_order : int;  (** sweep-order inversions found *)
+    mutable audit_event : int;
+        (** event-queue/adjacency violations (stale or mistargeted) found *)
+    mutable audit_dead : int;   (** dead entries found still mounted *)
+    mutable audit_clock : int;  (** events found preceding the clock *)
   }
 
-  val create : start:B.P.F.t -> ?horizon:B.P.F.t -> (label * B.PW.t) list -> t
+  (** Audit violations, typed by the invariant they break — the per-kind
+      counters in {!stats} and the [moq_engine_audit_violation_*_total]
+      metrics aggregate these. *)
+  type violation_kind = V_structure | V_order | V_event | V_dead | V_clock
+
+  val violation_kind_name : violation_kind -> string
+
+  val create :
+    ?sink:Moq_obs.Sink.t -> start:B.P.F.t -> ?horizon:B.P.F.t ->
+    (label * B.PW.t) list -> t
   (** Initialize the sweep at time [start]: curves alive at [start] are
       sorted into the object list (O(N log N), Theorem 5(1)); curves whose
       domain begins later are scheduled as birth events.  Curves ending
@@ -131,6 +147,13 @@ module Make (B : Backend.S) : sig
       targeted), no dead entries mounted, and no pending event before the
       clock (monotone batch times).  Returns human-readable violations,
       [[]] when clean. *)
+
+  val audit_kinds : t -> (violation_kind * string) list
+  (** {!audit} with each violation tagged by the invariant kind it breaks. *)
+
+  val note_violations : t -> (violation_kind * string) list -> unit
+  (** Record audit findings in the per-kind {!stats} fields and the sink
+      (used by {!audit_and_heal} and the monitor's own heal path). *)
 
   val rebuild : t -> unit
   (** The Theorem 10 fallback: discard the sweep structures and rebuild the

@@ -10,6 +10,7 @@
 module Oid = Moq_mod.Oid
 module Q = Moq_numeric.Rat
 module DB = Moq_mod.Mobdb
+module Sink = Moq_obs.Sink
 
 module Make (B : Backend.S) = struct
   module E = Engine.Make (B)
@@ -52,12 +53,16 @@ module Make (B : Backend.S) = struct
       (fun (o, tr) -> (E.Obj (o, 0), B.curve_of_qpiece (Gdist.curve gdist tr)))
       (DB.objects db)
 
-  let engine ~db ~gdist ~lo ~hi =
-    E.create ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi) (entries ~db ~gdist)
+  let engine ?(sink = Sink.noop) ~db ~gdist ~lo ~hi () =
+    E.create ~sink ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi)
+      (entries ~db ~gdist)
 
-  let run ~(db : DB.t) ~(gdist : Gdist.t) ~(k : int) ~(lo : Q.t) ~(hi : Q.t) : result =
+  let run_obs ~(sink : Sink.t) ~(db : DB.t) ~(gdist : Gdist.t) ~(k : int)
+      ~(lo : Q.t) ~(hi : Q.t) : result =
     if k <= 0 then invalid_arg "Knn.run: k must be positive";
-    let eng = engine ~db ~gdist ~lo ~hi in
+    Sink.count sink "moq_query_knn_total" 1;
+    Sink.time sink "moq_query_knn_seconds" @@ fun () ->
+    let eng = engine ~sink ~db ~gdist ~lo ~hi () in
     let pieces = ref [] in
     let emit = function
       | E.Span (a, b) -> pieces := TL.Span (a, b, answer_span eng k) :: !pieces
@@ -78,4 +83,6 @@ module Make (B : Backend.S) = struct
       end
     end;
     { timeline = TL.simplify (List.rev !pieces); stats = E.stats eng }
+
+  let run ~db ~gdist ~k ~lo ~hi = run_obs ~sink:Sink.noop ~db ~gdist ~k ~lo ~hi
 end

@@ -15,6 +15,7 @@ module Q = Moq_numeric.Rat
 module T = Moq_mod.Trajectory
 module U = Moq_mod.Update
 module DB = Moq_mod.Mobdb
+module Sink = Moq_obs.Sink
 
 module Make (B : Backend.S) = struct
   module E = Engine.Make (B)
@@ -27,6 +28,7 @@ module Make (B : Backend.S) = struct
     mutable db : DB.t;
     problem : P.t;
     engine : E.t;
+    sink : Sink.t;
     query : Fof.query;
     hi : Q.t;  (** interval end *)
     materialize : bool;
@@ -57,13 +59,28 @@ module Make (B : Backend.S) = struct
     end
 
   (* Theorem 5(1): initialization, O(N log N). *)
-  let create ?(materialize = true) ~(db : DB.t) ~(gdist : Gdist.t) ~(query : Fof.query) () : t =
+  let create ?(sink = Sink.noop) ?(materialize = true) ~(db : DB.t)
+      ~(gdist : Gdist.t) ~(query : Fof.query) () : t =
     let lo, hi = interval_bounds query in
     let p = P.create ~db ~gdist ~query ~istart:lo in
     let eng =
-      E.create ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi) (P.entry_list p)
+      E.create ~sink ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi)
+        (P.entry_list p)
     in
-    let m = { db; problem = p; engine = eng; query; hi; materialize; valid = []; clock = lo } in
+    if Sink.active sink then begin
+      Sink.count sink "moq_monitor_created_total" 1;
+      let kind =
+        match Classify.classify db query with
+        | Classify.Past -> "past"
+        | Classify.Continuing -> "continuing"
+        | Classify.Future -> "future"
+      in
+      Sink.count sink (Printf.sprintf "moq_query_kind_%s_total" kind) 1
+    end;
+    let m =
+      { db; problem = p; engine = eng; sink; query; hi; materialize;
+        valid = []; clock = lo }
+    in
     if materialize then begin
       let lo_i = B.instant_of_scalar (B.scalar_of_rat lo) in
       let ctx = P.snapshot_ctx p in
@@ -107,7 +124,7 @@ module Make (B : Backend.S) = struct
 
   (* Theorem 5(2): one update, O(m log N) where m is the number of support
      changes since the previous update. *)
-  let apply_update m (u : U.t) : (unit, DB.error) result =
+  let apply_update_raw m (u : U.t) : (unit, DB.error) result =
     match DB.apply m.db u with
     | Error e -> Error e
     | Ok db' ->
@@ -161,6 +178,28 @@ module Make (B : Backend.S) = struct
       if Q.compare m.clock tau_eff < 0 then m.clock <- tau_eff;
       Ok ()
 
+  (* Corollary 6 check: per-update latency and the support-change count m
+     this update triggered (events processed while advancing to the update
+     time, plus the update's own births/deaths). *)
+  let support_of (s : E.stats) = s.E.crossings + s.E.births + s.E.deaths
+
+  let apply_update m (u : U.t) : (unit, DB.error) result =
+    if not (Sink.active m.sink) then apply_update_raw m u
+    else begin
+      Sink.count m.sink "moq_monitor_updates_total" 1;
+      let s0 = support_of (E.stats m.engine) in
+      let r =
+        Sink.time m.sink "moq_monitor_update_seconds" (fun () ->
+            apply_update_raw m u)
+      in
+      (match r with
+       | Ok () ->
+         Sink.observe m.sink "moq_monitor_support_delta"
+           (float_of_int (support_of (E.stats m.engine) - s0))
+       | Error _ -> Sink.count m.sink "moq_monitor_update_errors_total" 1);
+      r
+    end
+
   let apply_update_exn m u =
     match apply_update m u with
     | Ok () -> ()
@@ -180,6 +219,7 @@ module Make (B : Backend.S) = struct
      continuous through [tau] and the precedence relation is unchanged); the
      engine rebuilds all pending events in O(N) without re-sorting. *)
   let chdir_query m ~(tau : Q.t) ~(gdist : Gdist.t) =
+    Sink.count m.sink "moq_monitor_query_chdirs_total" 1;
     let tau_eff = Q.min tau m.hi in
     if Q.compare m.clock tau_eff < 0 then advance_engine m tau_eff;
     let emitted_span =
@@ -235,23 +275,28 @@ module Make (B : Backend.S) = struct
   (* Robustness hooks: a long-lived monitor periodically audits the sweep
      invariants and, on violation, falls back to the O(N log N) rebuild
      (Theorem 10's initialization cost) instead of crashing mid-stream. *)
-  let audit m =
-    let eng = E.audit m.engine in
+  let audit_kinds m =
+    let eng = E.audit_kinds m.engine in
     let local = ref [] in
     if Q.compare m.clock m.hi > 0 then
-      local := "monitor clock past the interval end" :: !local;
+      local := (E.V_clock, "monitor clock past the interval end") :: !local;
     if Q.compare (DB.last_update m.db) m.clock > 0 && Q.compare m.clock m.hi < 0 then
-      local := "validated clock behind the database's last update" :: !local;
+      local := (E.V_clock, "validated clock behind the database's last update") :: !local;
     eng @ List.rev !local
 
+  let audit m = List.map snd (audit_kinds m)
+
   let audit_and_heal m =
-    match audit m with
+    Sink.count m.sink "moq_engine_audits_total" 1;
+    match audit_kinds m with
     | [] -> []
     | violations ->
       (E.stats m.engine).E.audit_failures <- (E.stats m.engine).E.audit_failures + 1;
+      Sink.count m.sink "moq_engine_audit_failures_total" 1;
+      E.note_violations m.engine violations;
       E.rebuild m.engine;
       if Q.compare m.clock m.hi > 0 then m.clock <- m.hi;
-      violations
+      List.map snd violations
 
   let heal m = E.rebuild m.engine
 end

@@ -9,6 +9,7 @@
 module Oid = Moq_mod.Oid
 module Q = Moq_numeric.Rat
 module DB = Moq_mod.Mobdb
+module Sink = Moq_obs.Sink
 
 module Make (B : Backend.S) = struct
   module E = Engine.Make (B)
@@ -27,10 +28,16 @@ module Make (B : Backend.S) = struct
     | Some lo, Some hi -> (lo, hi)
     | _ -> invalid_arg "Sweep: past queries need a bounded interval"
 
-  let run ~(db : DB.t) ~(gdist : Gdist.t) ~(query : Fof.query) : result =
+  let run_obs ~(sink : Sink.t) ~(db : DB.t) ~(gdist : Gdist.t)
+      ~(query : Fof.query) : result =
+    Sink.count sink "moq_query_past_total" 1;
+    Sink.time sink "moq_query_past_seconds" @@ fun () ->
     let lo, hi = interval_bounds query in
     let p = P.create ~db ~gdist ~query ~istart:lo in
-    let eng = E.create ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi) (P.entry_list p) in
+    let eng =
+      E.create ~sink ~start:(B.scalar_of_rat lo)
+        ~horizon:(B.scalar_of_rat hi) (P.entry_list p)
+    in
     let ctx = P.snapshot_ctx p in
     let answer i = S.answer_at ctx query i in
     let pieces = ref [] in
@@ -56,4 +63,6 @@ module Make (B : Backend.S) = struct
     let timeline = TL.simplify (List.rev !pieces) in
     let stats = E.stats eng in
     { timeline; stats; support_changes = stats.E.crossings + stats.E.births + stats.E.deaths }
+
+  let run ~db ~gdist ~query = run_obs ~sink:Sink.noop ~db ~gdist ~query
 end

@@ -1,5 +1,6 @@
 module DB = Moq_mod.Mobdb
 module U = Moq_mod.Update
+module Sink = Moq_obs.Sink
 
 type reason =
   | Stale
@@ -49,13 +50,15 @@ let pp_counters fmt c =
 
 type t = {
   counters : counters;
+  sink : Sink.t;
   mutable quarantine : (U.t * DB.error) list;  (* newest first *)
 }
 
-let create () =
+let create ?(sink = Sink.noop) () =
   { counters =
       { accepted = 0; stale = 0; duplicate_oid = 0; unknown_oid = 0;
         not_defined = 0; dimension = 0 };
+    sink;
     quarantine = [] }
 
 let counters t = t.counters
@@ -78,6 +81,7 @@ let classify t db u =
   match DB.apply db u with
   | Ok db' ->
     t.counters.accepted <- t.counters.accepted + 1;
+    Sink.count t.sink "moq_sanitize_accepted_total" 1;
     Accepted db'
   | Error e ->
     let r = reason_of_error e in
@@ -85,8 +89,11 @@ let classify t db u =
     (match r with
      | Unknown_oid | Not_defined ->
        t.quarantine <- (u, e) :: t.quarantine;
+       Sink.count t.sink "moq_sanitize_quarantined_total" 1;
        Quarantined (r, e)
-     | Stale | Duplicate_oid | Dimension -> Rejected (r, e))
+     | Stale | Duplicate_oid | Dimension ->
+       Sink.count t.sink "moq_sanitize_rejected_total" 1;
+       Rejected (r, e))
 
 (* Retry the quarantine in arrival order.  An update that re-quarantines is
    counted again under its (possibly new) reason; one whose error became

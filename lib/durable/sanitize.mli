@@ -44,7 +44,10 @@ val pp_counters : Format.formatter -> counters -> unit
 
 type t
 
-val create : unit -> t
+val create : ?sink:Moq_obs.Sink.t -> unit -> t
+(** [sink] receives [moq_sanitize_{accepted,rejected,quarantined}_total]. *)
+
+
 val counters : t -> counters
 
 val rejected : t -> int

@@ -2,6 +2,7 @@ module DB = Moq_mod.Mobdb
 module IO = Moq_mod.Mod_io
 module Q = Moq_numeric.Rat
 module U = Moq_mod.Update
+module Sink = Moq_obs.Sink
 
 let checkpoint_file dir = Filename.concat dir "checkpoint.mod"
 let wal_file dir = Filename.concat dir "wal.log"
@@ -10,6 +11,7 @@ type t = {
   dir : string;
   fsync : bool;
   checkpoint_every : int;
+  sink : Sink.t;
   mutable db : DB.t;
   mutable wal : Wal.writer;
   mutable pending : int;  (* accepts since the last checkpoint *)
@@ -33,9 +35,13 @@ let pp_recovery fmt r =
 (* ---------------------------------------------------------------- *)
 (* Checkpoint: db_to_string + "# crc <hex>" trailer, tmp + rename.   *)
 
-let write_checkpoint ~fsync dir db =
+let write_checkpoint ?(sink = Sink.noop) ~fsync dir db =
+  Sink.count sink "moq_checkpoints_total" 1;
+  Sink.time sink "moq_checkpoint_seconds" @@ fun () ->
   let payload = IO.db_to_string db in
   let trailer = Printf.sprintf "# crc %s\n" (Crc32.to_hex (Crc32.string payload)) in
+  Sink.observe sink "moq_checkpoint_bytes"
+    (float_of_int (String.length payload + String.length trailer));
   let tmp = checkpoint_file dir ^ ".tmp" in
   let oc = open_out tmp in
   (try
@@ -77,27 +83,44 @@ let read_checkpoint dir =
 
 (* ---------------------------------------------------------------- *)
 
-let init ?(fsync = true) ?(checkpoint_every = 256) ~dir db =
+let init ?(fsync = true) ?(checkpoint_every = 256) ?(sink = Sink.noop) ~dir db =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-  write_checkpoint ~fsync dir db;
-  let wal = Wal.create ~fsync ~path:(wal_file dir) ~dim:(DB.dim db) () in
-  { dir; fsync; checkpoint_every; db; wal; pending = 0 }
+  write_checkpoint ~sink ~fsync dir db;
+  let wal = Wal.create ~fsync ~sink ~path:(wal_file dir) ~dim:(DB.dim db) () in
+  { dir; fsync; checkpoint_every; sink; db; wal; pending = 0 }
 
-let recover ~dir =
+let recover_obs ~(sink : Sink.t) ~dir =
+  Sink.count sink "moq_recover_attempts_total" 1;
+  Sink.time sink "moq_recover_seconds" @@ fun () ->
   match read_checkpoint dir with
-  | Error e -> Error e
+  | Error e ->
+    Sink.count sink "moq_recover_failures_total" 1;
+    Error e
   | Ok db ->
+    let finish r =
+      Sink.count sink "moq_recover_replayed_total" r.replayed;
+      Sink.count sink "moq_recover_stale_skipped_total" r.stale_skipped;
+      Sink.count sink "moq_recover_invalid_skipped_total" r.invalid_skipped;
+      (match r.tail with
+       | Wal.Clean -> ()
+       | Wal.Corrupt _ -> Sink.count sink "moq_recover_corrupt_tail_total" 1);
+      Ok r
+    in
     let wal_path = wal_file dir in
     if not (Sys.file_exists wal_path) then
-      Ok { db; clock = DB.last_update db; replayed = 0; stale_skipped = 0;
-           invalid_skipped = 0; tail = Wal.Clean }
+      finish { db; clock = DB.last_update db; replayed = 0; stale_skipped = 0;
+               invalid_skipped = 0; tail = Wal.Clean }
     else begin
       match Wal.read wal_path with
-      | Error e -> Error e
+      | Error e ->
+        Sink.count sink "moq_recover_failures_total" 1;
+        Error e
       | Ok r ->
-        if r.Wal.dim <> 0 && r.Wal.dim <> DB.dim db then
+        if r.Wal.dim <> 0 && r.Wal.dim <> DB.dim db then begin
+          Sink.count sink "moq_recover_failures_total" 1;
           Error (Printf.sprintf "%s: log dimension %d, checkpoint dimension %d"
                    wal_path r.Wal.dim (DB.dim db))
+        end
         else begin
           let db = ref db and replayed = ref 0 and stale = ref 0 and invalid = ref 0 in
           List.iter
@@ -109,13 +132,16 @@ let recover ~dir =
               | Error (DB.Stale_update _) -> incr stale
               | Error _ -> incr invalid)
             r.Wal.updates;
-          Ok { db = !db; clock = DB.last_update !db; replayed = !replayed;
-               stale_skipped = !stale; invalid_skipped = !invalid; tail = r.Wal.tail }
+          finish { db = !db; clock = DB.last_update !db; replayed = !replayed;
+                   stale_skipped = !stale; invalid_skipped = !invalid;
+                   tail = r.Wal.tail }
         end
     end
 
-let open_ ?(fsync = true) ?(checkpoint_every = 256) ~dir () =
-  match recover ~dir with
+let recover ~dir = recover_obs ~sink:Sink.noop ~dir
+
+let open_ ?(fsync = true) ?(checkpoint_every = 256) ?(sink = Sink.noop) ~dir () =
+  match recover_obs ~sink ~dir with
   | Error e -> Error e
   | Ok r ->
     let wal_path = wal_file dir in
@@ -123,28 +149,33 @@ let open_ ?(fsync = true) ?(checkpoint_every = 256) ~dir () =
       if Sys.file_exists wal_path then begin
         match Wal.read wal_path with
         | Ok { Wal.good_bytes; _ } when good_bytes > 0 ->
-          Wal.open_append ~fsync ~path:wal_path ~good_bytes ()
+          Wal.open_append ~fsync ~sink ~path:wal_path ~good_bytes ()
         | Ok _ (* torn header: rewrite from scratch *) | Error _ ->
-          Wal.create ~fsync ~path:wal_path ~dim:(DB.dim r.db) ()
+          Wal.create ~fsync ~sink ~path:wal_path ~dim:(DB.dim r.db) ()
       end
-      else Wal.create ~fsync ~path:wal_path ~dim:(DB.dim r.db) ()
+      else Wal.create ~fsync ~sink ~path:wal_path ~dim:(DB.dim r.db) ()
     in
-    Ok ({ dir; fsync; checkpoint_every; db = r.db; wal; pending = 0 }, r)
+    Ok ({ dir; fsync; checkpoint_every; sink; db = r.db; wal; pending = 0 }, r)
 
 let db (t : t) = t.db
 let clock (t : t) = DB.last_update t.db
 let dim (t : t) = DB.dim t.db
 
 let checkpoint_now (t : t) =
-  write_checkpoint ~fsync:t.fsync t.dir t.db;
+  write_checkpoint ~sink:t.sink ~fsync:t.fsync t.dir t.db;
   Wal.close t.wal;
-  t.wal <- Wal.create ~fsync:t.fsync ~path:(wal_file t.dir) ~dim:(DB.dim t.db) ();
+  t.wal <-
+    Wal.create ~fsync:t.fsync ~sink:t.sink ~path:(wal_file t.dir)
+      ~dim:(DB.dim t.db) ();
   t.pending <- 0
 
 let append (t : t) u =
   match DB.apply t.db u with
-  | Error e -> Error e
+  | Error e ->
+    Sink.count t.sink "moq_store_append_rejected_total" 1;
+    Error e
   | Ok db' ->
+    Sink.count t.sink "moq_store_appends_total" 1;
     (* log before advancing: the record is on disk before anyone can see
        the new state *)
     Wal.append t.wal u;

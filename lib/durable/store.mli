@@ -33,17 +33,25 @@ type recovery = {
 
 val pp_recovery : Format.formatter -> recovery -> unit
 
-val init : ?fsync:bool -> ?checkpoint_every:int -> dir:string -> DB.t -> t
+val init :
+  ?fsync:bool -> ?checkpoint_every:int -> ?sink:Moq_obs.Sink.t ->
+  dir:string -> DB.t -> t
 (** Create (or reset) a store seeded with a database snapshot.
-    [checkpoint_every] defaults to 256 accepted updates. *)
+    [checkpoint_every] defaults to 256 accepted updates.  [sink] receives
+    WAL/checkpoint/append telemetry. *)
 
 val recover : dir:string -> (recovery, string) result
 (** Read-only reconstruction.  [Error] only when the store is absent or its
     checkpoint is unreadable/corrupt. *)
 
+val recover_obs :
+  sink:Moq_obs.Sink.t -> dir:string -> (recovery, string) result
+(** {!recover} reporting replay telemetry ([moq_recover_*] counters and the
+    replay latency) to [sink]. *)
+
 val open_ :
-  ?fsync:bool -> ?checkpoint_every:int -> dir:string -> unit ->
-  (t * recovery, string) result
+  ?fsync:bool -> ?checkpoint_every:int -> ?sink:Moq_obs.Sink.t ->
+  dir:string -> unit -> (t * recovery, string) result
 (** {!recover}, then reopen the log for appending — truncating any corrupt
     tail so subsequent appends stay replayable. *)
 

@@ -1,5 +1,6 @@
 module IO = Moq_mod.Mod_io
 module U = Moq_mod.Update
+module Sink = Moq_obs.Sink
 
 type tail = Clean | Corrupt of { line : int; reason : string }
 
@@ -96,27 +97,36 @@ let read path =
 type writer = {
   oc : out_channel;
   fsync : bool;
+  sink : Sink.t;
 }
 
 let sync w =
   flush w.oc;
-  if w.fsync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+  if w.fsync then begin
+    Sink.count w.sink "moq_wal_fsyncs_total" 1;
+    Sink.time w.sink "moq_wal_fsync_seconds" @@ fun () ->
+    Unix.fsync (Unix.descr_of_out_channel w.oc)
+  end
 
-let create ?(fsync = true) ~path ~dim () =
+let create ?(fsync = true) ?(sink = Sink.noop) ~path ~dim () =
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
-  let w = { oc; fsync } in
+  let w = { oc; fsync; sink } in
   output_string oc (header_line dim);
   output_char oc '\n';
   sync w;
   w
 
-let open_append ?(fsync = true) ~path ~good_bytes () =
+let open_append ?(fsync = true) ?(sink = Sink.noop) ~path ~good_bytes () =
   (try Unix.truncate path good_bytes with Unix.Unix_error _ -> ());
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
-  { oc; fsync }
+  { oc; fsync; sink }
 
 let append w u =
-  output_string w.oc (record_line u);
+  Sink.count w.sink "moq_wal_appends_total" 1;
+  Sink.time w.sink "moq_wal_append_seconds" @@ fun () ->
+  let line = record_line u in
+  Sink.count w.sink "moq_wal_bytes_written_total" (String.length line + 1);
+  output_string w.oc line;
   output_char w.oc '\n';
   sync w
 

@@ -39,12 +39,16 @@ val read : string -> (replay, string) result
 
 type writer
 
-val create : ?fsync:bool -> path:string -> dim:int -> unit -> writer
+val create :
+  ?fsync:bool -> ?sink:Moq_obs.Sink.t -> path:string -> dim:int -> unit ->
+  writer
 (** Truncate/create the log and write the header.  [fsync] (default [true])
-    syncs every append; tests and benchmarks may disable it. *)
+    syncs every append; tests and benchmarks may disable it.  [sink]
+    receives append/fsync counters and latency observations. *)
 
 val open_append :
-  ?fsync:bool -> path:string -> good_bytes:int -> unit -> writer
+  ?fsync:bool -> ?sink:Moq_obs.Sink.t -> path:string -> good_bytes:int ->
+  unit -> writer
 (** Re-open an existing log for appending after {!read}: the file is first
     truncated to [good_bytes], dropping any corrupt tail. *)
 

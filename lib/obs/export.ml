@@ -1,0 +1,70 @@
+(* Registry exporters: Prometheus text exposition (format version 0.0.4)
+   and a JSON snapshot carrying the quantile summaries.  Metrics render in
+   name order, so both outputs are deterministic for a given registry
+   state — the Prometheus rendering is pinned by a golden test. *)
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let prometheus reg =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let help name h = if h <> "" then line "# HELP %s %s" name h in
+  List.iter
+    (function
+      | Registry.Counter c ->
+        let name = Registry.counter_name c in
+        help name (Registry.counter_help c);
+        line "# TYPE %s counter" name;
+        line "%s %d" name (Registry.value c)
+      | Registry.Gauge g ->
+        let name = Registry.gauge_name g in
+        help name (Registry.gauge_help g);
+        line "# TYPE %s gauge" name;
+        line "%s %s" name (num (Registry.gauge_value g))
+      | Registry.Histogram h ->
+        let name = Histo.name h in
+        help name (Histo.help h);
+        line "# TYPE %s histogram" name;
+        List.iter
+          (fun (ub, cum) -> line "%s_bucket{le=\"%s\"} %d" name (num ub) cum)
+          (Histo.cumulative h);
+        line "%s_bucket{le=\"+Inf\"} %d" name (Histo.count h);
+        line "%s_sum %s" name (num (Histo.sum h));
+        line "%s_count %d" name (Histo.count h))
+    (Registry.items reg);
+  Buffer.contents b
+
+let histogram_json h =
+  let f v = if Float.is_nan v then Json.Null else Json.Float v in
+  Json.Obj
+    [ ("count", Json.Int (Histo.count h));
+      ("sum", f (Histo.sum h));
+      ("mean", f (Histo.mean h));
+      ("min", f (Histo.min_value h));
+      ("max", f (Histo.max_value h));
+      ("p50", f (Histo.quantile h 0.50));
+      ("p90", f (Histo.quantile h 0.90));
+      ("p99", f (Histo.quantile h 0.99));
+    ]
+
+let json reg =
+  let counters, gauges, histos =
+    List.fold_left
+      (fun (cs, gs, hs) m ->
+        match m with
+        | Registry.Counter c ->
+          ((Registry.counter_name c, Json.Int (Registry.value c)) :: cs, gs, hs)
+        | Registry.Gauge g ->
+          (cs, (Registry.gauge_name g, Json.Float (Registry.gauge_value g)) :: gs, hs)
+        | Registry.Histogram h -> (cs, gs, (Histo.name h, histogram_json h) :: hs))
+      ([], [], []) (Registry.items reg)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev counters));
+      ("gauges", Json.Obj (List.rev gauges));
+      ("histograms", Json.Obj (List.rev histos));
+    ]
+
+let json_string reg = Json.to_string (json reg)

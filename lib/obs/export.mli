@@ -1,0 +1,13 @@
+(** Registry exporters.  Both renderings are deterministic (metrics in name
+    order); the Prometheus one is pinned by a golden test. *)
+
+val prometheus : Registry.t -> string
+(** Prometheus text exposition (0.0.4): counters, gauges, and histograms
+    with cumulative [le] buckets restricted to populated buckets plus
+    [+Inf], [_sum] and [_count]. *)
+
+val json : Registry.t -> Json.t
+(** Snapshot: [{counters, gauges, histograms}]; each histogram carries
+    count/sum/mean/min/max and p50/p90/p99. *)
+
+val json_string : Registry.t -> string

@@ -1,0 +1,96 @@
+(* Log-scale histogram: geometric buckets with ratio [r], so a quantile
+   estimate is exact up to a factor of sqrt(r).  The default r = 2^(1/4)
+   (≈ 1.19) bounds the relative error of p50/p90/p99 by ~9% while keeping
+   the bucket array small enough to allocate per metric.  Bucket 0 holds
+   (-inf, lo]; bucket i (i ≥ 1) holds (lo·r^(i-1)·r⁰, lo·r^i] — values past
+   the last upper bound are clamped into the final bucket ([max] still
+   records the true maximum). *)
+
+type t = {
+  name : string;
+  help : string;
+  lo : float;      (* upper bound of bucket 0 *)
+  log_r : float;   (* ln of the bucket ratio *)
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let default_ratio = sqrt (sqrt 2.0) (* 2^(1/4) *)
+
+let create ?(lo = 1e-9) ?(ratio = default_ratio) ?(buckets = 256) ?(help = "") name =
+  if lo <= 0.0 then invalid_arg "Histo.create: lo must be positive";
+  if ratio <= 1.0 then invalid_arg "Histo.create: ratio must exceed 1";
+  if buckets < 2 then invalid_arg "Histo.create: need at least 2 buckets";
+  { name; help; lo; log_r = log ratio; counts = Array.make buckets 0;
+    count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let name h = h.name
+let help h = h.help
+let count h = h.count
+let sum h = h.sum
+let min_value h = if h.count = 0 then nan else h.min_v
+let max_value h = if h.count = 0 then nan else h.max_v
+let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+
+(* Upper bound of bucket [i]. *)
+let upper h i = h.lo *. exp (float_of_int i *. h.log_r)
+
+let index h v =
+  if v <= h.lo then 0
+  else begin
+    let i = int_of_float (ceil (log (v /. h.lo) /. h.log_r)) in
+    if i >= Array.length h.counts then Array.length h.counts - 1 else i
+  end
+
+let observe h v =
+  if Float.is_nan v then ()
+  else begin
+    let i = index h v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+(* Representative value of bucket [i]: the geometric midpoint of its
+   bounds (the bound itself for bucket 0). *)
+let representative h i =
+  if i = 0 then h.lo
+  else h.lo *. exp ((float_of_int i -. 0.5) *. h.log_r)
+
+(* Quantile estimate for q in [0, 1]; nan on an empty histogram.  The
+   estimate is clamped into [min, max] so degenerate distributions (all
+   observations equal) report exactly. *)
+let quantile h q =
+  if h.count = 0 then nan
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let n = Array.length h.counts in
+    let rec walk i acc =
+      if i >= n then h.max_v
+      else begin
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then representative h i else walk (i + 1) acc
+      end
+    in
+    Float.min h.max_v (Float.max h.min_v (walk 0 0))
+  end
+
+(* Cumulative non-empty buckets, as (upper_bound, cumulative_count) in
+   ascending order — the Prometheus exposition's `le` series, restricted to
+   buckets that actually received observations. *)
+let cumulative h =
+  let n = Array.length h.counts in
+  let out = ref [] in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if h.counts.(i) > 0 then begin
+      acc := !acc + h.counts.(i);
+      out := (upper h i, !acc) :: !out
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,40 @@
+(** Log-scale histogram with geometric buckets.
+
+    Quantile estimates are exact up to a factor of [sqrt ratio] (≈ 9%
+    relative error at the default ratio 2^(1/4)); degenerate distributions
+    report exactly because estimates are clamped into [min, max].  Suited to
+    latencies in seconds (default range reaches from 1 ns past 10^10 s) and
+    to sizes/counts alike. *)
+
+type t
+
+val create :
+  ?lo:float -> ?ratio:float -> ?buckets:int -> ?help:string -> string -> t
+(** [create name] — [lo] is bucket 0's upper bound (default 1e-9), [ratio]
+    the geometric bucket ratio (default 2^(1/4)), [buckets] the bucket count
+    (default 256).  @raise Invalid_argument on non-positive [lo], [ratio] ≤ 1
+    or fewer than 2 buckets. *)
+
+val observe : t -> float -> unit
+(** NaN observations are ignored; values below [lo] land in bucket 0, values
+    past the last bound are clamped into the final bucket. *)
+
+val name : t -> string
+val help : t -> string
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** nan when empty. *)
+
+val min_value : t -> float
+(** nan when empty. *)
+
+val max_value : t -> float
+(** nan when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0, 1]; nan when empty. *)
+
+val cumulative : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, cumulative_count)], ascending — the
+    Prometheus [le] series restricted to populated buckets. *)

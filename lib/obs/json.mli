@@ -1,0 +1,14 @@
+(** Minimal JSON emitter (zero-dependency; shared by the telemetry exports
+    and the bench harness).  NaN/infinities become [null]; floats otherwise
+    round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string

@@ -1,0 +1,101 @@
+(* Metric registry: named monotonic counters, gauges and log-scale
+   histograms.  Registration is idempotent — asking for an existing name
+   returns the existing metric, so independent components (engine, WAL,
+   sanitizer) can share one registry without coordination.  Lookups are
+   hashtable-cheap; the hot paths cache handles via {!Sink}. *)
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  mutable c_v : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  mutable g_v : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histo.t
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { metrics = Hashtbl.create 64; order = [] }
+
+let register t name m =
+  Hashtbl.replace t.metrics name m;
+  t.order <- name :: t.order
+
+let find t name = Hashtbl.find_opt t.metrics name
+
+let counter ?(help = "") t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " registered as another type")
+  | None ->
+    let c = { c_name = name; c_help = help; c_v = 0 } in
+    register t name (Counter c);
+    c
+
+let gauge ?(help = "") t name =
+  match find t name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Registry.gauge: " ^ name ^ " registered as another type")
+  | None ->
+    let g = { g_name = name; g_help = help; g_v = 0.0 } in
+    register t name (Gauge g);
+    g
+
+let histogram ?(help = "") ?lo ?ratio ?buckets t name =
+  match find t name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Registry.histogram: " ^ name ^ " registered as another type")
+  | None ->
+    let h = Histo.create ?lo ?ratio ?buckets ~help name in
+    register t name (Histogram h);
+    h
+
+(* Counters are monotonic and overflow-safe: [add] saturates at [max_int]
+   instead of wrapping negative, and refuses to move backwards. *)
+let add c n =
+  if n < 0 then invalid_arg "Registry.add: counters are monotonic"
+  else if c.c_v > max_int - n then c.c_v <- max_int
+  else c.c_v <- c.c_v + n
+
+let incr c = add c 1
+let value c = c.c_v
+
+let set g v = g.g_v <- v
+let gauge_value g = g.g_v
+
+let counter_name c = c.c_name
+let counter_help c = c.c_help
+let gauge_name g = g.g_name
+let gauge_help g = g.g_help
+
+(* Metrics in name order — deterministic exports regardless of
+   registration interleaving. *)
+let items t =
+  let names = List.sort_uniq String.compare (List.rev t.order) in
+  List.filter_map (fun n -> find t n) names
+
+(* Flat numeric view: counters and gauges by name, histograms expanded to
+   _count / _sum — the `counters` map of the bench JSON schema. *)
+let flatten t =
+  List.concat_map
+    (function
+      | Counter c -> [ (c.c_name, float_of_int c.c_v) ]
+      | Gauge g -> [ (g.g_name, g.g_v) ]
+      | Histogram h ->
+        [ (Histo.name h ^ "_count", float_of_int (Histo.count h));
+          (Histo.name h ^ "_sum", Histo.sum h) ])
+    (items t)
+
+let counter_value t name =
+  match find t name with Some (Counter c) -> Some c.c_v | _ -> None

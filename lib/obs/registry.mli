@@ -1,0 +1,51 @@
+(** Metric registry: monotonic counters, gauges, log-scale histograms.
+
+    Registration is idempotent by name, so independent components can share
+    one registry without coordination.  Counters saturate at [max_int]
+    rather than wrapping.  See {!Export} for Prometheus/JSON renderings and
+    {!Sink} for the handle-caching fast path used by the hot loops. *)
+
+type t
+type counter
+type gauge
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histo.t
+
+val create : unit -> t
+
+val counter : ?help:string -> t -> string -> counter
+(** Existing metric of the same name is returned; a name registered as a
+    different metric type raises [Invalid_argument]. *)
+
+val gauge : ?help:string -> t -> string -> gauge
+
+val histogram :
+  ?help:string -> ?lo:float -> ?ratio:float -> ?buckets:int -> t -> string -> Histo.t
+
+val add : counter -> int -> unit
+(** Saturates at [max_int]; negative increments raise [Invalid_argument]
+    (counters are monotonic). *)
+
+val incr : counter -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val counter_name : counter -> string
+val counter_help : counter -> string
+val gauge_name : gauge -> string
+val gauge_help : gauge -> string
+
+val find : t -> string -> metric option
+
+val items : t -> metric list
+(** All metrics in name order (deterministic). *)
+
+val flatten : t -> (string * float) list
+(** Flat numeric view: counters and gauges by name; each histogram expands
+    to [name_count] and [name_sum]. *)
+
+val counter_value : t -> string -> int option

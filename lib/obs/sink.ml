@@ -1,0 +1,64 @@
+(* The instrumentation boundary.  Hot paths (engine batches, WAL appends)
+   hold a [Sink.t] — three closures — and the default is {!noop}, so an
+   uninstrumented engine pays one physical-equality test per batch and
+   nothing else.  {!of_registry} builds a live sink that resolves metric
+   names to registry handles once and caches them, so steady-state cost is
+   one hashtable hit per call. *)
+
+type t = {
+  count : string -> int -> unit;     (* monotonic counter increment *)
+  observe : string -> float -> unit; (* histogram observation *)
+  set : string -> float -> unit;     (* gauge assignment *)
+}
+
+let noop = { count = (fun _ _ -> ()); observe = (fun _ _ -> ()); set = (fun _ _ -> ()) }
+
+let active t = t != noop
+
+let count t name n = t.count name n
+let observe t name v = t.observe name v
+let set t name v = t.set name v
+
+let wall = Unix.gettimeofday
+
+(* Time [f] and observe the wall-clock duration under [name]; free on the
+   no-op sink. *)
+let time t name f =
+  if t == noop then f ()
+  else begin
+    let t0 = wall () in
+    Fun.protect ~finally:(fun () -> t.observe name (wall () -. t0)) f
+  end
+
+let of_registry reg =
+  let counters : (string, Registry.counter) Hashtbl.t = Hashtbl.create 32 in
+  let gauges : (string, Registry.gauge) Hashtbl.t = Hashtbl.create 16 in
+  let histos : (string, Histo.t) Hashtbl.t = Hashtbl.create 16 in
+  let counter name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = Registry.counter reg name in
+      Hashtbl.add counters name c;
+      c
+  in
+  let gauge name =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+      let g = Registry.gauge reg name in
+      Hashtbl.add gauges name g;
+      g
+  in
+  let histo name =
+    match Hashtbl.find_opt histos name with
+    | Some h -> h
+    | None ->
+      let h = Registry.histogram reg name in
+      Hashtbl.add histos name h;
+      h
+  in
+  { count = (fun name n -> Registry.add (counter name) n);
+    observe = (fun name v -> Histo.observe (histo name) v);
+    set = (fun name v -> Registry.set (gauge name) v);
+  }

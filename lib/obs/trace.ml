@@ -1,0 +1,122 @@
+(* Lightweight span tracer.  A span records wall-clock start/stop
+   (Unix.gettimeofday) and process-CPU start/stop (Sys.time — monotone
+   non-decreasing, so durations survive wall-clock adjustments), its nesting
+   depth at open time, and timestamped event annotations.  Finished spans
+   land in a bounded ring buffer: a long-running monitor can trace forever
+   in constant memory, keeping the most recent [capacity] spans. *)
+
+type span = {
+  id : int;
+  name : string;
+  depth : int;
+  wall_start : float;
+  cpu_start : float;
+  mutable wall_stop : float;
+  mutable cpu_stop : float;
+  mutable events : (float * string) list; (* (wall time, note), newest first *)
+  mutable closed : bool;
+}
+
+type t = {
+  capacity : int;
+  ring : span option array;
+  mutable pos : int;       (* next write slot *)
+  mutable finished : int;  (* total spans ever finished *)
+  mutable dropped : int;   (* finished spans evicted by the ring *)
+  mutable stack : span list;
+  mutable next_id : int;
+  epoch : float;           (* wall time at creation; offsets are relative *)
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; pos = 0; finished = 0; dropped = 0;
+    stack = []; next_id = 0; epoch = Unix.gettimeofday () }
+
+let epoch t = t.epoch
+let finished_count t = t.finished
+let dropped_count t = t.dropped
+let open_count t = List.length t.stack
+
+let begin_span t name =
+  let s =
+    { id = t.next_id; name; depth = List.length t.stack;
+      wall_start = Unix.gettimeofday (); cpu_start = Sys.time ();
+      wall_stop = nan; cpu_stop = nan; events = []; closed = false }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stack <- s :: t.stack;
+  s
+
+let annotate s note =
+  if not s.closed then s.events <- (Unix.gettimeofday (), note) :: s.events
+
+let end_span t s =
+  if not s.closed then begin
+    s.wall_stop <- Unix.gettimeofday ();
+    s.cpu_stop <- Sys.time ();
+    s.closed <- true;
+    t.stack <- List.filter (fun x -> x != s) t.stack;
+    if t.ring.(t.pos) <> None then t.dropped <- t.dropped + 1;
+    t.ring.(t.pos) <- Some s;
+    t.pos <- (t.pos + 1) mod t.capacity;
+    t.finished <- t.finished + 1
+  end
+
+let with_span t name f =
+  let s = begin_span t name in
+  Fun.protect ~finally:(fun () -> end_span t s) f
+
+(* Finished spans, oldest retained first. *)
+let spans t =
+  let out = ref [] in
+  for k = t.capacity - 1 downto 0 do
+    let i = (t.pos + k) mod t.capacity in
+    match t.ring.(i) with Some s -> out := s :: !out | None -> ()
+  done;
+  !out
+
+let duration s = s.wall_stop -. s.wall_start
+let cpu_duration s = s.cpu_stop -. s.cpu_start
+let events s = List.rev s.events
+let span_name s = s.name
+let span_depth s = s.depth
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%*s[%+9.6fs] %s (%.3f ms wall, %.3f ms cpu)@,"
+        (2 * s.depth) "" (s.wall_start -. t.epoch) s.name
+        (1e3 *. duration s) (1e3 *. cpu_duration s);
+      List.iter
+        (fun (at, note) ->
+          Format.fprintf fmt "%*s  - [%+9.6fs] %s@," (2 * s.depth) "" (at -. t.epoch) note)
+        (events s))
+    (spans t);
+  if t.dropped > 0 then
+    Format.fprintf fmt "(%d earlier spans evicted by the %d-span ring)@," t.dropped t.capacity;
+  Format.fprintf fmt "@]"
+
+let to_json t =
+  let span_json s =
+    Json.Obj
+      [ ("id", Json.Int s.id);
+        ("name", Json.Str s.name);
+        ("depth", Json.Int s.depth);
+        ("start_s", Json.Float (s.wall_start -. t.epoch));
+        ("wall_s", Json.Float (duration s));
+        ("cpu_s", Json.Float (cpu_duration s));
+        ("events",
+         Json.List
+           (List.map
+              (fun (at, note) ->
+                Json.Obj [ ("at_s", Json.Float (at -. t.epoch)); ("note", Json.Str note) ])
+              (events s)));
+      ]
+  in
+  Json.Obj
+    [ ("finished", Json.Int t.finished);
+      ("dropped", Json.Int t.dropped);
+      ("spans", Json.List (List.map span_json (spans t)));
+    ]

@@ -1,0 +1,47 @@
+(** Span tracer with a bounded ring buffer.
+
+    Spans carry wall-clock and process-CPU start/stop times, the nesting
+    depth at open time, and timestamped annotations.  Finished spans are
+    kept in a ring of [capacity] entries — tracing is constant-memory over
+    arbitrarily long runs, retaining the most recent spans (evictions are
+    counted). *)
+
+type t
+type span
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 512.  @raise Invalid_argument when non-positive. *)
+
+val begin_span : t -> string -> span
+val end_span : t -> span -> unit
+(** Idempotent — a second end is ignored. *)
+
+val annotate : span -> string -> unit
+(** Attach a timestamped note; ignored on a closed span. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Exception-safe begin/end bracket. *)
+
+val spans : t -> span list
+(** Finished spans, oldest retained first. *)
+
+val duration : span -> float
+(** Wall seconds. *)
+
+val cpu_duration : span -> float
+(** Process-CPU seconds. *)
+
+val events : span -> (float * string) list
+val span_name : span -> string
+val span_depth : span -> int
+
+val epoch : t -> float
+val finished_count : t -> int
+val dropped_count : t -> int
+val open_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable span log: offsets relative to the trace epoch,
+    indentation by depth, annotations inline. *)
+
+val to_json : t -> Json.t

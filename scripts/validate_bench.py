@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<id>.json files emitted by bench/main.exe.
+
+Schema (see EXPERIMENTS.md):
+
+    { "exp": str, "n": int, "seed": int, "wall_s": float,
+      "counters": { "<metric>": float, ... } }
+
+Usage: validate_bench.py FILE [FILE...]
+Exits non-zero with one `file: message` line per problem.
+"""
+import json
+import sys
+
+METRIC_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def problems(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        yield str(exc)
+        return
+    if not isinstance(doc, dict):
+        yield "top level is not an object"
+        return
+    extra = sorted(set(doc) - {"exp", "n", "seed", "wall_s", "counters"})
+    if extra:
+        yield "unexpected keys: %s" % ", ".join(extra)
+    if not isinstance(doc.get("exp"), str) or not doc.get("exp"):
+        yield "'exp' must be a non-empty string"
+    for key in ("n", "seed"):
+        if not isinstance(doc.get(key), int) or isinstance(doc.get(key), bool):
+            yield "'%s' must be an integer" % key
+    wall = doc.get("wall_s")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        yield "'wall_s' must be a non-negative number"
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        yield "'counters' must be an object"
+        return
+    for name, value in counters.items():
+        if not name.startswith("moq_") or set(name) - METRIC_OK:
+            yield "counter %r: not a moq_* snake_case metric name" % name
+        if value is not None and (
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+        ):
+            yield "counter %r: value %r is not numeric" % (name, value)
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv:
+        found = False
+        for msg in problems(path):
+            print("%s: %s" % (path, msg), file=sys.stderr)
+            found = True
+        if found:
+            bad += 1
+        else:
+            with open(path) as fh:
+                doc = json.load(fh)
+            print(
+                "%s: ok (exp=%s n=%d seed=%d wall_s=%.3f, %d counters)"
+                % (path, doc["exp"], doc["n"], doc["seed"], doc["wall_s"],
+                   len(doc["counters"]))
+            )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

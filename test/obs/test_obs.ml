@@ -1,0 +1,294 @@
+(* Telemetry subsystem tests: histogram quantile accuracy, counter
+   saturation, deterministic Prometheus exposition (golden), the span
+   tracer's ring buffer, and a cross-check of the sweep instrumentation
+   against an independent all-pairs crossing count. *)
+
+module Histo = Moq_obs.Histo
+module Registry = Moq_obs.Registry
+module Export = Moq_obs.Export
+module Json = Moq_obs.Json
+module Sink = Moq_obs.Sink
+module Trace = Moq_obs.Trace
+
+module Q = Moq_numeric.Rat
+module DB = Moq_mod.Mobdb
+module BX = Moq_core.Backend.Exact
+module KnnX = Moq_core.Knn.Make (BX)
+module CX = KnnX.E.C
+module Gdist = Moq_core.Gdist
+module Gen = Moq_workload.Gen
+
+let q = Q.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histo_quantiles () =
+  let h = Histo.create "lat" in
+  (* uniform grid on (0, 1]: the q-quantile is ~q *)
+  for i = 1 to 1000 do
+    Histo.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (Histo.count h);
+  List.iter
+    (fun p ->
+      let est = Histo.quantile h p in
+      let err = Float.abs (est -. p) /. p in
+      if err > 0.15 then
+        Alcotest.failf "p%.0f: estimate %f off true %f by %.1f%%" (100.0 *. p)
+          est p (100.0 *. err))
+    [ 0.5; 0.9; 0.99 ];
+  (* estimates are clamped into [min, max] *)
+  Alcotest.(check bool) "p99 <= max" true (Histo.quantile h 0.99 <= Histo.max_value h);
+  Alcotest.(check bool) "p50 >= min" true (Histo.quantile h 0.5 >= Histo.min_value h)
+
+let test_histo_degenerate () =
+  let h = Histo.create "one" in
+  for _ = 1 to 17 do Histo.observe h 42.0 done;
+  (* a single-valued distribution reports exactly, thanks to clamping *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q%.2f exact" p) 42.0 (Histo.quantile h p))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 42.0 (Histo.mean h);
+  Alcotest.(check (float 1e-9)) "sum" (42.0 *. 17.0) (Histo.sum h)
+
+let test_histo_edges () =
+  let h = Histo.create ~lo:1.0 ~ratio:2.0 ~buckets:4 "edge" in
+  Histo.observe h 1e-30;   (* below lo: bucket 0 *)
+  Histo.observe h 1e30;    (* beyond the last bound: clamped into bucket 3 *)
+  Histo.observe h nan;     (* ignored *)
+  Alcotest.(check int) "NaN ignored" 2 (Histo.count h);
+  (match Histo.cumulative h with
+   | [ (b0, 1); (_, 2) ] ->
+     Alcotest.(check (float 1e-9)) "bucket 0 bound" 1.0 b0
+   | other ->
+     Alcotest.failf "unexpected cumulative shape (%d buckets)" (List.length other));
+  (* empty histogram: nan quantiles, not exceptions *)
+  let e = Histo.create "empty" in
+  Alcotest.(check bool) "empty quantile nan" true (Float.is_nan (Histo.quantile e 0.5));
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (Histo.mean e))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_overflow () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "c_total" in
+  Registry.add c (max_int - 2);
+  Registry.add c 10;
+  Alcotest.(check int) "saturates at max_int" max_int (Registry.value c);
+  Registry.add c 1;
+  Alcotest.(check int) "stays saturated" max_int (Registry.value c);
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Registry.add: counters are monotonic") (fun () ->
+      Registry.add c (-1))
+
+let test_registry_idempotent () =
+  let reg = Registry.create () in
+  let c1 = Registry.counter reg "shared_total" in
+  Registry.add c1 3;
+  let c2 = Registry.counter reg "shared_total" in
+  Registry.add c2 4;
+  Alcotest.(check int) "one metric" 7 (Registry.value c1);
+  Alcotest.(check (option int)) "by name" (Some 7)
+    (Registry.counter_value reg "shared_total");
+  Alcotest.check_raises "wrong type re-registration"
+    (Invalid_argument "Registry.gauge: shared_total registered as another type")
+    (fun () -> ignore (Registry.gauge reg "shared_total"));
+  let h = Registry.histogram reg "h" in
+  Histo.observe h 2.0;
+  Histo.observe h 3.0;
+  Alcotest.(check bool) "flatten exposes histogram _count/_sum" true
+    (List.mem ("h_count", 2.0) (Registry.flatten reg)
+     && List.mem ("h_sum", 5.0) (Registry.flatten reg))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_golden () =
+  let reg = Registry.create () in
+  let c = Registry.counter ~help:"processed events" reg "moq_events_total" in
+  Registry.add c 42;
+  let g = Registry.gauge ~help:"order list length" reg "moq_order_len" in
+  Registry.set g 17.5;
+  let h = Registry.histogram ~help:"latency" ~lo:1.0 ~ratio:2.0 ~buckets:8 reg "moq_lat" in
+  List.iter (Histo.observe h) [ 0.5; 1.0; 3.0; 100.0 ];
+  let expected =
+    "# HELP moq_events_total processed events\n\
+     # TYPE moq_events_total counter\n\
+     moq_events_total 42\n\
+     # HELP moq_lat latency\n\
+     # TYPE moq_lat histogram\n\
+     moq_lat_bucket{le=\"1\"} 2\n\
+     moq_lat_bucket{le=\"4\"} 3\n\
+     moq_lat_bucket{le=\"128\"} 4\n\
+     moq_lat_bucket{le=\"+Inf\"} 4\n\
+     moq_lat_sum 104.5\n\
+     moq_lat_count 4\n\
+     # HELP moq_order_len order list length\n\
+     # TYPE moq_order_len gauge\n\
+     moq_order_len 17.5\n"
+  in
+  Alcotest.(check string) "exposition" expected (Export.prometheus reg)
+
+let test_json_export () =
+  let reg = Registry.create () in
+  Registry.add (Registry.counter reg "n_total") 3;
+  Registry.set (Registry.gauge reg "depth") 2.0;
+  Histo.observe (Registry.histogram reg "lat") 0.25;
+  let s = Export.json_string reg in
+  List.iter
+    (fun needle ->
+      if not
+           (let ln = String.length needle and ls = String.length s in
+            let rec go i = i + ln <= ls && (String.sub s i ln = needle || go (i + 1)) in
+            go 0)
+      then Alcotest.failf "JSON export missing %S in %s" needle s)
+    [ "\"n_total\":3"; "\"depth\":2.0"; "\"lat\""; "\"p99\"" ];
+  (* NaN/infinity are emitted as null, keeping the document parseable *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string) "escaping" "\"a\\\"b\\n\""
+    (Json.to_string (Json.Str "a\"b\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:2 () in
+  let finish name =
+    let s = Trace.begin_span tr name in
+    Trace.annotate s (name ^ "-note");
+    Trace.end_span tr s
+  in
+  List.iter finish [ "a"; "b"; "c" ];
+  Alcotest.(check int) "finished" 3 (Trace.finished_count tr);
+  Alcotest.(check int) "dropped" 1 (Trace.dropped_count tr);
+  Alcotest.(check (list string)) "most recent retained, oldest first"
+    [ "b"; "c" ]
+    (List.map Trace.span_name (Trace.spans tr));
+  (match Trace.spans tr with
+   | s :: _ ->
+     Alcotest.(check (list string)) "annotation" [ "b-note" ]
+       (List.map snd (Trace.events s))
+   | [] -> Alcotest.fail "no spans")
+
+let test_trace_nesting () =
+  let tr = Trace.create () in
+  Trace.with_span tr "outer" (fun () ->
+      Trace.with_span tr "inner" (fun () -> ()));
+  (match Trace.spans tr with
+   | [ inner; outer ] ->
+     (* inner finishes first, so it sits earlier in the ring *)
+     Alcotest.(check string) "inner name" "inner" (Trace.span_name inner);
+     Alcotest.(check int) "inner depth" 1 (Trace.span_depth inner);
+     Alcotest.(check int) "outer depth" 0 (Trace.span_depth outer);
+     Alcotest.(check bool) "durations non-negative" true
+       (Trace.duration inner >= 0.0 && Trace.duration outer >= 0.0)
+   | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  Alcotest.(check int) "stack drained" 0 (Trace.open_count tr);
+  (* an exception still closes the span *)
+  (try Trace.with_span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "exception-safe" 3 (Trace.finished_count tr)
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink () =
+  Alcotest.(check bool) "noop inactive" false (Sink.active Sink.noop);
+  (* the noop sink swallows everything without allocating registry state *)
+  Sink.count Sink.noop "x" 1;
+  Sink.observe Sink.noop "x" 1.0;
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  Alcotest.(check bool) "live sink active" true (Sink.active sink);
+  Sink.count sink "ops_total" 2;
+  Sink.count sink "ops_total" 3;
+  Sink.set sink "depth" 4.0;
+  let r = Sink.time sink "dur_seconds" (fun () -> 7) in
+  Alcotest.(check int) "time passes result through" 7 r;
+  Alcotest.(check (option int)) "counter" (Some 5)
+    (Registry.counter_value reg "ops_total");
+  (match Registry.find reg "dur_seconds" with
+   | Some (Registry.Histogram h) -> Alcotest.(check int) "timed once" 1 (Histo.count h)
+   | _ -> Alcotest.fail "dur_seconds not a histogram")
+
+(* ------------------------------------------------------------------ *)
+(* Sweep instrumentation vs an independent baseline                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The inversions workload makes ground truth computable two independent
+   ways: the generator promises exactly [inversions] crossings, and the
+   naive all-pairs enumeration finds each one without any sweep machinery.
+   The sink counters must agree with both. *)
+let test_sweep_matches_naive () =
+  let n = 12 and inversions = 20 in
+  let db = Gen.inversions_db ~seed:7 ~n ~inversions ~horizon:(q 100) in
+  let gdist = Gdist.coordinate 0 in
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let r = KnnX.run_obs ~sink ~db ~gdist ~k:1 ~lo:(q 0) ~hi:(q 100) in
+  (* independent ground truth: all-pairs crossing enumeration *)
+  let curves =
+    List.map (fun (_, tr) -> BX.curve_of_qpiece (Gdist.curve gdist tr)) (DB.objects db)
+  in
+  let after = BX.instant_of_scalar (BX.scalar_of_rat (q 0)) in
+  let horizon = BX.scalar_of_rat (q 100) in
+  let rec all_pairs = function
+    | c1 :: rest ->
+      List.fold_left
+        (fun acc c2 -> acc + List.length (CX.all_crossings ~after ~horizon c1 c2))
+        (all_pairs rest) rest
+    | [] -> 0
+  in
+  let naive_crossings = all_pairs curves in
+  Alcotest.(check int) "naive agrees with the generator" inversions naive_crossings;
+  (* the paper's m counts transpositions of the order list: a batch of
+     simultaneous crossings pops as one event but performs several swaps,
+     so swaps -- not event pops -- must match the all-pairs count *)
+  Alcotest.(check (option int)) "sink swaps = naive"
+    (Some naive_crossings)
+    (Registry.counter_value reg "moq_sweep_swaps_total");
+  Alcotest.(check (option int)) "sink support changes = naive"
+    (Some naive_crossings)
+    (Registry.counter_value reg "moq_sweep_support_changes_total");
+  (* the sink's pop counts mirror the engine's own stats *)
+  let s = r.KnnX.stats in
+  Alcotest.(check (option int)) "sink crossings = engine crossings"
+    (Some s.KnnX.E.crossings)
+    (Registry.counter_value reg "moq_sweep_crossings_total");
+  Alcotest.(check (option int)) "sink events = engine events"
+    (Some (s.KnnX.E.crossings + s.KnnX.E.births + s.KnnX.E.deaths + s.KnnX.E.jumps))
+    (Registry.counter_value reg "moq_sweep_events_total");
+  (* Lemma 9 sanity: bounded comparisons per event on this workload *)
+  (match Registry.find reg "moq_sweep_ops_per_event" with
+   | Some (Registry.Histogram h) ->
+     Alcotest.(check bool) "per-event ops observed" true (Histo.count h > 0)
+   | _ -> Alcotest.fail "moq_sweep_ops_per_event missing")
+
+let () =
+  Alcotest.run "obs"
+    [ ("histo",
+       [ Alcotest.test_case "quantile accuracy" `Quick test_histo_quantiles;
+         Alcotest.test_case "degenerate distribution" `Quick test_histo_degenerate;
+         Alcotest.test_case "edges and NaN" `Quick test_histo_edges ]);
+      ("registry",
+       [ Alcotest.test_case "counter saturation" `Quick test_counter_overflow;
+         Alcotest.test_case "idempotent registration" `Quick test_registry_idempotent ]);
+      ("export",
+       [ Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+         Alcotest.test_case "json snapshot" `Quick test_json_export ]);
+      ("trace",
+       [ Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+         Alcotest.test_case "nesting and safety" `Quick test_trace_nesting ]);
+      ("sink", [ Alcotest.test_case "noop and live" `Quick test_sink ]);
+      ("sweep",
+       [ Alcotest.test_case "instrumentation vs naive baseline" `Quick
+           test_sweep_matches_naive ]);
+    ]
