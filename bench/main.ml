@@ -15,12 +15,16 @@ module U = Moq_mod.Update
 module DB = Moq_mod.Mobdb
 module Oid = Moq_mod.Oid
 
+module A = Moq_poly.Algnum
+
 module BX = Moq_core.Backend.Exact
 module BF = Moq_core.Backend.Approx
+module BFl = Moq_core.Backend.Filtered
 module EX = Moq_core.Engine.Make (BX)
 module EF = Moq_core.Engine.Make (BF)
 module KnnX = Moq_core.Knn.Make (BX)
 module KnnF = Moq_core.Knn.Make (BF)
+module KnnFl = Moq_core.Knn.Make (BFl)
 module MonF = Moq_core.Monitor.Make (BF)
 module Fof = Moq_core.Fof
 module Gdist = Moq_core.Gdist
@@ -53,6 +57,10 @@ let bench_sink = ref Sink.noop
 let bench_n = ref 0
 let bench_seed = ref 0
 
+(* experiment-specific top-level JSON fields (e.g. a3's backend id and
+   filter hit rate); validated by scripts/validate_bench.py *)
+let bench_extras : (string * Json.t) list ref = ref []
+
 let bench_dir () =
   match Sys.getenv_opt "MOQ_BENCH_DIR" with Some d -> d | None -> "."
 
@@ -60,12 +68,13 @@ let write_bench_json id wall =
   let counters = Registry.flatten !bench_reg in
   let j =
     Json.Obj
-      [ ("exp", Json.Str id);
-        ("n", Json.Int !bench_n);
-        ("seed", Json.Int !bench_seed);
-        ("wall_s", Json.Float wall);
-        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) counters));
-      ]
+      ([ ("exp", Json.Str id);
+         ("n", Json.Int !bench_n);
+         ("seed", Json.Int !bench_seed);
+         ("wall_s", Json.Float wall);
+         ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) counters));
+       ]
+      @ !bench_extras)
   in
   let path = Filename.concat (bench_dir ()) (Printf.sprintf "BENCH_%s.json" id) in
   let oc = open_out path in
@@ -78,6 +87,7 @@ let run_experiment (id, f) =
   bench_sink := Sink.of_registry !bench_reg;
   bench_n := 0;
   bench_seed := 0;
+  bench_extras := [];
   let t0 = Unix.gettimeofday () in
   f ();
   write_bench_json id (Unix.gettimeofday () -. t0)
@@ -534,6 +544,61 @@ let a2 () =
   row "both backends must agree on every event (same m); exactness costs a constant factor\n"
 
 (* ------------------------------------------------------------------ *)
+(* A3: filtered exact backend vs plain exact backend                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bit-identical output is the whole point of the filter: compare the two
+   timelines piece by piece with exact algebraic comparison. *)
+let timelines_identical (tx : KnnX.TL.t) (tf : KnnFl.TL.t) =
+  List.length tx = List.length tf
+  && List.for_all2
+       (fun px pf ->
+         match px, pf with
+         | KnnX.TL.Span (a, b, s), KnnFl.TL.Span (a', b', s') ->
+           A.compare a (BFl.to_algnum a') = 0
+           && A.compare b (BFl.to_algnum b') = 0
+           && Oid.Set.equal s s'
+         | KnnX.TL.At (a, s), KnnFl.TL.At (a', s') ->
+           A.compare a (BFl.to_algnum a') = 0 && Oid.Set.equal s s'
+         | _ -> false)
+       tx tf
+
+let a3 () =
+  header "A3" "Filtered exact backend: float-interval fast path, rational fallback";
+  row "%8s %8s %12s %14s %10s %10s %10s\n" "N" "m" "exact (s)" "filtered (s)" "speedup"
+    "hit rate" "identical";
+  let final_speedup = ref 0.0 and final_hit_rate = ref 0.0 in
+  List.iter
+    (fun n ->
+      bench_n := max !bench_n n;
+      bench_seed := n;
+      let db = Gen.inversions_db ~seed:n ~n ~inversions:(2 * n) ~horizon:(q 1000) in
+      let gdist = Gdist.coordinate 0 in
+      let t_x, rx = timed ~reps:1 (fun () -> KnnX.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000)) in
+      BFl.reset_filter_stats ();
+      let t_f, rf = timed (fun () -> KnnFl.run ~db ~gdist ~k:2 ~lo:(q 0) ~hi:(q 1000)) in
+      let s = BFl.filter_stats () in
+      let hit_rate = float_of_int s.BFl.hits /. float_of_int (max 1 s.BFl.decisions) in
+      let same = timelines_identical rx.KnnX.timeline rf.KnnFl.timeline in
+      if not same then failwith (Printf.sprintf "A3: filtered timeline diverged at N = %d" n);
+      BFl.publish !bench_sink;
+      if n = 1000 then begin
+        final_speedup := t_x /. t_f;
+        final_hit_rate := hit_rate
+      end;
+      row "%8d %8d %12.4f %14.4f %9.1fx %9.1f%% %10b\n" n rx.KnnX.stats.KnnX.E.swaps t_x t_f
+        (t_x /. t_f) (100.0 *. hit_rate) same)
+    [ 128; 256; 512; 1000 ];
+  bench_extras :=
+    [ ("backend", Json.Str "filtered");
+      ("filter_hit_rate", Json.Float !final_hit_rate);
+      ("speedup_vs_exact", Json.Float !final_speedup);
+    ];
+  row "the filter answers sign and ordering queries from outward-rounded float intervals\n";
+  row "and falls back to exact Sturm/algebraic arithmetic only when an interval straddles\n";
+  row "the decision boundary -- output must stay bit-identical to the exact backend\n"
+
+(* ------------------------------------------------------------------ *)
 (* R1: durable store -- WAL ingest and crash-recovery throughput       *)
 (* ------------------------------------------------------------------ *)
 
@@ -670,7 +735,7 @@ let bechamel_suite () =
 let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
-    ("b3", b3); ("a1", a1); ("a2", a2); ("r1", r1) ]
+    ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

@@ -193,20 +193,55 @@ let show_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "show" ~doc:"Pretty-print a saved MOD") Term.(const show_run $ path)
 
-let knn_run seed n k hi dbfile =
+(* Backend selection: the sweep, monitor and k-NN pipelines are functors
+   over Backend.S, so one flag picks exact, filtered or approx. *)
+module BFl = Moq_core.Backend.Filtered
+
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("exact", `Exact); ("filtered", `Filtered); ("approx", `Approx) ]) `Exact
+       & info [ "backend" ]
+           ~doc:"Numeric backend: $(b,exact) (rational/algebraic), $(b,filtered) \
+                 (float-interval fast path with exact fallback, same answers as exact), \
+                 or $(b,approx) (plain floats)")
+
+let backend_module = function
+  | `Exact -> (module BX : Moq_core.Backend.S)
+  | `Filtered -> (module BFl : Moq_core.Backend.S)
+  | `Approx -> (module Moq_core.Backend.Approx : Moq_core.Backend.S)
+
+let print_filter_stats = function
+  | `Filtered ->
+    let s = BFl.filter_stats () in
+    Format.printf "filter: %d hits, %d misses (%.1f%% hit rate)@." s.BFl.hits s.BFl.misses
+      (100.0 *. float_of_int s.BFl.hits /. float_of_int (max 1 s.BFl.decisions))
+  | `Exact | `Approx -> ()
+
+module Knn_pipeline (B : Moq_core.Backend.S) = struct
+  module K = Moq_core.Knn.Make (B)
+
+  let run ~db ~gdist ~k ~lo ~hi ~hi_int =
+    let r = K.run ~db ~gdist ~k ~lo ~hi in
+    Format.printf "%d-NN to the origin over [0, %d] (%d objects):@.%a@." k hi_int
+      (DB.cardinal db) K.TL.pp r.K.timeline;
+    Format.printf "%d support changes@." r.K.stats.K.E.crossings
+end
+
+let knn_run seed n k hi dbfile backend =
   let db = load_or_gen dbfile seed n in
   let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
   let gdist = Gdist.euclidean_sq ~gamma in
-  let r = KnnX.run ~db ~gdist ~k ~lo:(q 0) ~hi:(q hi) in
-  Format.printf "%d-NN to the origin over [0, %d] (%d objects):@.%a@." k hi (DB.cardinal db)
-    KnnX.TL.pp r.KnnX.timeline;
-  Format.printf "%d support changes@." r.KnnX.stats.KnnX.E.crossings
+  BFl.reset_filter_stats ();
+  let module B = (val backend_module backend) in
+  let module P = Knn_pipeline (B) in
+  P.run ~db ~gdist ~k ~lo:(q 0) ~hi:(q hi) ~hi_int:hi;
+  print_filter_stats backend
 
 let knn_cmd =
   let k = Arg.(value & opt int 1 & info [ "k"; "neighbours" ] ~doc:"Number of neighbours") in
   let hi = Arg.(value & opt int 50 & info [ "horizon" ] ~doc:"Interval end") in
   Cmd.v (Cmd.info "knn" ~doc:"k-nearest-neighbour timeline on a random workload")
-    Term.(const knn_run $ seed_arg $ n_arg $ k $ hi $ db_arg)
+    Term.(const knn_run $ seed_arg $ n_arg $ k $ hi $ db_arg $ backend_arg)
 
 let monitor_run seed n count gap dbfile =
   let db = load_or_gen dbfile seed n in
@@ -349,7 +384,27 @@ let recover_cmd =
 (* registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let stats_run seed n count gap dbfile updates_file store_dir every format =
+module Stats_pipeline (B : Moq_core.Backend.S) = struct
+  module Mon = Moq_core.Monitor.Make (B)
+  module K = Moq_core.Knn.Make (B)
+
+  let run ~sink ~store ~san ~db ~gdist ~query ~updates ~hi =
+    let m = Mon.create ~sink ~db ~gdist ~query () in
+    List.iter
+      (fun u ->
+        match Store.ingest store san u with
+        | Sanitize.Accepted _ ->
+          (match Mon.apply_update m u with Ok () -> () | Error _ -> ())
+        | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ())
+      updates;
+    ignore (Mon.audit_and_heal m);
+    ignore (Mon.finalize m);
+    Store.close store;
+    (* past-query path, so the sweep metrics are populated too *)
+    ignore (K.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi)
+end
+
+let stats_run seed n count gap dbfile updates_file store_dir every format backend =
   let reg = Registry.create () in
   let sink = Sink.of_registry reg in
   let dir =
@@ -366,24 +421,17 @@ let stats_run seed n count gap dbfile updates_file store_dir every format =
   let gdist = Gdist.euclidean_sq ~gamma in
   let hi = q (count * gap + 20) in
   let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) hi) in
-  let m = MonX.create ~sink ~db ~gdist ~query () in
   let updates =
     match updates_file with
     | Some path -> load_updates path
     | None -> Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 0) ~gap:(q gap) ~count ()
   in
-  List.iter
-    (fun u ->
-      match Store.ingest store san u with
-      | Sanitize.Accepted _ ->
-        (match MonX.apply_update m u with Ok () -> () | Error _ -> ())
-      | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ())
-    updates;
-  ignore (MonX.audit_and_heal m);
-  ignore (MonX.finalize m);
-  Store.close store;
-  (* past-query and recovery paths, so their metrics are populated too *)
-  ignore (KnnX.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi);
+  BFl.reset_filter_stats ();
+  let module B = (val backend_module backend) in
+  let module P = Stats_pipeline (B) in
+  P.run ~sink ~store ~san ~db ~gdist ~query ~updates ~hi;
+  (* filtered backend: surface moq_filter_* alongside the engine metrics *)
+  (match backend with `Filtered -> BFl.publish sink | `Exact | `Approx -> ());
   (match Store.recover_obs ~sink ~dir with Ok _ -> () | Error _ -> ());
   match format with
   | `Json -> print_endline (Export.json_string reg)
@@ -403,7 +451,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Replay a workload through the instrumented store, monitor and sweep; dump the metric registry")
-    Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format)
+    Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format $ backend_arg)
 
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in

@@ -6,7 +6,13 @@
     every comparison the sweep makes is decided exactly, standing in for the
     real-closed-field oracle the paper assumes.  The {!Approx} backend uses
     floats and numeric root finding; it is the fast configuration used by
-    the benchmarks (experiment A2 compares the two). *)
+    the benchmarks (experiment A2 compares the two).  The {!Filtered}
+    backend is the exact-geometric-computation middle ground: it carries an
+    outward-rounded float interval alongside every exact value, decides
+    signs and comparisons from the intervals when they are conclusive, and
+    falls back to the exact machinery only when an interval straddles zero —
+    bit-identical answers to {!Exact} at a fraction of the cost (experiment
+    A3 measures the hit rate and speedup). *)
 
 module Q = Moq_numeric.Rat
 
@@ -152,4 +158,300 @@ struct
   let curve_of_qpiece = Moq_poly.Piecewise.fpiece_of_qpiece
   let instant_to_float t = t
   let pp_instant fmt t = Format.fprintf fmt "%g" t
+end
+
+(** Filtered exact backend.
+
+    Every [instant] is an exact algebraic number shadowed by an
+    outward-rounded float interval ({!Moq_numeric.Fintval}); polynomial
+    coefficients get memoized interval shadows ({!Moq_poly.Shadow}).  Each
+    predicate first tries to decide from the intervals — a {e hit} — and
+    only when the interval answer is inconclusive runs the exact
+    Sturm/Algnum machinery — a {e miss}, whose wall time is accumulated so
+    the benchmarks can attribute cost.  Because every decision the sweep
+    engine consumes (signs, comparisons, root existence and order) is
+    either proved by an enclosing interval or delegated to [Exact], the
+    produced event sequence, orders and support sets are bit-identical to
+    the exact backend's. *)
+module Filtered : sig
+  include
+    S
+      with type P.t = Moq_poly.Qpoly.t
+       and type P.F.t = Q.t
+       and type PW.t = Moq_poly.Piecewise.Qpiece.t
+
+  type filter_stats = {
+    hits : int;  (** decisions settled by intervals alone *)
+    misses : int;  (** decisions that fell back to exact arithmetic *)
+    decisions : int;  (** total filtered decisions (= hits + misses) *)
+    fallback_ns : float;  (** wall time spent inside exact fallbacks *)
+  }
+
+  val filter_stats : unit -> filter_stats
+  val reset_filter_stats : unit -> unit
+
+  val publish : Moq_obs.Sink.t -> unit
+  (** Push the current absolute [moq_filter_hit] / [moq_filter_miss] /
+      [moq_filter_fallback_ns] values as counter increments; callers reset
+      first ({!reset_filter_stats}) to publish one run's worth. *)
+
+  val to_algnum : instant -> Moq_poly.Algnum.t
+  (** The exact value, for cross-backend comparison in tests/benchmarks. *)
+
+  val of_algnum : Moq_poly.Algnum.t -> instant
+end = struct
+  module P = Moq_poly.Qpoly
+  module PW = Moq_poly.Piecewise.Qpiece
+  module A = Moq_poly.Algnum
+  module IV = Moq_numeric.Fintval
+  module Shadow = Moq_poly.Shadow
+  module Sink = Moq_obs.Sink
+
+  (* [zero_of]: a polynomial this instant is known to be an exact root of
+     (set when the instant was produced as a root).  Lets [sign_at_instant]
+     certify the zero sign structurally — intervals alone can never prove a
+     sign of exactly zero at a non-dyadic point. *)
+  type instant = { ex : A.t; mutable iv : IV.t; zero_of : P.t option }
+
+  type filter_stats = { hits : int; misses : int; decisions : int; fallback_ns : float }
+
+  let hits = ref 0
+  let misses = ref 0
+  let decisions = ref 0
+  let fallback_ns = ref 0.0
+
+  let filter_stats () =
+    { hits = !hits; misses = !misses; decisions = !decisions; fallback_ns = !fallback_ns }
+
+  let reset_filter_stats () =
+    hits := 0;
+    misses := 0;
+    decisions := 0;
+    fallback_ns := 0.0
+
+  let publish sink =
+    Sink.count sink "moq_filter_hit" !hits;
+    Sink.count sink "moq_filter_miss" !misses;
+    Sink.count sink "moq_filter_fallback_ns" (int_of_float !fallback_ns)
+
+  let hit v =
+    incr hits;
+    v
+
+  let miss f =
+    incr misses;
+    let t0 = Sink.wall () in
+    let r = f () in
+    fallback_ns := !fallback_ns +. ((Sink.wall () -. t0) *. 1e9);
+    r
+
+  (* Re-pull the (possibly refined-in-place) exact enclosure into the float
+     shadow after an exact fallback, so later decisions hit. *)
+  let refresh i =
+    let lo, hi = A.bounds i.ex in
+    i.iv <- IV.of_rat_bounds lo hi
+
+  let of_algnum x =
+    let lo, hi = A.bounds x in
+    { ex = x; iv = IV.of_rat_bounds lo hi; zero_of = None }
+
+  let to_algnum i = i.ex
+  let instant_of_scalar s = { ex = A.of_rat s; iv = IV.of_rat s; zero_of = None }
+
+  (* Is [p] the stored root polynomial, up to sign?  (The engine recomputes
+     difference polynomials on the fly, so [p1 - p2] and [p2 - p1] both
+     occur for the same crossing.) *)
+  let is_zero_of i p =
+    match i.zero_of with
+    | Some p0 -> P.equal p p0 || P.equal p (P.neg p0)
+    | None -> false
+
+  let compare_instant a b =
+    if a == b then 0
+    else begin
+      incr decisions;
+      match IV.compare_certain a.iv b.iv with
+      | Some c -> hit c
+      | None when
+          (match a.zero_of, b.zero_of with
+           | Some pa, Some pb ->
+             P.degree pa = 1 && (P.equal pa pb || P.equal pa (P.neg pb))
+           | _ -> false) ->
+        hit 0 (* both are the unique root of the same linear polynomial *)
+      | None ->
+        miss (fun () ->
+          let c = A.compare a.ex b.ex in
+          refresh a;
+          refresh b;
+          c)
+    end
+
+  let compare_instant_scalar i s =
+    incr decisions;
+    match IV.compare_certain i.iv (IV.of_rat s) with
+    | Some c -> hit c
+    | None ->
+      miss (fun () ->
+        let c = A.compare i.ex (A.of_rat s) in
+        refresh i;
+        c)
+
+  let sign_at_instant p i =
+    if P.is_zero p then 0
+    else begin
+      incr decisions;
+      match IV.sign (Shadow.eval_at p i.iv) with
+      | Some s -> hit s
+      | None when is_zero_of i p -> hit 0
+      | None ->
+        miss (fun () ->
+          let s = A.sign_of_poly_at p i.ex in
+          refresh i;
+          s)
+    end
+
+  let sign_after_instant p i =
+    let rec go p =
+      if P.is_zero p then 0
+      else begin
+        let s = sign_at_instant p i in
+        if s <> 0 then s else go (P.derivative p)
+      end
+    in
+    go p
+
+  (* --- root filtering ------------------------------------------------- *)
+
+  let linear_root p = Q.neg (Q.div (P.coeff p 0) (P.coeff p 1))
+
+  (* Promote a finite interval [rc], already proved to contain exactly one
+     root of [p] strictly beyond the threshold, into an exact instant.  The
+     endpoint signs are checked exactly (cheap dyadic rationals); a zero or
+     same-sign endpoint means the float certificate was too optimistic and
+     the caller must fall back. *)
+  let certify_root p (rc : IV.t) : instant option =
+    if not (IV.is_finite rc) then None
+    else begin
+      let ql = Q.of_float (IV.lo rc) and qh = Q.of_float (IV.hi rc) in
+      if Q.compare ql qh >= 0 then None
+      else if P.sign_at p ql * P.sign_at p qh < 0 then
+        Some { ex = A.root_of_isolating_exn p ~lo:ql ~hi:qh; iv = rc; zero_of = Some p }
+      else None
+    end
+
+  (* Interval prefilter for the first root of a quadratic at-or-beyond a
+     threshold enclosed by [tv].  Outer [None] = inconclusive (exact
+     fallback); [Some ans] = certain answer.  A root exactly at the
+     threshold is never certified, so the same filter serves both the
+     strict ("after") and weak ("at or after") variants — they only differ
+     on that always-fallback case. *)
+  let quad_first_root p (tv : IV.t) : instant option option =
+    let a2 = Shadow.coeff p 2 and a1 = Shadow.coeff p 1 and a0 = Shadow.coeff p 0 in
+    let disc = IV.sub (IV.mul a1 a1) (IV.mul (IV.of_int 4) (IV.mul a2 a0)) in
+    match IV.sign disc with
+    | Some s when s < 0 -> Some None (* certainly no real roots *)
+    | Some s when s > 0 ->
+      let sq = IV.sqrt disc in
+      let two_a2 = IV.mul (IV.of_int 2) a2 in
+      let r1 = IV.div (IV.sub (IV.neg a1) sq) two_a2 in
+      let r2 = IV.div (IV.add (IV.neg a1) sq) two_a2 in
+      let ordered =
+        if IV.hi r1 < IV.lo r2 then Some (r1, r2)
+        else if IV.hi r2 < IV.lo r1 then Some (r2, r1)
+        else None (* enclosures overlap: near-tangency, fall back *)
+      in
+      (match ordered with
+       | None -> None
+       | Some (rmin, rmax) ->
+         if IV.hi rmax < IV.lo tv then Some None (* both roots certainly before *)
+         else if IV.lo rmin > IV.hi tv then
+           (match certify_root p rmin with Some i -> Some (Some i) | None -> None)
+         else if IV.hi rmin < IV.lo tv && IV.lo rmax > IV.hi tv then
+           (match certify_root p rmax with Some i -> Some (Some i) | None -> None)
+         else None)
+    | _ -> None (* double root or inconclusive discriminant *)
+
+  let first_root_after p i =
+    let d = P.degree p in
+    if d <= 0 then None
+    else begin
+      incr decisions;
+      if d = 1 then begin
+        let r = linear_root p in
+        let rv = IV.of_rat r in
+        let root () = Some { ex = A.of_rat r; iv = rv; zero_of = Some p } in
+        match IV.compare_certain rv i.iv with
+        | Some c -> hit (if c > 0 then root () else None)
+        | None ->
+          (* [i] the unique root of [p] itself: no root strictly after *)
+          if is_zero_of i p then hit None
+          else
+            miss (fun () ->
+              if A.compare (A.of_rat r) i.ex > 0 then root () else None)
+      end
+      else if d = 2 then begin
+        match quad_first_root p i.iv with
+        | Some ans -> hit ans
+        | None -> miss (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
+      end
+      else miss (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
+    end
+
+  let first_root_at_or_after p s =
+    let d = P.degree p in
+    if d <= 0 then None
+    else begin
+      incr decisions;
+      if d = 1 then begin
+        let r = linear_root p in
+        let rv = IV.of_rat r in
+        let root () = Some { ex = A.of_rat r; iv = rv; zero_of = Some p } in
+        match IV.compare_certain rv (IV.of_rat s) with
+        | Some c -> hit (if c >= 0 then root () else None)
+        | None ->
+          miss (fun () ->
+            if Q.compare r s >= 0 then root () else None)
+      end
+      else if d = 2 then begin
+        match quad_first_root p (IV.of_rat s) with
+        | Some ans -> hit ans
+        | None ->
+          miss (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
+      end
+      else miss (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
+    end
+
+  let all_roots p = List.map of_algnum (A.roots p)
+
+  (* A float strictly inside the open gap (l, h), if one exists. *)
+  let gap_mid l h =
+    let m = 0.5 *. (l +. h) in
+    if l < m && m < h && Float.is_finite m then Some m else None
+
+  let between a b =
+    incr decisions;
+    let fast =
+      if IV.hi a.iv < IV.lo b.iv then gap_mid (IV.hi a.iv) (IV.lo b.iv)
+      else if IV.hi b.iv < IV.lo a.iv then gap_mid (IV.hi b.iv) (IV.lo a.iv)
+      else None
+    in
+    match fast with
+    | Some m -> hit (Q.of_float m) (* exact dyadic, strictly between *)
+    | None -> miss (fun () -> A.rational_between a.ex b.ex)
+
+  let scalar_after i ~upto =
+    match upto with
+    | None -> A.rational_above i.ex
+    | Some u ->
+      incr decisions;
+      let uv = IV.of_rat u in
+      let fast = if IV.hi i.iv < IV.lo uv then gap_mid (IV.hi i.iv) (IV.lo uv) else None in
+      (match fast with
+       | Some m -> hit (Q.of_float m)
+       | None -> miss (fun () -> A.rational_between i.ex (A.of_rat u)))
+
+  let scalar_of_rat q = q
+  let curve_of_qpiece c = c
+  let instant_to_float i = A.to_float i.ex
+  let pp_instant fmt i = A.pp fmt i.ex
 end

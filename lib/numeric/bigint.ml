@@ -1,87 +1,126 @@
-(* Sign-magnitude bignum with base-2^30 limbs, little-endian.  Division is
-   Knuth's Algorithm D; everything else is schoolbook.  Canonical form: no
-   leading (high-order) zero limb; zero is {sign = 0; mag = [||]}. *)
+(* Sign-magnitude bignum with a small-integer fast path.
+
+   [Small n] holds every value that fits OCaml's native [int]; [Big] holds
+   the rest as base-2^30 little-endian limbs with no leading zero limb.
+   The split is canonical — an int-fitting value is ALWAYS [Small] — so
+   structural equality and [Hashtbl.hash] coincide with value equality
+   (rationals built from these appear as hash-table keys downstream).
+   Division is Knuth's Algorithm D; everything else is schoolbook.  The
+   sweep workloads are overwhelmingly single-limb, so the [Small]/[Small]
+   branches below are the exact backend's real inner loop. *)
 
 let base_bits = 30
 let base = 1 lsl base_bits (* 2^30 *)
 let limb_mask = base - 1
 
-type t = { sign : int; mag : int array }
+type t = Small of int | Big of { sign : int; mag : int array }
 
-let zero = { sign = 0; mag = [||] }
+let zero = Small 0
+let one = Small 1
+let minus_one = Small (-1)
 
+(* |min_int| = 2^62 in limbs. *)
+let mag_min_int () = [| 0; 0; 4 |]
+
+(* Magnitude limbs of |n| for n <> 0 ([min_int] included). *)
+let mag_of_abs n =
+  if n = min_int then mag_min_int ()
+  else begin
+    let a = abs n in
+    let rec count v k = if v = 0 then k else count (v lsr base_bits) (k + 1) in
+    let k = count a 0 in
+    let mag = Array.make k 0 in
+    let v = ref a in
+    for i = 0 to k - 1 do
+      mag.(i) <- !v land limb_mask;
+      v := !v lsr base_bits
+    done;
+    mag
+  end
+
+(* (sign, magnitude) view for the big-number code paths. *)
+let repr = function
+  | Small 0 -> (0, [||])
+  | Small n -> ((if n < 0 then -1 else 1), mag_of_abs n)
+  | Big { sign; mag } -> (sign, mag)
+
+(* [Some v] when sign * mag fits a native [int]; mag has no leading zero. *)
+let int_of_mag sign mag =
+  match Array.length mag with
+  | 0 -> Some 0
+  | 1 -> Some (if sign < 0 then -mag.(0) else mag.(0))
+  | 2 ->
+    let v = (mag.(1) lsl base_bits) lor mag.(0) in
+    Some (if sign < 0 then -v else v)
+  | 3 ->
+    if mag.(2) <= 3 then begin
+      (* max_int = 3 * 2^60 + (2^30 - 1) * 2^30 + (2^30 - 1). *)
+      let v = (((mag.(2) lsl base_bits) lor mag.(1)) lsl base_bits) lor mag.(0) in
+      Some (if sign < 0 then -v else v)
+    end
+    else if sign < 0 && mag.(2) = 4 && mag.(1) = 0 && mag.(0) = 0 then Some min_int
+    else None
+  | _ -> None
+
+(* Canonicalize: strip leading zero limbs, collapse to [Small] when the
+   value fits. *)
 let normalize sign mag =
   let n = Array.length mag in
   let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
   let hi = top (n - 1) in
-  if hi < 0 then zero
-  else if hi = n - 1 then { sign; mag }
-  else { sign; mag = Array.sub mag 0 (hi + 1) }
-
-let is_zero x = x.sign = 0
-let sign x = x.sign
-
-let of_int n =
-  if n = 0 then zero
+  if hi < 0 then Small 0
   else begin
-    let s = if n < 0 then -1 else 1 in
-    if n = min_int then begin
-      (* [abs min_int] overflows: decompose the bit pattern with logical
-         shifts instead. *)
-      let l0 = n land limb_mask in
-      let l1 = (n lsr base_bits) land limb_mask in
-      let l2 = (n lsr (2 * base_bits)) land limb_mask in
-      normalize (-1) [| l0; l1; l2 |]
-    end
-    else begin
-      let a = abs n in
-      let rec count v k = if v = 0 then k else count (v lsr base_bits) (k + 1) in
-      let k = count a 0 in
-      let mag = Array.make k 0 in
-      let v = ref a in
-      for i = 0 to k - 1 do
-        mag.(i) <- !v land limb_mask;
-        v := !v lsr base_bits
-      done;
-      { sign = s; mag }
-    end
+    let mag = if hi = n - 1 then mag else Array.sub mag 0 (hi + 1) in
+    if hi <= 2 then
+      match int_of_mag sign mag with
+      | Some v -> Small v
+      | None -> Big { sign; mag }
+    else Big { sign; mag }
   end
 
-let to_int x =
-  let n = Array.length x.mag in
-  if n = 0 then Some 0
-  else if n > 3 then None
-  else begin
-    let v = ref 0 in
-    let ok = ref true in
-    for i = n - 1 downto 0 do
-      if !v > (max_int - x.mag.(i)) / base then ok := false
-      else v := (!v lsl base_bits) lor x.mag.(i)
-    done;
-    if !ok then Some (if x.sign < 0 then - !v else !v)
-    else if x.sign < 0 && n = 3 && x.mag.(2) = 4 && x.mag.(1) = 0 && x.mag.(0) = 0
-    then Some min_int
-    else None
-  end
+let is_zero = function Small 0 -> true | _ -> false
+let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let of_int n = Small n
+
+(* Canonical form: a [Big] never fits an [int]. *)
+let to_int = function Small n -> Some n | Big _ -> None
 
 let to_int_exn x =
   match to_int x with
   | Some n -> n
   | None -> invalid_arg "Bigint.to_int_exn: overflow"
 
+(* Bit length of |n| for n <> 0 ([min_int] included). *)
+let bits_of_int_abs n =
+  if n = min_int then 63
+  else begin
+    let rec go v k = if v = 0 then k else go (v lsr 1) (k + 1) in
+    go (abs n) 0
+  end
+
 (* Magnitude comparison. *)
 let cmp_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Stdlib.compare la lb
   else begin
-    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
     go (la - 1)
   end
 
 let compare x y =
-  if x.sign <> y.sign then compare x.sign y.sign
-  else if x.sign >= 0 then cmp_mag x.mag y.mag
-  else cmp_mag y.mag x.mag
+  match x, y with
+  | Small a, Small b -> Stdlib.compare a b
+  (* A [Big] magnitude strictly exceeds every [int]. *)
+  | Small _, Big b -> if b.sign > 0 then -1 else 1
+  | Big a, Small _ -> if a.sign > 0 then 1 else -1
+  | Big a, Big b ->
+    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    else if a.sign >= 0 then cmp_mag a.mag b.mag
+    else cmp_mag b.mag a.mag
 
 let equal x y = compare x y = 0
 
@@ -111,20 +150,44 @@ let sub_mag a b =
   assert (!borrow = 0);
   r
 
-let add x y =
-  if x.sign = 0 then y
-  else if y.sign = 0 then x
-  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+let add_big (sx, mx) (sy, my) =
+  if sx = 0 then normalize sy my
+  else if sy = 0 then normalize sx mx
+  else if sx = sy then normalize sx (add_mag mx my)
   else begin
-    let c = cmp_mag x.mag y.mag in
-    if c = 0 then zero
-    else if c > 0 then normalize x.sign (sub_mag x.mag y.mag)
-    else normalize y.sign (sub_mag y.mag x.mag)
+    let c = cmp_mag mx my in
+    if c = 0 then Small 0
+    else if c > 0 then normalize sx (sub_mag mx my)
+    else normalize sy (sub_mag my mx)
   end
 
-let neg x = if x.sign = 0 then x else { x with sign = - x.sign }
-let abs x = if x.sign < 0 then neg x else x
-let sub x y = add x (neg y)
+let add x y =
+  match x, y with
+  | Small a, Small b ->
+    let s = a + b in
+    (* Overflow only when the operands agree in sign and the sum doesn't. *)
+    if (a >= 0) <> (b >= 0) || (s >= 0) = (a >= 0) then Small s
+    else add_big (repr x) (repr y)
+  | _ -> add_big (repr x) (repr y)
+
+let neg = function
+  | Small n when n <> min_int -> Small (-n)
+  | Small _ -> Big { sign = 1; mag = mag_min_int () } (* 2^62 > max_int *)
+  | Big b -> Big { sign = -b.sign; mag = b.mag }
+
+let abs = function
+  | Small n when n >= 0 -> Small n
+  | Small n when n <> min_int -> Small (-n)
+  | Small _ -> Big { sign = 1; mag = mag_min_int () }
+  | Big b as x -> if b.sign > 0 then x else Big { sign = 1; mag = b.mag }
+
+let sub x y =
+  match x, y with
+  | Small a, Small b ->
+    let d = a - b in
+    if (a >= 0) = (b >= 0) || (d >= 0) = (a >= 0) then Small d
+    else add_big (repr x) (repr (neg y))
+  | _ -> add_big (repr x) (repr (neg y))
 
 let mul_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -152,11 +215,25 @@ let mul_mag a b =
     r
   end
 
-let mul x y =
-  if x.sign = 0 || y.sign = 0 then zero
-  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+let mul_big (sx, mx) (sy, my) =
+  if sx = 0 || sy = 0 then Small 0
+  else normalize (sx * sy) (mul_mag mx my)
 
-let mul_int x n = mul x (of_int n)
+let small_lim = 1 lsl 31
+
+let mul x y =
+  match x, y with
+  | Small a, Small b ->
+    if a > -small_lim && a < small_lim && b > -small_lim && b < small_lim then
+      Small (a * b) (* |a*b| <= (2^31 - 1)^2 < 2^62 *)
+    else if
+      a <> 0 && b <> 0 && a <> min_int && b <> min_int
+      && bits_of_int_abs a + bits_of_int_abs b <= 62
+    then Small (a * b) (* |a*b| < 2^62, so it fits *)
+    else mul_big (repr x) (repr y)
+  | _ -> mul_big (repr x) (repr y)
+
+let mul_int x n = mul x (Small n)
 
 (* Shift magnitude left by [k] bits. *)
 let shl_mag a k =
@@ -182,7 +259,10 @@ let shr_mag a k =
     let r = Array.make l 0 in
     for i = 0 to l - 1 do
       let lo = a.(i + limbs) lsr bits in
-      let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask else 0 in
+      let hi =
+        if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask
+        else 0
+      in
       r.(i) <- if bits = 0 then a.(i + limbs) else lo lor hi
     done;
     r
@@ -190,21 +270,42 @@ let shr_mag a k =
 
 let shift_left x k =
   if k < 0 then invalid_arg "Bigint.shift_left"
-  else if x.sign = 0 || k = 0 then x
-  else normalize x.sign (shl_mag x.mag k)
+  else
+    match x with
+    | Small 0 -> x
+    | _ when k = 0 -> x
+    | Small n when n <> min_int && bits_of_int_abs n + k <= 62 -> Small (n lsl k)
+    | _ ->
+      let s, m = repr x in
+      normalize s (shl_mag m k)
 
+(* Truncates the magnitude toward zero: sign(x) * (|x| lsr k). *)
 let shift_right x k =
   if k < 0 then invalid_arg "Bigint.shift_right"
-  else if x.sign = 0 || k = 0 then x
-  else normalize x.sign (shr_mag x.mag k)
+  else
+    match x with
+    | Small 0 -> x
+    | _ when k = 0 -> x
+    | Small n when n <> min_int ->
+      if k >= 62 then Small 0
+      else begin
+        let m = Stdlib.abs n lsr k in
+        Small (if n < 0 then -m else m)
+      end
+    | _ ->
+      let s, m = repr x in
+      normalize s (shr_mag m k)
 
 let bits_of_limb v =
   let rec go v k = if v = 0 then k else go (v lsr 1) (k + 1) in
   go v 0
 
-let num_bits x =
-  let n = Array.length x.mag in
-  if n = 0 then 0 else (n - 1) * base_bits + bits_of_limb x.mag.(n - 1)
+let num_bits = function
+  | Small 0 -> 0
+  | Small n -> bits_of_int_abs n
+  | Big b ->
+    let n = Array.length b.mag in
+    (n - 1) * base_bits + bits_of_limb b.mag.(n - 1)
 
 (* Divide magnitude by a single limb; returns (quotient, remainder). *)
 let divmod_mag_limb a d =
@@ -298,30 +399,42 @@ let divmod_mag a b =
     (q, r)
   end
 
-let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
+let divmod_big (sa, ma) (sb, mb) =
+  if sb = 0 then raise Division_by_zero
+  else if sa = 0 then (Small 0, Small 0)
   else begin
-    let c = cmp_mag a.mag b.mag in
-    if c < 0 then (zero, a)
-    else if Array.length b.mag = 1 then begin
-      let q, r = divmod_mag_limb a.mag b.mag.(0) in
-      (normalize (a.sign * b.sign) q, if r = 0 then zero else { sign = a.sign; mag = [| r |] })
+    let c = cmp_mag ma mb in
+    if c < 0 then (Small 0, normalize sa ma)
+    else if Array.length mb = 1 then begin
+      let q, r = divmod_mag_limb ma mb.(0) in
+      (normalize (sa * sb) q, if r = 0 then Small 0 else Small (if sa < 0 then -r else r))
     end
     else begin
-      let q, r = divmod_mag a.mag b.mag in
-      (normalize (a.sign * b.sign) q, normalize a.sign r)
+      let q, r = divmod_mag ma mb in
+      (normalize (sa * sb) q, normalize sa r)
     end
   end
+
+let divmod a b =
+  match a, b with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    if x = min_int && y = -1 then (Big { sign = 1; mag = mag_min_int () }, Small 0)
+    else (Small (x / y), Small (x mod y))
+  | _ -> divmod_big (repr a) (repr b)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
+(* a, b >= 0. *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
 let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
-let gcd a b = gcd_aux (abs a) (abs b)
 
-let one = of_int 1
-let minus_one = of_int (-1)
+let gcd a b =
+  match a, b with
+  | Small x, Small y when x <> min_int && y <> min_int ->
+    Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))
+  | _ -> gcd_aux (abs a) (abs b)
 
 let pow x k =
   if k < 0 then invalid_arg "Bigint.pow"
@@ -334,19 +447,38 @@ let pow x k =
     go one x k
   end
 
-let to_float x =
-  let n = Array.length x.mag in
-  let v = ref 0.0 in
-  for i = n - 1 downto 0 do
-    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
-  done;
-  if x.sign < 0 then -. !v else !v
+let to_float = function
+  | Small n -> float_of_int n (* single correctly-rounded conversion *)
+  | Big b ->
+    (* Correctly rounded: take the top 60 bits h = floor(|x| / 2^e), OR any
+       dropped bit into bit 0 of h (strictly below the rounding position),
+       and let the one float_of_int conversion do the round-to-nearest-even.
+       ldexp by a power of two is exact (or overflows to infinity). *)
+    let mag = b.mag in
+    let n = Array.length mag in
+    let nb = (n - 1) * base_bits + bits_of_limb mag.(n - 1) in
+    let e = nb - 60 in
+    (* Big implies nb >= 63, so e > 0 and h has exactly 60 bits. *)
+    let top = shr_mag mag e in
+    let h = ref 0 in
+    for i = Array.length top - 1 downto 0 do
+      h := (!h lsl base_bits) lor top.(i)
+    done;
+    let sticky = ref false in
+    let limbs = e / base_bits and bits = e mod base_bits in
+    for i = 0 to limbs - 1 do
+      if mag.(i) <> 0 then sticky := true
+    done;
+    if bits > 0 && mag.(limbs) land ((1 lsl bits) - 1) <> 0 then sticky := true;
+    let h = if !sticky then !h lor 1 else !h in
+    let f = Float.ldexp (float_of_int h) e in
+    if b.sign < 0 then -.f else f
 
-let billion = of_int 1_000_000_000
+let billion = Small 1_000_000_000
 
-let to_string x =
-  if x.sign = 0 then "0"
-  else begin
+let to_string = function
+  | Small n -> string_of_int n
+  | Big _ as x ->
     let buf = Buffer.create 32 in
     let rec chunks v acc =
       if is_zero v then acc
@@ -355,14 +487,13 @@ let to_string x =
         chunks q (to_int_exn r :: acc)
       end
     in
-    if x.sign < 0 then Buffer.add_char buf '-';
+    if sign x < 0 then Buffer.add_char buf '-';
     (match chunks (abs x) [] with
      | [] -> Buffer.add_char buf '0'
      | first :: rest ->
        Buffer.add_string buf (string_of_int first);
        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
     Buffer.contents buf
-  end
 
 let of_string s =
   let n = String.length s in
@@ -372,11 +503,11 @@ let of_string s =
     let start = if negative || s.[0] = '+' then 1 else 0 in
     if start >= n then invalid_arg "Bigint.of_string: no digits";
     let acc = ref zero in
-    let ten = of_int 10 in
+    let ten = Small 10 in
     for i = start to n - 1 do
       let c = s.[i] in
       if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
-      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      acc := add (mul !acc ten) (Small (Char.code c - Char.code '0'))
     done;
     if negative then neg !acc else !acc
   end
@@ -384,6 +515,7 @@ let of_string s =
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let hash x = Hashtbl.hash (x.sign, x.mag)
+(* Canonical representation: structural hashing is value hashing. *)
+let hash x = Hashtbl.hash x
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,10 +1,12 @@
 (** Arbitrary-precision signed integers.
 
-    Sign-magnitude representation with base-[2{^30}] limbs stored
+    Values that fit a native [int] are carried unboxed ([Small]); only
+    larger values fall back to sign-magnitude base-[2{^30}] limbs stored
     little-endian in an [int array].  The container is sealed (no zarith), so
     the exact-arithmetic kernel of the whole reproduction rests on this
-    module.  All values are canonical: the magnitude has no leading zero limb
-    and zero has sign [0]. *)
+    module.  The representation is canonical — every int-fitting value uses
+    the small form, and a magnitude never has a leading zero limb — so
+    structural equality and [Hashtbl.hash] agree with value equality. *)
 
 type t
 
@@ -51,7 +53,8 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val to_float : t -> float
-(** Nearest float (may overflow to infinity for huge values). *)
+(** Correctly rounded (round-to-nearest-even) conversion; overflows to
+    infinity for huge values. *)
 
 val num_bits : t -> int
 (** Bits in the magnitude; [num_bits zero = 0]. *)

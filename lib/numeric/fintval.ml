@@ -1,0 +1,145 @@
+(* Outward-rounded float intervals — the numeric half of the filtered
+   (exact-geometric-computation) backend.
+
+   Every interval produced here encloses the exact real it shadows.  We do
+   not switch the FPU rounding mode: each operation is computed in
+   round-to-nearest and then widened one ulp outward with
+   [Float.pred]/[Float.succ], which over-approximates directed rounding.
+   Any NaN (e.g. from 0 * inf) degrades to the whole real line, never to a
+   false enclosure. *)
+
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let lo i = i.lo
+let hi i = i.hi
+
+(* A float known to be exact (integer arithmetic, dyadic rationals). *)
+let point f = { lo = f; hi = f }
+
+let down f = if f = neg_infinity || Float.is_nan f then neg_infinity else Float.pred f
+let up f = if f = infinity || Float.is_nan f then infinity else Float.succ f
+
+let make_out l h =
+  if Float.is_nan l || Float.is_nan h then top else { lo = down l; hi = up h }
+
+(* Encloses the real approximated by [f] to within one rounding (1/2 ulp),
+   so widening one ulp each way is sound. *)
+let of_float f = if Float.is_finite f then { lo = Float.pred f; hi = Float.succ f } else top
+
+let two53 = 9007199254740992.0 (* 2^53 *)
+
+let of_int n =
+  let f = float_of_int n in
+  if Float.abs f <= two53 then point f else { lo = Float.pred f; hi = Float.succ f }
+
+(* A canonical rational n / 2^k is exactly a double when the numerator has
+   at most 53 bits and k <= 1074: the value is then a multiple of the ulp
+   of its binade (normal or subnormal), and its mantissa fits.  Such values
+   convert exactly ([Rat.to_float] is correctly rounded), so their
+   enclosure is a point — this is what lets the filter decide equalities
+   between instants and the integer/dyadic scalars the engine compares
+   against (curve starts, horizons, sample points from [between]). *)
+let exactly_representable q =
+  Bigint.num_bits (Rat.num q) <= 53
+  &&
+  let d = Rat.den q in
+  let bd = Bigint.num_bits d in
+  bd <= 1075 && Bigint.equal d (Bigint.shift_left Bigint.one (bd - 1))
+
+(* Rat.to_float is correctly rounded, so the exact rational lies within
+   1/2 ulp of the conversion — strictly inside [pred f, succ f].  (In the
+   subnormal range the conversion may round twice; the error is still
+   below one ulp, so the same enclosure holds.) *)
+let of_rat q =
+  let f = Rat.to_float q in
+  if Float.is_finite f && exactly_representable q then point f else of_float f
+
+(* Enclosure of the exact interval [lo, hi] given as rationals. *)
+let of_rat_bounds qlo qhi =
+  let l = (of_rat qlo).lo and h = (of_rat qhi).hi in
+  { lo = l; hi = h }
+
+let neg a = { lo = -.a.hi; hi = -.a.lo } (* negation is exact *)
+let add a b = make_out (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = make_out (a.lo -. b.hi) (a.hi -. b.lo)
+
+let mul a b =
+  let x1 = a.lo *. b.lo
+  and x2 = a.lo *. b.hi
+  and x3 = a.hi *. b.lo
+  and x4 = a.hi *. b.hi in
+  if Float.is_nan x1 || Float.is_nan x2 || Float.is_nan x3 || Float.is_nan x4 then top
+  else begin
+    let mn = Float.min (Float.min x1 x2) (Float.min x3 x4) in
+    let mx = Float.max (Float.max x1 x2) (Float.max x3 x4) in
+    make_out mn mx
+  end
+
+(* Undefined (whole line) when the divisor straddles zero. *)
+let div a b =
+  if b.lo <= 0.0 && 0.0 <= b.hi then top
+  else begin
+    let x1 = a.lo /. b.lo
+    and x2 = a.lo /. b.hi
+    and x3 = a.hi /. b.lo
+    and x4 = a.hi /. b.hi in
+    if Float.is_nan x1 || Float.is_nan x2 || Float.is_nan x3 || Float.is_nan x4 then top
+    else begin
+      let mn = Float.min (Float.min x1 x2) (Float.min x3 x4) in
+      let mx = Float.max (Float.max x1 x2) (Float.max x3 x4) in
+      make_out mn mx
+    end
+  end
+
+(* Square root of the non-negative part; caller must rule out an interval
+   entirely below zero.  IEEE sqrt is correctly rounded, so one-ulp
+   widening is sound; the lower bound is clamped at zero. *)
+let sqrt a =
+  if a.hi < 0.0 then invalid_arg "Fintval.sqrt: negative interval"
+  else begin
+    let l = if a.lo <= 0.0 then 0.0 else Stdlib.max 0.0 (down (Float.sqrt a.lo)) in
+    let h = up (Float.sqrt a.hi) in
+    { lo = l; hi = h }
+  end
+
+(* Certainty queries: [Some] answers are proved, [None] means the filter
+   must fall back to exact arithmetic. *)
+
+let sign a =
+  if a.lo > 0.0 then Some 1
+  else if a.hi < 0.0 then Some (-1)
+  else if a.lo = 0.0 && a.hi = 0.0 then Some 0 (* exact-point zero *)
+  else None
+
+let compare_certain a b =
+  if a.hi < b.lo then Some (-1)
+  else if b.hi < a.lo then Some 1
+  else if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some 0
+  else None
+
+let contains_zero a = a.lo <= 0.0 && 0.0 <= a.hi
+let is_finite a = Float.is_finite a.lo && Float.is_finite a.hi
+let width a = a.hi -. a.lo
+let mid a = 0.5 *. (a.lo +. a.hi)
+
+(* Interval Horner over interval coefficients, lowest degree first (the
+   layout of [Poly.Make]). *)
+let eval (coeffs : t array) (x : t) =
+  let n = Array.length coeffs in
+  if n = 0 then point 0.0
+  else begin
+    let acc = ref coeffs.(n - 1) in
+    for i = n - 2 downto 0 do
+      acc := add (mul !acc x) coeffs.(i)
+    done;
+    !acc
+  end
+
+(* Exact membership test (for soundness properties in tests). *)
+let contains_rat a (q : Rat.t) =
+  (not (Float.is_finite a.lo) || Rat.compare (Rat.of_float a.lo) q <= 0)
+  && (not (Float.is_finite a.hi) || Rat.compare q (Rat.of_float a.hi) <= 0)
+
+let pp fmt a = Format.fprintf fmt "[%h, %h]" a.lo a.hi

@@ -1,0 +1,60 @@
+(** Outward-rounded float intervals.
+
+    The numeric half of the filtered exact backend: every interval encloses
+    the exact real it shadows, so a sign or an ordering that is decided by
+    the interval alone is proved, and only straddling-zero cases pay for
+    exact arithmetic.  Operations compute in round-to-nearest and widen one
+    ulp outward ([Float.pred]/[Float.succ]); no FPU mode switching. *)
+
+type t = private { lo : float; hi : float }
+
+val top : t
+(** The whole real line — the "don't know" interval. *)
+
+val lo : t -> float
+val hi : t -> float
+
+val point : float -> t
+(** Exact float, zero width.  Only sound for values known exact. *)
+
+val of_float : float -> t
+(** Encloses any real within 1/2 ulp of the argument (i.e. the preimage of
+    one correct rounding). *)
+
+val of_int : int -> t
+val of_rat : Rat.t -> t
+
+val of_rat_bounds : Rat.t -> Rat.t -> t
+(** [of_rat_bounds lo hi] encloses the exact interval [[lo, hi]]. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** [top] when the divisor straddles zero. *)
+
+val sqrt : t -> t
+(** Square root of the non-negative part.  @raise Invalid_argument when the
+    interval is entirely negative. *)
+
+val sign : t -> int option
+(** [Some s] only when the sign of every real in the interval is [s]. *)
+
+val compare_certain : t -> t -> int option
+(** [Some c] only when the order of the two enclosed reals is proved
+    (disjoint intervals, or both exact equal points). *)
+
+val contains_zero : t -> bool
+val is_finite : t -> bool
+val width : t -> float
+val mid : t -> float
+
+val eval : t array -> t -> t
+(** Interval Horner; coefficients lowest degree first. *)
+
+val contains_rat : t -> Rat.t -> bool
+(** Exact membership (soundness oracle for the property tests). *)
+
+val pp : Format.formatter -> t -> unit

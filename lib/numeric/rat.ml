@@ -58,15 +58,23 @@ let to_float x =
   if is_zero x then 0.0
   else begin
     (* Naive [to_float num /. to_float den] overflows when the denominator
-       exceeds the float range (e.g. subnormal reconstructions).  Scale so the
-       integer quotient keeps ~80 significant bits, then rescale exactly. *)
+       exceeds the float range (e.g. subnormal reconstructions), and scaling
+       to an ~80-bit quotient still rounded twice.  Instead scale so the
+       truncated quotient q = trunc(n * 2^k / d) has 60-61 significant bits
+       (fits an int), OR the divides-inexactly sticky bit below the rounding
+       position, and let the single float_of_int conversion round; ldexp by
+       2^-k is then exact away from the subnormal range. *)
     let bn = B.num_bits x.n and bd = B.num_bits x.d in
-    let k = 80 - (bn - bd) in
-    let q =
-      if k >= 0 then B.div (B.shift_left x.n k) x.d
-      else B.div x.n (B.shift_left x.d (- k))
+    let k = 60 - (bn - bd) in
+    let q, r =
+      if k >= 0 then B.divmod (B.shift_left x.n k) x.d
+      else B.divmod x.n (B.shift_left x.d (- k))
     in
-    Float.ldexp (B.to_float q) (- k)
+    (* |n/d| is in [2^(bn-bd-1), 2^(bn-bd+1)), so |q| is in [2^59, 2^61]. *)
+    let m = Stdlib.abs (B.to_int_exn q) in
+    let m = if not (B.is_zero r) && m land 1 = 0 then m lor 1 else m in
+    let f = Float.ldexp (float_of_int m) (- k) in
+    if sign x < 0 then -.f else f
   end
 
 let of_float f =

@@ -204,6 +204,25 @@ let first_root_at_or_after p x =
   in
   find (roots p)
 
+let bounds = function
+  | Rational q -> (q, q)
+  | Root r -> (r.lo, r.hi)
+
+let refine_step = function
+  | Rational _ -> ()
+  | Root r -> ignore (step r)
+
+(* Entry point for the filtered backend: it proves (with exact endpoint
+   signs, see the check below) that an interval isolates a root it found by
+   float means, then builds the [Root] without a full Sturm isolation. *)
+let root_of_isolating_exn p ~lo ~hi =
+  if Q.compare lo hi >= 0 then invalid_arg "Algnum.root_of_isolating_exn: empty interval";
+  let sf = P.squarefree p in
+  let slo = P.sign_at sf lo and shi = P.sign_at sf hi in
+  if slo = 0 || shi = 0 || slo * shi > 0 then
+    invalid_arg "Algnum.root_of_isolating_exn: no sign change"
+  else Root { p = sf; lo; hi }
+
 let pp fmt = function
   | Rational q -> Q.pp fmt q
   | Root r ->

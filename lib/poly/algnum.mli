@@ -49,4 +49,22 @@ val rational_above : t -> Q.t
 val to_float : t -> float
 (** Approximation after refining the isolating interval to width [< 1e-12]. *)
 
+val bounds : t -> Q.t * Q.t
+(** Current rational enclosure [(lo, hi)] of the number: the isolating
+    interval for a root ([lo < alpha < hi]), the point itself for a
+    rational.  Comparisons refine root intervals in place, so the returned
+    enclosure only ever narrows. *)
+
+val refine_step : t -> unit
+(** One in-place bisection of a root's isolating interval (at least halves
+    its width); no-op on rationals. *)
+
+val root_of_isolating_exn : Qpoly.t -> lo:Q.t -> hi:Q.t -> t
+(** Build the algebraic number isolated by [(lo, hi)] without running root
+    isolation.  Checks that the squarefree part of the polynomial changes
+    sign between the endpoints (and is nonzero at both); the CALLER must
+    guarantee the interval contains exactly one root.  @raise
+    Invalid_argument when the check fails.  Used by the filtered backend,
+    which certifies its float-interval root candidates this way. *)
+
 val pp : Format.formatter -> t -> unit

@@ -62,6 +62,68 @@ let inversions_db ~seed ~n ~inversions ~horizon =
   in
   add db 0
 
+(* Engineered degeneracies for the filtered backend: curve pairs whose
+   g-distance difference has a double root (tangency) or two roots a hair
+   apart (near-tangency) — exactly where a float filter must fall back to
+   exact arithmetic instead of guessing. *)
+let tangency_db ~seed ~n () =
+  let st = Random.State.make [| seed |] in
+  let db = DB.empty ~dim:2 ~tau:(q 0) in
+  let eps = Q.of_ints 1 1_000_000 in
+  let rec add db j =
+    if 2 * j >= n then db
+    else begin
+      let c = q (j + 1) in
+      (* tangency instant *)
+      let k = q (rand_int st 1 5) in
+      (* offset from the origin query point *)
+      let k' =
+        match j mod 3 with
+        | 0 -> k (* exact tangency: d² difference is 3(t-c)², a double root *)
+        | 1 -> Q.add k eps (* grazing pass: minimum of the difference ~ 0, no root *)
+        | _ -> Q.sub k eps (* near-tangency: two roots O(√eps) apart *)
+      in
+      (* A at (t-c, k), B at (2(t-c), k'): d² to the origin differ by
+         3(t-c)² + (k'² - k²). *)
+      let tra =
+        T.linear ~start:(q 0)
+          ~a:(Qvec.of_list [ q 1; q 0 ])
+          ~b:(Qvec.of_list [ Q.neg c; k ])
+      in
+      let trb =
+        T.linear ~start:(q 0)
+          ~a:(Qvec.of_list [ q 2; q 0 ])
+          ~b:(Qvec.of_list [ Q.mul (q (-2)) c; k' ])
+      in
+      let db = DB.add_initial db (2 * j + 1) tra in
+      let db = DB.add_initial db (2 * j + 2) trb in
+      add db (j + 1)
+    end
+  in
+  add db 0
+
+(* All trajectories pass through the common point (at, y0): every pair
+   crosses simultaneously at [at], so the sweep pops one N-way batch —
+   the simultaneous-crossing stress case. *)
+let pencil_db ~seed ~n ~at () =
+  let st = Random.State.make [| seed |] in
+  let y0 = q (rand_int st (-5) 5) in
+  let db = DB.empty ~dim:1 ~tau:(q 0) in
+  let rec add db i =
+    if i > n then db
+    else begin
+      let s = q i in
+      (* distinct slopes, common point: x_i(t) = y0 + s_i (t - at) *)
+      let tr =
+        T.linear ~start:(q 0)
+          ~a:(Qvec.of_list [ s ])
+          ~b:(Qvec.of_list [ Q.sub y0 (Q.mul s at) ])
+      in
+      add (DB.add_initial db i tr) (i + 1)
+    end
+  in
+  add db 1
+
 let live_oids db t = List.map fst (DB.live db t)
 
 let chdir_stream ~seed ~db ~start ~gap ~count ?(speed = 10) () =

@@ -24,6 +24,20 @@ val inversions_db : seed:int -> n:int -> inversions:int -> horizon:Q.t -> DB.t
     exactly [inversions] adjacent swaps (several may share an instant).
     [inversions] is clamped to [n(n-1)/2]. *)
 
+val tangency_db : seed:int -> n:int -> unit -> DB.t
+(** Two-dimensional pairs engineered to stress a numeric filter under the
+    origin [euclidean_sq] g-distance: pair [j] is tangent at time [j+1]
+    (the d² difference has a double root), grazes without touching, or
+    crosses twice within [O(√eps)] — cycling through the three variants.
+    [n] is rounded down to a whole number of pairs. *)
+
+val pencil_db : seed:int -> n:int -> at:Q.t -> unit -> DB.t
+(** One-dimensional pencil of lines through a common point at time [at]:
+    under [coordinate 0] every pair of the [n] objects crosses
+    simultaneously at [at], producing one N-way batch — the
+    simultaneous-crossing stress case for event batching and for exact
+    equality of event times. *)
+
 val chdir_stream :
   seed:int -> db:DB.t -> start:Q.t -> gap:Q.t -> count:int -> ?speed:int -> unit -> U.t list
 (** [count] direction changes on random live objects, one every [gap],

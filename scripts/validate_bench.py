@@ -6,16 +6,30 @@ Schema (see EXPERIMENTS.md):
     { "exp": str, "n": int, "seed": int, "wall_s": float,
       "counters": { "<metric>": float, ... } }
 
-Usage: validate_bench.py FILE [FILE...]
+plus optional per-experiment extras:
+
+    "backend": str             # numeric backend the experiment ran on
+    "filter_hit_rate": float   # in [0, 1]; filtered backend only
+    "speedup_vs_exact": float  # > 0; filtered backend only
+
+Usage: validate_bench.py [--min-hit-rate X] FILE [FILE...]
+With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
 Exits non-zero with one `file: message` line per problem.
 """
+import argparse
 import json
 import sys
 
 METRIC_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+REQUIRED = {"exp", "n", "seed", "wall_s", "counters"}
+OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact"}
 
 
-def problems(path):
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def problems(path, min_hit_rate=None):
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -25,7 +39,7 @@ def problems(path):
     if not isinstance(doc, dict):
         yield "top level is not an object"
         return
-    extra = sorted(set(doc) - {"exp", "n", "seed", "wall_s", "counters"})
+    extra = sorted(set(doc) - REQUIRED - OPTIONAL)
     if extra:
         yield "unexpected keys: %s" % ", ".join(extra)
     if not isinstance(doc.get("exp"), str) or not doc.get("exp"):
@@ -34,8 +48,25 @@ def problems(path):
         if not isinstance(doc.get(key), int) or isinstance(doc.get(key), bool):
             yield "'%s' must be an integer" % key
     wall = doc.get("wall_s")
-    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+    if not is_number(wall) or wall < 0:
         yield "'wall_s' must be a non-negative number"
+    if "backend" in doc and (
+        not isinstance(doc["backend"], str) or not doc["backend"]
+    ):
+        yield "'backend' must be a non-empty string"
+    if "filter_hit_rate" in doc:
+        rate = doc["filter_hit_rate"]
+        if not is_number(rate) or not 0.0 <= rate <= 1.0:
+            yield "'filter_hit_rate' must be a number in [0, 1]"
+        elif min_hit_rate is not None and rate < min_hit_rate:
+            yield "filter_hit_rate %.4f below required minimum %.4f" % (
+                rate, min_hit_rate)
+    elif min_hit_rate is not None:
+        yield "--min-hit-rate given but file has no 'filter_hit_rate'"
+    if "speedup_vs_exact" in doc:
+        speedup = doc["speedup_vs_exact"]
+        if not is_number(speedup) or speedup <= 0:
+            yield "'speedup_vs_exact' must be a positive number"
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"
@@ -43,20 +74,21 @@ def problems(path):
     for name, value in counters.items():
         if not name.startswith("moq_") or set(name) - METRIC_OK:
             yield "counter %r: not a moq_* snake_case metric name" % name
-        if value is not None and (
-            not isinstance(value, (int, float)) or isinstance(value, bool)
-        ):
+        if value is not None and not is_number(value):
             yield "counter %r: value %r is not numeric" % (name, value)
 
 
 def main(argv):
-    if not argv:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--min-hit-rate", type=float, default=None, metavar="X",
+                        help="fail files whose filter_hit_rate is below X")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
     bad = 0
-    for path in argv:
+    for path in args.files:
         found = False
-        for msg in problems(path):
+        for msg in problems(path, min_hit_rate=args.min_hit_rate):
             print("%s: %s" % (path, msg), file=sys.stderr)
             found = True
         if found:
@@ -64,10 +96,12 @@ def main(argv):
         else:
             with open(path) as fh:
                 doc = json.load(fh)
+            extras = "".join(
+                " %s=%s" % (k, doc[k]) for k in sorted(OPTIONAL & set(doc)))
             print(
-                "%s: ok (exp=%s n=%d seed=%d wall_s=%.3f, %d counters)"
+                "%s: ok (exp=%s n=%d seed=%d wall_s=%.3f, %d counters%s)"
                 % (path, doc["exp"], doc["n"], doc["seed"], doc["wall_s"],
-                   len(doc["counters"]))
+                   len(doc["counters"]), extras)
             )
     return 1 if bad else 0
 

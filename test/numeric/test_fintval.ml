@@ -1,0 +1,105 @@
+(* Soundness properties for outward-rounded float intervals.
+
+   Every operation must produce an interval that contains the exact
+   rational result — checked with [Fintval.contains_rat], which compares
+   the exact value against the endpoints via [Rat.of_float] and so does
+   not itself round.  Certainty claims ([sign], [compare_certain]) are
+   checked against exact rational arithmetic: whenever the interval
+   commits to an answer, the answer must be right. *)
+
+module Q = Moq_numeric.Rat
+module IV = Moq_numeric.Fintval
+
+let prop ?(count = 1000) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* Rationals with awkward denominators: p/q scaled by 2^-k so many values
+   are not exactly representable as floats. *)
+let arb_rat =
+  QCheck.map
+    (fun (p, qd, k) ->
+      let qd = if qd = 0 then 1 else qd in
+      Q.div (Q.of_ints p qd) (Q.of_bigint (Moq_numeric.Bigint.shift_left Moq_numeric.Bigint.one k)))
+    (QCheck.triple
+       (QCheck.int_range (-1_000_000_000) 1_000_000_000)
+       (QCheck.int_range 1 1_000_000)
+       (QCheck.int_range 0 40))
+
+let arb_rat2 = QCheck.pair arb_rat arb_rat
+
+let iv = IV.of_rat
+
+let soundness_props =
+  [ prop "of_rat contains" arb_rat (fun a -> IV.contains_rat (iv a) a);
+    prop "neg sound" arb_rat (fun a -> IV.contains_rat (IV.neg (iv a)) (Q.neg a));
+    prop "add sound" arb_rat2 (fun (a, b) ->
+        IV.contains_rat (IV.add (iv a) (iv b)) (Q.add a b));
+    prop "sub sound" arb_rat2 (fun (a, b) ->
+        IV.contains_rat (IV.sub (iv a) (iv b)) (Q.sub a b));
+    prop "mul sound" arb_rat2 (fun (a, b) ->
+        IV.contains_rat (IV.mul (iv a) (iv b)) (Q.mul a b));
+    prop "div sound" arb_rat2 (fun (a, b) ->
+        QCheck.assume (not (Q.is_zero b));
+        IV.contains_rat (IV.div (iv a) (iv b)) (Q.div a b));
+    prop "sqrt sound (square root in interval of square)" arb_rat (fun a ->
+        (* √(a²) = |a| must lie in sqrt of an enclosure of a². *)
+        let sq = Q.mul a a in
+        let s = IV.sqrt (IV.mul (iv a) (iv a)) in
+        (* |a| ∈ s ⟹ a² ∈ s·s; check the latter, which only needs
+           rational arithmetic. *)
+        IV.contains_rat (IV.mul s s) sq);
+    prop "sign certain ⟹ correct" arb_rat (fun a ->
+        match IV.sign (iv a) with Some s -> s = Q.sign a | None -> true);
+    prop "sign decides points" arb_rat (fun a ->
+        (* A width-respecting filter: an interval built from one rational
+           either knows the sign or straddles zero. *)
+        match IV.sign (iv a) with
+        | Some _ -> true
+        | None -> IV.contains_zero (iv a));
+    prop "compare certain ⟹ correct" arb_rat2 (fun (a, b) ->
+        match IV.compare_certain (iv a) (iv b) with
+        | Some c -> c = Q.compare a b
+        | None -> true);
+    prop "eval sound" (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_rat) arb_rat)
+      (fun (cs, x) ->
+        let exact =
+          List.fold_right (fun c acc -> Q.add c (Q.mul x acc)) cs Q.zero
+        in
+        IV.contains_rat (IV.eval (Array.of_list (List.map iv cs)) (iv x)) exact);
+    prop "of_rat_bounds contains both" arb_rat2 (fun (a, b) ->
+        let lo = Q.min a b and hi = Q.max a b in
+        let v = IV.of_rat_bounds lo hi in
+        IV.contains_rat v lo && IV.contains_rat v hi);
+  ]
+
+let test_top_and_div_by_straddler () =
+  Alcotest.(check bool) "top contains everything" true
+    (IV.contains_rat IV.top (Q.of_ints 355 113));
+  let straddler = IV.of_rat_bounds (Q.of_int (-1)) Q.one in
+  let d = IV.div (IV.of_rat Q.one) straddler in
+  Alcotest.(check bool) "div by straddler is top" true
+    (IV.contains_rat d (Q.of_int 1_000_000_000));
+  Alcotest.(check bool) "straddler sign unknown" true (IV.sign straddler = None)
+
+let test_sqrt_negative () =
+  Alcotest.check_raises "sqrt of negative interval"
+    (Invalid_argument "Fintval.sqrt: negative interval") (fun () ->
+      ignore (IV.sqrt (IV.of_rat (Q.of_int (-4)))))
+
+let test_exact_point_arithmetic () =
+  (* Small integers are exact floats; [point]-based arithmetic on them
+     that stays exact must still enclose (and sign must resolve). *)
+  let two = IV.of_int 2 and three = IV.of_int 3 in
+  Alcotest.(check bool) "2*3 contains 6" true (IV.contains_rat (IV.mul two three) (Q.of_int 6));
+  Alcotest.(check (option int)) "2 < 3 certain" (Some (-1)) (IV.compare_certain two three);
+  Alcotest.(check (option int)) "sign of -2" (Some (-1)) (IV.sign (IV.of_int (-2)))
+
+let () =
+  Alcotest.run "fintval"
+    [ ("soundness-props", soundness_props);
+      ( "units",
+        [ Alcotest.test_case "top / div straddling zero" `Quick test_top_and_div_by_straddler;
+          Alcotest.test_case "sqrt negative raises" `Quick test_sqrt_negative;
+          Alcotest.test_case "exact points" `Quick test_exact_point_arithmetic;
+        ] );
+    ]

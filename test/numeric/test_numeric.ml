@@ -173,10 +173,61 @@ let test_rat_mediant () =
   let m = Q.mediant a b in
   Alcotest.(check bool) "between" true Q.Infix.(a </ m && m </ b)
 
+(* Regressions for the correctly-rounded [Q.to_float]: denominators (and
+   numerators) far beyond float range must underflow/overflow cleanly
+   instead of dividing garbage, and representable values must convert
+   exactly. *)
+let test_rat_to_float_huge () =
+  let pow2 k = B.shift_left B.one k in
+  let tiny = Q.make B.one (pow2 2000) in
+  Alcotest.(check (float 0.0)) "1/2^2000 underflows to 0" 0.0 (Q.to_float tiny);
+  Alcotest.(check (float 0.0)) "-1/2^2000 underflows to -0" 0.0
+    (Float.abs (Q.to_float (Q.neg tiny)));
+  Alcotest.(check (float 0.0)) "(2^2000+1)/2^2000 is 1" 1.0
+    (Q.to_float (Q.make (B.add (pow2 2000) B.one) (pow2 2000)));
+  Alcotest.(check (float 0.0)) "(2^2000+2^1999)/2^2000 is 1.5" 1.5
+    (Q.to_float (Q.make (B.add (pow2 2000) (pow2 1999)) (pow2 2000)));
+  Alcotest.(check bool) "2^2000 overflows to +inf" true
+    (Q.to_float (Q.of_bigint (pow2 2000)) = Float.infinity);
+  Alcotest.(check bool) "-2^2000 overflows to -inf" true
+    (Q.to_float (Q.neg (Q.of_bigint (pow2 2000))) = Float.neg_infinity);
+  (* huge but equal-magnitude numerator and denominator: the value is
+     moderate even though both sides are 600+ digits *)
+  Alcotest.(check (float 0.0)) "7·2^2000 / 2^2002 = 7/4" 1.75
+    (Q.to_float (Q.make (B.mul (B.of_int 7) (pow2 2000)) (pow2 2002)))
+
+let test_rat_to_float_correctly_rounded () =
+  Alcotest.(check (float 0.0)) "1/3" (1.0 /. 3.0) (Q.to_float (Q.of_ints 1 3));
+  Alcotest.(check (float 0.0)) "-2/3" (-2.0 /. 3.0) (Q.to_float (Q.of_ints (-2) 3));
+  Alcotest.(check (float 0.0)) "1/10" 0.1 (Q.to_float (Q.of_ints 1 10));
+  (* ulp(1) below 2 is 2^-52: 1 + 2^-53 ties to even (1.0), 1 + 2^-53 +
+     2^-105 must round up *)
+  let pow2 k = B.shift_left B.one k in
+  Alcotest.(check (float 0.0)) "tie to even"
+    1.0
+    (Q.to_float (Q.make (B.add (pow2 53) B.one) (pow2 53)));
+  Alcotest.(check (float 0.0)) "tie + sticky rounds up"
+    (1.0 +. Float.ldexp 1.0 (-52))
+    (Q.to_float (Q.make (B.add (B.mul (B.add (pow2 53) B.one) (pow2 52)) B.one) (pow2 105)))
+
 let arb_rat =
   QCheck.map
     (fun (p, q) -> Q.of_ints p (if q = 0 then 1 else q))
     (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-10000) 10000))
+
+(* Rationals with denominators up to 2^1200 — far beyond float range. *)
+let arb_rat_wide =
+  QCheck.map
+    (fun ((p, q, k), up) ->
+      let base = Q.of_ints p (if q = 0 then 1 else abs q) in
+      let scale = Q.of_bigint (B.shift_left B.one k) in
+      if up then Q.mul base scale else Q.div base scale)
+    (QCheck.pair
+       (QCheck.triple
+          (QCheck.int_range (-1_000_000_000) 1_000_000_000)
+          (QCheck.int_range 1 1_000_000)
+          (QCheck.int_range 0 1200))
+       QCheck.bool)
 
 let rat_props =
   [ prop "add assoc" (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
@@ -194,6 +245,24 @@ let rat_props =
         Float.compare (Q.to_float a) (Q.to_float b) = Q.compare a b
         || Float.abs (Q.to_float a -. Q.to_float b) < 1e-12);
     prop "of_float exact" (QCheck.float_range (-1e6) 1e6) (fun f ->
+        Q.to_float (Q.of_float f) = f);
+    prop "to_float monotone (wide range)" (QCheck.pair arb_rat_wide arb_rat_wide)
+      (fun (a, b) ->
+        (* correct rounding is monotone, including through underflow *)
+        let c = Q.compare a b in
+        let fc = Float.compare (Q.to_float a) (Q.to_float b) in
+        if c < 0 then fc <= 0 else if c > 0 then fc >= 0 else fc = 0);
+    prop "to_float within half ulp (wide range)" arb_rat_wide (fun a ->
+        let f = Q.to_float a in
+        (* the rounding error is bounded by the gap to the next float *)
+        (not (Float.is_finite f))
+        ||
+        let err = Q.abs (Q.sub a (Q.of_float f)) in
+        let ulp_gap =
+          Q.of_float (Float.max (Float.succ f -. f) (f -. Float.pred f))
+        in
+        Q.compare err ulp_gap <= 0);
+    prop "roundtrip exact on all floats" (QCheck.float_range (-1e300) 1e300) (fun f ->
         Q.to_float (Q.of_float f) = f);
     prop "string roundtrip" arb_rat (fun a -> Q.equal a (Q.of_string (Q.to_string a)));
     prop "floor <= x < floor+1" arb_rat (fun a ->
@@ -227,6 +296,9 @@ let () =
         Alcotest.test_case "of_float" `Quick test_rat_of_float;
         Alcotest.test_case "of_string" `Quick test_rat_of_string;
         Alcotest.test_case "mediant" `Quick test_rat_mediant;
+        Alcotest.test_case "to_float huge num/den" `Quick test_rat_to_float_huge;
+        Alcotest.test_case "to_float correctly rounded" `Quick
+          test_rat_to_float_correctly_rounded;
       ]);
       ("rat-props", rat_props);
     ]
