@@ -646,6 +646,183 @@ let r1 () =
   row "how much log a crash can leave -- recovery cost tracks records since the snapshot\n"
 
 (* ------------------------------------------------------------------ *)
+(* S1: moq serve under load -- concurrent sessions, live subscription  *)
+(* streams, abrupt kill + recovery                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Moq_server.Server
+module SClient = Moq_server.Client
+module Proto = Moq_proto.Proto
+module IO = Moq_mod.Mod_io
+
+(* Walk one subscription's event stream: sequence numbers must tile
+   [0, expected) with EVENT frames and EVENT-DROPPED markers -- any
+   uncovered gap counts as lost, any re-covered number as duplicated. *)
+let account_events evs =
+  let expected = ref 0 and pushed = ref 0 and dropped = ref 0 in
+  let lost = ref 0 and dup = ref 0 in
+  List.iter
+    (fun ev ->
+      let arrive ~first ~next ~count counter =
+        if first > !expected then lost := !lost + (first - !expected)
+        else if first < !expected then dup := !dup + (!expected - first);
+        expected := next;
+        counter := !counter + count
+      in
+      match ev with
+      | Proto.E_pieces { first_seq; pieces; _ } ->
+        let c = List.length pieces in
+        arrive ~first:first_seq ~next:(first_seq + c) ~count:c pushed
+      | Proto.E_dropped { from_seq; to_seq; _ } ->
+        arrive ~first:from_seq ~next:(to_seq + 1) ~count:(to_seq - from_seq + 1) dropped
+      | _ -> ())
+    evs;
+  (!pushed, !dropped, !lost, !dup)
+
+let quantile sorted p =
+  if Array.length sorted = 0 then 0.0
+  else sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
+
+let s1 () =
+  header "S1" "moq serve: 32 concurrent sessions, live subscriptions, kill + recover";
+  let connections = 32 and n = 12 and updates_per_client = 10 in
+  bench_n := n;
+  bench_seed := 7;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "moq_bench_s1_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let db = Gen.uniform_db ~seed:7 ~n ~extent:100 ~speed:6 () in
+  let hi = q (connections * updates_per_client + 20) in
+  let cfg =
+    { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir) with
+      Server.init_db = Some db; fsync = false; max_sessions = connections + 4;
+      idle_timeout = 0. }
+  in
+  let srv = match Server.start ~registry:!bench_reg cfg with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let addr = Server.bound_addr srv in
+  (* every session opens one range subscription it holds for the whole run *)
+  let clients =
+    Array.init connections (fun i ->
+        let c = match SClient.connect addr with Ok c -> c | Error e -> failwith e in
+        (match SClient.hello c with
+         | Ok (Proto.R_hello _) -> ()
+         | Ok _ | Error _ -> failwith "s1: handshake failed");
+        (match
+           SClient.request c
+             (Proto.Subscribe { kind = Proto.Sub_range (q 10000); lo = q 0; hi })
+         with
+         | Ok (Proto.R_subscribe _) -> ()
+         | Ok _ | Error _ -> failwith (Printf.sprintf "s1: subscribe %d failed" i));
+        c)
+  in
+  (* chronological discipline over concurrent writers: a shared counter
+     hands out strictly increasing taus; arrival races turn into counted
+     stale rejects, never corruption *)
+  let tau_m = Mutex.create () in
+  let tau = ref 0 in
+  let next_tau () =
+    Mutex.lock tau_m;
+    incr tau;
+    let v = !tau in
+    Mutex.unlock tau_m;
+    q v
+  in
+  let accepted = ref 0 and stale = ref 0 in
+  let acc_m = Mutex.create () in
+  let latencies = Array.make (connections * updates_per_client) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let worker i =
+    let c = clients.(i) in
+    let st = Random.State.make [| 1000 + i |] in
+    for j = 0 to updates_per_client - 1 do
+      let oid = 1 + Random.State.int st n in
+      let vel =
+        Qvec.of_list
+          [ q (Random.State.int st 13 - 6); q (Random.State.int st 13 - 6) ]
+      in
+      let u = U.Chdir { oid; tau = next_tau (); a = vel } in
+      let t0 = Unix.gettimeofday () in
+      (match SClient.request c (Proto.Update u) with
+       | Ok (Proto.R_update v) ->
+         Mutex.lock acc_m;
+         (match v with
+          | Proto.V_accepted -> incr accepted
+          | Proto.V_rejected _ | Proto.V_quarantined _ -> incr stale);
+         Mutex.unlock acc_m
+       | Ok _ | Error _ -> failwith "s1: update failed");
+      latencies.(i * updates_per_client + j) <- Unix.gettimeofday () -. t0
+    done
+  in
+  let threads = Array.init connections (fun i -> Thread.create worker i) in
+  Array.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* a PING after the last global update queues behind every pushed event,
+     so its PONG means each session's stream is fully delivered *)
+  let pushed = ref 0 and dropped = ref 0 and lost = ref 0 and dup = ref 0 in
+  Array.iter
+    (fun c ->
+      (match SClient.request c Proto.Ping with
+       | Ok (Proto.R_pong _) -> ()
+       | Ok _ | Error _ -> failwith "s1: final ping failed");
+      let p, d, l, u = account_events (SClient.drain_events c) in
+      pushed := !pushed + p;
+      dropped := !dropped + d;
+      lost := !lost + l;
+      dup := !dup + u)
+    clients;
+  if !lost > 0 || !dup > 0 then
+    failwith (Printf.sprintf "s1: %d lost / %d duplicated subscription events" !lost !dup);
+  (* abrupt kill: snapshot the served MOD, crash without checkpointing,
+     recover from WAL -- database, clock and an exact k-NN sweep over the
+     recovered MOD must be bit-identical *)
+  let pre_db = Server.db_snapshot srv in
+  let pre = IO.db_to_string pre_db in
+  let pre_clock = Server.clock srv in
+  let knn_timeline db =
+    let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+    let r = KnnX.run ~db ~gdist:(Gdist.euclidean_sq ~gamma) ~k:2 ~lo:(q 0) ~hi:(q 20) in
+    Format.asprintf "%a" KnnX.TL.pp r.KnnX.timeline
+  in
+  let knn_pre = knn_timeline pre_db in
+  Server.crash srv;
+  Array.iter SClient.close clients;
+  let r = match DStore.recover ~dir with Ok r -> r | Error e -> failwith e in
+  let identical =
+    String.equal pre (IO.db_to_string r.DStore.db)
+    && Q.compare pre_clock r.DStore.clock = 0
+    && String.equal knn_pre (knn_timeline r.DStore.db)
+  in
+  if not identical then failwith "s1: recovered MOD diverged from the served one";
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let requests = connections * updates_per_client in
+  let rps = float_of_int requests /. wall in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let p50 = quantile sorted 0.5 *. 1e3 and p99 = quantile sorted 0.99 *. 1e3 in
+  row "%12s %9s %9s %9s %10s %8s %8s %6s\n" "connections" "rps" "p50(ms)" "p99(ms)"
+    "accepted" "stale" "pushed" "drop";
+  row "%12d %9.0f %9.2f %9.2f %10d %8d %8d %6d\n" connections rps p50 p99 !accepted
+    !stale !pushed !dropped;
+  row "all %d sessions: sequence numbers tile with no loss or duplication;\n" connections;
+  row "kill -9 equivalent + WAL recovery reproduced the served MOD bit-identically\n";
+  bench_extras :=
+    [ ("connections", Json.Int connections);
+      ("rps", Json.Float rps);
+      ("p50_ms", Json.Float p50);
+      ("p99_ms", Json.Float p99);
+      ("pushed_events", Json.Int !pushed);
+      ("dropped", Json.Int !dropped);
+      ("recover_identical", Json.Bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment id               *)
 (* ------------------------------------------------------------------ *)
 
@@ -735,7 +912,7 @@ let bechamel_suite () =
 let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
-    ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1) ]
+    ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("s1", s1) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

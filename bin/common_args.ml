@@ -1,0 +1,50 @@
+(* Cmdliner arguments shared by the moq subcommands: workload shape
+   (--seed/--n/--count/--gap), MOD sources (--db/--updates) and durable
+   store knobs (--store/--checkpoint-every/--no-fsync).  One definition per
+   flag so every subcommand documents and defaults it identically. *)
+
+open Cmdliner
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+let n = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of objects")
+
+let db =
+  Arg.(value
+       & opt (some file) None
+       & info [ "db" ] ~doc:"Load the MOD from a file instead of generating one")
+
+(* [extra_names] keeps the historical [--updates] spelling alive where it
+   cannot collide with the update-stream file option. *)
+let count ?(extra_names = []) ~default () =
+  Arg.(value
+       & opt int default
+       & info ("count" :: extra_names) ~doc:"Number of generated updates")
+
+let gap =
+  Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates")
+
+let updates_file =
+  Arg.(value
+       & opt (some file) None
+       & info [ "updates" ]
+           ~doc:"Update stream file (mod_io format); generated when absent")
+
+let store_req =
+  Arg.(required
+       & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Durable store directory (checkpoint.mod + wal.log)")
+
+let store_opt =
+  Arg.(value
+       & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Durable store directory (a temp directory when absent)")
+
+let checkpoint_every =
+  Arg.(value
+       & opt int 256
+       & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (accepted updates)")
+
+let no_fsync =
+  Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync per record (benchmarks only)")

@@ -91,9 +91,9 @@ let trace_figure2 () =
   Format.printf "  chdir(o2) at B = 5 (earlier crossing C expected)@.";
   EX.advance eng ~upto:(q 20) ~emit
 
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
-let n_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of objects")
-let db_arg = Arg.(value & opt (some file) None & info [ "db" ] ~doc:"Load the MOD from a file instead of generating one")
+let seed_arg = Common_args.seed
+let n_arg = Common_args.n
+let db_arg = Common_args.db
 
 let load_or_gen dbfile seed n =
   match dbfile with
@@ -150,9 +150,9 @@ let trace_cmd =
          & info [] ~docv:"SCENARIO"
              ~doc:"example12, figure2, or workload (monitored update stream with span tracing)")
   in
-  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file for the workload scenario; generated when absent") in
-  let count = Arg.(value & opt int 10 & info [ "count" ] ~doc:"Generated updates (workload scenario)") in
-  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
+  let updates = Common_args.updates_file in
+  let count = Common_args.count ~default:10 () in
+  let gap = Common_args.gap in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the span log as JSON") in
   let run scenario seed n count gap dbfile updates json =
     match scenario with
@@ -177,8 +177,8 @@ let generate_run seed n count gap out updates_out =
   | None -> ()
 
 let generate_cmd =
-  let count = Arg.(value & opt int 10 & info [ "updates" ] ~doc:"Number of updates") in
-  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between updates") in
+  let count = Common_args.count ~extra_names:[ "updates" ] ~default:10 () in
+  let gap = Common_args.gap in
   let out = Arg.(value & opt string "workload.mod" & info [ "o"; "out" ] ~doc:"Output MOD file") in
   let uout = Arg.(value & opt (some string) None & info [ "updates-out" ] ~doc:"Also write an update stream") in
   Cmd.v (Cmd.info "generate" ~doc:"Generate and save a random workload")
@@ -259,8 +259,8 @@ let monitor_run seed n count gap dbfile =
   Format.printf "@.validated timeline:@.%a@." MonX.TL.pp (MonX.finalize m)
 
 let monitor_cmd =
-  let count = Arg.(value & opt int 5 & info [ "updates" ] ~doc:"Number of updates") in
-  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between updates") in
+  let count = Common_args.count ~extra_names:[ "updates" ] ~default:5 () in
+  let gap = Common_args.gap in
   Cmd.v (Cmd.info "monitor" ~doc:"Monitor a continuing 1-NN query under random updates")
     Term.(const monitor_run $ seed_arg $ n_arg $ count $ gap $ db_arg)
 
@@ -297,9 +297,7 @@ let reduction_cmd =
 (* Durable store: replay (ingest) and recover                          *)
 (* ------------------------------------------------------------------ *)
 
-let store_arg =
-  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
-       ~doc:"Durable store directory (checkpoint.mod + wal.log)")
+let store_arg = Common_args.store_req
 
 let replay_run store_dir dbfile updates_file seed n count gap every no_fsync =
   let fsync = not no_fsync in
@@ -345,11 +343,11 @@ let replay_run store_dir dbfile updates_file seed n count gap every no_fsync =
     (Q.to_string (Store.clock store)) (DB.cardinal (Store.db store))
 
 let replay_cmd =
-  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file (mod_io format); generated when absent") in
-  let count = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Generated updates") in
-  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
-  let every = Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (accepted updates)") in
-  let no_fsync = Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync per record (benchmarks only)") in
+  let updates = Common_args.updates_file in
+  let count = Common_args.count ~default:20 () in
+  let gap = Common_args.gap in
+  let every = Common_args.checkpoint_every in
+  let no_fsync = Common_args.no_fsync in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Ingest an update stream into a durable store through the sanitizer (WAL + checkpoints)")
@@ -438,11 +436,11 @@ let stats_run seed n count gap dbfile updates_file store_dir every format backen
   | `Prometheus -> print_string (Export.prometheus reg)
 
 let stats_cmd =
-  let updates = Arg.(value & opt (some file) None & info [ "updates" ] ~doc:"Update stream file (mod_io format); generated when absent") in
-  let count = Arg.(value & opt int 20 & info [ "count" ] ~doc:"Generated updates") in
-  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"Time between generated updates") in
-  let store = Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Durable store directory (a temp directory when absent)") in
-  let every = Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (accepted updates)") in
+  let updates = Common_args.updates_file in
+  let count = Common_args.count ~default:20 () in
+  let gap = Common_args.gap in
+  let store = Common_args.store_opt in
+  let every = Common_args.checkpoint_every in
   let format =
     Arg.(value
          & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
@@ -453,6 +451,185 @@ let stats_cmd =
        ~doc:"Replay a workload through the instrumented store, monitor and sweep; dump the metric registry")
     Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format $ backend_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: moq serve (the concurrent MOD server) and moq client (a    *)
+(* scriptable moqp driver)                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Moq_server.Server
+module Client = Moq_server.Client
+module Proto = Moq_proto.Proto
+
+let default_listen = "tcp:127.0.0.1:7407"
+
+let parse_addr s =
+  match Server.addr_of_string s with Ok a -> a | Error e -> die "%s" e
+
+let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_subs
+    queue_soft queue_hwm idle_timeout =
+  let listen = parse_addr listen in
+  let init_db =
+    if Sys.file_exists (Filename.concat store_dir "checkpoint.mod") then None
+    else Some (load_or_gen dbfile seed n)
+  in
+  let cfg =
+    { (Server.default_config ~listen ~store_dir) with
+      Server.init_db; fsync = not no_fsync; checkpoint_every = every;
+      max_sessions; max_subs_per_session = max_subs; queue_soft; queue_hwm;
+      idle_timeout }
+  in
+  match Server.start cfg with
+  | Error e -> die "%s" e
+  | Ok srv ->
+    let stopped = ref false in
+    let stop _ =
+      Server.request_stop srv;
+      stopped := true
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Format.printf "listening on %a (store %s, %d objects, clock %s)@."
+      Server.pp_addr (Server.bound_addr srv) store_dir
+      (DB.cardinal (Server.db_snapshot srv))
+      (Q.to_string (Server.clock srv));
+    (* keep the main thread in an interruptible sleep: with every server
+       thread parked in a blocking syscall, a pending signal's OCaml handler
+       only runs when some thread re-enters OCaml code *)
+    while not !stopped do
+      Thread.delay 0.2
+    done;
+    Server.run srv;
+    Format.printf "drained; store checkpointed@."
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt string default_listen
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen address: tcp:HOST:PORT, unix:PATH, or a bare port \
+                   (port 0 picks a free one)")
+  in
+  let max_sessions =
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~doc:"Concurrent session cap")
+  in
+  let max_subs =
+    Arg.(value & opt int 8 & info [ "max-subs" ] ~doc:"Subscriptions per session cap")
+  in
+  let queue_soft =
+    Arg.(value & opt int 64
+         & info [ "queue-soft" ] ~doc:"Per-session queue length above which event frames coalesce")
+  in
+  let queue_hwm =
+    Arg.(value & opt int 256
+         & info [ "queue-hwm" ] ~doc:"Per-session queue length above which the oldest events drop")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.
+         & info [ "idle-timeout" ] ~doc:"Seconds without a request before a session closes; 0 disables")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a durable MOD over moqp: concurrent sessions, chronological \
+             updates through the WAL, live continuous-query subscriptions")
+    Term.(const serve_run $ listen $ Common_args.store_req $ Common_args.db
+          $ Common_args.seed $ Common_args.n $ Common_args.checkpoint_every
+          $ Common_args.no_fsync $ max_sessions $ max_subs $ queue_soft
+          $ queue_hwm $ idle_timeout)
+
+(* Script lines are raw moqp request heads ("SUBSCRIBE knn 1 0 40"), plus
+   '#' comments and a "!sleep SECONDS" directive.  Events arriving between
+   requests are printed as they drain. *)
+let client_run connect script_file wait timeout =
+  let addr = parse_addr connect in
+  match Client.connect ~timeout addr with
+  | Error e -> die "connect %s: %s" connect e
+  | Ok c ->
+    let print_msg m = print_endline (Proto.render_server_msg m) in
+    let dim =
+      match Client.hello c with
+      | Ok (Proto.R_hello { dim; _ } as m) ->
+        print_msg m;
+        dim
+      | Ok m ->
+        print_msg m;
+        Client.close c;
+        die "handshake refused"
+      | Error e -> die "hello: %s" e
+    in
+    let lines =
+      match script_file with
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | l -> go (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      | None ->
+        let rec go acc =
+          match input_line stdin with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go []
+    in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then begin
+          match String.split_on_char ' ' line with
+          | "!sleep" :: s :: _ ->
+            (match float_of_string_opt s with
+             | Some secs -> Thread.delay secs
+             | None -> die "!sleep: bad duration %S" s)
+          | _ ->
+            (match Proto.parse_request ~dim line with
+             | Error e -> die "bad request %S: %s" line e
+             | Ok req ->
+               (match Client.request c req with
+                | Ok m -> print_msg m
+                | Error e -> die "%S: %s" line e));
+            List.iter print_msg (Client.drain_events c)
+        end)
+      lines;
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec drain () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left > 0. && Client.is_open c then
+        match Client.next_event ~timeout:left c with
+        | Some m ->
+          print_msg m;
+          drain ()
+        | None -> ()
+    in
+    drain ();
+    if Client.is_open c then ignore (Client.request c Proto.Bye);
+    Client.close c
+
+let client_cmd =
+  let connect =
+    Arg.(value & opt string default_listen
+         & info [ "connect" ] ~docv:"ADDR" ~doc:"Server address (tcp:HOST:PORT or unix:PATH)")
+  in
+  let script =
+    Arg.(value & opt (some file) None
+         & info [ "script" ] ~docv:"FILE"
+             ~doc:"Request script, one moqp request per line ('#' comments, \
+                   '!sleep SECONDS' pauses); stdin when absent")
+  in
+  let wait =
+    Arg.(value & opt float 0.
+         & info [ "wait" ] ~doc:"Keep draining pushed events this many seconds after the script")
+  in
+  let timeout =
+    Arg.(value & opt float 30. & info [ "timeout" ] ~doc:"Per-response timeout in seconds")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Drive a moq server from a request script; print responses and pushed events")
+    Term.(const client_run $ connect $ script $ wait $ timeout)
+
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
   try
@@ -460,7 +637,7 @@ let () =
       (Cmd.eval
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
-              show_cmd; replay_cmd; recover_cmd; stats_cmd ]))
+              show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

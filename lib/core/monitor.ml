@@ -36,6 +36,7 @@ module Make (B : Backend.S) = struct
             support only — the object Theorem 5 bounds — and leaves the
             timeline empty *)
     mutable valid : TL.piece list;  (** reversed; answers that can no longer change *)
+    mutable drained : int;  (** prefix of [valid] already handed to {!drain_valid} *)
     mutable clock : Q.t;  (** no update can arrive at or before this time *)
   }
 
@@ -79,7 +80,7 @@ module Make (B : Backend.S) = struct
     end;
     let m =
       { db; problem = p; engine = eng; sink; query; hi; materialize;
-        valid = []; clock = lo }
+        valid = []; drained = 0; clock = lo }
     in
     if materialize then begin
       let lo_i = B.instant_of_scalar (B.scalar_of_rat lo) in
@@ -239,6 +240,23 @@ module Make (B : Backend.S) = struct
           | E.Cst _ -> E.curve e);
     if emitted_span then emit_at m tau_eff;
     if Q.compare m.clock tau_eff < 0 then m.clock <- tau_eff
+
+  (* Incremental consumers (a live subscription's push path): the validated
+     pieces produced since the previous drain, chronological.  Unlike
+     {!valid_timeline} the pieces are raw — not simplified, no synthetic
+     closing span — so consecutive drains concatenate into exactly the
+     monitor's validated piece stream. *)
+  let drain_valid m : TL.piece list =
+    let n = List.length m.valid in
+    let fresh = n - m.drained in
+    if fresh <= 0 then []
+    else begin
+      m.drained <- n;
+      let rec take k l =
+        if k = 0 then [] else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+      in
+      List.rev (take fresh m.valid)
+    end
 
   (* The validated prefix of the answer (everything up to the clock). *)
   let valid_timeline m : TL.t =

@@ -1,0 +1,21 @@
+let default_write fd buf pos len = Unix.write fd buf pos len
+
+let the_write = ref default_write
+
+let set_write_for_tests f =
+  the_write := (match f with Some f -> f | None -> default_write)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try !the_write fd buf pos len
+      with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> 0
+    in
+    if n < 0 || n > len then invalid_arg "Fsutil.write_all: bad write count";
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_string fd s = write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let rec fsync fd =
+  try Unix.fsync fd with Unix.Unix_error (Unix.EINTR, _, _) -> fsync fd

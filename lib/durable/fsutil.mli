@@ -1,0 +1,26 @@
+(** Robust file-descriptor writes for the durability layer.
+
+    [Unix.write] may write fewer bytes than asked (short write) and may be
+    interrupted ([EINTR]) before writing anything; a WAL append or
+    checkpoint that trusts a single call can silently lose its tail.  Every
+    durable write goes through {!write_all}, which loops until the buffer is
+    fully on its way to the kernel, retrying interrupted calls.
+
+    The actual write syscall is injectable so the test harness can force
+    hostile schedules (1-byte writes, periodic [EINTR]) and check that no
+    byte is lost — see {!set_write_for_tests}. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** [write_all fd buf pos len]: write exactly [len] bytes, looping over
+    short writes and retrying [EINTR]/[EAGAIN]. *)
+
+val write_string : Unix.file_descr -> string -> unit
+
+val fsync : Unix.file_descr -> unit
+(** [Unix.fsync] retried on [EINTR]. *)
+
+val set_write_for_tests :
+  (Unix.file_descr -> bytes -> int -> int -> int) option -> unit
+(** Replace (or with [None] restore) the write syscall used by
+    {!write_all}.  The replacement may write any prefix of the requested
+    range and may raise [Unix.Unix_error (EINTR, _, _)]; test-only. *)

@@ -43,15 +43,14 @@ let write_checkpoint ?(sink = Sink.noop) ~fsync dir db =
   Sink.observe sink "moq_checkpoint_bytes"
     (float_of_int (String.length payload + String.length trailer));
   let tmp = checkpoint_file dir ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (try
-     output_string oc payload;
-     output_string oc trailer;
-     flush oc;
-     if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc
+     Fsutil.write_string fd payload;
+     Fsutil.write_string fd trailer;
+     if fsync then Fsutil.fsync fd;
+     Unix.close fd
    with e ->
-     close_out_noerr oc;
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   Sys.rename tmp (checkpoint_file dir)
 

@@ -94,40 +94,39 @@ let read path =
 
 (* ---------------------------------------------------------------- *)
 
+(* Appends write straight to the file descriptor through Fsutil.write_all:
+   no channel buffer to lose on a crash, short writes and EINTR retried
+   until the whole record is handed to the kernel. *)
 type writer = {
-  oc : out_channel;
+  fd : Unix.file_descr;
   fsync : bool;
   sink : Sink.t;
 }
 
 let sync w =
-  flush w.oc;
   if w.fsync then begin
     Sink.count w.sink "moq_wal_fsyncs_total" 1;
-    Sink.time w.sink "moq_wal_fsync_seconds" @@ fun () ->
-    Unix.fsync (Unix.descr_of_out_channel w.oc)
+    Sink.time w.sink "moq_wal_fsync_seconds" @@ fun () -> Fsutil.fsync w.fd
   end
 
 let create ?(fsync = true) ?(sink = Sink.noop) ~path ~dim () =
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
-  let w = { oc; fsync; sink } in
-  output_string oc (header_line dim);
-  output_char oc '\n';
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let w = { fd; fsync; sink } in
+  Fsutil.write_string fd (header_line dim ^ "\n");
   sync w;
   w
 
 let open_append ?(fsync = true) ?(sink = Sink.noop) ~path ~good_bytes () =
   (try Unix.truncate path good_bytes with Unix.Unix_error _ -> ());
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
-  { oc; fsync; sink }
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { fd; fsync; sink }
 
 let append w u =
   Sink.count w.sink "moq_wal_appends_total" 1;
   Sink.time w.sink "moq_wal_append_seconds" @@ fun () ->
-  let line = record_line u in
-  Sink.count w.sink "moq_wal_bytes_written_total" (String.length line + 1);
-  output_string w.oc line;
-  output_char w.oc '\n';
+  let line = record_line u ^ "\n" in
+  Sink.count w.sink "moq_wal_bytes_written_total" (String.length line);
+  Fsutil.write_string w.fd line;
   sync w
 
-let close w = close_out w.oc
+let close w = Unix.close w.fd

@@ -1,0 +1,107 @@
+let max_payload = 4 * 1024 * 1024
+
+(* write_all: Unix.write may write a prefix or be interrupted; loop.  (The
+   durable layer has its own injectable copy — this one is deliberately
+   dependency-free.) *)
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write fd payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Frame.write: payload too large";
+  let s = Printf.sprintf "%d %s\n" n payload in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes received, not yet consumed *)
+  chunk : Bytes.t;
+  mutable pos : int;  (** consumed prefix of [buf] *)
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; pos = 0 }
+
+let compact r =
+  if r.pos > 0 then begin
+    let rest = Buffer.sub r.buf r.pos (Buffer.length r.buf - r.pos) in
+    Buffer.clear r.buf;
+    Buffer.add_string r.buf rest;
+    r.pos <- 0
+  end
+
+(* Pull more bytes; [`Data] on progress. *)
+let fill ?timeout r =
+  let ready =
+    match timeout with
+    | None -> true
+    | Some t ->
+      (match Unix.select [ r.fd ] [] [] t with
+       | [], _, _ -> false
+       | _ -> true
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+  in
+  if not ready then `Timeout
+  else begin
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> `Eof
+    | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      `Data
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Data
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) -> `Eof
+  end
+
+let available r = Buffer.length r.buf - r.pos
+
+(* A complete "<len> <payload>\n" at [pos]?  [`Need] if more bytes may
+   complete it. *)
+let try_parse r =
+  let len = Buffer.length r.buf in
+  let i = ref r.pos in
+  while !i < len && Buffer.nth r.buf !i >= '0' && Buffer.nth r.buf !i <= '9' do incr i done;
+  if !i = r.pos then
+    if len > r.pos then `Garbage "frame length prefix missing" else `Need
+  else if !i - r.pos > 8 then `Garbage "frame length prefix too long"
+  else if !i >= len then `Need
+  else if Buffer.nth r.buf !i <> ' ' then `Garbage "frame length not followed by a space"
+  else begin
+    let n = int_of_string (Buffer.sub r.buf r.pos (!i - r.pos)) in
+    if n > max_payload then `Garbage "frame payload too large"
+    else begin
+      let start = !i + 1 in
+      if len - start < n + 1 then `Need
+      else if Buffer.nth r.buf (start + n) <> '\n' then
+        `Garbage "frame payload not terminated by a newline"
+      else begin
+        let payload = Buffer.sub r.buf start n in
+        r.pos <- start + n + 1;
+        if r.pos = Buffer.length r.buf then begin
+          Buffer.clear r.buf;
+          r.pos <- 0
+        end;
+        `Frame payload
+      end
+    end
+  end
+
+let read ?timeout r =
+  let rec go ~first =
+    match try_parse r with
+    | `Frame p -> `Frame p
+    | `Garbage g -> `Garbage g
+    | `Need ->
+      compact r;
+      (* only the wait for the frame's first byte is bounded *)
+      let timeout = if first && available r = 0 then timeout else None in
+      (match fill ?timeout r with
+       | `Data -> go ~first:false
+       | `Eof -> if available r = 0 then `Eof else `Garbage "eof mid-frame"
+       | `Timeout -> `Timeout)
+  in
+  go ~first:true

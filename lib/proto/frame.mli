@@ -1,0 +1,33 @@
+(** Length-prefixed framing for the moq wire protocol.
+
+    A frame on the wire is
+
+    {v <decimal-byte-length> SP <payload> LF v}
+
+    The payload is arbitrary text (it may itself contain newlines — the
+    length is authoritative; the trailing [LF] is a frame separator that
+    doubles as a cheap integrity check).  Frames larger than
+    {!max_payload} are rejected so a garbage peer cannot make the reader
+    allocate unboundedly. *)
+
+val max_payload : int
+(** 4 MiB. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame, looping over short writes.
+    @raise Invalid_argument if the payload exceeds {!max_payload}.
+    @raise Unix.Unix_error on a closed or broken descriptor. *)
+
+type reader
+(** Buffered frame reader over a file descriptor.  One reader per
+    descriptor; not thread-safe. *)
+
+val reader : Unix.file_descr -> reader
+
+val read :
+  ?timeout:float -> reader -> [ `Frame of string | `Eof | `Timeout | `Garbage of string ]
+(** Next frame.  [timeout] (seconds, > 0) bounds the wait for the {e start}
+    of the frame when the buffer is empty — a blocked peer mid-frame still
+    blocks, which is fine for line-of-sight protocol peers.  [`Garbage]
+    reports a malformed length prefix or separator; the stream is
+    unrecoverable after it. *)

@@ -1,0 +1,315 @@
+module Q = Moq_numeric.Rat
+module U = Moq_mod.Update
+module IO = Moq_mod.Mod_io
+
+let version = 1
+
+(* ---------------------------------------------------------------- *)
+(* Token encoding                                                    *)
+
+let must_escape c = c = '%' || c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+let encode_token s =
+  if not (String.exists must_escape s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let decode_token s =
+  if not (String.contains s '%') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+         | Some c ->
+           Buffer.add_char b (Char.chr c);
+           i := !i + 2
+         | None -> Buffer.add_char b s.[!i]
+       end
+       else Buffer.add_char b s.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Small parsing helpers                                             *)
+
+let ( let* ) = Result.bind
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let int_tok w =
+  match int_of_string_opt w with Some i -> Ok i | None -> Error ("bad integer: " ^ w)
+
+let rat_tok w =
+  match Q.of_string w with
+  | q -> Ok q
+  | exception _ -> Error ("bad rational: " ^ w)
+
+let head_and_body payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, [])
+  | Some i ->
+    ( String.sub payload 0 i,
+      String.split_on_char '\n' (String.sub payload (i + 1) (String.length payload - i - 1))
+      |> List.filter (fun l -> l <> "") )
+
+(* ---------------------------------------------------------------- *)
+(* Requests                                                          *)
+
+type gdist_id = Euclidean_sq | Speed_sq
+
+let gdist_name = function Euclidean_sq -> "euclidean-sq" | Speed_sq -> "speed-sq"
+
+let gdist_of_name = function
+  | "euclidean-sq" -> Ok Euclidean_sq
+  | "speed-sq" -> Ok Speed_sq
+  | w -> Error ("unknown g-distance: " ^ w)
+
+type sub_kind = Sub_knn of int | Sub_range of Q.t | Sub_gdist of gdist_id * Q.t
+
+type query_kind = Qk_knn of int | Qk_range of Q.t
+
+type request =
+  | Hello of int
+  | Update of U.t
+  | Subscribe of { kind : sub_kind; lo : Q.t; hi : Q.t }
+  | Unsubscribe of int
+  | Query of { kind : query_kind; lo : Q.t; hi : Q.t }
+  | Stats of [ `Json | `Prometheus ]
+  | Ping
+  | Bye
+
+let render_request = function
+  | Hello v -> Printf.sprintf "HELLO moqp %d" v
+  | Update u -> "UPDATE " ^ IO.update_to_line u
+  | Subscribe { kind; lo; hi } ->
+    let k =
+      match kind with
+      | Sub_knn k -> Printf.sprintf "knn %d" k
+      | Sub_range b -> Printf.sprintf "range %s" (Q.to_string b)
+      | Sub_gdist (g, b) ->
+        Printf.sprintf "gdist-threshold %s %s" (gdist_name g) (Q.to_string b)
+    in
+    Printf.sprintf "SUBSCRIBE %s %s %s" k (Q.to_string lo) (Q.to_string hi)
+  | Unsubscribe sub -> Printf.sprintf "UNSUBSCRIBE %d" sub
+  | Query { kind; lo; hi } ->
+    let k =
+      match kind with
+      | Qk_knn k -> Printf.sprintf "knn %d" k
+      | Qk_range b -> Printf.sprintf "range %s" (Q.to_string b)
+    in
+    Printf.sprintf "QUERY %s %s %s" k (Q.to_string lo) (Q.to_string hi)
+  | Stats `Json -> "STATS json"
+  | Stats `Prometheus -> "STATS prometheus"
+  | Ping -> "PING"
+  | Bye -> "BYE"
+
+let parse_interval lo hi =
+  let* lo = rat_tok lo in
+  let* hi = rat_tok hi in
+  if Q.compare lo hi > 0 then Error "empty interval" else Ok (lo, hi)
+
+let parse_request ~dim payload =
+  let head, _body = head_and_body payload in
+  match words head with
+  | [ "HELLO"; "moqp"; v ] ->
+    let* v = int_tok v in
+    Ok (Hello v)
+  | "UPDATE" :: _ when String.length head > 7 ->
+    let line = String.sub head 7 (String.length head - 7) in
+    let* u = IO.update_of_line ~dim line in
+    Ok (Update u)
+  | [ "SUBSCRIBE"; "knn"; k; lo; hi ] ->
+    let* k = int_tok k in
+    if k < 1 then Error "k must be positive"
+    else
+      let* lo, hi = parse_interval lo hi in
+      Ok (Subscribe { kind = Sub_knn k; lo; hi })
+  | [ "SUBSCRIBE"; "range"; b; lo; hi ] ->
+    let* b = rat_tok b in
+    let* lo, hi = parse_interval lo hi in
+    Ok (Subscribe { kind = Sub_range b; lo; hi })
+  | [ "SUBSCRIBE"; "gdist-threshold"; g; b; lo; hi ] ->
+    let* g = gdist_of_name g in
+    let* b = rat_tok b in
+    let* lo, hi = parse_interval lo hi in
+    Ok (Subscribe { kind = Sub_gdist (g, b); lo; hi })
+  | [ "UNSUBSCRIBE"; sub ] ->
+    let* sub = int_tok sub in
+    Ok (Unsubscribe sub)
+  | [ "QUERY"; "knn"; k; lo; hi ] ->
+    let* k = int_tok k in
+    if k < 1 then Error "k must be positive"
+    else
+      let* lo, hi = parse_interval lo hi in
+      Ok (Query { kind = Qk_knn k; lo; hi })
+  | [ "QUERY"; "range"; b; lo; hi ] ->
+    let* b = rat_tok b in
+    let* lo, hi = parse_interval lo hi in
+    Ok (Query { kind = Qk_range b; lo; hi })
+  | [ "STATS" ] | [ "STATS"; "json" ] -> Ok (Stats `Json)
+  | [ "STATS"; "prometheus" ] -> Ok (Stats `Prometheus)
+  | [ "PING" ] -> Ok Ping
+  | [ "BYE" ] -> Ok Bye
+  | [] -> Error "empty request"
+  | w :: _ -> Error ("unknown request: " ^ w)
+
+(* ---------------------------------------------------------------- *)
+(* Pieces                                                            *)
+
+type piece = P_at of string * int list | P_span of string * string * int list
+
+let render_piece = function
+  | P_at (i, oids) ->
+    (* the oid list may be empty, so no trailing-space juggling *)
+    String.concat " " ("at" :: encode_token i :: List.map string_of_int oids)
+  | P_span (a, b, oids) ->
+    String.concat " " ("span" :: encode_token a :: encode_token b :: List.map string_of_int oids)
+
+let parse_oids ws =
+  List.fold_left
+    (fun acc w ->
+      let* acc = acc in
+      let* o = int_tok w in
+      Ok (o :: acc))
+    (Ok []) ws
+  |> Result.map List.rev
+
+let parse_piece line =
+  match words line with
+  | "at" :: i :: oids ->
+    let* oids = parse_oids oids in
+    Ok (P_at (decode_token i, oids))
+  | "span" :: a :: b :: oids ->
+    let* oids = parse_oids oids in
+    Ok (P_span (decode_token a, decode_token b, oids))
+  | _ -> Error ("bad piece: " ^ line)
+
+let parse_pieces lines =
+  List.fold_left
+    (fun acc l ->
+      let* acc = acc in
+      let* p = parse_piece l in
+      Ok (p :: acc))
+    (Ok []) lines
+  |> Result.map List.rev
+
+(* ---------------------------------------------------------------- *)
+(* Server messages                                                   *)
+
+type verdict = V_accepted | V_rejected of string | V_quarantined of string
+
+let pp_verdict fmt = function
+  | V_accepted -> Format.pp_print_string fmt "accepted"
+  | V_rejected r -> Format.fprintf fmt "rejected %s" r
+  | V_quarantined r -> Format.fprintf fmt "quarantined %s" r
+
+type server_msg =
+  | R_hello of { session : int; dim : int; clock : Q.t }
+  | R_update of verdict
+  | R_subscribe of { sub : int }
+  | R_unsubscribe of { sub : int; pieces : piece list }
+  | R_query of piece list
+  | R_stats of string
+  | R_pong of { clock : Q.t }
+  | R_bye
+  | R_err of { code : string; msg : string }
+  | E_pieces of { sub : int; first_seq : int; pieces : piece list }
+  | E_dropped of { sub : int; from_seq : int; to_seq : int }
+  | E_complete of { sub : int }
+  | E_shutdown of { reason : string }
+
+let is_event = function
+  | E_pieces _ | E_dropped _ | E_complete _ | E_shutdown _ -> true
+  | R_hello _ | R_update _ | R_subscribe _ | R_unsubscribe _ | R_query _ | R_stats _
+  | R_pong _ | R_bye | R_err _ -> false
+
+let with_pieces head pieces =
+  String.concat "\n" (head :: List.map render_piece pieces)
+
+let render_server_msg = function
+  | R_hello { session; dim; clock } ->
+    Printf.sprintf "OK HELLO moqp %d session %d dim %d clock %s" version session dim
+      (Q.to_string clock)
+  | R_update V_accepted -> "OK UPDATE accepted"
+  | R_update (V_rejected r) -> "OK UPDATE rejected " ^ encode_token r
+  | R_update (V_quarantined r) -> "OK UPDATE quarantined " ^ encode_token r
+  | R_subscribe { sub } -> Printf.sprintf "OK SUBSCRIBE %d" sub
+  | R_unsubscribe { sub; pieces } ->
+    with_pieces (Printf.sprintf "OK UNSUBSCRIBE %d %d" sub (List.length pieces)) pieces
+  | R_query pieces -> with_pieces (Printf.sprintf "OK QUERY %d" (List.length pieces)) pieces
+  | R_stats body -> "OK STATS\n" ^ body
+  | R_pong { clock } -> Printf.sprintf "OK PONG clock %s" (Q.to_string clock)
+  | R_bye -> "OK BYE"
+  | R_err { code; msg } -> Printf.sprintf "ERR %s %s" code msg
+  | E_pieces { sub; first_seq; pieces } ->
+    with_pieces
+      (Printf.sprintf "EVENT %d %d %d" sub first_seq (List.length pieces))
+      pieces
+  | E_dropped { sub; from_seq; to_seq } ->
+    Printf.sprintf "EVENT-DROPPED %d %d %d" sub from_seq to_seq
+  | E_complete { sub } -> Printf.sprintf "EVENT-COMPLETE %d" sub
+  | E_shutdown { reason } -> "SHUTDOWN " ^ reason
+
+let parse_server_msg payload =
+  let head, body = head_and_body payload in
+  match words head with
+  | [ "OK"; "HELLO"; "moqp"; _v; "session"; s; "dim"; d; "clock"; c ] ->
+    let* session = int_tok s in
+    let* dim = int_tok d in
+    let* clock = rat_tok c in
+    Ok (R_hello { session; dim; clock })
+  | [ "OK"; "UPDATE"; "accepted" ] -> Ok (R_update V_accepted)
+  | [ "OK"; "UPDATE"; "rejected"; r ] -> Ok (R_update (V_rejected (decode_token r)))
+  | [ "OK"; "UPDATE"; "quarantined"; r ] ->
+    Ok (R_update (V_quarantined (decode_token r)))
+  | [ "OK"; "SUBSCRIBE"; sub ] ->
+    let* sub = int_tok sub in
+    Ok (R_subscribe { sub })
+  | [ "OK"; "UNSUBSCRIBE"; sub; _n ] ->
+    let* sub = int_tok sub in
+    let* pieces = parse_pieces body in
+    Ok (R_unsubscribe { sub; pieces })
+  | [ "OK"; "QUERY"; _n ] ->
+    let* pieces = parse_pieces body in
+    Ok (R_query pieces)
+  | "OK" :: "STATS" :: _ ->
+    let i = String.index_opt payload '\n' in
+    let body =
+      match i with
+      | Some i -> String.sub payload (i + 1) (String.length payload - i - 1)
+      | None -> ""
+    in
+    Ok (R_stats body)
+  | [ "OK"; "PONG"; "clock"; c ] ->
+    let* clock = rat_tok c in
+    Ok (R_pong { clock })
+  | [ "OK"; "BYE" ] -> Ok R_bye
+  | "ERR" :: code :: rest -> Ok (R_err { code; msg = String.concat " " rest })
+  | [ "EVENT"; sub; first; _n ] ->
+    let* sub = int_tok sub in
+    let* first_seq = int_tok first in
+    let* pieces = parse_pieces body in
+    Ok (E_pieces { sub; first_seq; pieces })
+  | [ "EVENT-DROPPED"; sub; a; b ] ->
+    let* sub = int_tok sub in
+    let* from_seq = int_tok a in
+    let* to_seq = int_tok b in
+    Ok (E_dropped { sub; from_seq; to_seq })
+  | [ "EVENT-COMPLETE"; sub ] ->
+    let* sub = int_tok sub in
+    Ok (E_complete { sub })
+  | "SHUTDOWN" :: rest -> Ok (E_shutdown { reason = String.concat " " rest })
+  | [] -> Error "empty message"
+  | w :: _ -> Error ("unknown server message: " ^ w)

@@ -1,0 +1,106 @@
+(** The moq wire protocol, version 1 ("moqp 1").
+
+    Every frame (see {!Frame}) carries one message.  A message payload is
+    line-oriented: the first line is the message head (space-separated
+    tokens), optional further lines carry timeline pieces.  Numbers travel
+    as exact rationals ({!Moq_numeric.Rat} syntax); sweep instants — which
+    may be algebraic — travel as their deterministic pretty-printed form,
+    percent-encoded into a single token, so two peers can compare timelines
+    bit-for-bit without an algebraic-number parser.
+
+    Client requests:
+    {v
+    HELLO moqp 1
+    UPDATE new 3 7 1 0 5 5        (Mod_io update-line syntax)
+    SUBSCRIBE knn 2 0 100
+    SUBSCRIBE range 50 0 100
+    SUBSCRIBE gdist-threshold speed-sq 9 0 100
+    UNSUBSCRIBE 1
+    QUERY knn 2 0 40 | QUERY range 50 0 40
+    STATS json | STATS prometheus
+    PING
+    BYE
+    v}
+
+    Server messages are either responses (head starts with [OK] or [ERR];
+    exactly one per request, in order) or asynchronous events ([EVENT],
+    [EVENT-DROPPED], [EVENT-COMPLETE], [SHUTDOWN]).  Each subscription's
+    event pieces carry consecutive sequence numbers from 0; a
+    backpressure drop is reported as an [EVENT-DROPPED] covering the lost
+    range, so a subscriber can always account for every sequence number. *)
+
+module Q := Moq_numeric.Rat
+module U := Moq_mod.Update
+
+val version : int
+
+val encode_token : string -> string
+(** Percent-encode ['%'], spaces, newlines and tabs. *)
+
+val decode_token : string -> string
+
+(** {1 Requests} *)
+
+type gdist_id = Euclidean_sq | Speed_sq
+
+type sub_kind =
+  | Sub_knn of int  (** k nearest to the origin *)
+  | Sub_range of Q.t  (** within squared distance of the origin *)
+  | Sub_gdist of gdist_id * Q.t  (** below threshold under a named g-distance *)
+
+type query_kind = Qk_knn of int | Qk_range of Q.t
+
+type request =
+  | Hello of int  (** protocol version *)
+  | Update of U.t
+  | Subscribe of { kind : sub_kind; lo : Q.t; hi : Q.t }
+  | Unsubscribe of int
+  | Query of { kind : query_kind; lo : Q.t; hi : Q.t }
+  | Stats of [ `Json | `Prometheus ]
+  | Ping
+  | Bye
+
+val render_request : request -> string
+
+val parse_request : dim:int -> string -> (request, string) result
+(** [dim] is the server database's dimension (updates carry one vector per
+    coordinate). *)
+
+(** {1 Timeline pieces on the wire} *)
+
+type piece =
+  | P_at of string * int list  (** encoded instant, answer OIDs ascending *)
+  | P_span of string * string * int list
+
+val render_piece : piece -> string
+val parse_piece : string -> (piece, string) result
+
+(** {1 Server messages} *)
+
+type verdict = V_accepted | V_rejected of string | V_quarantined of string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type server_msg =
+  | R_hello of { session : int; dim : int; clock : Q.t }
+  | R_update of verdict
+  | R_subscribe of { sub : int }
+  | R_unsubscribe of { sub : int; pieces : piece list }
+      (** the subscription's simplified validated timeline at retirement *)
+  | R_query of piece list
+  | R_stats of string  (** exporter output, verbatim *)
+  | R_pong of { clock : Q.t }
+  | R_bye
+  | R_err of { code : string; msg : string }
+      (** codes: [bad-version], [proto], [busy], [limit], [unknown-sub],
+          [idle-timeout], [shutting-down] *)
+  | E_pieces of { sub : int; first_seq : int; pieces : piece list }
+  | E_dropped of { sub : int; from_seq : int; to_seq : int }  (** inclusive *)
+  | E_complete of { sub : int }
+  | E_shutdown of { reason : string }
+
+val is_event : server_msg -> bool
+(** Asynchronous push, not a response. *)
+
+val render_server_msg : server_msg -> string
+val parse_server_msg : string -> (server_msg, string) result

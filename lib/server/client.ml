@@ -1,0 +1,133 @@
+module Frame = Moq_proto.Frame
+module Proto = Moq_proto.Proto
+
+type t = {
+  fd : Unix.file_descr;
+  timeout : float;
+  m : Mutex.t;  (* guards [resps], [events], [closed] *)
+  wm : Mutex.t;  (* serializes request/response pairs on the wire *)
+  mutable resps : Proto.server_msg list;  (* oldest first *)
+  mutable events : Proto.server_msg list;  (* oldest first *)
+  mutable closed : bool;
+  mutable reader : Thread.t option;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let reader_loop c =
+  let r = Frame.reader c.fd in
+  let rec go () =
+    match Frame.read r with
+    | `Eof | `Timeout -> ()
+    | `Garbage _ -> ()
+    | `Frame payload ->
+      (match Proto.parse_server_msg payload with
+       | Error _ -> ()
+       | Ok msg ->
+         with_lock c.m (fun () ->
+             if Proto.is_event msg then c.events <- c.events @ [ msg ]
+             else c.resps <- c.resps @ [ msg ]);
+         go ())
+  in
+  (try go () with _ -> ());
+  with_lock c.m (fun () -> c.closed <- true)
+
+let connect ?(timeout = 30.) addr =
+  (* a server closing mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    let domain =
+      match addr with Server.Tcp _ -> Unix.PF_INET | Server.Unix_sock _ -> Unix.PF_UNIX
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    (try Unix.connect fd (Server.sockaddr_of addr)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+  with
+  | fd ->
+    let c =
+      { fd; timeout; m = Mutex.create (); wm = Mutex.create (); resps = [];
+        events = []; closed = false; reader = None }
+    in
+    c.reader <- Some (Thread.create (fun () -> reader_loop c) ());
+    Ok c
+  | exception Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+(* Poll for the next queued response.  OCaml's [Condition] has no timed
+   wait, so a short sleep loop stands in; the granularity only matters on
+   the failure path. *)
+let await_resp c =
+  let deadline = Unix.gettimeofday () +. c.timeout in
+  let rec go () =
+    let r =
+      with_lock c.m (fun () ->
+          match c.resps with
+          | msg :: rest ->
+            c.resps <- rest;
+            Some (Ok msg)
+          | [] -> if c.closed then Some (Error "connection closed") else None)
+    in
+    match r with
+    | Some r -> r
+    | None ->
+      if Unix.gettimeofday () > deadline then Error "timed out waiting for response"
+      else begin
+        Thread.delay 0.002;
+        go ()
+      end
+  in
+  go ()
+
+let request c req =
+  with_lock c.wm (fun () ->
+      if c.closed then Error "connection closed"
+      else
+        match Frame.write c.fd (Proto.render_request req) with
+        | () -> await_resp c
+        | exception Unix.Unix_error (err, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+let hello c = request c (Proto.Hello Proto.version)
+
+let next_event ?timeout c =
+  let timeout = match timeout with Some s -> s | None -> c.timeout in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let r =
+      with_lock c.m (fun () ->
+          match c.events with
+          | msg :: rest ->
+            c.events <- rest;
+            Some (Some msg)
+          | [] -> if c.closed then Some None else None)
+    in
+    match r with
+    | Some r -> r
+    | None ->
+      if Unix.gettimeofday () > deadline then None
+      else begin
+        Thread.delay 0.002;
+        go ()
+      end
+  in
+  go ()
+
+let drain_events c =
+  with_lock c.m (fun () ->
+      let evs = c.events in
+      c.events <- [];
+      evs)
+
+let is_open c = not (with_lock c.m (fun () -> c.closed))
+
+let close c =
+  let was_closed = with_lock c.m (fun () -> c.closed) in
+  if not was_closed then (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (match c.reader with Some th -> (try Thread.join th with _ -> ()) | None -> ());
+  c.reader <- None;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  with_lock c.m (fun () -> c.closed <- true)

@@ -1,0 +1,35 @@
+(** Blocking moqp client: one socket, one background reader thread.
+
+    Responses are matched to requests by order (the protocol guarantees one
+    response per request, in order); asynchronous events ([EVENT],
+    [EVENT-DROPPED], [EVENT-COMPLETE], [SHUTDOWN]) land in an internal
+    queue read with {!next_event}/{!drain_events}.  Safe for concurrent
+    callers: requests are serialized on the socket. *)
+
+module Proto := Moq_proto.Proto
+
+type t
+
+val connect : ?timeout:float -> Server.addr -> (t, string) result
+(** TCP or Unix-domain connect; [timeout] bounds each response wait (and
+    the connection attempt), default 30 s. *)
+
+val request : t -> Proto.request -> (Proto.server_msg, string) result
+(** Send one frame, wait for its response.  [Error] on timeout, closed
+    connection, or unparsable reply. *)
+
+val hello : t -> (Proto.server_msg, string) result
+(** [request (Hello Proto.version)]. *)
+
+val next_event : ?timeout:float -> t -> Proto.server_msg option
+(** Oldest undelivered event, waiting up to [timeout] (default: the
+    connect timeout) for one to arrive.  [None] on timeout or once the
+    connection is closed and the queue empty. *)
+
+val drain_events : t -> Proto.server_msg list
+(** All queued events, oldest first, without waiting. *)
+
+val is_open : t -> bool
+
+val close : t -> unit
+(** Close the socket and join the reader.  Idempotent. *)

@@ -1,0 +1,656 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module Oid = Moq_mod.Oid
+module Store = Moq_durable.Store
+module Sanitize = Moq_durable.Sanitize
+module Registry = Moq_obs.Registry
+module Sink = Moq_obs.Sink
+module Export = Moq_obs.Export
+module Frame = Moq_proto.Frame
+module Proto = Moq_proto.Proto
+
+module BX = Moq_core.Backend.Exact
+module Mon = Moq_core.Monitor.Make (BX)
+module Knn = Moq_core.Knn.Make (BX)
+module Range = Moq_core.Range_query.Make (BX)
+module Fof = Moq_core.Fof
+module Gdist = Moq_core.Gdist
+module TL = Mon.TL
+
+(* ---------------------------------------------------------------- *)
+(* Addresses                                                         *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let pp_addr fmt = function
+  | Tcp (h, p) -> Format.fprintf fmt "tcp:%s:%d" h p
+  | Unix_sock p -> Format.fprintf fmt "unix:%s" p
+
+let addr_of_string s =
+  match String.split_on_char ':' s with
+  | [ "unix"; "" ] -> Error "unix socket path missing"
+  | "unix" :: rest -> Ok (Unix_sock (String.concat ":" rest))
+  | [ "tcp"; host; port ] ->
+    (match int_of_string_opt port with
+     | Some p when p >= 0 -> Ok (Tcp (host, p))
+     | _ -> Error ("bad port: " ^ port))
+  | [ port ] ->
+    (match int_of_string_opt port with
+     | Some p when p >= 0 -> Ok (Tcp ("127.0.0.1", p))
+     | _ -> Error ("bad listen address: " ^ s))
+  | _ -> Error ("bad listen address: " ^ s)
+
+let inet_addr host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+
+let sockaddr_of = function
+  | Tcp (host, port) -> Unix.ADDR_INET (inet_addr host, port)
+  | Unix_sock path -> Unix.ADDR_UNIX path
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+
+type config = {
+  listen : addr;
+  store_dir : string;
+  init_db : DB.t option;
+  fsync : bool;
+  checkpoint_every : int;
+  max_sessions : int;
+  max_subs_per_session : int;
+  queue_soft : int;
+  queue_hwm : int;
+  idle_timeout : float;
+  writer_delay : float;
+}
+
+let default_config ~listen ~store_dir =
+  { listen; store_dir; init_db = None; fsync = true; checkpoint_every = 256;
+    max_sessions = 64; max_subs_per_session = 8; queue_soft = 64;
+    queue_hwm = 256; idle_timeout = 300.; writer_delay = 0. }
+
+(* ---------------------------------------------------------------- *)
+(* Sessions and subscriptions                                        *)
+
+type out_item =
+  | O_msg of string  (* rendered response or notice; never dropped *)
+  | O_event of {
+      sub : int;
+      first_seq : int;
+      mutable count : int;
+      mutable pieces_rev : Proto.piece list;  (* newest first *)
+    }
+  | O_dropped of { sub : int; mutable from_seq : int; to_seq : int }
+
+type sub = {
+  sub_id : int;
+  sub_hi : Q.t;
+  mon : Mon.t;
+  mutable next_seq : int;
+}
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable outq : out_item list;  (* oldest first *)
+  mutable qlen : int;
+  mutable closing : bool;  (* writer drains the queue, then shuts down *)
+  mutable dead : bool;  (* abrupt teardown: writer exits immediately *)
+  mutable subs : sub list;
+  mutable writer : Thread.t option;
+}
+
+type t = {
+  cfg : config;
+  reg : Registry.t;
+  sink : Sink.t;
+  store : Store.t;
+  san : Sanitize.t;
+  dim : int;
+  lock : Mutex.t;  (* guards store, sanitizer, sessions list, subscriptions *)
+  mutable sessions : session list;
+  mutable next_sid : int;
+  mutable next_sub : int;
+  mutable stopping : bool;
+  mutable crashed : bool;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable readers : Thread.t list;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---------------------------------------------------------------- *)
+(* Output queue: enqueue, coalesce, drop                             *)
+
+let render_item = function
+  | O_msg s -> s
+  | O_event e ->
+    Proto.render_server_msg
+      (Proto.E_pieces
+         { sub = e.sub; first_seq = e.first_seq; pieces = List.rev e.pieces_rev })
+  | O_dropped d ->
+    Proto.render_server_msg
+      (Proto.E_dropped { sub = d.sub; from_seq = d.from_seq; to_seq = d.to_seq })
+
+(* Merge adjacent EVENT-DROPPED markers for the same subscription.  The
+   queue holds each subscription's sequence numbers in order with nothing
+   between adjacent items, so adjacent markers are always contiguous. *)
+let rec compact = function
+  | O_dropped a :: O_dropped b :: rest when a.sub = b.sub && b.from_seq = a.to_seq + 1 ->
+    b.from_seq <- a.from_seq;
+    compact (O_dropped b :: rest)
+  | x :: rest -> x :: compact rest
+  | [] -> []
+
+(* qm held.  Replace the oldest event frame with a drop marker; [compact]
+   then merges it into a neighbouring marker where possible.  Returns
+   [false] when the queue holds no event frame left to drop. *)
+let drop_oldest_event t sess =
+  let rec go = function
+    | [] -> None
+    | O_event e :: rest ->
+      Sink.count t.sink "moq_server_dropped_events_total" e.count;
+      Some
+        (O_dropped
+           { sub = e.sub; from_seq = e.first_seq; to_seq = e.first_seq + e.count - 1 }
+        :: rest)
+    | x :: rest -> Option.map (fun rest' -> x :: rest') (go rest)
+  in
+  match go sess.outq with
+  | None -> false
+  | Some q ->
+    let q = compact q in
+    sess.outq <- q;
+    sess.qlen <- List.length q;
+    true
+
+(* qm held. *)
+let enqueue_item t sess item =
+  if not (sess.closing || sess.dead) then begin
+    let coalesced =
+      match item, (if sess.qlen >= t.cfg.queue_soft then List.rev sess.outq else []) with
+      | O_event e, O_event last :: _
+        when last.sub = e.sub && last.first_seq + last.count = e.first_seq ->
+        last.pieces_rev <- e.pieces_rev @ last.pieces_rev;
+        last.count <- last.count + e.count;
+        Sink.count t.sink "moq_server_coalesced_events_total" 1;
+        true
+      | _ -> false
+    in
+    if not coalesced then begin
+      sess.outq <- sess.outq @ [ item ];
+      sess.qlen <- sess.qlen + 1
+    end;
+    while sess.qlen > t.cfg.queue_hwm && drop_oldest_event t sess do () done;
+    Sink.observe t.sink "moq_server_push_queue_depth" (float_of_int sess.qlen);
+    Condition.signal sess.qc
+  end
+
+let enqueue t sess item = with_lock sess.qm (fun () -> enqueue_item t sess item)
+let enqueue_msg t sess msg = enqueue t sess (O_msg (Proto.render_server_msg msg))
+
+(* ---------------------------------------------------------------- *)
+(* Timeline pieces -> wire                                           *)
+
+let wire_instant i = Format.asprintf "%a" BX.pp_instant i
+
+let wire_piece = function
+  | TL.At (i, s) -> Proto.P_at (wire_instant i, Oid.Set.elements s)
+  | TL.Span (a, b, s) -> Proto.P_span (wire_instant a, wire_instant b, Oid.Set.elements s)
+
+(* ---------------------------------------------------------------- *)
+(* Subscriptions                                                     *)
+
+(* The reference trajectory for origin-relative distances must be alive
+   before any queried interval; a very early start covers every sane use. *)
+let gamma_start = Q.of_int (-1_000_000_000)
+
+let origin_gamma dim = T.stationary ~start:gamma_start (Qvec.zero dim)
+
+let gdist_of_kind t = function
+  | Proto.Sub_knn _ | Proto.Sub_range _ | Proto.Sub_gdist (Proto.Euclidean_sq, _) ->
+    Gdist.euclidean_sq ~gamma:(origin_gamma t.dim)
+  | Proto.Sub_gdist (Proto.Speed_sq, _) -> Gdist.speed_sq
+
+let query_of_kind kind ~lo ~hi =
+  let interval = Fof.Interval.closed lo hi in
+  match kind with
+  | Proto.Sub_knn k -> if k = 1 then Fof.nearest_q ~interval else Fof.knn_q ~k ~interval
+  | Proto.Sub_range b | Proto.Sub_gdist (_, b) -> Fof.within_q ~bound:b ~interval
+
+(* t.lock held.  Push freshly validated pieces of [sub] to its session;
+   retire the subscription once its whole interval is valid. *)
+let push_fresh t sess sub =
+  let pieces = Mon.drain_valid sub.mon in
+  if pieces <> [] then begin
+    let wire = List.map wire_piece pieces in
+    let n = List.length wire in
+    Sink.count t.sink "moq_server_pushed_events_total" n;
+    enqueue t sess
+      (O_event { sub = sub.sub_id; first_seq = sub.next_seq; count = n;
+                 pieces_rev = List.rev wire });
+    sub.next_seq <- sub.next_seq + n
+  end;
+  if Q.compare (Mon.clock sub.mon) sub.sub_hi >= 0 then begin
+    Sink.count t.sink "moq_server_completed_subscriptions_total" 1;
+    enqueue_msg t sess (Proto.E_complete { sub = sub.sub_id });
+    sess.subs <- List.filter (fun s -> s.sub_id <> sub.sub_id) sess.subs
+  end
+
+(* t.lock held: apply one accepted update to every live subscription. *)
+let fanout t u =
+  List.iter
+    (fun sess ->
+      List.iter
+        (fun sub ->
+          (match Mon.apply_update sub.mon u with
+           | Ok () -> ()
+           | Error _ -> Sink.count t.sink "moq_server_fanout_errors_total" 1);
+          push_fresh t sess sub)
+        sess.subs)
+    t.sessions
+
+(* t.lock held.  The sanitizer → WAL pipeline: like {!Store.ingest}, but
+   every applied update — including quarantine graduates — is fanned out to
+   the live subscriptions. *)
+let ingest_and_fanout t u =
+  let try_apply u =
+    match Sanitize.classify t.san (Store.db t.store) u with
+    | Sanitize.Accepted _ as v ->
+      (match Store.append t.store u with
+       | Ok () -> fanout t u
+       | Error _ -> () (* unreachable: classified against this very db *));
+      v
+    | v -> v
+  in
+  let verdict = try_apply u in
+  (match verdict with
+   | Sanitize.Accepted _ ->
+     let rec drain () =
+       let held = Sanitize.take_quarantine t.san in
+       if held <> [] then begin
+         let progress =
+           List.fold_left
+             (fun acc (hu, _) ->
+               match try_apply hu with Sanitize.Accepted _ -> true | _ -> acc)
+             false held
+         in
+         if progress then drain ()
+       end
+     in
+     drain ()
+   | _ -> ());
+  verdict
+
+let verdict_wire = function
+  | Sanitize.Accepted _ -> Proto.V_accepted
+  | Sanitize.Rejected (r, _) ->
+    Proto.V_rejected (Format.asprintf "%a" Sanitize.pp_reason r)
+  | Sanitize.Quarantined (r, _) ->
+    Proto.V_quarantined (Format.asprintf "%a" Sanitize.pp_reason r)
+
+(* ---------------------------------------------------------------- *)
+(* Request dispatch                                                  *)
+
+let update_gauges t =
+  Registry.set (Registry.gauge t.reg "moq_server_connections")
+    (float_of_int (List.length t.sessions));
+  Registry.set (Registry.gauge t.reg "moq_server_subscriptions")
+    (float_of_int (List.fold_left (fun a s -> a + List.length s.subs) 0 t.sessions))
+
+let rpc_name = function
+  | Proto.Hello _ -> "hello"
+  | Proto.Update _ -> "update"
+  | Proto.Subscribe _ -> "subscribe"
+  | Proto.Unsubscribe _ -> "unsubscribe"
+  | Proto.Query _ -> "query"
+  | Proto.Stats _ -> "stats"
+  | Proto.Ping -> "ping"
+  | Proto.Bye -> "bye"
+
+(* Returns [false] when the session should close. *)
+let dispatch t sess (req : Proto.request) =
+  Sink.count t.sink "moq_server_rpcs_total" 1;
+  Sink.time t.sink (Printf.sprintf "moq_server_rpc_%s_seconds" (rpc_name req))
+  @@ fun () ->
+  match req with
+  | Proto.Hello v ->
+    if v <> Proto.version then begin
+      enqueue_msg t sess
+        (Proto.R_err { code = "bad-version";
+                       msg = Printf.sprintf "server speaks moqp %d" Proto.version });
+      false
+    end
+    else begin
+      let clock = with_lock t.lock (fun () -> Store.clock t.store) in
+      enqueue_msg t sess (Proto.R_hello { session = sess.sid; dim = t.dim; clock });
+      true
+    end
+  | Proto.Ping ->
+    let clock = with_lock t.lock (fun () -> Store.clock t.store) in
+    enqueue_msg t sess (Proto.R_pong { clock });
+    true
+  | Proto.Bye ->
+    enqueue_msg t sess Proto.R_bye;
+    false
+  | Proto.Update u ->
+    let verdict = with_lock t.lock (fun () -> ingest_and_fanout t u) in
+    enqueue_msg t sess (Proto.R_update (verdict_wire verdict));
+    true
+  | Proto.Subscribe { kind; lo; hi } ->
+    with_lock t.lock (fun () ->
+        if List.length sess.subs >= t.cfg.max_subs_per_session then
+          enqueue_msg t sess
+            (Proto.R_err
+               { code = "limit";
+                 msg = Printf.sprintf "at most %d subscriptions per session"
+                         t.cfg.max_subs_per_session })
+        else begin
+          let gdist = gdist_of_kind t kind in
+          let query = query_of_kind kind ~lo ~hi in
+          match Mon.create ~sink:t.sink ~db:(Store.db t.store) ~gdist ~query () with
+          | mon ->
+            let sub_id = t.next_sub in
+            t.next_sub <- t.next_sub + 1;
+            let sub = { sub_id; sub_hi = hi; mon; next_seq = 0 } in
+            sess.subs <- sub :: sess.subs;
+            Sink.count t.sink "moq_server_subscriptions_total" 1;
+            (* response first, then any already-valid prefix as events —
+               same lock scope, so no update can interleave *)
+            enqueue_msg t sess (Proto.R_subscribe { sub = sub_id });
+            push_fresh t sess sub
+          | exception (Invalid_argument m | Failure m) ->
+            enqueue_msg t sess (Proto.R_err { code = "proto"; msg = m })
+        end);
+    true
+  | Proto.Unsubscribe sub_id ->
+    with_lock t.lock (fun () ->
+        match List.find_opt (fun s -> s.sub_id = sub_id) sess.subs with
+        | None ->
+          enqueue_msg t sess
+            (Proto.R_err { code = "unknown-sub"; msg = string_of_int sub_id })
+        | Some sub ->
+          sess.subs <- List.filter (fun s -> s.sub_id <> sub_id) sess.subs;
+          let pieces = List.map wire_piece (Mon.valid_timeline sub.mon) in
+          enqueue_msg t sess (Proto.R_unsubscribe { sub = sub_id; pieces }));
+    true
+  | Proto.Query { kind; lo; hi } ->
+    (* snapshot under the lock, sweep outside it: the MOD is persistent *)
+    let db = with_lock t.lock (fun () -> Store.db t.store) in
+    let gdist = Gdist.euclidean_sq ~gamma:(origin_gamma t.dim) in
+    let timeline =
+      match kind with
+      | Proto.Qk_knn k -> (Knn.run_obs ~sink:t.sink ~db ~gdist ~k ~lo ~hi).Knn.timeline
+      | Proto.Qk_range b -> (Range.run ~db ~gdist ~bound:b ~lo ~hi).Range.timeline
+    in
+    enqueue_msg t sess (Proto.R_query (List.map wire_piece timeline));
+    true
+  | Proto.Stats fmt ->
+    with_lock t.lock (fun () -> update_gauges t);
+    let body =
+      match fmt with
+      | `Json -> Export.json_string t.reg
+      | `Prometheus -> Export.prometheus t.reg
+    in
+    enqueue_msg t sess (Proto.R_stats body);
+    true
+
+(* ---------------------------------------------------------------- *)
+(* Per-session threads                                               *)
+
+let writer_loop t sess =
+  let rec go () =
+    Mutex.lock sess.qm;
+    while sess.outq = [] && not sess.closing && not sess.dead do
+      Condition.wait sess.qc sess.qm
+    done;
+    if sess.dead then Mutex.unlock sess.qm
+    else
+      match sess.outq with
+      | [] ->
+        (* closing with an empty queue: flush complete *)
+        Mutex.unlock sess.qm;
+        (try Unix.shutdown sess.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+      | item :: rest ->
+        sess.outq <- rest;
+        sess.qlen <- sess.qlen - 1;
+        Mutex.unlock sess.qm;
+        (match Frame.write sess.fd (render_item item) with
+         | () ->
+           if t.cfg.writer_delay > 0. then Thread.delay t.cfg.writer_delay;
+           go ()
+         | exception Unix.Unix_error _ ->
+           with_lock sess.qm (fun () -> sess.dead <- true))
+  in
+  go ()
+
+let teardown t sess =
+  (* the reader owns teardown: stop the writer, close the descriptor,
+     forget the session and its subscriptions *)
+  with_lock sess.qm (fun () ->
+      sess.closing <- true;
+      Condition.broadcast sess.qc);
+  (match sess.writer with Some th -> (try Thread.join th with _ -> ()) | None -> ());
+  (try Unix.close sess.fd with Unix.Unix_error _ -> ());
+  if not t.crashed then
+    with_lock t.lock (fun () ->
+        t.sessions <- List.filter (fun s -> s.sid <> sess.sid) t.sessions;
+        update_gauges t)
+
+let reader_loop t sess =
+  let r = Frame.reader sess.fd in
+  let timeout = if t.cfg.idle_timeout > 0. then Some t.cfg.idle_timeout else None in
+  let rec go ~hello_done =
+    match Frame.read ?timeout r with
+    | `Eof -> ()
+    | `Timeout ->
+      Sink.count t.sink "moq_server_idle_timeouts_total" 1;
+      enqueue_msg t sess
+        (Proto.R_err { code = "idle-timeout";
+                       msg = Printf.sprintf "no request in %g s" t.cfg.idle_timeout })
+    | `Garbage g ->
+      Sink.count t.sink "moq_server_protocol_errors_total" 1;
+      enqueue_msg t sess (Proto.R_err { code = "proto"; msg = g })
+    | `Frame payload ->
+      (match Proto.parse_request ~dim:t.dim payload with
+       | Error e ->
+         Sink.count t.sink "moq_server_protocol_errors_total" 1;
+         enqueue_msg t sess (Proto.R_err { code = "proto"; msg = e });
+         go ~hello_done
+       | Ok (Proto.Hello _ as req) -> if dispatch t sess req then go ~hello_done:true
+       | Ok _ when not hello_done ->
+         Sink.count t.sink "moq_server_protocol_errors_total" 1;
+         enqueue_msg t sess (Proto.R_err { code = "proto"; msg = "HELLO first" });
+         go ~hello_done
+       | Ok req -> if dispatch t sess req then go ~hello_done)
+  in
+  (try go ~hello_done:false with _ -> ());
+  teardown t sess
+
+(* ---------------------------------------------------------------- *)
+(* Accept loop, start/stop                                           *)
+
+let handle_accept t fd =
+  Unix.set_close_on_exec fd;
+  let admitted =
+    with_lock t.lock (fun () ->
+        if t.stopping || List.length t.sessions >= t.cfg.max_sessions then None
+        else begin
+          let sid = t.next_sid in
+          t.next_sid <- t.next_sid + 1;
+          let sess =
+            { sid; fd; qm = Mutex.create (); qc = Condition.create (); outq = [];
+              qlen = 0; closing = false; dead = false; subs = []; writer = None }
+          in
+          t.sessions <- sess :: t.sessions;
+          Sink.count t.sink "moq_server_sessions_total" 1;
+          update_gauges t;
+          Some sess
+        end)
+  in
+  match admitted with
+  | None ->
+    Sink.count t.sink "moq_server_rejected_sessions_total" 1;
+    let msg =
+      Proto.render_server_msg
+        (Proto.R_err
+           { code = (if t.stopping then "shutting-down" else "busy");
+             msg =
+               (if t.stopping then "server is draining"
+                else Printf.sprintf "at most %d sessions" t.cfg.max_sessions) })
+    in
+    (try Frame.write fd msg with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some sess ->
+    sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
+    let reader = Thread.create (fun () -> reader_loop t sess) () in
+    with_lock t.lock (fun () -> t.readers <- reader :: t.readers)
+
+let accept_loop t =
+  let rec go () =
+    if not t.stopping then begin
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+      | rs, _, _ ->
+        if List.mem t.wake_r rs then begin
+          let b = Bytes.create 16 in
+          try ignore (Unix.read t.wake_r b 0 16) with Unix.Unix_error _ -> ()
+        end;
+        if (not t.stopping) && List.mem t.listen_fd rs then begin
+          match Unix.accept t.listen_fd with
+          | fd, _ -> handle_accept t fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        end;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    end
+  in
+  (try go () with _ -> ());
+  (* graceful drain — skipped entirely on crash *)
+  if not t.crashed then begin
+    let sessions = with_lock t.lock (fun () -> t.sessions) in
+    List.iter
+      (fun sess ->
+        enqueue t sess
+          (O_msg (Proto.render_server_msg (Proto.E_shutdown { reason = "draining" })));
+        with_lock sess.qm (fun () ->
+            sess.closing <- true;
+            Condition.broadcast sess.qc);
+        (* unblock a reader waiting for the next request *)
+        try Unix.shutdown sess.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      sessions;
+    let readers = with_lock t.lock (fun () -> t.readers) in
+    List.iter (fun th -> try Thread.join th with _ -> ()) readers;
+    with_lock t.lock (fun () ->
+        Store.checkpoint_now t.store;
+        Store.close t.store);
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.cfg.listen with
+     | Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
+     | Tcp _ -> ())
+  end
+
+let start ?registry cfg =
+  (* a peer closing mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let sink = Sink.of_registry reg in
+  let store_r =
+    if Sys.file_exists (Filename.concat cfg.store_dir "checkpoint.mod") then
+      match Store.open_ ~fsync:cfg.fsync ~checkpoint_every:cfg.checkpoint_every ~sink
+              ~dir:cfg.store_dir () with
+      | Ok (store, _) -> Ok store
+      | Error e -> Error e
+    else
+      match cfg.init_db with
+      | Some db ->
+        Ok (Store.init ~fsync:cfg.fsync ~checkpoint_every:cfg.checkpoint_every ~sink
+              ~dir:cfg.store_dir db)
+      | None -> Error (cfg.store_dir ^ ": no checkpoint and no initial database")
+  in
+  match store_r with
+  | Error e -> Error e
+  | Ok store ->
+    (match
+       let domain =
+         match cfg.listen with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX
+       in
+       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+       Unix.set_close_on_exec fd;
+       (match cfg.listen with
+        | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+        | Unix_sock path -> if Sys.file_exists path then Sys.remove path);
+       Unix.bind fd (sockaddr_of cfg.listen);
+       Unix.listen fd 64;
+       fd
+     with
+     | listen_fd ->
+       let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+       let san = Sanitize.create ~sink () in
+       let t =
+         { cfg; reg; sink; store; san; dim = Store.dim store; lock = Mutex.create ();
+           sessions = []; next_sid = 1; next_sub = 1; stopping = false;
+           crashed = false; listen_fd; wake_r; wake_w; accept_thread = None;
+           readers = [] }
+       in
+       update_gauges t;
+       t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+       Ok t
+     | exception Unix.Unix_error (err, fn, arg) ->
+       Store.close store;
+       Error (Printf.sprintf "%s: %s (%s)" fn (Unix.error_message err) arg))
+
+let run t = match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+let bound_addr t =
+  match t.cfg.listen, Unix.getsockname t.listen_fd with
+  | Unix_sock p, _ -> Unix_sock p
+  | Tcp (h, _), Unix.ADDR_INET (_, port) -> Tcp (h, port)
+  | a, _ -> a
+
+let registry t = t.reg
+let db_snapshot t = with_lock t.lock (fun () -> Store.db t.store)
+let clock t = with_lock t.lock (fun () -> Store.clock t.store)
+
+let request_stop t =
+  t.stopping <- true;
+  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ()
+
+let stop t =
+  request_stop t;
+  run t
+
+let crash t =
+  t.crashed <- true;
+  t.stopping <- true;
+  (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+   with Unix.Unix_error _ -> ());
+  let sessions = with_lock t.lock (fun () -> t.sessions) in
+  List.iter
+    (fun sess ->
+      with_lock sess.qm (fun () ->
+          sess.dead <- true;
+          Condition.broadcast sess.qc);
+      (* shutdown, not close: the reader owns the close (in its teardown)
+         and a thread blocked in read(2) is only unblocked by shutdown —
+         closing here would race the recycled fd number against a later
+         connection *)
+      try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    sessions;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.listen with
+   | Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
+   | Tcp _ -> ());
+  let readers = with_lock t.lock (fun () -> t.readers) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) readers;
+  run t

@@ -1,0 +1,85 @@
+(** The moq serving layer: a concurrent MOD server.
+
+    One process owns a durable {!Moq_durable.Store} (sanitizer → WAL →
+    checkpoint) and serves the moqp protocol (see {!Moq_proto.Proto}) over
+    TCP or a Unix-domain socket.  Updates are globally serialized through
+    the store — the paper's chronological-update discipline (Definition 3)
+    becomes the admission rule of the wire — and fan out to every live
+    subscription, each backed by its own {!Moq_core.Monitor} instance.
+    Support-change pieces are pushed to subscribers the moment they become
+    {e valid} in the sense of Definition 4 (no future update can change
+    them), with per-subscription sequence numbers.
+
+    Flow control: each session has a bounded output queue.  Above the soft
+    limit, consecutive event frames for the same subscription are coalesced
+    into one frame; above the hard limit, the oldest event frame is dropped
+    and replaced by an [EVENT-DROPPED] marker covering its sequence range —
+    subscribers always see a complete accounting, never silent loss.
+    Responses are never dropped.
+
+    Crash safety: every accepted update is on the WAL before its effects
+    are observable, so a SIGKILL'd server recovers to the exact same MOD
+    via {!Moq_durable.Store.recover}.  A graceful stop ([SIGTERM] →
+    {!request_stop}) drains every push queue, notifies clients with
+    [SHUTDOWN], checkpoints and exits. *)
+
+module DB := Moq_mod.Mobdb
+
+type addr = Tcp of string * int | Unix_sock of string
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val addr_of_string : string -> (addr, string) result
+(** ["tcp:HOST:PORT"], ["unix:PATH"], or a bare [PORT] (loopback TCP). *)
+
+val sockaddr_of : addr -> Unix.sockaddr
+(** Resolves host names; raises [Not_found] on resolution failure. *)
+
+type config = {
+  listen : addr;
+  store_dir : string;
+  init_db : DB.t option;
+      (** seeds the store when [store_dir] has no checkpoint; required then *)
+  fsync : bool;
+  checkpoint_every : int;
+  max_sessions : int;
+  max_subs_per_session : int;
+  queue_soft : int;  (** coalesce event frames above this queue length *)
+  queue_hwm : int;  (** drop oldest event frames above this length *)
+  idle_timeout : float;  (** seconds without a request; 0 disables *)
+  writer_delay : float;  (** test knob: sleep per written frame; 0 in production *)
+}
+
+val default_config : listen:addr -> store_dir:string -> config
+
+type t
+
+val start : ?registry:Moq_obs.Registry.t -> config -> (t, string) result
+(** Bind, recover-or-init the store, spawn the accept loop.  All
+    [moq_server_*] metrics (and the store/sanitizer instrumentation) land
+    in [registry]. *)
+
+val run : t -> unit
+(** Block until the server has stopped (via {!request_stop}/{!stop}). *)
+
+val bound_addr : t -> addr
+(** Actual address — resolves port 0 to the kernel-chosen port. *)
+
+val registry : t -> Moq_obs.Registry.t
+
+val db_snapshot : t -> DB.t
+(** Current MOD (persistent value, safe to use concurrently). *)
+
+val clock : t -> Moq_numeric.Rat.t
+
+val request_stop : t -> unit
+(** Initiate a graceful drain; safe to call from a signal handler. *)
+
+val stop : t -> unit
+(** {!request_stop} then wait for the drain to finish. *)
+
+val crash : t -> unit
+(** Abrupt termination for tests/benchmarks: close every descriptor, skip
+    the final checkpoint and store close — exactly what SIGKILL leaves
+    behind.  The store directory is then ready for
+    {!Moq_durable.Store.recover}. *)

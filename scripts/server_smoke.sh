@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Two-phase server smoke test.
+#
+# The same update stream must leave the same MOD behind whether the server
+# runs uninterrupted (phase A) or is SIGKILLed mid-stream and recovered
+# from its write-ahead log before the rest of the stream arrives (phase B).
+# Both phases finish with a graceful SIGTERM drain; the comparison is
+# byte-for-byte on the final checkpoint and on a k-NN query timeline served
+# just before shutdown.
+#
+# Usage: scripts/server_smoke.sh
+# Env:   MOQ — the moq binary (default: dune exec bin/moq.exe --)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MOQ=${MOQ:-"dune exec --no-print-directory bin/moq.exe --"}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/moq_server_smoke.XXXXXX")
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -KILL "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+UPDATES_FIRST='UPDATE chdir 1 1 2 0
+UPDATE new 9 2 1 1 3 3
+UPDATE chdir 2 3 0 1'
+UPDATES_SECOND='UPDATE terminate 3 4
+UPDATE chdir 9 5 0 0
+UPDATE chdir 1 6 -1 2'
+PROBE='QUERY knn 2 0 10'
+
+start_server() { # $1 = store dir, $2 = log file
+  $MOQ serve --listen tcp:127.0.0.1:0 --store "$1" --seed 5 -n 6 \
+    --no-fsync --checkpoint-every 1000 >"$2" 2>&1 &
+  SRV_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(awk '/^listening on /{print $3; exit}' "$2" 2>/dev/null || true)
+    [ -n "$ADDR" ] && return 0
+    sleep 0.1
+  done
+  echo "server did not come up; log:" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+stop_server() { # graceful drain
+  kill -TERM "$SRV_PID"
+  wait "$SRV_PID"
+  SRV_PID=""
+}
+
+# ----- phase A: uninterrupted reference run -------------------------------
+start_server "$WORK/a" "$WORK/a.log"
+printf '%s\n%s\n%s\n' "$UPDATES_FIRST" "$UPDATES_SECOND" "$PROBE" \
+  | $MOQ client --connect "$ADDR" >"$WORK/a.out"
+stop_server
+grep -q 'drained; store checkpointed' "$WORK/a.log" \
+  || { echo "phase A: no graceful drain"; exit 1; }
+
+# ----- phase B: SIGKILL mid-stream, recover, finish the stream ------------
+start_server "$WORK/b" "$WORK/b.log"
+printf '%s\n' "$UPDATES_FIRST" | $MOQ client --connect "$ADDR" >/dev/null
+kill -KILL "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+# the WAL must hold exactly the updates accepted since the initial checkpoint
+$MOQ recover --store "$WORK/b" >/dev/null 2>"$WORK/b.recover"
+grep -q 'replayed=3' "$WORK/b.recover" \
+  || { echo "phase B: expected 3 WAL records to replay"; cat "$WORK/b.recover"; exit 1; }
+
+# restart on the same store: checkpoint + WAL win over --seed/--n
+start_server "$WORK/b" "$WORK/b2.log"
+printf '%s\n%s\n' "$UPDATES_SECOND" "$PROBE" \
+  | $MOQ client --connect "$ADDR" >"$WORK/b.out"
+stop_server
+grep -q 'clock 3' "$WORK/b2.log" \
+  || { echo "phase B: restart did not recover the pre-kill clock"; cat "$WORK/b2.log"; exit 1; }
+
+# ----- compare ------------------------------------------------------------
+sed -n '/^OK QUERY/,$p' "$WORK/a.out" >"$WORK/a.query"
+sed -n '/^OK QUERY/,$p' "$WORK/b.out" >"$WORK/b.query"
+[ -s "$WORK/a.query" ] || { echo "phase A produced no query answer"; exit 1; }
+cmp "$WORK/a.query" "$WORK/b.query" \
+  || { echo "query timelines diverge after kill+recover"; diff "$WORK/a.query" "$WORK/b.query" || true; exit 1; }
+cmp "$WORK/a/checkpoint.mod" "$WORK/b/checkpoint.mod" \
+  || { echo "final checkpoints diverge after kill+recover"; exit 1; }
+
+echo "server smoke OK: kill+recover state is bit-identical to the uninterrupted run"

@@ -11,6 +11,13 @@ plus optional per-experiment extras:
     "backend": str             # numeric backend the experiment ran on
     "filter_hit_rate": float   # in [0, 1]; filtered backend only
     "speedup_vs_exact": float  # > 0; filtered backend only
+    "connections": int         # > 0; server experiments (s1) only
+    "rps": float               # >= 0; server experiments only
+    "p50_ms": float            # >= 0; server experiments only
+    "p99_ms": float            # >= 0 and >= p50_ms; server experiments only
+    "pushed_events": int       # >= 0; server experiments only
+    "dropped": int             # >= 0; server experiments only
+    "recover_identical": bool  # must be true when present
 
 Usage: validate_bench.py [--min-hit-rate X] FILE [FILE...]
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
@@ -22,7 +29,9 @@ import sys
 
 METRIC_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
 REQUIRED = {"exp", "n", "seed", "wall_s", "counters"}
-OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact"}
+OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
+            "connections", "rps", "p50_ms", "p99_ms", "pushed_events",
+            "dropped", "recover_identical"}
 
 
 def is_number(v):
@@ -67,6 +76,21 @@ def problems(path, min_hit_rate=None):
         speedup = doc["speedup_vs_exact"]
         if not is_number(speedup) or speedup <= 0:
             yield "'speedup_vs_exact' must be a positive number"
+    for key in ("connections", "pushed_events", "dropped"):
+        if key in doc and (
+            not isinstance(doc[key], int) or isinstance(doc[key], bool)
+            or doc[key] < 0 or (key == "connections" and doc[key] == 0)
+        ):
+            yield "'%s' must be a %s integer" % (
+                key, "positive" if key == "connections" else "non-negative")
+    for key in ("rps", "p50_ms", "p99_ms"):
+        if key in doc and (not is_number(doc[key]) or doc[key] < 0):
+            yield "'%s' must be a non-negative number" % key
+    if (is_number(doc.get("p50_ms")) and is_number(doc.get("p99_ms"))
+            and doc["p99_ms"] < doc["p50_ms"]):
+        yield "'p99_ms' must be >= 'p50_ms'"
+    if "recover_identical" in doc and doc["recover_identical"] is not True:
+        yield "'recover_identical' must be true — recovery diverged"
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"

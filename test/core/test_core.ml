@@ -514,6 +514,43 @@ let test_monitor_theorem10_chdir_query () =
   check_set "t=5" [ 1 ] (at (q 5));
   check_set "universal" [ 1 ] (MonX.TL.universal tl)
 
+let test_monitor_theorem10_vs_sweep () =
+  (* Theorem 10 under load: interleave object updates with a chdir of the
+     query trajectory itself, then check the O(N)-rebuilt monitor against
+     a from-scratch lazy sweep over the final database with the same
+     piecewise gamma *)
+  let db = line_db [ (1, q 0, q 1); (2, q 12, q (-2)); (3, q (-6), q 0) ] in
+  let gamma = T.linear ~start:(q 0) ~a:(vec [ 2 ]) ~b:(vec [ 1 ]) in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 16)) in
+  let m = MonX.create ~db ~gdist:(Gdist.euclidean_sq ~gamma) ~query () in
+  let before = [ U.Chdir { oid = 2; tau = q 2; a = vec [ 1 ] } ] in
+  let after =
+    [ U.New { oid = 4; tau = q 7; a = vec [ 0 ]; b = vec [ -2 ] };
+      U.Terminate { oid = 3; tau = q 11 } ]
+  in
+  List.iter (MonX.apply_update_exn m) before;
+  let gamma' = T.chdir gamma (q 5) (vec [ -1 ]) in
+  MonX.chdir_query m ~tau:(q 5) ~gdist:(Gdist.euclidean_sq ~gamma:gamma');
+  Alcotest.(check (list string)) "audit clean after the O(N) rebuild" []
+    (MonX.audit m);
+  List.iter (MonX.apply_update_exn m) after;
+  let tl_eager = MonX.finalize m in
+  let final_db = DB.apply_all_exn db (before @ after) in
+  let r_lazy =
+    SwX.run ~db:final_db ~gdist:(Gdist.euclidean_sq ~gamma:gamma') ~query
+  in
+  List.iter
+    (fun i ->
+      let t = Q.div (q i) (q 2) in
+      match
+        ( TLX.find_at tl_eager (BX.instant_of_scalar t),
+          TLX.find_at r_lazy.SwX.timeline (BX.instant_of_scalar t) )
+      with
+      | Some a, Some b ->
+        check_set (Printf.sprintf "t=%d/2" i) (Oid.Set.elements b) a
+      | _ -> Alcotest.failf "timeline gap at %d/2" i)
+    (List.init 33 (fun i -> i))
+
 (* ------------------------------------------------------------------ *)
 (* Classification                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -568,6 +605,7 @@ let () =
         Alcotest.test_case "eager matches lazy" `Quick test_monitor_matches_lazy_sweep;
         Alcotest.test_case "insert and remove" `Quick test_monitor_insert_and_remove;
         Alcotest.test_case "theorem 10 chdir query" `Quick test_monitor_theorem10_chdir_query;
+        Alcotest.test_case "theorem 10 vs lazy sweep" `Quick test_monitor_theorem10_vs_sweep;
       ]);
       ("classify", [ Alcotest.test_case "past/future/continuing" `Quick test_classify ]);
     ]

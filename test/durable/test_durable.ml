@@ -153,6 +153,50 @@ let test_wal_bit_flip () =
       done)
     seeds
 
+(* A hostile write syscall: at most [chunk] bytes per call, raising EINTR
+   on a fixed cadence before anything is written.  Every durable path goes
+   through Fsutil.write_all, which must still land every byte. *)
+let with_short_writes ~chunk ~eintr_every f =
+  let calls = ref 0 in
+  Moq_durable.Fsutil.set_write_for_tests
+    (Some
+       (fun fd buf pos len ->
+         incr calls;
+         if eintr_every > 0 && !calls mod eintr_every = 0 then
+           raise (Unix.Unix_error (Unix.EINTR, "write", ""));
+         Unix.write fd buf pos (min chunk len)));
+  Fun.protect ~finally:(fun () -> Moq_durable.Fsutil.set_write_for_tests None) f
+
+let test_wal_short_writes () =
+  List.iter
+    (fun seed ->
+      let path, accepted =
+        with_short_writes ~chunk:3 ~eintr_every:5 (fun () -> wal_with seed)
+      in
+      match Wal.read path with
+      | Ok r ->
+        Alcotest.(check bool) "clean tail under short writes" true (r.Wal.tail = Wal.Clean);
+        check_updates_equal "no byte lost" accepted r.Wal.updates
+      | Error e -> Alcotest.failf "read failed: %s" e)
+    seeds
+
+let test_checkpoint_short_writes () =
+  List.iter
+    (fun seed ->
+      let db, us = workload seed in
+      let dir = tmp_dir () in
+      with_short_writes ~chunk:1 ~eintr_every:7 (fun () ->
+          let store = Store.init ~fsync:false ~checkpoint_every:5 ~dir db in
+          List.iter (fun u -> ignore (Store.append store u)) us;
+          Store.close store);
+      let reference = apply_lenient db us in
+      match Store.recover ~dir with
+      | Ok r ->
+        Alcotest.(check string) "state identical under short writes"
+          (db_str reference) (db_str r.Store.db)
+      | Error e -> Alcotest.failf "recover failed: %s" e)
+    seeds
+
 (* ------------------------------------------------------------------ *)
 (* Store: checkpoint + log recovery                                    *)
 (* ------------------------------------------------------------------ *)
@@ -385,6 +429,8 @@ let () =
        [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
          Alcotest.test_case "truncated tail tolerated" `Quick test_wal_truncated_tail;
          Alcotest.test_case "bit flips detected" `Quick test_wal_bit_flip;
+         Alcotest.test_case "short writes and EINTR lose nothing" `Quick
+           test_wal_short_writes;
        ]);
       ("store",
        [ Alcotest.test_case "recovery equals direct application" `Quick
@@ -393,6 +439,8 @@ let () =
            test_store_corrupt_checkpoint_reported;
          Alcotest.test_case "kill-and-recover equals uninterrupted run" `Quick
            test_kill_and_recover;
+         Alcotest.test_case "checkpoint under short writes" `Quick
+           test_checkpoint_short_writes;
        ]);
       ("sanitize",
        [ Alcotest.test_case "fault storm" `Quick test_sanitizer_fault_storm;

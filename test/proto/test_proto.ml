@@ -1,0 +1,215 @@
+(* Wire-protocol suite: length-prefixed framing over a real socketpair
+   (roundtrip, timeout, EOF, garbage, oversize) and the moqp 1 codec
+   (request / server-message / piece roundtrips, percent-encoded algebraic
+   instants, malformed input). *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module U = Moq_mod.Update
+module Frame = Moq_proto.Frame
+module Proto = Moq_proto.Proto
+
+let q = Q.of_int
+let vec l = Qvec.of_list (List.map Q.of_int l)
+let pair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let a, b = pair () in
+  let r = Frame.reader b in
+  let payloads =
+    [ "x"; "HELLO moqp 1"; "multi\nline\npayload"; "sp ace \t tab";
+      String.make 100_000 'z' ]
+  in
+  List.iter (Frame.write a) payloads;
+  List.iter
+    (fun p ->
+      match Frame.read r with
+      | `Frame got -> Alcotest.(check string) "frame payload" p got
+      | `Eof | `Timeout | `Garbage _ -> Alcotest.fail "expected a frame")
+    payloads;
+  Unix.close a;
+  (match Frame.read r with
+   | `Eof -> ()
+   | _ -> Alcotest.fail "expected eof after peer close");
+  Unix.close b
+
+let test_frame_timeout () =
+  let a, b = pair () in
+  let r = Frame.reader b in
+  (match Frame.read ~timeout:0.05 r with
+   | `Timeout -> ()
+   | _ -> Alcotest.fail "expected timeout on an idle peer");
+  Frame.write a "late";
+  (match Frame.read ~timeout:5.0 r with
+   | `Frame s -> Alcotest.(check string) "frame after timeout" "late" s
+   | _ -> Alcotest.fail "expected the late frame");
+  Unix.close a;
+  Unix.close b
+
+let write_raw fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let test_frame_garbage () =
+  let a, b = pair () in
+  let r = Frame.reader b in
+  write_raw a "nonsense without a length prefix\n";
+  (match Frame.read r with
+   | `Garbage _ -> ()
+   | _ -> Alcotest.fail "expected garbage on a malformed prefix");
+  Unix.close a;
+  Unix.close b
+
+let test_frame_oversize () =
+  let a, b = pair () in
+  let r = Frame.reader b in
+  (* writing beyond the cap is refused locally *)
+  Alcotest.check_raises "oversize write"
+    (Invalid_argument
+       (Printf.sprintf "Frame.write: payload %d exceeds %d"
+          (Frame.max_payload + 1) Frame.max_payload))
+    (fun () ->
+      try Frame.write a (String.make (Frame.max_payload + 1) 'y')
+      with Invalid_argument _ -> raise (Invalid_argument
+        (Printf.sprintf "Frame.write: payload %d exceeds %d"
+           (Frame.max_payload + 1) Frame.max_payload)));
+  (* a peer announcing an oversize frame is rejected before allocating *)
+  write_raw a (Printf.sprintf "%d x\n" (Frame.max_payload + 1));
+  (match Frame.read r with
+   | `Garbage _ -> ()
+   | _ -> Alcotest.fail "expected garbage on an oversize announcement");
+  Unix.close a;
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_codec () =
+  let raw = "root(t^2 + -448/11*t + 663/11) in (1011/704, 337/176) ~ 1.53799" in
+  let enc = Proto.encode_token raw in
+  Alcotest.(check bool) "no spaces survive encoding" false
+    (String.contains enc ' ');
+  Alcotest.(check string) "decode inverts encode" raw (Proto.decode_token enc);
+  let tricky = "a%b c\nd\te%%20" in
+  Alcotest.(check string) "percent and whitespace" tricky
+    (Proto.decode_token (Proto.encode_token tricky))
+
+let requests =
+  [ Proto.Hello 1;
+    Proto.Update (U.New { oid = 3; tau = q 7; a = vec [ 1; 0 ]; b = vec [ 5; 5 ] });
+    Proto.Update (U.Chdir { oid = 3; tau = Q.of_string "19/2"; a = vec [ 0; -2 ] });
+    Proto.Update (U.Terminate { oid = 3; tau = q 12 });
+    Proto.Subscribe { kind = Proto.Sub_knn 2; lo = q 0; hi = q 100 };
+    Proto.Subscribe { kind = Proto.Sub_range (Q.of_string "49/4"); lo = q 1; hi = q 10 };
+    Proto.Subscribe { kind = Proto.Sub_gdist (Proto.Speed_sq, q 9); lo = q 0; hi = q 5 };
+    Proto.Subscribe { kind = Proto.Sub_gdist (Proto.Euclidean_sq, q 16); lo = q 0; hi = q 5 };
+    Proto.Unsubscribe 4;
+    Proto.Query { kind = Proto.Qk_knn 1; lo = q 0; hi = q 40 };
+    Proto.Query { kind = Proto.Qk_range (q 50); lo = q 0; hi = q 40 };
+    Proto.Stats `Json;
+    Proto.Stats `Prometheus;
+    Proto.Ping;
+    Proto.Bye ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let s = Proto.render_request req in
+      match Proto.parse_request ~dim:2 s with
+      | Ok got -> Alcotest.(check bool) s true (got = req)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    requests
+
+let algebraic = "root(t^2 + -448/11*t + 663/11) in (1011/704, 337/176) ~ 1.53799"
+
+let server_msgs =
+  [ Proto.R_hello { session = 5; dim = 2; clock = q 3 };
+    Proto.R_update Proto.V_accepted;
+    Proto.R_update (Proto.V_rejected "stale update at 3");
+    Proto.R_update (Proto.V_quarantined "unknown oid 9");
+    Proto.R_subscribe { sub = 1 };
+    Proto.R_unsubscribe
+      { sub = 1;
+        pieces = [ Proto.P_at (algebraic, [ 1; 2 ]); Proto.P_span ("0", "5/2", []) ] };
+    Proto.R_query [ Proto.P_span ("1/3", algebraic, [ 7 ]) ];
+    Proto.R_stats "{\"a\": 1,\n \"b\": [2, 3]}";
+    Proto.R_pong { clock = Q.of_string "8/3" };
+    Proto.R_bye;
+    Proto.R_err { code = "busy"; msg = "at most 64 sessions" };
+    Proto.E_pieces
+      { sub = 2; first_seq = 10;
+        pieces = [ Proto.P_at (algebraic, [ 1 ]); Proto.P_span ("4", "9/2", [ 1; 3 ]) ] };
+    Proto.E_dropped { sub = 2; from_seq = 11; to_seq = 19 };
+    Proto.E_complete { sub = 2 };
+    Proto.E_shutdown { reason = "draining" } ]
+
+let test_server_msg_roundtrip () =
+  List.iter
+    (fun msg ->
+      let s = Proto.render_server_msg msg in
+      match Proto.parse_server_msg s with
+      | Ok got ->
+        Alcotest.(check bool) (String.split_on_char '\n' s |> List.hd) true (got = msg)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    server_msgs
+
+let test_is_event () =
+  List.iter
+    (fun msg ->
+      let expect =
+        match msg with
+        | Proto.E_pieces _ | Proto.E_dropped _ | Proto.E_complete _
+        | Proto.E_shutdown _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "is_event" expect (Proto.is_event msg))
+    server_msgs
+
+let test_piece_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Proto.render_piece p in
+      match Proto.parse_piece s with
+      | Ok got -> Alcotest.(check bool) s true (got = p)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [ Proto.P_at ("0", []);
+      Proto.P_at (algebraic, [ 1; 2; 3 ]);
+      Proto.P_span ("-7/2", algebraic, [ 9 ]) ]
+
+let test_malformed_requests () =
+  List.iter
+    (fun s ->
+      match Proto.parse_request ~dim:2 s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed request %S" s)
+    [ ""; "FROB"; "HELLO"; "HELLO moqp x"; "UPDATE"; "UPDATE new 1 2 3";
+      "UPDATE teleport 1 2"; "SUBSCRIBE"; "SUBSCRIBE knn"; "SUBSCRIBE knn 2 0";
+      "UNSUBSCRIBE"; "UNSUBSCRIBE x"; "QUERY knn 2"; "STATS xml"; "PING extra" ]
+
+let test_malformed_server_msgs () =
+  List.iter
+    (fun s ->
+      match Proto.parse_server_msg s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed server message %S" s)
+    [ ""; "WAT"; "OK"; "EVENT"; "EVENT x y z"; "EVENT-DROPPED 1 2" ]
+
+let () =
+  Alcotest.run "proto"
+    [ ("frame",
+       [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+         Alcotest.test_case "timeout" `Quick test_frame_timeout;
+         Alcotest.test_case "garbage" `Quick test_frame_garbage;
+         Alcotest.test_case "oversize" `Quick test_frame_oversize ]);
+      ("codec",
+       [ Alcotest.test_case "token percent-coding" `Quick test_token_codec;
+         Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+         Alcotest.test_case "server msg roundtrip" `Quick test_server_msg_roundtrip;
+         Alcotest.test_case "is_event" `Quick test_is_event;
+         Alcotest.test_case "piece roundtrip" `Quick test_piece_roundtrip;
+         Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
+         Alcotest.test_case "malformed server msgs" `Quick test_malformed_server_msgs ]) ]

@@ -1,0 +1,506 @@
+(* Server integration suite, all over real sockets on 127.0.0.1:
+   handshake discipline, wire-level rejection of out-of-order and
+   duplicate updates, quarantine graduation, subscription push streams
+   checked against a reference in-process Monitor, admission control,
+   backpressure drops with exact sequence accounting, idle timeout,
+   SIGKILL-equivalent crash + WAL recovery bit-identity, and graceful
+   drain with checkpoint. *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module U = Moq_mod.Update
+module DB = Moq_mod.Mobdb
+module IO = Moq_mod.Mod_io
+module Oid = Moq_mod.Oid
+module Gen = Moq_workload.Gen
+module Store = Moq_durable.Store
+module Fof = Moq_core.Fof
+module Gdist = Moq_core.Gdist
+module BX = Moq_core.Backend.Exact
+module MonX = Moq_core.Monitor.Make (BX)
+module Frame = Moq_proto.Frame
+module Proto = Moq_proto.Proto
+module Server = Moq_server.Server
+module Client = Moq_server.Client
+
+let q = Q.of_int
+let vec l = Qvec.of_list (List.map Q.of_int l)
+
+let tmp_ctr = ref 0
+
+let tmp_dir () =
+  incr tmp_ctr;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "moq_server_%d_%d" (Unix.getpid ()) !tmp_ctr)
+  in
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+  else Unix.mkdir d 0o700;
+  d
+
+let rm_dir d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    try Unix.rmdir d with Unix.Unix_error _ -> ()
+  end
+
+let mk_db () = Gen.uniform_db ~seed:3 ~n:4 ~extent:20 ~speed:4 ()
+
+(* Start a fresh server on an ephemeral port, run [f], always stop and
+   clean up.  [tweak] adjusts the config (queue sizes, timeouts, ...). *)
+let with_server ?(tweak = fun c -> c) f =
+  let dir = tmp_dir () in
+  let db = mk_db () in
+  let cfg =
+    tweak
+      { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
+        with
+        Server.init_db = Some db; fsync = false; idle_timeout = 0. }
+  in
+  let srv =
+    match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Server.stop srv with _ -> ());
+      rm_dir dir)
+    (fun () -> f srv dir db)
+
+let connect srv =
+  match Client.connect ~timeout:10. (Server.bound_addr srv) with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let req c r =
+  match Client.request c r with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "request failed: %s" e
+
+let hello c =
+  match req c (Proto.Hello Proto.version) with
+  | Proto.R_hello { session = _; dim; clock } -> (dim, clock)
+  | m -> Alcotest.failf "unexpected hello response: %s" (Proto.render_server_msg m)
+
+let expect_err code m =
+  match m with
+  | Proto.R_err { code = got; _ } when got = code -> ()
+  | m ->
+    Alcotest.failf "expected ERR %s, got: %s" code (Proto.render_server_msg m)
+
+(* ------------------------------------------------------------------ *)
+(* Handshake and basics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_hello_ping_bye () =
+  with_server (fun srv _dir db ->
+      let c = connect srv in
+      let dim, hclock = hello c in
+      Alcotest.(check int) "dim" (DB.dim db) dim;
+      Alcotest.(check bool) "clock" true (Q.compare hclock (q 0) >= 0);
+      (match req c Proto.Ping with
+       | Proto.R_pong { clock } ->
+         Alcotest.(check bool) "pong clock" true (Q.equal clock hclock)
+       | m -> Alcotest.failf "expected PONG: %s" (Proto.render_server_msg m));
+      (match req c (Proto.Stats `Json) with
+       | Proto.R_stats body ->
+         Alcotest.(check bool) "stats json" true
+           (String.length body > 0 && body.[0] = '{')
+       | m -> Alcotest.failf "expected STATS: %s" (Proto.render_server_msg m));
+      (match req c Proto.Bye with
+       | Proto.R_bye -> ()
+       | m -> Alcotest.failf "expected BYE: %s" (Proto.render_server_msg m));
+      Client.close c)
+
+let test_hello_first () =
+  with_server (fun srv _dir _db ->
+      let c = connect srv in
+      expect_err "proto" (req c Proto.Ping);
+      Client.close c)
+
+let test_bad_version () =
+  with_server (fun srv _dir _db ->
+      let c = connect srv in
+      expect_err "bad-version" (req c (Proto.Hello 99));
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Update discipline over the wire                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_rejection () =
+  with_server (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (* duplicate [new] for a live oid: permanent reject *)
+      (match req c (Proto.Update (U.New { oid = 1; tau = q 1; a = vec [ 0; 0 ]; b = vec [ 0; 0 ] })) with
+       | Proto.R_update (Proto.V_rejected _) -> ()
+       | m -> Alcotest.failf "duplicate new not rejected: %s" (Proto.render_server_msg m));
+      (* a good chdir advances the clock *)
+      (match req c (Proto.Update (U.Chdir { oid = 1; tau = q 5; a = vec [ 1; 0 ] })) with
+       | Proto.R_update Proto.V_accepted -> ()
+       | m -> Alcotest.failf "chdir not accepted: %s" (Proto.render_server_msg m));
+      (* out-of-order (stale) update: permanent reject, clock unchanged *)
+      (match req c (Proto.Update (U.Chdir { oid = 2; tau = q 2; a = vec [ 0; 1 ] })) with
+       | Proto.R_update (Proto.V_rejected _) -> ()
+       | m -> Alcotest.failf "stale chdir not rejected: %s" (Proto.render_server_msg m));
+      (* a replay of the accepted update is just as stale *)
+      (match req c (Proto.Update (U.Chdir { oid = 1; tau = q 5; a = vec [ 1; 0 ] })) with
+       | Proto.R_update (Proto.V_rejected _) -> ()
+       | m -> Alcotest.failf "duplicate chdir not rejected: %s" (Proto.render_server_msg m));
+      (match req c Proto.Ping with
+       | Proto.R_pong { clock } -> Alcotest.(check bool) "clock is 5" true (Q.equal clock (q 5))
+       | m -> Alcotest.failf "expected PONG: %s" (Proto.render_server_msg m));
+      Alcotest.(check bool) "server clock" true (Q.equal (Server.clock srv) (q 5));
+      Client.close c)
+
+let test_quarantine_graduates () =
+  with_server (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (* chdir for an unknown oid arrives before its [new]: quarantined *)
+      (match req c (Proto.Update (U.Chdir { oid = 9; tau = q 5; a = vec [ 1; 1 ] })) with
+       | Proto.R_update (Proto.V_quarantined _) -> ()
+       | m -> Alcotest.failf "early chdir not quarantined: %s" (Proto.render_server_msg m));
+      (* the [new] lands; the quarantined chdir must graduate with it *)
+      (match req c (Proto.Update (U.New { oid = 9; tau = q 3; a = vec [ 0; 0 ]; b = vec [ 7; 7 ] })) with
+       | Proto.R_update Proto.V_accepted -> ()
+       | m -> Alcotest.failf "new not accepted: %s" (Proto.render_server_msg m));
+      (match req c Proto.Ping with
+       | Proto.R_pong { clock } ->
+         Alcotest.(check bool) "clock reached the graduated update" true
+           (Q.equal clock (q 5))
+       | m -> Alcotest.failf "expected PONG: %s" (Proto.render_server_msg m));
+      (* the recovered object turned at 5: velocity after 5 is (1,1) *)
+      let db = Server.db_snapshot srv in
+      (match DB.find db 9 with
+       | Some tr ->
+         Alcotest.(check bool) "turn applied" true
+           (Qvec.equal (Option.get (T.velocity_after tr (q 5))) (vec [ 1; 1 ]))
+       | None -> Alcotest.fail "oid 9 missing after graduation");
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions vs a reference monitor                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror the server's timeline->wire conversion so streams compare as
+   plain values. *)
+let wire_instant i = Format.asprintf "%a" BX.pp_instant i
+
+let wire_piece = function
+  | MonX.TL.At (i, s) -> Proto.P_at (wire_instant i, Oid.Set.elements s)
+  | MonX.TL.Span (a, b, s) ->
+    Proto.P_span (wire_instant a, wire_instant b, Oid.Set.elements s)
+
+let origin_gamma dim = T.stationary ~start:(q (-1_000_000_000)) (Qvec.zero dim)
+
+let test_subscription_matches_monitor () =
+  with_server (fun srv _dir db ->
+      let c = connect srv in
+      ignore (hello c);
+      let sub =
+        match req c (Proto.Subscribe { kind = Proto.Sub_knn 1; lo = q 0; hi = q 30 }) with
+        | Proto.R_subscribe { sub } -> sub
+        | m -> Alcotest.failf "subscribe failed: %s" (Proto.render_server_msg m)
+      in
+      (* reference: same query, same g-distance, same database *)
+      let mon =
+        MonX.create ~db
+          ~gdist:(Gdist.euclidean_sq ~gamma:(origin_gamma (DB.dim db)))
+          ~query:(Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q 30)))
+          ()
+      in
+      let reference = ref (List.map wire_piece (MonX.drain_valid mon)) in
+      let updates =
+        [ U.Chdir { oid = 1; tau = q 2; a = vec [ -3; 0 ] };
+          U.New { oid = 5; tau = q 4; a = vec [ 2; 2 ]; b = vec [ -10; -10 ] };
+          U.Chdir { oid = 2; tau = q 7; a = vec [ 0; 0 ] };
+          U.Terminate { oid = 3; tau = q 9 };
+          U.Chdir { oid = 5; tau = q 11; a = vec [ 0; -1 ] } ]
+      in
+      List.iter
+        (fun u ->
+          (match req c (Proto.Update u) with
+           | Proto.R_update Proto.V_accepted -> ()
+           | m -> Alcotest.failf "update not accepted: %s" (Proto.render_server_msg m));
+          (match MonX.apply_update mon u with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "reference monitor: %a" DB.pp_error e);
+          reference := !reference @ List.map wire_piece (MonX.drain_valid mon))
+        updates;
+      (* one more request acts as a FIFO barrier: every event pushed before
+         its response is already in our queue *)
+      ignore (req c Proto.Ping);
+      let streamed = ref [] in
+      let next_seq = ref 0 in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Proto.E_pieces { sub = s; first_seq; pieces } ->
+            Alcotest.(check int) "event sub id" sub s;
+            Alcotest.(check int) "contiguous sequence" !next_seq first_seq;
+            next_seq := first_seq + List.length pieces;
+            streamed := !streamed @ pieces
+          | Proto.E_dropped _ -> Alcotest.fail "no drops expected at this rate"
+          | _ -> ())
+        (Client.drain_events c);
+      Alcotest.(check bool) "pushed stream equals reference drain" true
+        (!streamed = !reference);
+      (* the retirement timeline equals the reference's validated prefix *)
+      (match req c (Proto.Unsubscribe sub) with
+       | Proto.R_unsubscribe { sub = s; pieces } ->
+         Alcotest.(check int) "unsubscribe sub id" sub s;
+         Alcotest.(check bool) "validated timeline matches" true
+           (pieces = List.map wire_piece (MonX.valid_timeline mon))
+       | m -> Alcotest.failf "unsubscribe failed: %s" (Proto.render_server_msg m));
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control, backpressure, idle timeout                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_busy () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_sessions = 1 })
+    (fun srv _dir _db ->
+      let c1 = connect srv in
+      ignore (hello c1);
+      let c2 = connect srv in
+      (match Client.request c2 (Proto.Hello Proto.version) with
+       | Ok m -> expect_err "busy" m
+       | Error _ -> () (* server may close before the request is written *));
+      Client.close c2;
+      (* the slot frees up once the first session leaves *)
+      ignore (req c1 Proto.Bye);
+      Client.close c1;
+      let rec retry n =
+        let c3 = connect srv in
+        match Client.request c3 (Proto.Hello Proto.version) with
+        | Ok (Proto.R_hello _) -> Client.close c3
+        | _ when n > 0 ->
+          Client.close c3;
+          Thread.delay 0.05;
+          retry (n - 1)
+        | Ok m -> Alcotest.failf "slot not freed: %s" (Proto.render_server_msg m)
+        | Error e -> Alcotest.failf "slot not freed: %s" e
+      in
+      retry 40)
+
+let test_sub_limit () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_subs_per_session = 1 })
+    (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (match req c (Proto.Subscribe { kind = Proto.Sub_knn 1; lo = q 0; hi = q 10 }) with
+       | Proto.R_subscribe _ -> ()
+       | m -> Alcotest.failf "first subscribe failed: %s" (Proto.render_server_msg m));
+      expect_err "limit"
+        (req c (Proto.Subscribe { kind = Proto.Sub_knn 1; lo = q 0; hi = q 10 }));
+      Client.close c)
+
+(* Every dropped sequence number must be covered by an EVENT-DROPPED
+   marker: walk the stream and check the numbers tile with no gap. *)
+let account_events evs =
+  let expected = ref 0 and pushed = ref 0 and dropped = ref 0 in
+  let lost = ref 0 and dup = ref 0 in
+  List.iter
+    (fun ev ->
+      let arrive ~first ~next ~count counter =
+        if first > !expected then lost := !lost + (first - !expected)
+        else if first < !expected then dup := !dup + (!expected - first);
+        expected := next;
+        counter := !counter + count
+      in
+      match ev with
+      | Proto.E_pieces { first_seq; pieces; _ } ->
+        let c = List.length pieces in
+        arrive ~first:first_seq ~next:(first_seq + c) ~count:c pushed
+      | Proto.E_dropped { from_seq; to_seq; _ } ->
+        arrive ~first:from_seq ~next:(to_seq + 1)
+          ~count:(to_seq - from_seq + 1) dropped
+      | _ -> ())
+    evs;
+  (!pushed, !dropped, !lost, !dup)
+
+let test_backpressure_drops () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.queue_soft = 2; queue_hwm = 4; writer_delay = 0.01 })
+    (fun srv _dir _db ->
+      (* raw socket: blast requests without awaiting responses, so the push
+         queue actually builds up behind the throttled writer *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Server.sockaddr_of (Server.bound_addr srv));
+      let r = Frame.reader fd in
+      let send req = Frame.write fd (Proto.render_request req) in
+      let next_msg () =
+        match Frame.read ~timeout:30. r with
+        | `Frame p ->
+          (match Proto.parse_server_msg p with
+           | Ok m -> m
+           | Error e -> Alcotest.failf "bad server frame: %s" e)
+        | _ -> Alcotest.fail "connection dropped mid-test"
+      in
+      send (Proto.Hello Proto.version);
+      (match next_msg () with
+       | Proto.R_hello _ -> ()
+       | m -> Alcotest.failf "hello: %s" (Proto.render_server_msg m));
+      send (Proto.Subscribe { kind = Proto.Sub_range (q 100_000); lo = q 0; hi = q 1000 });
+      (match next_msg () with
+       | Proto.R_subscribe _ -> ()
+       | m -> Alcotest.failf "subscribe: %s" (Proto.render_server_msg m));
+      for i = 1 to 40 do
+        send (Proto.Update (U.Chdir { oid = 1 + (i mod 4); tau = q i; a = vec [ i mod 3; 1 ] }))
+      done;
+      send Proto.Ping;
+      let events = ref [] and accepted = ref 0 in
+      (* everything enqueued before the PONG precedes it on the wire *)
+      let rec collect () =
+        match next_msg () with
+        | Proto.R_pong _ -> ()
+        | Proto.R_update Proto.V_accepted ->
+          incr accepted;
+          collect ()
+        | Proto.R_update _ -> collect ()
+        | m when Proto.is_event m ->
+          events := m :: !events;
+          collect ()
+        | m -> Alcotest.failf "unexpected: %s" (Proto.render_server_msg m)
+      in
+      collect ();
+      Alcotest.(check int) "all updates accepted" 40 !accepted;
+      (* the queue is idle again: one more update must stream through
+         intact, with its sequence number continuing the accounted range *)
+      send (Proto.Update (U.Chdir { oid = 1; tau = q 100; a = vec [ 0; 0 ] }));
+      let rec tail () =
+        match next_msg () with
+        | Proto.R_update Proto.V_accepted -> ()
+        | m when Proto.is_event m ->
+          events := m :: !events;
+          tail ()
+        | m -> Alcotest.failf "unexpected tail: %s" (Proto.render_server_msg m)
+      in
+      tail ();
+      Unix.close fd;
+      let pushed, dropped, lost, dup = account_events (List.rev !events) in
+      Alcotest.(check int) "no lost sequence numbers" 0 lost;
+      Alcotest.(check int) "no duplicated sequence numbers" 0 dup;
+      Alcotest.(check bool) "something was delivered" true (pushed > 0);
+      Alcotest.(check bool) "slow consumer saw drops" true (dropped > 0))
+
+let test_idle_timeout () =
+  with_server
+    ~tweak:(fun c -> { c with Server.idle_timeout = 0.3 })
+    (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        if not (Client.is_open c) then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "idle session not closed"
+        else begin
+          Thread.delay 0.05;
+          wait ()
+        end
+      in
+      wait ();
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery and graceful drain                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_and_recover () =
+  with_server (fun srv dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      List.iter
+        (fun u ->
+          match req c (Proto.Update u) with
+          | Proto.R_update Proto.V_accepted -> ()
+          | m -> Alcotest.failf "update: %s" (Proto.render_server_msg m))
+        [ U.Chdir { oid = 1; tau = q 1; a = vec [ 2; 0 ] };
+          U.New { oid = 8; tau = q 2; a = vec [ -1; 1 ]; b = vec [ 3; 3 ] };
+          U.Terminate { oid = 2; tau = q 3 };
+          U.Chdir { oid = 8; tau = q 4; a = vec [ 0; 0 ] } ];
+      let pre = IO.db_to_string (Server.db_snapshot srv) in
+      let pre_clock = Server.clock srv in
+      Server.crash srv;
+      Client.close c;
+      (match Store.recover ~dir with
+       | Ok r ->
+         Alcotest.(check string) "database bit-identical" pre (IO.db_to_string r.Store.db);
+         Alcotest.(check bool) "clock identical" true (Q.equal pre_clock r.Store.clock);
+         Alcotest.(check int) "WAL replayed past the checkpoint" 4 r.Store.replayed
+       | Error e -> Alcotest.fail e))
+
+let test_graceful_drain () =
+  with_server (fun srv dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (match req c (Proto.Update (U.Chdir { oid = 1; tau = q 1; a = vec [ 1; 1 ] })) with
+       | Proto.R_update Proto.V_accepted -> ()
+       | m -> Alcotest.failf "update: %s" (Proto.render_server_msg m));
+      let pre = IO.db_to_string (Server.db_snapshot srv) in
+      Server.stop srv;
+      (* the drain notifies connected clients before closing *)
+      let saw_shutdown =
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        let rec wait () =
+          match Client.next_event ~timeout:0.2 c with
+          | Some (Proto.E_shutdown _) -> true
+          | Some _ -> wait ()
+          | None ->
+            if Unix.gettimeofday () > deadline then false
+            else if Client.is_open c then wait ()
+            else
+              List.exists
+                (function Proto.E_shutdown _ -> true | _ -> false)
+                (Client.drain_events c)
+        in
+        wait ()
+      in
+      Alcotest.(check bool) "SHUTDOWN delivered" true saw_shutdown;
+      Client.close c;
+      (* drain checkpointed: recovery replays nothing and matches exactly *)
+      (match Store.recover ~dir with
+       | Ok r ->
+         Alcotest.(check int) "nothing to replay" 0 r.Store.replayed;
+         Alcotest.(check string) "checkpoint matches" pre (IO.db_to_string r.Store.db)
+       | Error e -> Alcotest.fail e);
+      (* and a new server picks the checkpoint up without an init db *)
+      let cfg =
+        { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
+          with
+          Server.fsync = false }
+      in
+      match Server.start cfg with
+      | Ok srv2 ->
+        Alcotest.(check string) "restarted state" pre (IO.db_to_string (Server.db_snapshot srv2));
+        Server.stop srv2
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "server"
+    [ ("handshake",
+       [ Alcotest.test_case "hello ping stats bye" `Quick test_hello_ping_bye;
+         Alcotest.test_case "hello required first" `Quick test_hello_first;
+         Alcotest.test_case "bad version" `Quick test_bad_version ]);
+      ("updates",
+       [ Alcotest.test_case "stale and duplicate rejected" `Quick test_wire_rejection;
+         Alcotest.test_case "quarantine graduates" `Quick test_quarantine_graduates ]);
+      ("subscriptions",
+       [ Alcotest.test_case "stream matches reference monitor" `Quick
+           test_subscription_matches_monitor ]);
+      ("limits",
+       [ Alcotest.test_case "admission busy" `Quick test_admission_busy;
+         Alcotest.test_case "subscription limit" `Quick test_sub_limit;
+         Alcotest.test_case "backpressure accounting" `Quick test_backpressure_drops;
+         Alcotest.test_case "idle timeout" `Quick test_idle_timeout ]);
+      ("durability",
+       [ Alcotest.test_case "kill and recover" `Quick test_kill_and_recover;
+         Alcotest.test_case "graceful drain" `Quick test_graceful_drain ]) ]
