@@ -459,6 +459,7 @@ let stats_cmd =
 module Server = Moq_server.Server
 module Client = Moq_server.Client
 module Proto = Moq_proto.Proto
+module Chaos = Moq_chaos.Chaos
 
 let default_listen = "tcp:127.0.0.1:7407"
 
@@ -466,17 +467,21 @@ let parse_addr s =
   match Server.addr_of_string s with Ok a -> a | Error e -> die "%s" e
 
 let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_subs
-    queue_soft queue_hwm idle_timeout =
+    queue_soft queue_hwm idle_timeout follow digest_every =
   let listen = parse_addr listen in
+  let follow = Option.map parse_addr follow in
   let init_db =
     if Sys.file_exists (Filename.concat store_dir "checkpoint.mod") then None
+    else if follow <> None then
+      (* a follower's real state arrives with the bootstrap snapshot *)
+      Some (DB.empty ~dim:2 ~tau:(q 0))
     else Some (load_or_gen dbfile seed n)
   in
   let cfg =
     { (Server.default_config ~listen ~store_dir) with
       Server.init_db; fsync = not no_fsync; checkpoint_every = every;
       max_sessions; max_subs_per_session = max_subs; queue_soft; queue_hwm;
-      idle_timeout }
+      idle_timeout; follow; repl_digest_every = digest_every }
   in
   match Server.start cfg with
   | Error e -> die "%s" e
@@ -492,6 +497,9 @@ let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_sub
       Server.pp_addr (Server.bound_addr srv) store_dir
       (DB.cardinal (Server.db_snapshot srv))
       (Q.to_string (Server.clock srv));
+    (match follow with
+     | Some p -> Format.printf "following %a as a read replica@." Server.pp_addr p
+     | None -> ());
     (* keep the main thread in an interruptible sleep: with every server
        thread parked in a blocking syscall, a pending signal's OCaml handler
        only runs when some thread re-enters OCaml code *)
@@ -526,24 +534,47 @@ let serve_cmd =
     Arg.(value & opt float 300.
          & info [ "idle-timeout" ] ~doc:"Seconds without a request before a session closes; 0 disables")
   in
+  let follow =
+    Arg.(value & opt (some string) None
+         & info [ "follow" ] ~docv:"ADDR"
+             ~doc:"Run as a read replica of this primary (tcp:HOST:PORT or \
+                   unix:PATH): bootstrap from its snapshot, tail its commit \
+                   stream, reject local UPDATEs")
+  in
+  let digest_every =
+    Arg.(value & opt int 64
+         & info [ "digest-every" ]
+             ~doc:"Ship a state digest to followers every N streamed updates \
+                   (the divergence audit); 0 disables")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a durable MOD over moqp: concurrent sessions, chronological \
-             updates through the WAL, live continuous-query subscriptions")
+             updates through the WAL, live continuous-query subscriptions, \
+             optional read replication")
     Term.(const serve_run $ listen $ Common_args.store_req $ Common_args.db
           $ Common_args.seed $ Common_args.n $ Common_args.checkpoint_every
           $ Common_args.no_fsync $ max_sessions $ max_subs $ queue_soft
-          $ queue_hwm $ idle_timeout)
+          $ queue_hwm $ idle_timeout $ follow $ digest_every)
 
 (* Script lines are raw moqp request heads ("SUBSCRIBE knn 1 0 40"), plus
    '#' comments and a "!sleep SECONDS" directive.  Events arriving between
    requests are printed as they drain. *)
-let client_run connect script_file wait timeout =
+let client_run connect script_file wait timeout connect_timeout =
   let addr = parse_addr connect in
-  match Client.connect ~timeout addr with
-  | Error e -> die "connect %s: %s" connect e
+  match Client.connect ~timeout ~connect_timeout addr with
+  | Error e -> die "connect %s: %s" connect (Client.error_to_string e)
   | Ok c ->
-    let print_msg m = print_endline (Proto.render_server_msg m) in
+    (* drops the server told us about but nothing re-delivered: the exit
+       status must not claim a complete stream *)
+    let dropped = ref [] in
+    let print_msg m =
+      (match m with
+       | Proto.E_dropped { sub; from_seq; to_seq } ->
+         dropped := (sub, from_seq, to_seq) :: !dropped
+       | _ -> ());
+      print_endline (Proto.render_server_msg m)
+    in
     let dim =
       match Client.hello c with
       | Ok (Proto.R_hello { dim; _ } as m) ->
@@ -553,7 +584,7 @@ let client_run connect script_file wait timeout =
         print_msg m;
         Client.close c;
         die "handshake refused"
-      | Error e -> die "hello: %s" e
+      | Error e -> die "hello: %s" (Client.error_to_string e)
     in
     let lines =
       match script_file with
@@ -589,7 +620,7 @@ let client_run connect script_file wait timeout =
              | Ok req ->
                (match Client.request c req with
                 | Ok m -> print_msg m
-                | Error e -> die "%S: %s" line e));
+                | Error e -> die "%S: %s" line (Client.error_to_string e)));
             List.iter print_msg (Client.drain_events c)
         end)
       lines;
@@ -605,7 +636,15 @@ let client_run connect script_file wait timeout =
     in
     drain ();
     if Client.is_open c then ignore (Client.request c Proto.Bye);
-    Client.close c
+    Client.close c;
+    if !dropped <> [] then begin
+      List.iter
+        (fun (sub, from_seq, to_seq) ->
+          Format.eprintf "unacknowledged drop: sub %d seqs %d..%d@." sub
+            from_seq to_seq)
+        (List.rev !dropped);
+      exit 4
+    end
 
 let client_cmd =
   let connect =
@@ -625,10 +664,83 @@ let client_cmd =
   let timeout =
     Arg.(value & opt float 30. & info [ "timeout" ] ~doc:"Per-response timeout in seconds")
   in
+  let connect_timeout =
+    Arg.(value & opt float 10.
+         & info [ "connect-timeout" ]
+             ~doc:"Connection-establishment timeout in seconds")
+  in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Drive a moq server from a request script; print responses and pushed events")
-    Term.(const client_run $ connect $ script $ wait $ timeout)
+       ~doc:"Drive a moq server from a request script; print responses and \
+             pushed events.  Exits 4 if the server reported dropped events \
+             that were never re-delivered.")
+    Term.(const client_run $ connect $ script $ wait $ timeout $ connect_timeout)
+
+let chaos_run upstream seed profile port duration =
+  let upstream_addr = parse_addr upstream in
+  let upstream_sock = Server.sockaddr_of upstream_addr in
+  let profile =
+    match profile with
+    | "quiet" -> Chaos.quiet
+    | "flaky" -> Chaos.flaky
+    | "hostile" -> Chaos.hostile
+    | p -> die "unknown chaos profile %S (quiet|flaky|hostile)" p
+  in
+  let t = Chaos.start ~profile ~port ~seed ~upstream:upstream_sock () in
+  Format.printf "chaos proxy on tcp:127.0.0.1:%d -> %s (seed %d)@."
+    (Chaos.port t) upstream seed;
+  let stopped = ref false in
+  let stop _ = stopped := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  let deadline =
+    if duration > 0. then Some (Unix.gettimeofday () +. duration) else None
+  in
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false
+  in
+  while not (!stopped || expired ()) do
+    Thread.delay 0.2
+  done;
+  Chaos.stop t;
+  let s = Chaos.stats t in
+  Format.printf
+    "conns %d refused %d chunks %d bytes %d delays %d corruptions %d tears %d \
+     reorders %d@."
+    s.Chaos.conns s.Chaos.refused s.Chaos.chunks s.Chaos.bytes s.Chaos.delays
+    s.Chaos.corruptions s.Chaos.tears s.Chaos.reorders
+
+let chaos_cmd =
+  let upstream =
+    Arg.(value & opt string default_listen
+         & info [ "upstream" ] ~docv:"ADDR"
+             ~doc:"Real server to relay to (tcp:HOST:PORT or unix:PATH)")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~doc:"Deterministic fault-injection seed")
+  in
+  let profile =
+    Arg.(value & opt string "flaky"
+         & info [ "profile" ] ~docv:"NAME"
+             ~doc:"Fault profile: quiet, flaky or hostile")
+  in
+  let port =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~doc:"Listen port (0 picks a free one)")
+  in
+  let duration =
+    Arg.(value & opt float 0.
+         & info [ "duration" ]
+             ~doc:"Stop after this many seconds (0: run until SIGINT/SIGTERM)")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a seeded network chaos proxy in front of a moq server: \
+             delays, torn frames, reordering, corruption, partitions")
+    Term.(const chaos_run $ upstream $ seed $ profile $ port $ duration)
 
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
@@ -637,7 +749,8 @@ let () =
       (Cmd.eval
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
-              show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd ]))
+              show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd;
+              chaos_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

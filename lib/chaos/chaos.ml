@@ -1,0 +1,257 @@
+module Faults = Moq_durable.Faults
+
+type profile = {
+  delay_p : float;
+  delay_s : float;
+  corrupt_p : float;
+  tear_p : float;
+  reorder_p : float;
+  throttle_bps : int;
+}
+
+let quiet =
+  { delay_p = 0.; delay_s = 0.; corrupt_p = 0.; tear_p = 0.; reorder_p = 0.;
+    throttle_bps = 0 }
+
+let flaky =
+  { delay_p = 0.05; delay_s = 0.02; corrupt_p = 0.; tear_p = 0.01;
+    reorder_p = 0.05; throttle_bps = 0 }
+
+let hostile =
+  { delay_p = 0.1; delay_s = 0.05; corrupt_p = 0.02; tear_p = 0.05;
+    reorder_p = 0.1; throttle_bps = 0 }
+
+type stats = {
+  conns : int;
+  refused : int;
+  chunks : int;
+  bytes : int;
+  delays : int;
+  corruptions : int;
+  tears : int;
+  reorders : int;
+}
+
+type conn = {
+  id : int;
+  a : Unix.file_descr;  (* client side *)
+  b : Unix.file_descr;  (* upstream side *)
+  mutable live_pumps : int;
+}
+
+type t = {
+  seed : int;
+  profile : profile;
+  upstream : Unix.sockaddr;
+  listen_fd : Unix.file_descr;
+  port : int;
+  m : Mutex.t;
+  mutable partitioned : bool;
+  mutable conns : conn list;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  mutable pumps : Thread.t list;
+  (* counters, guarded by [m] *)
+  mutable c_conns : int;
+  mutable c_refused : int;
+  mutable c_chunks : int;
+  mutable c_bytes : int;
+  mutable c_delays : int;
+  mutable c_corruptions : int;
+  mutable c_tears : int;
+  mutable c_reorders : int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let port t = t.port
+let sockaddr t = Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)
+
+let stats t =
+  with_lock t.m (fun () ->
+      { conns = t.c_conns; refused = t.c_refused; chunks = t.c_chunks;
+        bytes = t.c_bytes; delays = t.c_delays; corruptions = t.c_corruptions;
+        tears = t.c_tears; reorders = t.c_reorders })
+
+let shutdown_conn c =
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    [ c.a; c.b ]
+
+let partition t =
+  with_lock t.m (fun () -> t.partitioned <- true);
+  (* existing flows die too: a partition cuts, it does not just refuse *)
+  List.iter shutdown_conn (with_lock t.m (fun () -> t.conns))
+
+let heal t = with_lock t.m (fun () -> t.partitioned <- false)
+
+let tear_all t = List.iter shutdown_conn (with_lock t.m (fun () -> t.conns))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* One direction of one connection.  Every fault decision draws from this
+   pump's own seeded stream, so a given (seed, connection index,
+   direction) misbehaves the same way on every run — modulo how the
+   kernel chunks the byte stream. *)
+let pump t rng src dst conn =
+  let buf = Bytes.create 4096 in
+  let held = ref None in
+  let ship s =
+    (match !held with
+     | Some h ->
+       held := None;
+       with_lock t.m (fun () -> t.c_reorders <- t.c_reorders + 1);
+       write_all dst s;
+       write_all dst h
+     | None ->
+       if Faults.flip rng t.profile.reorder_p then held := Some s
+       else write_all dst s);
+    if t.profile.throttle_bps > 0 then
+      Thread.delay (float_of_int (String.length s) /. float_of_int t.profile.throttle_bps)
+  in
+  let rec go () =
+    (* a held (reordered) chunk must not stall a request/response lull:
+       if no successor shows up promptly, ship it un-swapped *)
+    (match !held with
+     | Some h ->
+       (match Unix.select [ src ] [] [] 0.02 with
+        | [], _, _ ->
+          held := None;
+          write_all dst h
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+     | None -> ());
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 ->
+      (match !held with Some h -> write_all dst h | None -> ());
+      (try Unix.shutdown dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+    | n ->
+      let s = Bytes.sub_string buf 0 n in
+      with_lock t.m (fun () ->
+          t.c_chunks <- t.c_chunks + 1;
+          t.c_bytes <- t.c_bytes + n);
+      if Faults.flip rng t.profile.delay_p then begin
+        with_lock t.m (fun () -> t.c_delays <- t.c_delays + 1);
+        Thread.delay (t.profile.delay_s *. (float_of_int (Faults.int rng 1000) /. 1000.))
+      end;
+      if Faults.flip rng t.profile.tear_p then begin
+        (* a torn frame: ship a ragged prefix, then cut the connection *)
+        with_lock t.m (fun () -> t.c_tears <- t.c_tears + 1);
+        (try write_all dst (String.sub s 0 (Faults.int rng n)) with Unix.Unix_error _ -> ());
+        shutdown_conn conn
+      end
+      else begin
+        let s =
+          if Faults.flip rng t.profile.corrupt_p then begin
+            with_lock t.m (fun () -> t.c_corruptions <- t.c_corruptions + 1);
+            Faults.bit_flip rng s
+          end
+          else s
+        in
+        ship s;
+        go ()
+      end
+  in
+  (try go () with Unix.Unix_error _ | Sys_error _ -> ());
+  let last =
+    with_lock t.m (fun () ->
+        conn.live_pumps <- conn.live_pumps - 1;
+        if conn.live_pumps = 0 then begin
+          t.conns <- List.filter (fun c -> c.id <> conn.id) t.conns;
+          true
+        end
+        else false)
+  in
+  if last then
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ conn.a; conn.b ]
+
+let handle t client =
+  let refuse () =
+    with_lock t.m (fun () -> t.c_refused <- t.c_refused + 1);
+    try Unix.close client with Unix.Unix_error _ -> ()
+  in
+  if with_lock t.m (fun () -> t.partitioned || t.stopping) then refuse ()
+  else begin
+    match
+      let up = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect up t.upstream
+       with e ->
+         (try Unix.close up with Unix.Unix_error _ -> ());
+         raise e);
+      up
+    with
+    | exception Unix.Unix_error _ -> refuse ()
+    | up ->
+      Unix.set_close_on_exec up;
+      let conn =
+        with_lock t.m (fun () ->
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            t.c_conns <- t.c_conns + 1;
+            let c = { id; a = client; b = up; live_pumps = 2 } in
+            t.conns <- c :: t.conns;
+            c)
+      in
+      (* distinct deterministic streams per (seed, conn, direction) *)
+      let rng_fwd = Faults.create ~seed:(t.seed + (conn.id * 2)) in
+      let rng_bwd = Faults.create ~seed:(t.seed + (conn.id * 2) + 1) in
+      let th_f = Thread.create (fun () -> pump t rng_fwd client up conn) () in
+      let th_b = Thread.create (fun () -> pump t rng_bwd up client conn) () in
+      with_lock t.m (fun () -> t.pumps <- th_f :: th_b :: t.pumps)
+  end
+
+let accept_loop t =
+  let rec go () =
+    if not t.stopping then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.set_close_on_exec fd;
+        handle t fd;
+        go ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  try go () with _ -> ()
+
+let start ?(profile = flaky) ?(port = 0) ~seed ~upstream () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec listen_fd;
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listen_fd 16;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> 0
+  in
+  let t =
+    { seed; profile; upstream; listen_fd; port; m = Mutex.create ();
+      partitioned = false; conns = []; next_id = 0; stopping = false;
+      accept_thread = None; pumps = []; c_conns = 0; c_refused = 0;
+      c_chunks = 0; c_bytes = 0; c_delays = 0; c_corruptions = 0; c_tears = 0;
+      c_reorders = 0 }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  t.stopping <- true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter shutdown_conn (with_lock t.m (fun () -> t.conns));
+  (match t.accept_thread with
+   | Some th -> ( try Thread.join th with _ -> ())
+   | None -> ());
+  List.iter
+    (fun th -> try Thread.join th with _ -> ())
+    (with_lock t.m (fun () -> t.pumps))

@@ -1,0 +1,69 @@
+(** Seeded network chaos proxy.
+
+    A TCP relay that sits between a moqp client (or follower) and a
+    server and misbehaves on purpose: delays, torn frames (a ragged
+    prefix then a cut), single-bit corruption, chunk reordering,
+    slow-link throttling, and whole-proxy partitions.  It extends the
+    {!Moq_durable.Faults} deterministic-seed discipline from files to
+    sockets: every fault decision on one connection direction draws from
+    a PRNG seeded by [(seed, connection index, direction)], so a failing
+    case replays from its seed — modulo kernel chunking of the byte
+    stream.
+
+    The proxy listens on an ephemeral loopback port ({!port}); point
+    clients at it and give it the real server as [upstream]. *)
+
+type profile = {
+  delay_p : float;  (** per-chunk probability of an added delay *)
+  delay_s : float;  (** maximum added delay, seconds *)
+  corrupt_p : float;  (** per-chunk probability of one flipped bit *)
+  tear_p : float;
+      (** per-chunk probability of shipping a ragged prefix and cutting
+          the connection *)
+  reorder_p : float;  (** per-chunk probability of holding it back one chunk *)
+  throttle_bps : int;  (** slow-link budget, bytes/second; 0 = unthrottled *)
+}
+
+val quiet : profile
+(** Faithful relay — useful as a baseline and for pure partition tests. *)
+
+val flaky : profile
+(** Mild trouble: delays, occasional tears and reorders, no corruption. *)
+
+val hostile : profile
+(** Everything at once, including bit corruption. *)
+
+type stats = {
+  conns : int;
+  refused : int;  (** connections refused while partitioned *)
+  chunks : int;
+  bytes : int;
+  delays : int;
+  corruptions : int;
+  tears : int;
+  reorders : int;
+}
+
+type t
+
+val start :
+  ?profile:profile -> ?port:int -> seed:int -> upstream:Unix.sockaddr ->
+  unit -> t
+(** Bind a loopback listener ([port] 0 — the default — picks a free one)
+    and start relaying.  [profile] defaults to {!flaky}. *)
+
+val port : t -> int
+val sockaddr : t -> Unix.sockaddr
+
+val partition : t -> unit
+(** Refuse new connections and cut every live one — both halves of a
+    network partition as one end sees it. *)
+
+val heal : t -> unit
+(** Accept connections again. *)
+
+val tear_all : t -> unit
+(** Cut every live connection once, without partitioning. *)
+
+val stats : t -> stats
+val stop : t -> unit

@@ -18,6 +18,11 @@ val int : t -> int -> int
 (** [int t n] in [[0, n)]; exposed so harnesses can make seeded choices
     (e.g. the kill point) from the same deterministic stream. *)
 
+val flip : t -> float -> bool
+(** A biased coin: [true] with probability [p].  Exposed so layers that
+    extend the seeded-fault pattern beyond files — e.g. the network chaos
+    proxy — draw from the same deterministic stream. *)
+
 (* Stream faults *)
 
 val drop : t -> p:float -> 'a list -> 'a list

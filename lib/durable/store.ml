@@ -7,6 +7,13 @@ module Sink = Moq_obs.Sink
 let checkpoint_file dir = Filename.concat dir "checkpoint.mod"
 let wal_file dir = Filename.concat dir "wal.log"
 
+(* One checkpoint generation back.  At each checkpoint the outgoing
+   snapshot and its log are kept as [.prev] files, so a corrupt (or torn)
+   current checkpoint still recovers: previous snapshot + previous log +
+   current log replays to the exact same state. *)
+let checkpoint_prev_file dir = checkpoint_file dir ^ ".prev"
+let wal_prev_file dir = wal_file dir ^ ".prev"
+
 type t = {
   dir : string;
   fsync : bool;
@@ -24,18 +31,20 @@ type recovery = {
   stale_skipped : int;
   invalid_skipped : int;
   tail : Wal.tail;
+  fallback : bool;
 }
 
 let pp_recovery fmt r =
   Format.fprintf fmt
-    "recovered to clock %a: %d objects, %d log records replayed (%d stale, %d invalid skipped), log tail %a"
+    "recovered to clock %a: %d objects, %d log records replayed (%d stale, %d invalid skipped), log tail %a%s"
     Q.pp r.clock (DB.cardinal r.db) r.replayed r.stale_skipped r.invalid_skipped
     Wal.pp_tail r.tail
+    (if r.fallback then " (via previous checkpoint)" else "")
 
 (* ---------------------------------------------------------------- *)
 (* Checkpoint: db_to_string + "# crc <hex>" trailer, tmp + rename.   *)
 
-let write_checkpoint ?(sink = Sink.noop) ~fsync dir db =
+let write_checkpoint ?(sink = Sink.noop) ?(keep_prev = false) ~fsync dir db =
   Sink.count sink "moq_checkpoints_total" 1;
   Sink.time sink "moq_checkpoint_seconds" @@ fun () ->
   let payload = IO.db_to_string db in
@@ -52,10 +61,11 @@ let write_checkpoint ?(sink = Sink.noop) ~fsync dir db =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
+  if keep_prev && Sys.file_exists (checkpoint_file dir) then
+    Sys.rename (checkpoint_file dir) (checkpoint_prev_file dir);
   Sys.rename tmp (checkpoint_file dir)
 
-let read_checkpoint dir =
-  let path = checkpoint_file dir in
+let read_checkpoint_path path =
   match (try Ok (IO.read_file path) with Sys_error e -> Error e) with
   | Error e -> Error e
   | Ok s ->
@@ -84,58 +94,83 @@ let read_checkpoint dir =
 
 let init ?(fsync = true) ?(checkpoint_every = 256) ?(sink = Sink.noop) ~dir db =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* a fresh store owns the directory: stale fallback files from an
+     earlier generation must not shadow this one *)
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ checkpoint_prev_file dir; wal_prev_file dir ];
   write_checkpoint ~sink ~fsync dir db;
   let wal = Wal.create ~fsync ~sink ~path:(wal_file dir) ~dim:(DB.dim db) () in
   { dir; fsync; checkpoint_every; sink; db; wal; pending = 0 }
 
+(* Replay each existing log over [db] in order; missing files are
+   skipped (a log that was never started).  Returns the tail verdict of
+   the last log replayed — the live one — since earlier logs were closed
+   whole at rotation time. *)
+let replay_wals db paths =
+  let rec go db replayed stale invalid tail = function
+    | [] -> Ok (db, replayed, stale, invalid, tail)
+    | path :: rest ->
+      if not (Sys.file_exists path) then go db replayed stale invalid tail rest
+      else begin
+        match Wal.read path with
+        | Error e -> Error e
+        | Ok r ->
+          if r.Wal.dim <> 0 && r.Wal.dim <> DB.dim db then
+            Error (Printf.sprintf "%s: log dimension %d, checkpoint dimension %d"
+                     path r.Wal.dim (DB.dim db))
+          else begin
+            let db = ref db
+            and rp = ref replayed and st = ref stale and iv = ref invalid in
+            List.iter
+              (fun u ->
+                match DB.apply !db u with
+                | Ok db' ->
+                  db := db';
+                  incr rp
+                | Error (DB.Stale_update _) -> incr st
+                | Error _ -> incr iv)
+              r.Wal.updates;
+            go !db !rp !st !iv r.Wal.tail rest
+          end
+      end
+  in
+  go db 0 0 0 Wal.Clean paths
+
 let recover_obs ~(sink : Sink.t) ~dir =
   Sink.count sink "moq_recover_attempts_total" 1;
   Sink.time sink "moq_recover_seconds" @@ fun () ->
-  match read_checkpoint dir with
-  | Error e ->
+  let fail e =
     Sink.count sink "moq_recover_failures_total" 1;
     Error e
+  in
+  let finish ~fallback (db, replayed, stale_skipped, invalid_skipped, tail) =
+    Sink.count sink "moq_recover_replayed_total" replayed;
+    Sink.count sink "moq_recover_stale_skipped_total" stale_skipped;
+    Sink.count sink "moq_recover_invalid_skipped_total" invalid_skipped;
+    (match tail with
+     | Wal.Clean -> ()
+     | Wal.Corrupt _ -> Sink.count sink "moq_recover_corrupt_tail_total" 1);
+    Ok { db; clock = DB.last_update db; replayed; stale_skipped;
+         invalid_skipped; tail; fallback }
+  in
+  match read_checkpoint_path (checkpoint_file dir) with
   | Ok db ->
-    let finish r =
-      Sink.count sink "moq_recover_replayed_total" r.replayed;
-      Sink.count sink "moq_recover_stale_skipped_total" r.stale_skipped;
-      Sink.count sink "moq_recover_invalid_skipped_total" r.invalid_skipped;
-      (match r.tail with
-       | Wal.Clean -> ()
-       | Wal.Corrupt _ -> Sink.count sink "moq_recover_corrupt_tail_total" 1);
-      Ok r
-    in
-    let wal_path = wal_file dir in
-    if not (Sys.file_exists wal_path) then
-      finish { db; clock = DB.last_update db; replayed = 0; stale_skipped = 0;
-               invalid_skipped = 0; tail = Wal.Clean }
-    else begin
-      match Wal.read wal_path with
-      | Error e ->
-        Sink.count sink "moq_recover_failures_total" 1;
-        Error e
-      | Ok r ->
-        if r.Wal.dim <> 0 && r.Wal.dim <> DB.dim db then begin
-          Sink.count sink "moq_recover_failures_total" 1;
-          Error (Printf.sprintf "%s: log dimension %d, checkpoint dimension %d"
-                   wal_path r.Wal.dim (DB.dim db))
-        end
-        else begin
-          let db = ref db and replayed = ref 0 and stale = ref 0 and invalid = ref 0 in
-          List.iter
-            (fun u ->
-              match DB.apply !db u with
-              | Ok db' ->
-                db := db';
-                incr replayed
-              | Error (DB.Stale_update _) -> incr stale
-              | Error _ -> incr invalid)
-            r.Wal.updates;
-          finish { db = !db; clock = DB.last_update !db; replayed = !replayed;
-                   stale_skipped = !stale; invalid_skipped = !invalid;
-                   tail = r.Wal.tail }
-        end
-    end
+    (match replay_wals db [ wal_file dir ] with
+     | Ok out -> finish ~fallback:false out
+     | Error e -> fail e)
+  | Error cur_err ->
+    (* current checkpoint unreadable (torn rotation, bit rot): fall back
+       to the previous generation and replay both logs over it — records
+       already reflected in the lost checkpoint replay as stale no-ops *)
+    (match read_checkpoint_path (checkpoint_prev_file dir) with
+     | Error prev_err ->
+       fail (Printf.sprintf "%s; previous checkpoint: %s" cur_err prev_err)
+     | Ok db ->
+       Sink.count sink "moq_recover_checkpoint_fallback_total" 1;
+       (match replay_wals db [ wal_prev_file dir; wal_file dir ] with
+        | Ok out -> finish ~fallback:true out
+        | Error e -> fail e))
 
 let recover ~dir = recover_obs ~sink:Sink.noop ~dir
 
@@ -161,11 +196,19 @@ let clock (t : t) = DB.last_update t.db
 let dim (t : t) = DB.dim t.db
 
 let checkpoint_now (t : t) =
-  write_checkpoint ~sink:t.sink ~fsync:t.fsync t.dir t.db;
+  (* Rotation order makes every crash window recoverable:
+     close the live log (all its records are in [t.db]) — write the new
+     snapshot to a tmp — demote the current checkpoint to [.prev] —
+     promote the tmp — demote the closed log to [.prev] — start a fresh
+     log.  Before promotion the old checkpoint plus both logs rebuild
+     [t.db]; after it the new checkpoint is authoritative and any
+     leftover records replay as stale no-ops. *)
   Wal.close t.wal;
+  write_checkpoint ~sink:t.sink ~keep_prev:true ~fsync:t.fsync t.dir t.db;
+  let wal_path = wal_file t.dir in
+  if Sys.file_exists wal_path then Sys.rename wal_path (wal_prev_file t.dir);
   t.wal <-
-    Wal.create ~fsync:t.fsync ~sink:t.sink ~path:(wal_file t.dir)
-      ~dim:(DB.dim t.db) ();
+    Wal.create ~fsync:t.fsync ~sink:t.sink ~path:wal_path ~dim:(DB.dim t.db) ();
   t.pending <- 0
 
 let append (t : t) u =

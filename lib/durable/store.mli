@@ -4,21 +4,34 @@
 
     - [checkpoint.mod] — a {!Moq_mod.Mod_io.db_to_string} snapshot with a
       CRC-32 trailer, written atomically (tmp file + rename);
-    - [wal.log] — a {!Wal} of every accepted update since that snapshot.
+    - [wal.log] — a {!Wal} of every accepted update since that snapshot;
+    - [checkpoint.mod.prev] / [wal.log.prev] — the previous checkpoint
+      generation, kept at rotation as a fallback.
 
     Accepted updates are fsync'd to the log before the in-memory database
     advances; every [checkpoint_every] accepts the snapshot is rewritten and
-    the log reset.  {!recover} rebuilds [(db, clock)] from snapshot + log
+    the log rotated.  {!recover} rebuilds [(db, clock)] from snapshot + log
     suffix after a crash: log records at or before the snapshot's clock are
-    skipped as stale (a crash between checkpoint and log reset leaves
+    skipped as stale (a crash between checkpoint and log rotation leaves
     them), and a corrupt log tail is cut at the last good record and
-    reported — never raised. *)
+    reported — never raised.  When the current checkpoint itself is
+    unreadable — a torn rotation or bit rot — recovery falls back to the
+    previous checkpoint and replays both logs over it, reaching the same
+    state. *)
 
 module DB := Moq_mod.Mobdb
 module Q := Moq_numeric.Rat
 module U := Moq_mod.Update
 
 type t
+
+val checkpoint_file : string -> string
+(** [checkpoint_file dir] — the current snapshot's path; exposed so fault
+    harnesses can tear or corrupt it deliberately. *)
+
+val checkpoint_prev_file : string -> string
+val wal_file : string -> string
+val wal_prev_file : string -> string
 
 type recovery = {
   db : DB.t;
@@ -29,6 +42,9 @@ type recovery = {
       (** CRC-valid records the database nevertheless refused — checkpoint
           and log disagree; counted, skipped, reported, not fatal *)
   tail : Wal.tail;
+  fallback : bool;
+      (** the current checkpoint was unreadable and recovery rebuilt from
+          the previous generation ([checkpoint.mod.prev] + both logs) *)
 }
 
 val pp_recovery : Format.formatter -> recovery -> unit
@@ -41,8 +57,8 @@ val init :
     WAL/checkpoint/append telemetry. *)
 
 val recover : dir:string -> (recovery, string) result
-(** Read-only reconstruction.  [Error] only when the store is absent or its
-    checkpoint is unreadable/corrupt. *)
+(** Read-only reconstruction.  [Error] only when the store is absent or
+    both checkpoint generations are unreadable/corrupt. *)
 
 val recover_obs :
   sink:Moq_obs.Sink.t -> dir:string -> (recovery, string) result

@@ -223,8 +223,25 @@ let root_of_isolating_exn p ~lo ~hi =
     invalid_arg "Algnum.root_of_isolating_exn: no sign change"
   else Root { p = sf; lo; hi }
 
-let pp fmt = function
+(* The live isolating interval is comparison-history-dependent, but the
+   printed form is a wire token peers byte-compare (resumed subscription
+   streams, replica audits).  Re-isolate from the polynomial and refine
+   to a fixed width, so equal numbers print equal bytes no matter how
+   much in-place refinement either copy has seen. *)
+let canonical_width = Q.of_ints 1 1_099_511_627_776 (* 2^-40 *)
+
+let pp fmt x =
+  match x with
   | Rational q -> Q.pp fmt q
   | Root r ->
-    Format.fprintf fmt "root(%a) in (%a,%a) ~ %.6g" P.pp r.p Q.pp r.lo Q.pp r.hi
-      (to_float (Root { r with lo = r.lo }))
+    let fresh =
+      match List.find_opt (fun c -> compare c x = 0) (roots r.p) with
+      | Some c -> c
+      | None -> Root { r with lo = r.lo } (* defensive: print our own copy *)
+    in
+    (match refine_until_width fresh canonical_width with
+     | Rational q -> Q.pp fmt q
+     | Root c ->
+       Format.fprintf fmt "root(%a) in (%a,%a) ~ %.6g" P.pp c.p Q.pp c.lo
+         Q.pp c.hi
+         (Q.to_float (midpoint c.lo c.hi)))

@@ -1,5 +1,22 @@
 let max_payload = 4 * 1024 * 1024
 
+(* Typed protocol-level framing errors: a session that hits one of these
+   can answer with a structured PROTO-ERROR and close cleanly instead of
+   letting a raw exception kill its thread. *)
+type error =
+  | Oversize of { size : int; limit : int }
+      (** a payload beyond the frame cap, announced or offered for writing *)
+  | Bad_prefix of string  (** malformed "<len> " prefix or missing terminator *)
+  | Torn  (** the peer vanished mid-frame (including mid-length-prefix) *)
+
+let error_to_string = function
+  | Oversize { size; limit } ->
+    Printf.sprintf "frame payload %d exceeds the %d-byte cap" size limit
+  | Bad_prefix r -> r
+  | Torn -> "eof mid-frame"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
 (* write_all: Unix.write may write a prefix or be interrupted; loop.  (The
    durable layer has its own injectable copy — this one is deliberately
    dependency-free.) *)
@@ -14,9 +31,12 @@ let rec write_all fd buf pos len =
 
 let write fd payload =
   let n = String.length payload in
-  if n > max_payload then invalid_arg "Frame.write: payload too large";
-  let s = Printf.sprintf "%d %s\n" n payload in
-  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+  if n > max_payload then Error (Oversize { size = n; limit = max_payload })
+  else begin
+    let s = Printf.sprintf "%d %s\n" n payload in
+    write_all fd (Bytes.unsafe_of_string s) 0 (String.length s);
+    Ok ()
+  end
 
 type reader = {
   fd : Unix.file_descr;
@@ -66,18 +86,19 @@ let try_parse r =
   let i = ref r.pos in
   while !i < len && Buffer.nth r.buf !i >= '0' && Buffer.nth r.buf !i <= '9' do incr i done;
   if !i = r.pos then
-    if len > r.pos then `Garbage "frame length prefix missing" else `Need
-  else if !i - r.pos > 8 then `Garbage "frame length prefix too long"
+    if len > r.pos then `Garbage (Bad_prefix "frame length prefix missing") else `Need
+  else if !i - r.pos > 8 then `Garbage (Bad_prefix "frame length prefix too long")
   else if !i >= len then `Need
-  else if Buffer.nth r.buf !i <> ' ' then `Garbage "frame length not followed by a space"
+  else if Buffer.nth r.buf !i <> ' ' then
+    `Garbage (Bad_prefix "frame length not followed by a space")
   else begin
     let n = int_of_string (Buffer.sub r.buf r.pos (!i - r.pos)) in
-    if n > max_payload then `Garbage "frame payload too large"
+    if n > max_payload then `Garbage (Oversize { size = n; limit = max_payload })
     else begin
       let start = !i + 1 in
       if len - start < n + 1 then `Need
       else if Buffer.nth r.buf (start + n) <> '\n' then
-        `Garbage "frame payload not terminated by a newline"
+        `Garbage (Bad_prefix "frame payload not terminated by a newline")
       else begin
         let payload = Buffer.sub r.buf start n in
         r.pos <- start + n + 1;
@@ -101,7 +122,7 @@ let read ?timeout r =
       let timeout = if first && available r = 0 then timeout else None in
       (match fill ?timeout r with
        | `Data -> go ~first:false
-       | `Eof -> if available r = 0 then `Eof else `Garbage "eof mid-frame"
+       | `Eof -> if available r = 0 then `Eof else `Garbage Torn
        | `Timeout -> `Timeout)
   in
   go ~first:true

@@ -13,9 +13,21 @@
 val max_payload : int
 (** 4 MiB. *)
 
-val write : Unix.file_descr -> string -> unit
-(** Write one frame, looping over short writes.
-    @raise Invalid_argument if the payload exceeds {!max_payload}.
+type error =
+  | Oversize of { size : int; limit : int }
+      (** payload beyond {!max_payload}, announced by a peer or offered to
+          {!write} *)
+  | Bad_prefix of string
+      (** malformed ["<len> "] prefix or missing frame terminator *)
+  | Torn  (** the peer vanished mid-frame (including mid-length-prefix) *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val write : Unix.file_descr -> string -> (unit, error) result
+(** Write one frame, looping over short writes.  [Error (Oversize _)] when
+    the payload exceeds {!max_payload} — typed, so a server writer thread
+    can substitute a protocol-error response instead of crashing.
     @raise Unix.Unix_error on a closed or broken descriptor. *)
 
 type reader
@@ -25,9 +37,10 @@ type reader
 val reader : Unix.file_descr -> reader
 
 val read :
-  ?timeout:float -> reader -> [ `Frame of string | `Eof | `Timeout | `Garbage of string ]
+  ?timeout:float -> reader -> [ `Frame of string | `Eof | `Timeout | `Garbage of error ]
 (** Next frame.  [timeout] (seconds, > 0) bounds the wait for the {e start}
     of the frame when the buffer is empty — a blocked peer mid-frame still
     blocks, which is fine for line-of-sight protocol peers.  [`Garbage]
-    reports a malformed length prefix or separator; the stream is
+    reports a typed framing error — oversize announcement, malformed
+    length prefix or separator, or EOF mid-frame; the stream is
     unrecoverable after it. *)

@@ -89,9 +89,18 @@ type request =
   | Stats of [ `Json | `Prometheus ]
   | Ping
   | Bye
+  | Repl_hello of { version : int; since : (int * int) option }
+      (** a follower's handshake: [since] is the [(epoch, seq)] replication
+          position it has applied up to ([None]: no state — ship a
+          snapshot).  The epoch names one primary incarnation; a seq only
+          means anything within its epoch *)
 
 let render_request = function
   | Hello v -> Printf.sprintf "HELLO moqp %d" v
+  | Repl_hello { version; since } ->
+    (match since with
+     | None -> Printf.sprintf "REPL-HELLO moqp %d" version
+     | Some (e, s) -> Printf.sprintf "REPL-HELLO moqp %d since %d %d" version e s)
   | Update u -> "UPDATE " ^ IO.update_to_line u
   | Subscribe { kind; lo; hi } ->
     let k =
@@ -126,6 +135,15 @@ let parse_request ~dim payload =
   | [ "HELLO"; "moqp"; v ] ->
     let* v = int_tok v in
     Ok (Hello v)
+  | [ "REPL-HELLO"; "moqp"; v ] ->
+    let* v = int_tok v in
+    Ok (Repl_hello { version = v; since = None })
+  | [ "REPL-HELLO"; "moqp"; v; "since"; e; s ] ->
+    let* v = int_tok v in
+    let* e = int_tok e in
+    let* s = int_tok s in
+    if s < 0 || e < 0 then Error "negative replication position"
+    else Ok (Repl_hello { version = v; since = Some (e, s) })
   | "UPDATE" :: _ when String.length head > 7 ->
     let line = String.sub head 7 (String.length head - 7) in
     let* u = IO.update_of_line ~dim line in
@@ -229,11 +247,23 @@ type server_msg =
   | E_dropped of { sub : int; from_seq : int; to_seq : int }
   | E_complete of { sub : int }
   | E_shutdown of { reason : string }
+  | R_repl_hello of
+      { dim : int; clock : Q.t; epoch : int; seq : int; snapshot : string option }
+      (** replication handshake reply: [(epoch, seq)] is the primary's
+          current replication position; [snapshot] carries a full
+          {!Moq_mod.Mod_io.db_to_string} image when the follower must
+          bootstrap ([None]: the stream resumes as a delta) *)
+  | E_repl_update of { seq : int; dim : int; u : U.t }
+      (** one accepted update in commit order, the shipped WAL record *)
+  | E_repl_digest of { clock : Q.t; bytes : int; crc : string }
+      (** primary state digest at [clock]: byte length and CRC-32 of its
+          serialized database — the follower's divergence audit *)
 
 let is_event = function
-  | E_pieces _ | E_dropped _ | E_complete _ | E_shutdown _ -> true
+  | E_pieces _ | E_dropped _ | E_complete _ | E_shutdown _ | E_repl_update _
+  | E_repl_digest _ -> true
   | R_hello _ | R_update _ | R_subscribe _ | R_unsubscribe _ | R_query _ | R_stats _
-  | R_pong _ | R_bye | R_err _ -> false
+  | R_pong _ | R_bye | R_err _ | R_repl_hello _ -> false
 
 let with_pieces head pieces =
   String.concat "\n" (head :: List.map render_piece pieces)
@@ -261,6 +291,18 @@ let render_server_msg = function
     Printf.sprintf "EVENT-DROPPED %d %d %d" sub from_seq to_seq
   | E_complete { sub } -> Printf.sprintf "EVENT-COMPLETE %d" sub
   | E_shutdown { reason } -> "SHUTDOWN " ^ reason
+  | R_repl_hello { dim; clock; epoch; seq; snapshot } ->
+    let head mode =
+      Printf.sprintf "OK REPL-HELLO moqp %d dim %d clock %s epoch %d seq %d mode %s"
+        version dim (Q.to_string clock) epoch seq mode
+    in
+    (match snapshot with
+     | None -> head "delta"
+     | Some s -> head "snapshot" ^ "\n" ^ s)
+  | E_repl_update { seq; dim; u } ->
+    Printf.sprintf "REPL-UPDATE %d %d %s" seq dim (IO.update_to_line u)
+  | E_repl_digest { clock; bytes; crc } ->
+    Printf.sprintf "REPL-DIGEST %s %d %s" (Q.to_string clock) bytes crc
 
 let parse_server_msg payload =
   let head, body = head_and_body payload in
@@ -311,5 +353,99 @@ let parse_server_msg payload =
     let* sub = int_tok sub in
     Ok (E_complete { sub })
   | "SHUTDOWN" :: rest -> Ok (E_shutdown { reason = String.concat " " rest })
+  | [ "OK"; "REPL-HELLO"; "moqp"; _v; "dim"; d; "clock"; c; "epoch"; e; "seq"; s;
+      "mode"; m ] ->
+    let* dim = int_tok d in
+    let* clock = rat_tok c in
+    let* epoch = int_tok e in
+    let* seq = int_tok s in
+    (match m with
+     | "delta" -> Ok (R_repl_hello { dim; clock; epoch; seq; snapshot = None })
+     | "snapshot" ->
+       (* the snapshot body is verbatim — everything past the head line *)
+       let body =
+         match String.index_opt payload '\n' with
+         | Some i -> String.sub payload (i + 1) (String.length payload - i - 1)
+         | None -> ""
+       in
+       Ok (R_repl_hello { dim; clock; epoch; seq; snapshot = Some body })
+     | _ -> Error ("unknown replication mode: " ^ m))
+  | "REPL-UPDATE" :: s :: d :: (_ :: _ as rest) ->
+    let* seq = int_tok s in
+    let* dim = int_tok d in
+    (* update_to_line emits single-space-separated tokens, so rejoining the
+       word split is lossless *)
+    let* u = IO.update_of_line ~dim (String.concat " " rest) in
+    Ok (E_repl_update { seq; dim; u })
+  | [ "REPL-DIGEST"; c; b; crc ] ->
+    let* clock = rat_tok c in
+    let* bytes = int_tok b in
+    Ok (E_repl_digest { clock; bytes; crc })
   | [] -> Error "empty message"
   | w :: _ -> Error ("unknown server message: " ^ w)
+
+(* ---------------------------------------------------------------- *)
+(* Canonical piece streams                                           *)
+
+(* Wire-level mirror of [Timeline.simplify]: collapse maximal runs with
+   equal answer sets.  Instants compare as their canonical renderings —
+   the exact algebra renders deterministically, so equal instants from the
+   same data are equal strings.  Two different monitor instances over the
+   same database chunk their validated streams differently (one cuts at
+   every update instant, a freshly created one only at support changes),
+   but both simplify to the same canonical sequence — which is what makes
+   a resumed subscription's stream comparable to the original. *)
+let rec simplify_once = function
+  | P_at (a, s1) :: P_at (b, s2) :: rest when a = b && s1 = s2 ->
+    simplify_once (P_at (a, s1) :: rest)
+  | P_span (a, _, s1) :: P_at (_, s2) :: P_span (_, b, s3) :: rest
+    when s1 = s2 && s2 = s3 ->
+    simplify_once (P_span (a, b, s1) :: rest)
+  | p :: rest -> p :: simplify_once rest
+  | [] -> []
+
+let simplify_pieces pieces =
+  let rec fix l =
+    let l' = simplify_once l in
+    if List.length l' = List.length l then l else fix l'
+  in
+  fix pieces
+
+(* Incremental canonicalizer: push raw pieces in stream order, collect the
+   canonical pieces that can no longer be altered by later input.  The
+   concatenation of every [push] result plus the final [flush] equals
+   [simplify_pieces] of the whole input. *)
+module Canon = struct
+  (* [pending] holds the still-malleable tail, oldest first: at most a
+     span and a same-set instant riding on it ([Span; At]), which a third
+     same-set span would collapse (the middle rule of the simplifier). *)
+  type t = { mutable pending : piece list }
+
+  let create () = { pending = [] }
+
+  let push t p =
+    match t.pending, p with
+    | [], p ->
+      t.pending <- [ p ];
+      []
+    (* duplicate instant piece: absorb *)
+    | [ P_at (a, s1) ], P_at (b, s2) when a = b && s1 = s2 -> []
+    | [ P_span _; P_at (a, s1) ], P_at (b, s2) when a = b && s1 = s2 -> []
+    (* a same-set instant after a span may yet collapse: hold both *)
+    | [ (P_span (_, _, s1) as sp) ], (P_at (_, s2) as at) when s1 = s2 ->
+      t.pending <- [ sp; at ];
+      []
+    (* span · at · span, all one set: collapse and keep riding *)
+    | [ P_span (a, _, s1); P_at (_, s2) ], P_span (_, d, s3) when s1 = s2 && s2 = s3 ->
+      t.pending <- [ P_span (a, d, s1) ];
+      []
+    (* anything else: the held prefix is final *)
+    | held, p ->
+      t.pending <- [ p ];
+      held
+
+  let flush t =
+    let held = t.pending in
+    t.pending <- [];
+    held
+end

@@ -27,7 +27,20 @@
     [EVENT-DROPPED], [EVENT-COMPLETE], [SHUTDOWN]).  Each subscription's
     event pieces carry consecutive sequence numbers from 0; a
     backpressure drop is reported as an [EVENT-DROPPED] covering the lost
-    range, so a subscriber can always account for every sequence number. *)
+    range, so a subscriber can always account for every sequence number.
+
+    Replication ("REPL-*"): a follower handshakes with [REPL-HELLO moqp 1]
+    (optionally [since <epoch> <seq>], its last applied replication
+    position; the epoch names one primary incarnation).  The primary
+    answers [OK REPL-HELLO] in mode [snapshot] — carrying a full
+    serialized database to bootstrap from — or mode [delta] when the
+    epoch is its own and its in-memory backlog still covers the
+    follower's position.  From then on
+    every accepted update is shipped in commit order as a [REPL-UPDATE]
+    event, and the primary periodically emits [REPL-DIGEST] (byte length
+    and CRC-32 of its serialized state at a given clock) so the follower
+    can byte-compare its rebuilt state — the bit-identity machinery as a
+    free divergence audit. *)
 
 module Q := Moq_numeric.Rat
 module U := Moq_mod.Update
@@ -59,6 +72,11 @@ type request =
   | Stats of [ `Json | `Prometheus ]
   | Ping
   | Bye
+  | Repl_hello of { version : int; since : (int * int) option }
+      (** follower handshake; [since] is its last applied replication
+          position as [(epoch, seq)] ([None]: bootstrap — ship a
+          snapshot).  The epoch names one primary incarnation, so a
+          restarted primary never mis-serves a stale delta *)
 
 val render_request : request -> string
 
@@ -98,9 +116,45 @@ type server_msg =
   | E_dropped of { sub : int; from_seq : int; to_seq : int }  (** inclusive *)
   | E_complete of { sub : int }
   | E_shutdown of { reason : string }
+  | R_repl_hello of
+      { dim : int; clock : Q.t; epoch : int; seq : int; snapshot : string option }
+      (** [(epoch, seq)] is the primary's replication position at
+          handshake time; [Some image] bootstraps the follower from a full
+          {!Moq_mod.Mod_io.db_to_string} snapshot, [None] resumes as a
+          delta of [REPL-UPDATE] events after [since] *)
+  | E_repl_update of { seq : int; dim : int; u : U.t }
+      (** one accepted update in commit order — the shipped WAL record *)
+  | E_repl_digest of { clock : Q.t; bytes : int; crc : string }
+      (** primary state digest (serialized length and CRC-32) at [clock] *)
 
 val is_event : server_msg -> bool
 (** Asynchronous push, not a response. *)
 
 val render_server_msg : server_msg -> string
 val parse_server_msg : string -> (server_msg, string) result
+
+(** {1 Canonical piece streams}
+
+    Different monitor instances over the same database chunk their
+    validated streams differently (a long-lived one cuts at every update
+    instant, a freshly created one only at support changes), but the
+    chunks always collapse to the same canonical form.  These helpers
+    let a client compare — and dedup — streams across a reconnect or a
+    failover to a replica. *)
+
+val simplify_pieces : piece list -> piece list
+(** Wire-level mirror of the core timeline simplifier: drop repeated
+    instant pieces and collapse span·at·span runs carrying one answer
+    set.  Instants compare by their canonical renderings. *)
+
+(** Incremental canonicalizer: [push] raw pieces in stream order and
+    collect canonical pieces as they become final; the concatenation of
+    all [push] results plus the final [flush] equals {!simplify_pieces}
+    of the whole input. *)
+module Canon : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> piece -> piece list
+  val flush : t -> piece list
+end

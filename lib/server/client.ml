@@ -1,5 +1,20 @@
 module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
+module Q = Moq_numeric.Rat
+module Faults = Moq_durable.Faults
+module Sink = Moq_obs.Sink
+
+type error =
+  | Timeout of string
+  | Closed of string
+  | Protocol of string
+
+let error_to_string = function
+  | Timeout s -> "timeout: " ^ s
+  | Closed s -> "connection closed: " ^ s
+  | Protocol s -> "protocol: " ^ s
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
 type t = {
   fd : Unix.file_descr;
@@ -19,9 +34,11 @@ let with_lock m f =
 let reader_loop c =
   let r = Frame.reader c.fd in
   let rec go () =
-    match Frame.read r with
-    | `Eof | `Timeout -> ()
-    | `Garbage _ -> ()
+    (* the short read deadline is a liveness poll: it lets the thread
+       notice [closed] set by {!close} even when the peer is silent *)
+    match Frame.read ~timeout:0.25 r with
+    | `Eof | `Garbage _ -> ()
+    | `Timeout -> if with_lock c.m (fun () -> c.closed) then () else go ()
     | `Frame payload ->
       (match Proto.parse_server_msg payload with
        | Error _ -> ()
@@ -34,7 +51,9 @@ let reader_loop c =
   (try go () with _ -> ());
   with_lock c.m (fun () -> c.closed <- true)
 
-let connect ?(timeout = 30.) addr =
+exception Connect_timed_out
+
+let connect ?(timeout = 30.) ?(connect_timeout = 10.) addr =
   (* a server closing mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
@@ -43,8 +62,22 @@ let connect ?(timeout = 30.) addr =
     in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     Unix.set_close_on_exec fd;
-    (try Unix.connect fd (Server.sockaddr_of addr)
-     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    (try
+       (* non-blocking connect bounded by [connect_timeout]: a black-hole
+          peer (dropped SYNs, a partitioned proxy) must not hang forever *)
+       Unix.set_nonblock fd;
+       (try Unix.connect fd (Server.sockaddr_of addr) with
+        | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+          ->
+          let _, ws, _ = Unix.select [] [ fd ] [] connect_timeout in
+          if ws = [] then raise Connect_timed_out;
+          (match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+       Unix.clear_nonblock fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
     fd
   with
   | fd ->
@@ -54,8 +87,10 @@ let connect ?(timeout = 30.) addr =
     in
     c.reader <- Some (Thread.create (fun () -> reader_loop c) ());
     Ok c
+  | exception Connect_timed_out ->
+    Error (Timeout (Printf.sprintf "connect: no answer in %gs" connect_timeout))
   | exception Unix.Unix_error (err, fn, _) ->
-    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+    Error (Closed (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
 
 (* Poll for the next queued response.  OCaml's [Condition] has no timed
    wait, so a short sleep loop stands in; the granularity only matters on
@@ -69,12 +104,13 @@ let await_resp c =
           | msg :: rest ->
             c.resps <- rest;
             Some (Ok msg)
-          | [] -> if c.closed then Some (Error "connection closed") else None)
+          | [] -> if c.closed then Some (Error (Closed "by peer")) else None)
     in
     match r with
     | Some r -> r
     | None ->
-      if Unix.gettimeofday () > deadline then Error "timed out waiting for response"
+      if Unix.gettimeofday () > deadline then
+        Error (Timeout (Printf.sprintf "no response in %gs" c.timeout))
       else begin
         Thread.delay 0.002;
         go ()
@@ -84,12 +120,13 @@ let await_resp c =
 
 let request c req =
   with_lock c.wm (fun () ->
-      if c.closed then Error "connection closed"
+      if with_lock c.m (fun () -> c.closed) then Error (Closed "by peer")
       else
         match Frame.write c.fd (Proto.render_request req) with
-        | () -> await_resp c
+        | Ok () -> await_resp c
+        | Error e -> Error (Protocol (Frame.error_to_string e))
         | exception Unix.Unix_error (err, fn, _) ->
-          Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+          Error (Closed (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
 
 let hello c = request c (Proto.Hello Proto.version)
 
@@ -126,8 +163,332 @@ let is_open c = not (with_lock c.m (fun () -> c.closed))
 
 let close c =
   let was_closed = with_lock c.m (fun () -> c.closed) in
+  with_lock c.m (fun () -> c.closed <- true);
   if not was_closed then (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (match c.reader with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   c.reader <- None;
-  (try Unix.close c.fd with Unix.Unix_error _ -> ());
-  with_lock c.m (fun () -> c.closed <- true)
+  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Resilient layer: reconnect, failover, resume.                       *)
+
+type client = t
+
+let cconnect = connect
+let creq = request
+let cclose = close
+let cnext_event = next_event
+let cis_open = is_open
+
+module Resilient = struct
+  module Canon = Proto.Canon
+
+  type conf = {
+    addrs : Server.addr list;
+    timeout : float;
+    connect_timeout : float;
+    retry_max : int;
+    backoff_base : float;
+    backoff_max : float;
+    seed : int;
+    resync_max : int;
+    sink : Sink.t;
+  }
+
+  let conf ?(timeout = 30.) ?(connect_timeout = 5.) ?(retry_max = 8)
+      ?(backoff_base = 0.05) ?(backoff_max = 2.) ?(seed = 0) ?(resync_max = 4)
+      ?(sink = Sink.noop) addrs =
+    { addrs; timeout; connect_timeout; retry_max; backoff_base; backoff_max;
+      seed; resync_max; sink }
+
+  type rsub = {
+    kind : Proto.sub_kind;
+    lo : Q.t;
+    hi : Q.t;
+    mutable server_sub : int;  (* id on the current connection; -1 = none *)
+    mutable canon : Canon.t;
+    mutable replay : Proto.piece list;
+        (* after a resume: the canonical prefix already delivered, to be
+           byte-compared and suppressed as the new stream replays it *)
+    mutable delivered_rev : Proto.piece list;
+    mutable ready : Proto.piece list;  (* deliverable, oldest first *)
+    mutable complete : bool;
+    mutable expected_seq : int;
+    mutable dropped : (int * int) list;  (* unacked dropped ranges, newest first *)
+    mutable resyncs : int;
+  }
+
+  type t = {
+    conf : conf;
+    rng : Faults.t;  (* deterministic backoff jitter *)
+    mutable c : client option;
+    mutable addr_ix : int;
+    mutable ever_connected : bool;
+    mutable sub : rsub option;
+    stats : (string, int) Hashtbl.t;
+  }
+
+  let bump t k n =
+    Sink.count t.conf.sink k n;
+    Hashtbl.replace t.stats k
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.stats k))
+
+  let stats t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+    |> List.sort compare
+
+  (* One reconnect campaign: walk the address ring starting at the last
+     good address, capped exponential backoff with deterministic jitter
+     between rounds. *)
+  let try_connect t =
+    let n = List.length t.conf.addrs in
+    let rec rounds attempt =
+      if attempt > t.conf.retry_max then
+        Error (Closed (Printf.sprintf "no server reachable after %d retries"
+                         t.conf.retry_max))
+      else begin
+        if attempt > 0 then begin
+          bump t "moq_client_retry_attempts_total" 1;
+          let base = t.conf.backoff_base *. (2. ** float_of_int (attempt - 1)) in
+          let capped = Float.min t.conf.backoff_max base in
+          let jitter = float_of_int (Faults.int t.rng 1000) /. 1000. in
+          Thread.delay (capped *. (0.5 +. (0.5 *. jitter)))
+        end;
+        let rec walk k =
+          if k >= n then None
+          else begin
+            let ix = (t.addr_ix + k) mod n in
+            let addr = List.nth t.conf.addrs ix in
+            match
+              cconnect ~timeout:t.conf.timeout
+                ~connect_timeout:t.conf.connect_timeout addr
+            with
+            | Ok c ->
+              (match creq c (Proto.Hello Proto.version) with
+               | Ok (Proto.R_hello _) -> Some (c, ix)
+               | Ok _ | Error _ ->
+                 cclose c;
+                 walk (k + 1))
+            | Error _ -> walk (k + 1)
+          end
+        in
+        match walk 0 with
+        | Some (c, ix) ->
+          if t.ever_connected then begin
+            bump t "moq_client_reconnects_total" 1;
+            if ix <> t.addr_ix then bump t "moq_client_failovers_total" 1
+          end;
+          t.ever_connected <- true;
+          t.addr_ix <- ix;
+          t.c <- Some c;
+          Ok c
+        | None -> rounds (attempt + 1)
+      end
+    in
+    rounds 0
+
+  let resume_sub t c =
+    match t.sub with
+    | None -> Ok ()
+    | Some s when s.complete -> Ok ()
+    | Some s ->
+      (match creq c (Proto.Subscribe { kind = s.kind; lo = s.lo; hi = s.hi }) with
+       | Ok (Proto.R_subscribe { sub }) ->
+         s.server_sub <- sub;
+         s.canon <- Canon.create ();
+         s.replay <- List.rev s.delivered_rev;
+         s.expected_seq <- 0;
+         Ok ()
+       | Ok (Proto.R_err { code; msg }) -> Error (Protocol (code ^ ": " ^ msg))
+       | Ok _ -> Error (Protocol "unexpected response to SUBSCRIBE")
+       | Error e -> Error e)
+
+  let ensure t =
+    match t.c with
+    | Some c when cis_open c -> Ok c
+    | prev ->
+      (match prev with
+       | Some c ->
+         cclose c;
+         t.c <- None
+       | None -> ());
+      (match try_connect t with
+       | Error e -> Error e
+       | Ok c ->
+         (match resume_sub t c with
+          | Ok () -> Ok c
+          | Error e ->
+            cclose c;
+            t.c <- None;
+            Error e))
+
+  let connect conf =
+    let t =
+      { conf; rng = Faults.create ~seed:conf.seed; c = None; addr_ix = 0;
+        ever_connected = false; sub = None; stats = Hashtbl.create 8 }
+    in
+    match ensure t with Ok _ -> Ok t | Error e -> Error e
+
+  let rec request_retry t req attempt =
+    match ensure t with
+    | Error e -> Error e
+    | Ok c ->
+      (match creq c req with
+       | Ok msg -> Ok msg
+       | Error (Closed _) when attempt < t.conf.retry_max ->
+         cclose c;
+         t.c <- None;
+         request_retry t req (attempt + 1)
+       | Error e -> Error e)
+
+  let request t req = request_retry t req 0
+
+  let subscribe t ~kind ~lo ~hi =
+    match t.sub with
+    | Some _ -> Error (Protocol "one subscription per resilient client")
+    | None ->
+      let s =
+        { kind; lo; hi; server_sub = -1; canon = Canon.create (); replay = [];
+          delivered_rev = []; ready = []; complete = false; expected_seq = 0;
+          dropped = []; resyncs = 0 }
+      in
+      t.sub <- Some s;
+      let rec go attempt =
+        match ensure t with
+        | Error e ->
+          t.sub <- None;
+          Error e
+        | Ok c ->
+          if s.server_sub >= 0 then Ok () (* [resume_sub] already issued it *)
+          else begin
+            match creq c (Proto.Subscribe { kind; lo; hi }) with
+            | Ok (Proto.R_subscribe { sub }) ->
+              s.server_sub <- sub;
+              Ok ()
+            | Ok (Proto.R_err { code; msg }) ->
+              t.sub <- None;
+              Error (Protocol (code ^ ": " ^ msg))
+            | Ok _ ->
+              t.sub <- None;
+              Error (Protocol "unexpected response to SUBSCRIBE")
+            | Error (Closed _) when attempt < t.conf.retry_max ->
+              cclose c;
+              t.c <- None;
+              go (attempt + 1)
+            | Error e ->
+              t.sub <- None;
+              Error e
+          end
+      in
+      go 0
+
+  (* Hand one canonical piece to the consumer — unless we are replaying
+     after a resume, in which case it must byte-match the already
+     delivered prefix and is suppressed. *)
+  let deliver t s p =
+    match s.replay with
+    | expected :: rest ->
+      if p = expected then begin
+        s.replay <- rest;
+        bump t "moq_client_suppressed_duplicates_total" 1
+      end
+      else begin
+        (* the rebuilt stream disagrees with what we already delivered:
+           count it and surface the new piece rather than hide it *)
+        bump t "moq_client_divergence_total" 1;
+        s.replay <- [];
+        s.delivered_rev <- p :: s.delivered_rev;
+        s.ready <- s.ready @ [ p ]
+      end
+    | [] ->
+      s.delivered_rev <- p :: s.delivered_rev;
+      s.ready <- s.ready @ [ p ]
+
+  (* A backpressure drop punched a hole in the stream.  Retire the torn
+     subscription and restart it from [lo], deduping the replay — the
+     gap heals as long as the server still covers the window. *)
+  let resync t s c =
+    s.resyncs <- s.resyncs + 1;
+    bump t "moq_client_resyncs_total" 1;
+    ignore (creq c (Proto.Unsubscribe s.server_sub));
+    match creq c (Proto.Subscribe { kind = s.kind; lo = s.lo; hi = s.hi }) with
+    | Ok (Proto.R_subscribe { sub }) ->
+      s.server_sub <- sub;
+      s.canon <- Canon.create ();
+      s.replay <- List.rev s.delivered_rev;
+      s.expected_seq <- 0;
+      true
+    | Ok _ | Error _ -> false
+
+  let record_drop s ~from_seq ~to_seq =
+    s.dropped <- (from_seq, to_seq) :: s.dropped;
+    s.expected_seq <- to_seq + 1
+
+  let pump_once t s =
+    match t.c with
+    | None -> `Conn_lost
+    | Some c ->
+      (match cnext_event ~timeout:0.05 c with
+       | None -> if cis_open c then `Idle else `Conn_lost
+       | Some (Proto.E_pieces { sub; first_seq; pieces }) when sub = s.server_sub
+         ->
+         if first_seq <> s.expected_seq then
+           (* an unannounced gap: account for it like a reported drop *)
+           record_drop s ~from_seq:s.expected_seq ~to_seq:(first_seq - 1);
+         s.expected_seq <- first_seq + List.length pieces;
+         List.iter (fun p -> List.iter (deliver t s) (Canon.push s.canon p)) pieces;
+         `Progress
+       | Some (Proto.E_dropped { sub; from_seq; to_seq }) when sub = s.server_sub
+         ->
+         if s.resyncs < t.conf.resync_max then begin
+           if not (resync t s c) then begin
+             cclose c;
+             t.c <- None
+           end
+         end
+         else record_drop s ~from_seq ~to_seq;
+         `Progress
+       | Some (Proto.E_complete { sub }) when sub = s.server_sub ->
+         List.iter (deliver t s) (Canon.flush s.canon);
+         s.complete <- true;
+         `Progress
+       | Some (Proto.E_shutdown _) ->
+         cclose c;
+         t.c <- None;
+         `Conn_lost
+       | Some _ -> `Progress (* a retired sub's stragglers, repl chatter *))
+
+  let pull ?timeout t =
+    match t.sub with
+    | None -> `Error (Protocol "no subscription")
+    | Some s ->
+      let timeout = Option.value timeout ~default:t.conf.timeout in
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec go () =
+        match s.ready with
+        | p :: rest ->
+          s.ready <- rest;
+          `Piece p
+        | [] ->
+          if s.complete then `Complete
+          else if Unix.gettimeofday () > deadline then
+            `Error (Timeout (Printf.sprintf "no event in %gs" timeout))
+          else begin
+            match pump_once t s with
+            | `Progress | `Idle -> go ()
+            | `Conn_lost ->
+              (match ensure t with Ok _ -> go () | Error e -> `Error e)
+          end
+      in
+      go ()
+
+  let delivered t =
+    match t.sub with None -> [] | Some s -> List.rev s.delivered_rev
+
+  let dropped_ranges t =
+    match t.sub with None -> [] | Some s -> List.rev s.dropped
+
+  let close t =
+    (match t.c with Some c -> cclose c | None -> ());
+    t.c <- None
+end

@@ -1,35 +1,108 @@
-(** Blocking moqp client: one socket, one background reader thread.
+(** Blocking moqp client used by the CLI, tests and benches.
 
-    Responses are matched to requests by order (the protocol guarantees one
-    response per request, in order); asynchronous events ([EVENT],
-    [EVENT-DROPPED], [EVENT-COMPLETE], [SHUTDOWN]) land in an internal
-    queue read with {!next_event}/{!drain_events}.  Safe for concurrent
-    callers: requests are serialized on the socket. *)
+    A background thread reads frames and sorts them into a response queue
+    (consumed by {!request}, which pairs one response per request, in
+    order) and an event queue (consumed by {!next_event} /
+    {!drain_events}).  All failures are typed {!error}s: a bounded
+    connect, a response deadline, a peer close — never a raw exception.
+
+    {!Resilient} layers reconnection on top: an address ring (primary
+    first, replicas after), capped exponential backoff with
+    deterministic seeded jitter, and subscription resume — after a
+    failover the subscription is re-issued from its window start and the
+    replayed canonical prefix is byte-compared against what was already
+    delivered and suppressed, so the consumer observes one gap-free,
+    duplicate-free canonical stream across server crashes. *)
 
 module Proto := Moq_proto.Proto
+module Q := Moq_numeric.Rat
+
+type error =
+  | Timeout of string  (** connect or response deadline exceeded *)
+  | Closed of string  (** the transport failed or the peer went away *)
+  | Protocol of string  (** the peer spoke, but wrongly *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
 
 type t
 
-val connect : ?timeout:float -> Server.addr -> (t, string) result
-(** TCP or Unix-domain connect; [timeout] bounds each response wait (and
-    the connection attempt), default 30 s. *)
+val connect :
+  ?timeout:float -> ?connect_timeout:float -> Server.addr -> (t, error) result
+(** [timeout] (default 30s) bounds each {!request}'s wait for its
+    response; [connect_timeout] (default 10s) bounds the TCP/Unix
+    connect itself, so a black-holed peer yields [Error (Timeout _)]
+    rather than a hang. *)
 
-val request : t -> Proto.request -> (Proto.server_msg, string) result
-(** Send one frame, wait for its response.  [Error] on timeout, closed
-    connection, or unparsable reply. *)
+val hello : t -> (Proto.server_msg, error) result
+(** Send the protocol handshake; servers require it first. *)
 
-val hello : t -> (Proto.server_msg, string) result
-(** [request (Hello Proto.version)]. *)
+val request : t -> Proto.request -> (Proto.server_msg, error) result
+(** Send one request and wait (≤ timeout) for its response.  Thread-safe;
+    concurrent requests are serialized. *)
 
 val next_event : ?timeout:float -> t -> Proto.server_msg option
-(** Oldest undelivered event, waiting up to [timeout] (default: the
-    connect timeout) for one to arrive.  [None] on timeout or once the
-    connection is closed and the queue empty. *)
+(** Next queued asynchronous event, waiting up to [timeout] (default: the
+    connect-time timeout).  [None] on timeout or a closed connection. *)
 
 val drain_events : t -> Proto.server_msg list
-(** All queued events, oldest first, without waiting. *)
-
 val is_open : t -> bool
-
 val close : t -> unit
-(** Close the socket and join the reader.  Idempotent. *)
+
+(** Reconnecting client with failover and subscription resume. *)
+module Resilient : sig
+  type conf = {
+    addrs : Server.addr list;  (** tried in order; first is preferred *)
+    timeout : float;
+    connect_timeout : float;
+    retry_max : int;  (** reconnect campaigns before giving up *)
+    backoff_base : float;  (** seconds; doubles each retry *)
+    backoff_max : float;  (** backoff cap *)
+    seed : int;  (** deterministic jitter stream *)
+    resync_max : int;
+        (** on an [EVENT-DROPPED] hole, re-subscribe-and-dedup this many
+            times before recording the range as permanently lost *)
+    sink : Moq_obs.Sink.t;  (** receives the [moq_client_*] counters *)
+  }
+
+  val conf :
+    ?timeout:float -> ?connect_timeout:float -> ?retry_max:int ->
+    ?backoff_base:float -> ?backoff_max:float -> ?seed:int ->
+    ?resync_max:int -> ?sink:Moq_obs.Sink.t -> Server.addr list -> conf
+  (** Defaults: timeout 30s, connect_timeout 5s, retry_max 8,
+      backoff 0.05s doubling capped at 2s, seed 0, resync_max 4. *)
+
+  type t
+
+  val connect : conf -> (t, error) result
+
+  val request : t -> Proto.request -> (Proto.server_msg, error) result
+  (** As {!request}, but a connection loss triggers reconnect (with
+      failover and subscription resume) and a retry of the request. *)
+
+  val subscribe :
+    t -> kind:Proto.sub_kind -> lo:Q.t -> hi:Q.t -> (unit, error) result
+  (** Open the client's (single) tracked subscription. *)
+
+  val pull :
+    ?timeout:float -> t ->
+    [ `Piece of Proto.piece | `Complete | `Error of error ]
+  (** Next piece of the subscription's {e canonical} validated stream
+      (see {!Moq_proto.Proto.Canon}).  Drives the connection: reconnects,
+      fails over, resumes and dedups as needed.  Not thread-safe — one
+      puller per client. *)
+
+  val delivered : t -> Proto.piece list
+  (** Every canonical piece delivered so far, in order. *)
+
+  val dropped_ranges : t -> (int * int) list
+  (** Sequence ranges (inclusive) lost to backpressure drops that resyncs
+      could not heal.  Empty iff the delivered stream is gap-free. *)
+
+  val stats : t -> (string * int) list
+  (** The [moq_client_*] counters: [reconnects], [failovers],
+      [retry_attempts], [suppressed_duplicates], [resyncs],
+      [divergence] — sorted by name. *)
+
+  val close : t -> unit
+end

@@ -2,9 +2,12 @@ module Q = Moq_numeric.Rat
 module Qvec = Moq_geom.Vec.Qvec
 module T = Moq_mod.Trajectory
 module DB = Moq_mod.Mobdb
+module U = Moq_mod.Update
+module IO = Moq_mod.Mod_io
 module Oid = Moq_mod.Oid
 module Store = Moq_durable.Store
 module Sanitize = Moq_durable.Sanitize
+module Crc32 = Moq_durable.Crc32
 module Registry = Moq_obs.Registry
 module Sink = Moq_obs.Sink
 module Export = Moq_obs.Export
@@ -65,12 +68,16 @@ type config = {
   queue_hwm : int;
   idle_timeout : float;
   writer_delay : float;
+  follow : addr option;  (* replicate from this primary: run as a follower *)
+  repl_digest_every : int;  (* digest cadence in streamed updates; 0 = never *)
+  repl_backlog : int;  (* in-memory update ring for delta resumes *)
 }
 
 let default_config ~listen ~store_dir =
   { listen; store_dir; init_db = None; fsync = true; checkpoint_every = 256;
     max_sessions = 64; max_subs_per_session = 8; queue_soft = 64;
-    queue_hwm = 256; idle_timeout = 300.; writer_delay = 0. }
+    queue_hwm = 256; idle_timeout = 300.; writer_delay = 0.; follow = None;
+    repl_digest_every = 64; repl_backlog = 4096 }
 
 (* ---------------------------------------------------------------- *)
 (* Sessions and subscriptions                                        *)
@@ -101,6 +108,7 @@ type session = {
   mutable qlen : int;
   mutable closing : bool;  (* writer drains the queue, then shuts down *)
   mutable dead : bool;  (* abrupt teardown: writer exits immediately *)
+  mutable repl : bool;  (* a follower tailing us via REPL-HELLO *)
   mutable subs : sub list;
   mutable writer : Thread.t option;
 }
@@ -109,10 +117,11 @@ type t = {
   cfg : config;
   reg : Registry.t;
   sink : Sink.t;
-  store : Store.t;
-  san : Sanitize.t;
+  mutable store : Store.t;  (* replaced wholesale on a follower snapshot reset *)
+  mutable san : Sanitize.t;
   dim : int;
-  lock : Mutex.t;  (* guards store, sanitizer, sessions list, subscriptions *)
+  lock : Mutex.t;  (* guards store, sanitizer, sessions list, subscriptions,
+                      and all repl_* state *)
   mutable sessions : session list;
   mutable next_sid : int;
   mutable next_sub : int;
@@ -123,6 +132,19 @@ type t = {
   wake_w : Unix.file_descr;
   mutable accept_thread : Thread.t option;
   mutable readers : Thread.t list;
+  (* Replication.  [epoch] names one incarnation of this server's update
+     history; [repl_seq] counts commits within it.  The backlog ring keeps
+     the last [cfg.repl_backlog] commits for delta resumes. *)
+  mutable epoch : int;
+  mutable repl_seq : int;
+  repl_backlog_q : (int * U.t) Queue.t;
+  mutable repl_since_digest : int;
+  (* Follower side *)
+  mutable repl_pos : (int * int) option;  (* last applied primary (epoch, seq) *)
+  mutable repl_connected : bool;
+  mutable repl_divergence : int;
+  mutable repl_fd : Unix.file_descr option;
+  mutable repl_thread : Thread.t option;
 }
 
 let with_lock m f =
@@ -260,6 +282,60 @@ let fanout t u =
         sess.subs)
     t.sessions
 
+(* qm must NOT be held.  Replication frames are O_msg (never dropped), so
+   a follower that stops draining would grow the queue without bound —
+   kick it instead; it resumes from its last applied position. *)
+let enqueue_repl t sess msg =
+  let kick =
+    with_lock sess.qm (fun () ->
+        enqueue_item t sess (O_msg msg);
+        if sess.qlen > 2 * t.cfg.queue_hwm then begin
+          sess.dead <- true;
+          Condition.broadcast sess.qc;
+          true
+        end
+        else false)
+  in
+  if kick then begin
+    Sink.count t.sink "moq_repl_kicked_followers_total" 1;
+    try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
+
+(* t.lock held: one update has been appended to the store.  Fan it out to
+   the live subscriptions, remember it in the delta-resume backlog, and
+   ship it — plus a periodic state digest — to tailing followers. *)
+let committed t u =
+  fanout t u;
+  t.repl_seq <- t.repl_seq + 1;
+  Queue.push (t.repl_seq, u) t.repl_backlog_q;
+  while Queue.length t.repl_backlog_q > t.cfg.repl_backlog do
+    ignore (Queue.pop t.repl_backlog_q)
+  done;
+  match List.filter (fun s -> s.repl) t.sessions with
+  | [] -> ()
+  | followers ->
+    let msg =
+      Proto.render_server_msg
+        (Proto.E_repl_update { seq = t.repl_seq; dim = t.dim; u })
+    in
+    Sink.count t.sink "moq_repl_streamed_updates_total" (List.length followers);
+    List.iter (fun sess -> enqueue_repl t sess msg) followers;
+    t.repl_since_digest <- t.repl_since_digest + 1;
+    if t.cfg.repl_digest_every > 0
+       && t.repl_since_digest >= t.cfg.repl_digest_every
+    then begin
+      t.repl_since_digest <- 0;
+      let payload = IO.db_to_string (Store.db t.store) in
+      let dmsg =
+        Proto.render_server_msg
+          (Proto.E_repl_digest
+             { clock = Store.clock t.store; bytes = String.length payload;
+               crc = Crc32.to_hex (Crc32.string payload) })
+      in
+      Sink.count t.sink "moq_repl_digests_total" 1;
+      List.iter (fun sess -> enqueue_repl t sess dmsg) followers
+    end
+
 (* t.lock held.  The sanitizer → WAL pipeline: like {!Store.ingest}, but
    every applied update — including quarantine graduates — is fanned out to
    the live subscriptions. *)
@@ -268,7 +344,7 @@ let ingest_and_fanout t u =
     match Sanitize.classify t.san (Store.db t.store) u with
     | Sanitize.Accepted _ as v ->
       (match Store.append t.store u with
-       | Ok () -> fanout t u
+       | Ok () -> committed t u
        | Error _ -> () (* unreachable: classified against this very db *));
       v
     | v -> v
@@ -317,6 +393,7 @@ let rpc_name = function
   | Proto.Stats _ -> "stats"
   | Proto.Ping -> "ping"
   | Proto.Bye -> "bye"
+  | Proto.Repl_hello _ -> "repl-hello"
 
 (* Returns [false] when the session should close. *)
 let dispatch t sess (req : Proto.request) =
@@ -344,9 +421,18 @@ let dispatch t sess (req : Proto.request) =
     enqueue_msg t sess Proto.R_bye;
     false
   | Proto.Update u ->
-    let verdict = with_lock t.lock (fun () -> ingest_and_fanout t u) in
-    enqueue_msg t sess (Proto.R_update (verdict_wire verdict));
-    true
+    if t.cfg.follow <> None then begin
+      (* a follower's state is the primary's; local writes would fork it *)
+      enqueue_msg t sess
+        (Proto.R_err { code = "read-only";
+                       msg = "this server is a follower; send updates to the primary" });
+      true
+    end
+    else begin
+      let verdict = with_lock t.lock (fun () -> ingest_and_fanout t u) in
+      enqueue_msg t sess (Proto.R_update (verdict_wire verdict));
+      true
+    end
   | Proto.Subscribe { kind; lo; hi } ->
     with_lock t.lock (fun () ->
         if List.length sess.subs >= t.cfg.max_subs_per_session then
@@ -404,6 +490,56 @@ let dispatch t sess (req : Proto.request) =
     in
     enqueue_msg t sess (Proto.R_stats body);
     true
+  | Proto.Repl_hello { version = v; since } ->
+    if v <> Proto.version then begin
+      enqueue_msg t sess
+        (Proto.R_err { code = "bad-version";
+                       msg = Printf.sprintf "server speaks moqp %d" Proto.version });
+      false
+    end
+    else begin
+      with_lock t.lock (fun () ->
+          let seq = t.repl_seq in
+          let clock = Store.clock t.store in
+          (* a delta resume is honest only within our own epoch and while
+             the backlog ring still covers the follower's gap *)
+          let delta_from =
+            match since with
+            | Some (e, s) when e = t.epoch && s <= seq ->
+              if s = seq then Some s
+              else (
+                match Queue.peek_opt t.repl_backlog_q with
+                | Some (first, _) when first <= s + 1 -> Some s
+                | Some _ | None -> None)
+            | Some _ | None -> None
+          in
+          let snapshot =
+            match delta_from with
+            | Some _ ->
+              Sink.count t.sink "moq_repl_delta_resumes_total" 1;
+              None
+            | None ->
+              Sink.count t.sink "moq_repl_snapshots_total" 1;
+              Some (IO.db_to_string (Store.db t.store))
+          in
+          sess.repl <- true;
+          enqueue_msg t sess
+            (Proto.R_repl_hello
+               { dim = t.dim; clock; epoch = t.epoch; seq; snapshot });
+          (* replay the backlog gap now, in the same lock scope, so no
+             commit can interleave between the handshake and the stream *)
+          match delta_from with
+          | Some s ->
+            Queue.iter
+              (fun (q, u) ->
+                if q > s then
+                  enqueue_repl t sess
+                    (Proto.render_server_msg
+                       (Proto.E_repl_update { seq = q; dim = t.dim; u })))
+              t.repl_backlog_q
+          | None -> ());
+      true
+    end
 
 (* ---------------------------------------------------------------- *)
 (* Per-session threads                                               *)
@@ -426,9 +562,24 @@ let writer_loop t sess =
         sess.qlen <- sess.qlen - 1;
         Mutex.unlock sess.qm;
         (match Frame.write sess.fd (render_item item) with
-         | () ->
+         | Ok () ->
            if t.cfg.writer_delay > 0. then Thread.delay t.cfg.writer_delay;
            go ()
+         | Error e ->
+           (* an unshippable (oversized) payload: substitute a protocol
+              error so the peer learns why, then close the session rather
+              than leave its response stream desynchronized *)
+           Sink.count t.sink "moq_server_protocol_errors_total" 1;
+           let subst =
+             Proto.render_server_msg
+               (Proto.R_err { code = "proto"; msg = Frame.error_to_string e })
+           in
+           (match Frame.write sess.fd subst with
+            | Ok () | Error _ -> ()
+            | exception Unix.Unix_error _ -> ());
+           with_lock sess.qm (fun () -> sess.dead <- true);
+           (try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
          | exception Unix.Unix_error _ ->
            with_lock sess.qm (fun () -> sess.dead <- true))
   in
@@ -460,14 +611,16 @@ let reader_loop t sess =
                        msg = Printf.sprintf "no request in %g s" t.cfg.idle_timeout })
     | `Garbage g ->
       Sink.count t.sink "moq_server_protocol_errors_total" 1;
-      enqueue_msg t sess (Proto.R_err { code = "proto"; msg = g })
+      enqueue_msg t sess
+        (Proto.R_err { code = "proto"; msg = Frame.error_to_string g })
     | `Frame payload ->
       (match Proto.parse_request ~dim:t.dim payload with
        | Error e ->
          Sink.count t.sink "moq_server_protocol_errors_total" 1;
          enqueue_msg t sess (Proto.R_err { code = "proto"; msg = e });
          go ~hello_done
-       | Ok (Proto.Hello _ as req) -> if dispatch t sess req then go ~hello_done:true
+       | Ok ((Proto.Hello _ | Proto.Repl_hello _) as req) ->
+         if dispatch t sess req then go ~hello_done:true
        | Ok _ when not hello_done ->
          Sink.count t.sink "moq_server_protocol_errors_total" 1;
          enqueue_msg t sess (Proto.R_err { code = "proto"; msg = "HELLO first" });
@@ -490,7 +643,8 @@ let handle_accept t fd =
           t.next_sid <- t.next_sid + 1;
           let sess =
             { sid; fd; qm = Mutex.create (); qc = Condition.create (); outq = [];
-              qlen = 0; closing = false; dead = false; subs = []; writer = None }
+              qlen = 0; closing = false; dead = false; repl = false; subs = [];
+              writer = None }
           in
           t.sessions <- sess :: t.sessions;
           Sink.count t.sink "moq_server_sessions_total" 1;
@@ -509,7 +663,9 @@ let handle_accept t fd =
                (if t.stopping then "server is draining"
                 else Printf.sprintf "at most %d sessions" t.cfg.max_sessions) })
     in
-    (try Frame.write fd msg with Unix.Unix_error _ -> ());
+    (match Frame.write fd msg with
+     | Ok () | Error _ -> ()
+     | exception Unix.Unix_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
   | Some sess ->
     sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
@@ -560,6 +716,196 @@ let accept_loop t =
      | Tcp _ -> ())
   end
 
+(* ---------------------------------------------------------------- *)
+(* Follower: bootstrap from the primary and tail its commit stream.  *)
+
+let fresh_epoch () = int_of_float (Unix.gettimeofday () *. 1e6) land max_int
+
+(* t.lock held.  Replace local state with the primary's shipped image.
+   Local subscriptions were built over the old history, so their sessions
+   are told to go away ([SHUTDOWN repl-reset]) and re-subscribe against
+   the new one; chained followers are cut the same way and re-handshake,
+   landing on a snapshot of our new epoch. *)
+let snapshot_reset t db =
+  Store.close t.store;
+  t.store <-
+    Store.init ~fsync:t.cfg.fsync ~checkpoint_every:t.cfg.checkpoint_every
+      ~sink:t.sink ~dir:t.cfg.store_dir db;
+  t.san <- Sanitize.create ~sink:t.sink ();
+  t.epoch <- fresh_epoch ();
+  t.repl_seq <- 0;
+  Queue.clear t.repl_backlog_q;
+  t.repl_since_digest <- 0;
+  Sink.count t.sink "moq_repl_resets_total" 1;
+  List.iter
+    (fun sess ->
+      if sess.repl || sess.subs <> [] then begin
+        sess.subs <- [];
+        enqueue t sess
+          (O_msg
+             (Proto.render_server_msg (Proto.E_shutdown { reason = "repl-reset" })));
+        with_lock sess.qm (fun () ->
+            sess.closing <- true;
+            Condition.broadcast sess.qc);
+        try Unix.shutdown sess.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
+      end)
+    t.sessions
+
+(* One replication session over [fd]: handshake, apply the bootstrap
+   snapshot or resume as a delta, then pump the commit stream.  Returns
+   [true] when the handshake succeeded (resets the reconnect backoff). *)
+let repl_tail t fd =
+  let hello =
+    Proto.render_request
+      (Proto.Repl_hello { version = Proto.version; since = t.repl_pos })
+  in
+  match Frame.write fd hello with
+  | Error _ -> false
+  | exception Unix.Unix_error _ -> false
+  | Ok () ->
+    let rd = Frame.reader fd in
+    let rec read_frame () =
+      match Frame.read ~timeout:0.25 rd with
+      | `Timeout -> if t.stopping then None else read_frame ()
+      | `Eof | `Garbage _ -> None
+      | `Frame p -> Some p
+    in
+    let rec await_hello () =
+      match read_frame () with
+      | None -> None
+      | Some p ->
+        (match Proto.parse_server_msg p with
+         | Ok (Proto.R_repl_hello { dim; clock = _; epoch; seq; snapshot }) ->
+           Some (Ok (dim, epoch, seq, snapshot))
+         | Ok (Proto.R_err { code; msg }) -> Some (Error (code ^ ": " ^ msg))
+         | Ok _ | Error _ -> await_hello ())
+    in
+    (match await_hello () with
+     | None | Some (Error _) -> false
+     | Some (Ok (dim, epoch, seq, snapshot)) ->
+       if dim <> t.dim then begin
+         Sink.count t.sink "moq_repl_dim_mismatch_total" 1;
+         false
+       end
+       else begin
+         let bootstrapped =
+           with_lock t.lock (fun () ->
+               match snapshot with
+               | None -> true
+               | Some image ->
+                 (match IO.db_of_string image with
+                  | Error _ -> false
+                  | Ok db when DB.dim db <> t.dim -> false
+                  | Ok db ->
+                    snapshot_reset t db;
+                    true))
+         in
+         if not bootstrapped then false
+         else begin
+           with_lock t.lock (fun () ->
+               (* on a snapshot the image embodies state through [seq]; on a
+                  delta our own position stands — the head seq in the reply
+                  may be ahead of us, and the backlog replay covers the gap *)
+               (match snapshot, t.repl_pos with
+                | Some _, _ | None, None -> t.repl_pos <- Some (epoch, seq)
+                | None, Some (_, s) ->
+                  (* a delta is only granted within our epoch *)
+                  t.repl_pos <- Some (epoch, s));
+               t.repl_connected <- true);
+           let rec pump () =
+             match read_frame () with
+             | None -> ()
+             | Some p ->
+               (match Proto.parse_server_msg p with
+                | Ok (Proto.E_repl_update { seq = useq; dim = _; u }) ->
+                  let contiguous =
+                    with_lock t.lock (fun () ->
+                        let last =
+                          match t.repl_pos with Some (_, s) -> s | None -> -1
+                        in
+                        if useq <= last then true (* resume replay overlap *)
+                        else if useq = last + 1 then begin
+                          (match Store.append t.store u with
+                           | Ok () -> committed t u
+                           | Error _ ->
+                             (* the primary accepted it; refusing it here is
+                                itself a divergence signal *)
+                             Sink.count t.sink "moq_repl_apply_errors_total" 1);
+                          t.repl_pos <- Some (epoch, useq);
+                          true
+                        end
+                        else begin
+                          (* a hole in the commit stream: the link delivered
+                             frames out of order (a scrambling network, not
+                             the primary).  Applying past the hole would lose
+                             an update forever; drop the session instead and
+                             delta-resume from our last applied position *)
+                          Sink.count t.sink "moq_repl_stream_gaps_total" 1;
+                          false
+                        end)
+                  in
+                  if contiguous then pump ()
+                | Ok (Proto.E_repl_digest { clock; bytes; crc }) ->
+                  with_lock t.lock (fun () ->
+                      (* the stream is ordered, so at the digest's clock our
+                         state must serialize to the primary's exact bytes *)
+                      if Q.compare (Store.clock t.store) clock = 0 then begin
+                        Sink.count t.sink "moq_repl_digest_checks_total" 1;
+                        let payload = IO.db_to_string (Store.db t.store) in
+                        if String.length payload <> bytes
+                           || Crc32.to_hex (Crc32.string payload) <> crc
+                        then begin
+                          t.repl_divergence <- t.repl_divergence + 1;
+                          Sink.count t.sink "moq_repl_divergence_total" 1
+                        end
+                      end);
+                  pump ()
+                | Ok (Proto.E_shutdown _) -> ()
+                | Ok _ | Error _ -> pump ())
+           in
+           pump ();
+           true
+         end
+       end)
+
+let repl_loop t paddr =
+  let backoff = ref 0.05 in
+  let rec session () =
+    if not t.stopping then begin
+      match
+        let domain =
+          match paddr with Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX
+        in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec fd;
+        (try Unix.connect fd (sockaddr_of paddr)
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error _ -> retry ()
+      | fd ->
+        t.repl_fd <- Some fd;
+        Sink.count t.sink "moq_repl_connects_total" 1;
+        let ok = (try repl_tail t fd with _ -> false) in
+        t.repl_fd <- None;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        with_lock t.lock (fun () -> t.repl_connected <- false);
+        if ok then backoff := 0.05;
+        retry ()
+    end
+  and retry () =
+    if not t.stopping then begin
+      Thread.delay !backoff;
+      backoff := Float.min 2. (!backoff *. 2.);
+      session ()
+    end
+  in
+  session ()
+
+(* ---------------------------------------------------------------- *)
+
 let start ?registry cfg =
   (* a peer closing mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -601,16 +947,27 @@ let start ?registry cfg =
          { cfg; reg; sink; store; san; dim = Store.dim store; lock = Mutex.create ();
            sessions = []; next_sid = 1; next_sub = 1; stopping = false;
            crashed = false; listen_fd; wake_r; wake_w; accept_thread = None;
-           readers = [] }
+           readers = []; epoch = fresh_epoch (); repl_seq = 0;
+           repl_backlog_q = Queue.create (); repl_since_digest = 0;
+           repl_pos = None; repl_connected = false; repl_divergence = 0;
+           repl_fd = None; repl_thread = None }
        in
        update_gauges t;
        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+       (match cfg.follow with
+        | Some paddr ->
+          t.repl_thread <- Some (Thread.create (fun () -> repl_loop t paddr) ())
+        | None -> ());
        Ok t
      | exception Unix.Unix_error (err, fn, arg) ->
        Store.close store;
        Error (Printf.sprintf "%s: %s (%s)" fn (Unix.error_message err) arg))
 
-let run t = match t.accept_thread with Some th -> Thread.join th | None -> ()
+let run t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  match t.repl_thread with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ()
 
 let bound_addr t =
   match t.cfg.listen, Unix.getsockname t.listen_fd with
@@ -621,9 +978,20 @@ let bound_addr t =
 let registry t = t.reg
 let db_snapshot t = with_lock t.lock (fun () -> Store.db t.store)
 let clock t = with_lock t.lock (fun () -> Store.clock t.store)
+let is_follower t = t.cfg.follow <> None
+let repl_connected t = with_lock t.lock (fun () -> t.repl_connected)
+let repl_position t = with_lock t.lock (fun () -> t.repl_pos)
+let repl_divergence t = with_lock t.lock (fun () -> t.repl_divergence)
+let repl_seq t = with_lock t.lock (fun () -> t.repl_seq)
+
+let shutdown_repl_link t =
+  match t.repl_fd with
+  | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ()
 
 let request_stop t =
   t.stopping <- true;
+  shutdown_repl_link t;
   try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ()
 
 let stop t =
@@ -633,6 +1001,7 @@ let stop t =
 let crash t =
   t.crashed <- true;
   t.stopping <- true;
+  shutdown_repl_link t;
   (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
    with Unix.Unix_error _ -> ());
   let sessions = with_lock t.lock (fun () -> t.sessions) in

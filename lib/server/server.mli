@@ -21,7 +21,20 @@
     are observable, so a SIGKILL'd server recovers to the exact same MOD
     via {!Moq_durable.Store.recover}.  A graceful stop ([SIGTERM] →
     {!request_stop}) drains every push queue, notifies clients with
-    [SHUTDOWN], checkpoints and exits. *)
+    [SHUTDOWN], checkpoints and exits.
+
+    Replication: with [config.follow] set, the server runs as a {e read
+    replica} — it bootstraps from the primary's shipped snapshot (or
+    resumes as a delta of its own last applied position), tails the
+    primary's commit stream over the moqp [REPL-*] messages, applies each
+    update through its own store (so followers are durable too), serves
+    queries and subscriptions locally, and byte-compares its serialized
+    state against the primary's periodic digests ([moq_repl_divergence_total]
+    stays zero iff replication is exact).  Followers reject [UPDATE] with
+    [read-only], and can themselves be followed (chaining).  When a
+    follower must re-bootstrap from a fresh snapshot, local subscription
+    sessions are closed with [SHUTDOWN repl-reset] — their timelines were
+    built over the replaced history. *)
 
 module DB := Moq_mod.Mobdb
 
@@ -48,6 +61,13 @@ type config = {
   queue_hwm : int;  (** drop oldest event frames above this length *)
   idle_timeout : float;  (** seconds without a request; 0 disables *)
   writer_delay : float;  (** test knob: sleep per written frame; 0 in production *)
+  follow : addr option;
+      (** replicate from this primary — run as a read-only follower *)
+  repl_digest_every : int;
+      (** ship a state digest to followers every this many streamed
+          updates; 0 disables (default 64) *)
+  repl_backlog : int;
+      (** commits kept in memory for delta resumes (default 4096) *)
 }
 
 val default_config : listen:addr -> store_dir:string -> config
@@ -71,6 +91,24 @@ val db_snapshot : t -> DB.t
 (** Current MOD (persistent value, safe to use concurrently). *)
 
 val clock : t -> Moq_numeric.Rat.t
+
+val is_follower : t -> bool
+
+val repl_connected : t -> bool
+(** Follower: is the tail link to the primary currently up? *)
+
+val repl_position : t -> (int * int) option
+(** Follower: last applied primary [(epoch, seq)]. *)
+
+val repl_divergence : t -> int
+(** Follower: digest checks that did not match the primary's bytes. *)
+
+val repl_seq : t -> int
+(** Commits in this server's own epoch (what it serves to followers). *)
+
+val shutdown_repl_link : t -> unit
+(** Follower: cut the live tail connection to the primary (a fault
+    lever for tests); the replication loop reconnects by itself. *)
 
 val request_stop : t -> unit
 (** Initiate a graceful drain; safe to call from a signal handler. *)

@@ -18,6 +18,10 @@ plus optional per-experiment extras:
     "pushed_events": int       # >= 0; server experiments only
     "dropped": int             # >= 0; server experiments only
     "recover_identical": bool  # must be true when present
+    "followers": int           # >= 0; replication experiments (s2) only
+    "agg_query_rps": float     # >= 0; replication experiments only
+    "primary_p99_ms": float    # >= 0; replication experiments only
+    "divergence_detected": bool  # must be false — replicas stayed exact
 
 Usage: validate_bench.py [--min-hit-rate X] FILE [FILE...]
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
@@ -31,7 +35,9 @@ METRIC_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
 REQUIRED = {"exp", "n", "seed", "wall_s", "counters"}
 OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "connections", "rps", "p50_ms", "p99_ms", "pushed_events",
-            "dropped", "recover_identical"}
+            "dropped", "recover_identical",
+            "followers", "agg_query_rps", "primary_p99_ms",
+            "divergence_detected"}
 
 
 def is_number(v):
@@ -91,6 +97,17 @@ def problems(path, min_hit_rate=None):
         yield "'p99_ms' must be >= 'p50_ms'"
     if "recover_identical" in doc and doc["recover_identical"] is not True:
         yield "'recover_identical' must be true — recovery diverged"
+    if "followers" in doc and (
+        not isinstance(doc["followers"], int) or isinstance(doc["followers"], bool)
+        or doc["followers"] < 0
+    ):
+        yield "'followers' must be a non-negative integer"
+    for key in ("agg_query_rps", "primary_p99_ms"):
+        if key in doc and (not is_number(doc[key]) or doc[key] < 0):
+            yield "'%s' must be a non-negative number" % key
+    if "divergence_detected" in doc and doc["divergence_detected"] is not False:
+        yield ("'divergence_detected' must be false — a replica diverged "
+               "from the primary")
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"

@@ -238,6 +238,63 @@ let test_store_corrupt_checkpoint_reported () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected torn checkpoint to be reported"
 
+(* A rotated store keeps the previous checkpoint generation: losing the
+   current one to any fault must fall back to prev + both WAL segments
+   and land on the identical state. *)
+let test_store_fallback_to_prev_checkpoint () =
+  List.iter
+    (fun seed ->
+      let db, us = workload seed in
+      let dir = tmp_dir () in
+      let store = Store.init ~fsync:false ~checkpoint_every:4 ~dir db in
+      List.iter (fun u -> ignore (Store.append store u)) us;
+      Store.close store;
+      let reference = apply_lenient db us in
+      let ck = Store.checkpoint_file dir in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: a previous generation exists" seed) true
+        (Sys.file_exists (Store.checkpoint_prev_file dir));
+      let contents = IO.read_file ck in
+      let damage =
+        [ ( "bit flip",
+            fun () ->
+              let faults = Faults.create ~seed:(seed + 11) in
+              IO.write_file ck (Faults.bit_flip faults contents) );
+          ( "truncation",
+            fun () ->
+              IO.write_file ck (String.sub contents 0 (String.length contents / 3)) );
+          ("deletion", fun () -> Sys.remove ck) ]
+      in
+      List.iter
+        (fun (what, break) ->
+          IO.write_file ck contents;
+          break ();
+          match Store.recover ~dir with
+          | Error e -> Alcotest.failf "seed %d %s: fallback failed: %s" seed what e
+          | Ok r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d %s: via fallback" seed what) true
+              r.Store.fallback;
+            Alcotest.(check string)
+              (Printf.sprintf "seed %d %s: state identical" seed what)
+              (db_str reference) (db_str r.Store.db))
+        damage)
+    seeds
+
+let test_store_both_generations_corrupt () =
+  let db, us = workload (List.hd seeds) in
+  let dir = tmp_dir () in
+  let store = Store.init ~fsync:false ~checkpoint_every:4 ~dir db in
+  List.iter (fun u -> ignore (Store.append store u)) us;
+  Store.close store;
+  let faults = Faults.create ~seed:23 in
+  List.iter
+    (fun path -> IO.write_file path (Faults.bit_flip faults (IO.read_file path)))
+    [ Store.checkpoint_file dir; Store.checkpoint_prev_file dir ];
+  match Store.recover ~dir with
+  | Error _ -> () (* reported, not raised *)
+  | Ok _ -> Alcotest.fail "expected recovery to fail with both generations corrupt"
+
 (* ------------------------------------------------------------------ *)
 (* Kill-and-recover: recovery + resumed monitor equals the             *)
 (* uninterrupted run (the acceptance criterion)                        *)
@@ -437,6 +494,10 @@ let () =
            test_store_recovery_equals_direct;
          Alcotest.test_case "corrupt checkpoint reported" `Quick
            test_store_corrupt_checkpoint_reported;
+         Alcotest.test_case "fallback to previous checkpoint" `Quick
+           test_store_fallback_to_prev_checkpoint;
+         Alcotest.test_case "both generations corrupt reported" `Quick
+           test_store_both_generations_corrupt;
          Alcotest.test_case "kill-and-recover equals uninterrupted run" `Quick
            test_kill_and_recover;
          Alcotest.test_case "checkpoint under short writes" `Quick

@@ -13,6 +13,11 @@ let q = Q.of_int
 let vec l = Qvec.of_list (List.map Q.of_int l)
 let pair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
 
+let fwrite fd s =
+  match Frame.write fd s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "Frame.write: %s" (Frame.error_to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -24,7 +29,7 @@ let test_frame_roundtrip () =
     [ "x"; "HELLO moqp 1"; "multi\nline\npayload"; "sp ace \t tab";
       String.make 100_000 'z' ]
   in
-  List.iter (Frame.write a) payloads;
+  List.iter (fwrite a) payloads;
   List.iter
     (fun p ->
       match Frame.read r with
@@ -43,7 +48,7 @@ let test_frame_timeout () =
   (match Frame.read ~timeout:0.05 r with
    | `Timeout -> ()
    | _ -> Alcotest.fail "expected timeout on an idle peer");
-  Frame.write a "late";
+  fwrite a "late";
   (match Frame.read ~timeout:5.0 r with
    | `Frame s -> Alcotest.(check string) "frame after timeout" "late" s
    | _ -> Alcotest.fail "expected the late frame");
@@ -66,22 +71,39 @@ let test_frame_garbage () =
 let test_frame_oversize () =
   let a, b = pair () in
   let r = Frame.reader b in
-  (* writing beyond the cap is refused locally *)
-  Alcotest.check_raises "oversize write"
-    (Invalid_argument
-       (Printf.sprintf "Frame.write: payload %d exceeds %d"
-          (Frame.max_payload + 1) Frame.max_payload))
-    (fun () ->
-      try Frame.write a (String.make (Frame.max_payload + 1) 'y')
-      with Invalid_argument _ -> raise (Invalid_argument
-        (Printf.sprintf "Frame.write: payload %d exceeds %d"
-           (Frame.max_payload + 1) Frame.max_payload)));
+  (* writing beyond the cap is refused locally, as a typed error *)
+  (match Frame.write a (String.make (Frame.max_payload + 1) 'y') with
+   | Error (Frame.Oversize { size; limit }) ->
+     Alcotest.(check int) "oversize size" (Frame.max_payload + 1) size;
+     Alcotest.(check int) "oversize limit" Frame.max_payload limit
+   | Ok () -> Alcotest.fail "oversize write accepted"
+   | Error e -> Alcotest.failf "wrong write error: %s" (Frame.error_to_string e));
   (* a peer announcing an oversize frame is rejected before allocating *)
   write_raw a (Printf.sprintf "%d x\n" (Frame.max_payload + 1));
   (match Frame.read r with
-   | `Garbage _ -> ()
-   | _ -> Alcotest.fail "expected garbage on an oversize announcement");
+   | `Garbage (Frame.Oversize _) -> ()
+   | _ -> Alcotest.fail "expected a typed oversize announcement");
   Unix.close a;
+  Unix.close b
+
+let test_frame_torn () =
+  (* the peer vanishes mid-length-prefix *)
+  let a, b = pair () in
+  let r = Frame.reader b in
+  write_raw a "123";
+  Unix.close a;
+  (match Frame.read r with
+   | `Garbage Frame.Torn -> ()
+   | _ -> Alcotest.fail "expected torn on a mid-prefix eof");
+  Unix.close b;
+  (* ... and mid-payload *)
+  let a, b = pair () in
+  let r = Frame.reader b in
+  write_raw a "10 abc";
+  Unix.close a;
+  (match Frame.read r with
+   | `Garbage Frame.Torn -> ()
+   | _ -> Alcotest.fail "expected torn on a mid-payload eof");
   Unix.close b
 
 (* ------------------------------------------------------------------ *)
@@ -113,7 +135,9 @@ let requests =
     Proto.Stats `Json;
     Proto.Stats `Prometheus;
     Proto.Ping;
-    Proto.Bye ]
+    Proto.Bye;
+    Proto.Repl_hello { version = 1; since = None };
+    Proto.Repl_hello { version = 1; since = Some (170001, 42) } ]
 
 let test_request_roundtrip () =
   List.iter
@@ -145,7 +169,16 @@ let server_msgs =
         pieces = [ Proto.P_at (algebraic, [ 1 ]); Proto.P_span ("4", "9/2", [ 1; 3 ]) ] };
     Proto.E_dropped { sub = 2; from_seq = 11; to_seq = 19 };
     Proto.E_complete { sub = 2 };
-    Proto.E_shutdown { reason = "draining" } ]
+    Proto.E_shutdown { reason = "draining" };
+    Proto.R_repl_hello
+      { dim = 2; clock = q 3; epoch = 170001; seq = 42; snapshot = None };
+    Proto.R_repl_hello
+      { dim = 2; clock = Q.of_string "7/2"; epoch = 170002; seq = 0;
+        snapshot = Some "dim 2\nnew 1 0 0 0 1 1\n" };
+    Proto.E_repl_update
+      { seq = 43; dim = 2;
+        u = U.New { oid = 3; tau = q 7; a = vec [ 1; 0 ]; b = vec [ 5; 5 ] } };
+    Proto.E_repl_digest { clock = q 9; bytes = 1234; crc = "deadbeef" } ]
 
 let test_server_msg_roundtrip () =
   List.iter
@@ -163,7 +196,8 @@ let test_is_event () =
       let expect =
         match msg with
         | Proto.E_pieces _ | Proto.E_dropped _ | Proto.E_complete _
-        | Proto.E_shutdown _ -> true
+        | Proto.E_shutdown _ | Proto.E_repl_update _ | Proto.E_repl_digest _ ->
+          true
         | _ -> false
       in
       Alcotest.(check bool) "is_event" expect (Proto.is_event msg))
@@ -196,7 +230,76 @@ let test_malformed_server_msgs () =
       match Proto.parse_server_msg s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted malformed server message %S" s)
-    [ ""; "WAT"; "OK"; "EVENT"; "EVENT x y z"; "EVENT-DROPPED 1 2" ]
+    [ ""; "WAT"; "OK"; "EVENT"; "EVENT x y z"; "EVENT-DROPPED 1 2";
+      "OK REPL-HELLO moqp 1 dim 2 clock 3 epoch 1 seq 0 mode teleport";
+      "REPL-UPDATE 1 2"; "REPL-DIGEST 3 x y" ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical piece streams                                             *)
+(* ------------------------------------------------------------------ *)
+
+let canon_cases =
+  [ ( "dup instants collapse",
+      [ Proto.P_at ("1", [ 2 ]); Proto.P_at ("1", [ 2 ]);
+        Proto.P_span ("1", "2", [ 2 ]) ] );
+    ( "span·at·span run with one answer set",
+      [ Proto.P_span ("0", "1", [ 4; 7 ]); Proto.P_at ("1", [ 4; 7 ]);
+        Proto.P_span ("1", "2", [ 4; 7 ]); Proto.P_at ("2", [ 4 ]) ] );
+    ( "distinct answers survive",
+      [ Proto.P_span ("0", "1", [ 1 ]); Proto.P_at ("1", [ 1; 2 ]);
+        Proto.P_span ("1", "2", [ 2 ]) ] );
+    ( "long homogeneous chain",
+      [ Proto.P_span ("0", "1", []); Proto.P_at ("1", []);
+        Proto.P_span ("1", "2", []); Proto.P_at ("2", []);
+        Proto.P_span ("2", "3", []); Proto.P_at ("3", [ 5 ]) ] );
+    ("empty", []);
+    ("lone instant", [ Proto.P_at ("4", [ 9 ]) ]) ]
+
+let test_simplify_idempotent () =
+  List.iter
+    (fun (name, ps) ->
+      let once = Proto.simplify_pieces ps in
+      Alcotest.(check bool) (name ^ ": idempotent") true
+        (Proto.simplify_pieces once = once))
+    canon_cases
+
+(* The incremental canonicalizer must agree with the batch simplifier on
+   every input AND on every way of splitting that input across pushes. *)
+let test_canon_matches_simplify () =
+  List.iter
+    (fun (name, ps) ->
+      let c = Proto.Canon.create () in
+      let pushed = List.concat_map (Proto.Canon.push c) ps in
+      let out = pushed @ Proto.Canon.flush c in
+      Alcotest.(check bool) name true (out = Proto.simplify_pieces ps))
+    canon_cases
+
+let test_canon_streaming_prefixes () =
+  (* feeding a stream piecewise and all at once give identical output *)
+  List.iter
+    (fun (name, ps) ->
+      let whole =
+        let c = Proto.Canon.create () in
+        let pushed = List.concat_map (Proto.Canon.push c) ps in
+        pushed @ Proto.Canon.flush c
+      in
+      (* chunk the stream at every split point *)
+      let rec splits k =
+        if k > List.length ps then ()
+        else begin
+          let c = Proto.Canon.create () in
+          let fst_part = List.filteri (fun i _ -> i < k) ps in
+          let snd_part = List.filteri (fun i _ -> i >= k) ps in
+          let out1 = List.concat_map (Proto.Canon.push c) fst_part in
+          let out2 = List.concat_map (Proto.Canon.push c) snd_part in
+          let out = out1 @ out2 @ Proto.Canon.flush c in
+          Alcotest.(check bool) (Printf.sprintf "%s @ split %d" name k) true
+            (out = whole);
+          splits (k + 1)
+        end
+      in
+      splits 0)
+    canon_cases
 
 let () =
   Alcotest.run "proto"
@@ -204,7 +307,8 @@ let () =
        [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
          Alcotest.test_case "timeout" `Quick test_frame_timeout;
          Alcotest.test_case "garbage" `Quick test_frame_garbage;
-         Alcotest.test_case "oversize" `Quick test_frame_oversize ]);
+         Alcotest.test_case "oversize" `Quick test_frame_oversize;
+         Alcotest.test_case "torn" `Quick test_frame_torn ]);
       ("codec",
        [ Alcotest.test_case "token percent-coding" `Quick test_token_codec;
          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
@@ -212,4 +316,8 @@ let () =
          Alcotest.test_case "is_event" `Quick test_is_event;
          Alcotest.test_case "piece roundtrip" `Quick test_piece_roundtrip;
          Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
-         Alcotest.test_case "malformed server msgs" `Quick test_malformed_server_msgs ]) ]
+         Alcotest.test_case "malformed server msgs" `Quick test_malformed_server_msgs ]);
+      ("canon",
+       [ Alcotest.test_case "simplify idempotent" `Quick test_simplify_idempotent;
+         Alcotest.test_case "canon = simplify" `Quick test_canon_matches_simplify;
+         Alcotest.test_case "canon split-invariant" `Quick test_canon_streaming_prefixes ]) ]

@@ -71,12 +71,12 @@ let with_server ?(tweak = fun c -> c) f =
 let connect srv =
   match Client.connect ~timeout:10. (Server.bound_addr srv) with
   | Ok c -> c
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Client.error_to_string e)
 
 let req c r =
   match Client.request c r with
   | Ok m -> m
-  | Error e -> Alcotest.failf "request failed: %s" e
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
 
 let hello c =
   match req c (Proto.Hello Proto.version) with
@@ -284,7 +284,7 @@ let test_admission_busy () =
           Thread.delay 0.05;
           retry (n - 1)
         | Ok m -> Alcotest.failf "slot not freed: %s" (Proto.render_server_msg m)
-        | Error e -> Alcotest.failf "slot not freed: %s" e
+        | Error e -> Alcotest.failf "slot not freed: %s" (Client.error_to_string e)
       in
       retry 40)
 
@@ -335,7 +335,11 @@ let test_backpressure_drops () =
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.connect fd (Server.sockaddr_of (Server.bound_addr srv));
       let r = Frame.reader fd in
-      let send req = Frame.write fd (Proto.render_request req) in
+      let send req =
+        match Frame.write fd (Proto.render_request req) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "send: %s" (Frame.error_to_string e)
+      in
       let next_msg () =
         match Frame.read ~timeout:30. r with
         | `Frame p ->
@@ -409,6 +413,137 @@ let test_idle_timeout () =
       in
       wait ();
       Client.close c)
+
+(* A listener that accepts and then says nothing: the client's typed
+   deadlines must fire instead of hanging. *)
+let test_silent_peer_timeouts () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 4;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Client.connect ~timeout:0.3 (Server.Tcp ("127.0.0.1", port)) with
+      | Error e -> Alcotest.failf "connect: %s" (Client.error_to_string e)
+      | Ok c ->
+        (match Client.hello c with
+         | Error (Client.Timeout _) -> ()
+         | Error e ->
+           Alcotest.failf "expected a timeout, got: %s" (Client.error_to_string e)
+         | Ok m ->
+           Alcotest.failf "silent peer answered: %s" (Proto.render_server_msg m));
+        Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Replication                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let wait_for ?(deadline = 10.) what pred =
+  let stop = Unix.gettimeofday () +. deadline in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > stop then Alcotest.failf "timed out: %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* Start a follower of [srv] in its own store dir, run [f], clean up. *)
+let with_follower srv f =
+  let dir = tmp_dir () in
+  let cfg =
+    { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
+      with
+      Server.init_db = Some (DB.empty ~dim:2 ~tau:(q 0)); fsync = false;
+      idle_timeout = 0.; follow = Some (Server.bound_addr srv) }
+  in
+  let fol =
+    match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Server.stop fol with _ -> ());
+      rm_dir dir)
+    (fun () -> f fol)
+
+let test_follower_replicates () =
+  with_server
+    ~tweak:(fun c -> { c with Server.repl_digest_every = 1 })
+    (fun srv _dir _db ->
+      with_follower srv (fun fol ->
+          Alcotest.(check bool) "is_follower" true (Server.is_follower fol);
+          wait_for "follower bootstrap" (fun () -> Server.repl_connected fol);
+          (* snapshot bootstrap is already bit-identical *)
+          wait_for "snapshot applied" (fun () ->
+              IO.db_to_string (Server.db_snapshot fol)
+              = IO.db_to_string (Server.db_snapshot srv));
+          (* stream updates through the primary; follower must converge *)
+          let c = connect srv in
+          ignore (hello c);
+          List.iter
+            (fun u ->
+              match req c (Proto.Update u) with
+              | Proto.R_update Proto.V_accepted -> ()
+              | m -> Alcotest.failf "update: %s" (Proto.render_server_msg m))
+            [ U.Chdir { oid = 1; tau = q 2; a = vec [ 1; 1 ] };
+              U.New { oid = 7; tau = q 3; a = vec [ 0; 1 ]; b = vec [ -4; 2 ] };
+              U.Terminate { oid = 2; tau = q 4 };
+              U.Chdir { oid = 7; tau = q 5; a = vec [ -1; 0 ] } ];
+          wait_for "tail applied" (fun () ->
+              Q.equal (Server.clock fol) (Server.clock srv)
+              && IO.db_to_string (Server.db_snapshot fol)
+                 = IO.db_to_string (Server.db_snapshot srv));
+          (* with digest-every=1 the digests have been checked; none diverged *)
+          Alcotest.(check int) "no divergence" 0 (Server.repl_divergence fol);
+          (* a query served by the replica equals the primary's answer *)
+          let cf = connect fol in
+          ignore (hello cf);
+          let query c =
+            match
+              req c (Proto.Query { kind = Proto.Qk_knn 1; lo = q 0; hi = q 40 })
+            with
+            | Proto.R_query pieces -> pieces
+            | m -> Alcotest.failf "query: %s" (Proto.render_server_msg m)
+          in
+          Alcotest.(check bool) "replica answers bit-identically" true
+            (query cf = query c);
+          (* the replica is read-only *)
+          (match
+             Client.request cf
+               (Proto.Update (U.Chdir { oid = 1; tau = q 9; a = vec [ 0; 0 ] }))
+           with
+           | Ok m -> expect_err "read-only" m
+           | Error e -> Alcotest.failf "read-only: %s" (Client.error_to_string e));
+          Client.close cf;
+          Client.close c))
+
+let test_follower_catches_up_after_partition () =
+  with_server (fun srv _dir _db ->
+      with_follower srv (fun fol ->
+          wait_for "follower bootstrap" (fun () -> Server.repl_connected fol);
+          let c = connect srv in
+          ignore (hello c);
+          (* cut the replication link mid-stream; the follower must
+             reconnect by itself and resume as a delta *)
+          Server.shutdown_repl_link fol;
+          List.iter
+            (fun u ->
+              match req c (Proto.Update u) with
+              | Proto.R_update Proto.V_accepted -> ()
+              | m -> Alcotest.failf "update: %s" (Proto.render_server_msg m))
+            [ U.Chdir { oid = 1; tau = q 2; a = vec [ 2; 0 ] };
+              U.Chdir { oid = 3; tau = q 3; a = vec [ 0; 2 ] } ];
+          wait_for "reconnected and converged" (fun () ->
+              Server.repl_connected fol
+              && IO.db_to_string (Server.db_snapshot fol)
+                 = IO.db_to_string (Server.db_snapshot srv));
+          Alcotest.(check int) "no divergence" 0 (Server.repl_divergence fol);
+          Client.close c))
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery and graceful drain                                   *)
@@ -500,7 +635,12 @@ let () =
        [ Alcotest.test_case "admission busy" `Quick test_admission_busy;
          Alcotest.test_case "subscription limit" `Quick test_sub_limit;
          Alcotest.test_case "backpressure accounting" `Quick test_backpressure_drops;
-         Alcotest.test_case "idle timeout" `Quick test_idle_timeout ]);
+         Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
+         Alcotest.test_case "silent peer timeouts" `Quick test_silent_peer_timeouts ]);
+      ("replication",
+       [ Alcotest.test_case "follower replicates" `Quick test_follower_replicates;
+         Alcotest.test_case "delta resume after a cut link" `Quick
+           test_follower_catches_up_after_partition ]);
       ("durability",
        [ Alcotest.test_case "kill and recover" `Quick test_kill_and_recover;
          Alcotest.test_case "graceful drain" `Quick test_graceful_drain ]) ]
