@@ -1128,6 +1128,238 @@ let s2 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* O1: observability -- tracing overhead, end-to-end delivery latency  *)
+(* and replication freshness.  One primary + one follower + one        *)
+(* subscribed client, in-process; the writer pushes updates with and   *)
+(* without trace propagation, and the traced runs also measure the     *)
+(* paper's Definition 4 instant: how long after an update commits do   *)
+(* its newly-valid pieces reach a subscriber.                          *)
+(* ------------------------------------------------------------------ *)
+
+module Tr = Moq_obs.Trace
+
+let o1 () =
+  header "O1" "observability: tracing overhead, e2e delivery latency, repl lag";
+  (* best-of-5 per mode: the workload is round-trip bound, so the max over
+     reps converges to the same ceiling for both modes and the overhead
+     estimate stops being scheduler noise *)
+  let n = 16 and updates = 400 and reps = 5 in
+  bench_n := n;
+  bench_seed := 5;
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "moq_bench_o1_%s_%d" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    d
+  in
+  let rm_dir d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      try Unix.rmdir d with Unix.Unix_error _ -> ()
+    end
+  in
+  let wait_until ?(deadline = 30.) what pred =
+    let t0 = Unix.gettimeofday () in
+    while (not (pred ())) && Unix.gettimeofday () -. t0 < deadline do
+      Thread.delay 0.005
+    done;
+    if not (pred ()) then failwith (Printf.sprintf "o1: timed out waiting for %s" what)
+  in
+  let flag v = List.assoc_opt "moq_repl_lag_updates" (Registry.flatten v) in
+  (* One rep: fresh primary + follower + subscribed client; returns
+     (rps, e2e samples [traced runs only], lag gauge samples, final lag). *)
+  let run_mode ~trace rep =
+    let tag = Printf.sprintf "%s%d" (if trace then "on" else "off") rep in
+    let pdir = fresh_dir ("p" ^ tag) and fdir = fresh_dir ("f" ^ tag) in
+    let db = Gen.uniform_db ~seed:5 ~n ~extent:100 ~speed:6 () in
+    let cfg ~dir ~init_db ~follow reg =
+      ignore reg;
+      { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
+        with
+        Server.init_db; fsync = false; idle_timeout = 0.; follow; trace }
+    in
+    (* traced runs land their counters in the bench registry, so the
+       stage histograms ship inside BENCH_o1.json *)
+    let preg = if trace then !bench_reg else Registry.create () in
+    let primary =
+      match
+        Server.start ~registry:preg (cfg ~dir:pdir ~init_db:(Some db) ~follow:None preg)
+      with
+      | Ok s -> s
+      | Error e -> failwith ("o1 primary: " ^ e)
+    in
+    let freg = Registry.create () in
+    let follower =
+      match
+        Server.start ~registry:freg
+          (cfg ~dir:fdir
+             ~init_db:(Some (DB.empty ~dim:2 ~tau:(q 0)))
+             ~follow:(Some (Server.bound_addr primary))
+             freg)
+      with
+      | Ok s -> s
+      | Error e -> failwith ("o1 follower: " ^ e)
+    in
+    wait_until "replication link" (fun () -> Server.repl_connected follower);
+    let conn what addr =
+      match SClient.connect ~timeout:15. addr with
+      | Ok c ->
+        (match SClient.hello c with
+         | Ok (Proto.R_hello _) -> c
+         | Ok _ | Error _ -> failwith ("o1: handshake failed: " ^ what))
+      | Error e -> failwith ("o1 " ^ what ^ ": " ^ SClient.error_to_string e)
+    in
+    let sc = conn "subscriber" (Server.bound_addr follower) in
+    (match
+       SClient.request sc
+         (Proto.Subscribe
+            { kind = Proto.Sub_range (q 100000); lo = q 0; hi = q (updates + 50) })
+     with
+     | Ok (Proto.R_subscribe _) -> ()
+     | Ok _ | Error _ -> failwith "o1: subscribe failed");
+    let wc = conn "writer" (Server.bound_addr primary) in
+    let send_m = Mutex.create () in
+    let send_times : (int, float) Hashtbl.t = Hashtbl.create 512 in
+    let e2e = ref [] in
+    let stop_sub = ref false in
+    let sub_thread =
+      Thread.create
+        (fun () ->
+          while not !stop_sub do
+            match SClient.next_event_full ~timeout:0.05 sc with
+            | Some (_, attrs, _) ->
+              (match attrs.Proto.a_trace with
+               | Some (tid, _) ->
+                 let now = Unix.gettimeofday () in
+                 Mutex.lock send_m;
+                 (match Hashtbl.find_opt send_times tid with
+                  | Some t0 ->
+                    (* first delivered event per traced update *)
+                    Hashtbl.remove send_times tid;
+                    e2e := (now -. t0) :: !e2e
+                  | None -> ());
+                 Mutex.unlock send_m
+               | None -> ())
+            | None -> ()
+          done)
+        ()
+    in
+    let lag_samples = ref [] in
+    let stop_lag = ref false in
+    let lag_thread =
+      Thread.create
+        (fun () ->
+          while not !stop_lag do
+            (match flag freg with
+             | Some v -> lag_samples := v :: !lag_samples
+             | None -> ());
+            Thread.delay 0.005
+          done)
+        ()
+    in
+    let st = Random.State.make [| 99; rep |] in
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to updates - 1 do
+      let oid = 1 + Random.State.int st n in
+      let vel =
+        Qvec.of_list
+          [ q (Random.State.int st 13 - 6); q (Random.State.int st 13 - 6) ]
+      in
+      let u = U.Chdir { oid; tau = q (j + 2); a = vel } in
+      let attrs =
+        if trace then begin
+          let ctx = Tr.new_ctx () in
+          Mutex.lock send_m;
+          Hashtbl.replace send_times ctx.Tr.trace_id (Unix.gettimeofday ());
+          Mutex.unlock send_m;
+          { Proto.no_attrs with
+            Proto.a_trace = Some (ctx.Tr.trace_id, ctx.Tr.span_id) }
+        end
+        else Proto.no_attrs
+      in
+      match SClient.request_attrs wc attrs (Proto.Update u) with
+      | Ok (Proto.R_update Proto.V_accepted) -> ()
+      | Ok _ | Error _ -> failwith "o1: update failed"
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (* freshness: the follower catches all the way up, and its lag gauge
+       returns to zero *)
+    wait_until "follower convergence" (fun () ->
+        Q.compare (Server.clock follower) (Server.clock primary) = 0);
+    wait_until "lag back to zero" (fun () ->
+        match flag freg with Some v -> v = 0. | None -> false);
+    Thread.delay 0.2;
+    stop_sub := true;
+    stop_lag := true;
+    Thread.join sub_thread;
+    Thread.join lag_thread;
+    let final_lag = match flag freg with Some v -> v | None -> nan in
+    ignore (SClient.request wc Proto.Bye);
+    ignore (SClient.request sc Proto.Bye);
+    SClient.close wc;
+    SClient.close sc;
+    Server.stop follower;
+    Server.stop primary;
+    rm_dir pdir;
+    rm_dir fdir;
+    (float_of_int updates /. wall, !e2e, !lag_samples, final_lag)
+  in
+  (* one discarded warmup (page cache, allocator growth), then the modes
+     interleaved (off,on,off,on,...) so slow drift in the host's load hits
+     both equally; per mode, pool all runs into one throughput estimate
+     (total updates over total wall) — the max or median of a handful of
+     short runs is itself a noisy statistic *)
+  ignore (run_mode ~trace:false 99);
+  let runs =
+    List.init (2 * reps) (fun i -> (i mod 2 = 1, run_mode ~trace:(i mod 2 = 1) (i / 2)))
+  in
+  let summarize traced =
+    let mine = List.filter_map (fun (t, r) -> if t = traced then Some r else None) runs in
+    let rps =
+      (* pooled: rps_i = updates/wall_i, so total wall = Σ updates/rps_i *)
+      let wall = List.fold_left (fun acc (rps, _, _, _) -> acc +. (float_of_int updates /. rps)) 0. mine in
+      float_of_int (List.length mine * updates) /. wall
+    in
+    let e2e = List.concat_map (fun (_, e, _, _) -> e) mine in
+    let lags = List.concat_map (fun (_, _, l, _) -> l) mine in
+    let final = match List.rev mine with (_, _, _, f) :: _ -> f | [] -> nan in
+    (rps, e2e, lags, final)
+  in
+  let rps_off, _, _, _ = summarize false in
+  let rps_on, e2e, lags, final_lag = summarize true in
+  let overhead = 100. *. (rps_off -. rps_on) /. rps_off in
+  let pct l p =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    quantile a p
+  in
+  let e2e_p50 = pct e2e 0.5 *. 1e3 and e2e_p99 = pct e2e 0.99 *. 1e3 in
+  let lag_p99 = pct lags 0.99 in
+  row "%10s %12s %12s\n" "tracing" "updates" "pooled rps";
+  row "%10s %12d %12.0f\n" "off" updates rps_off;
+  row "%10s %12d %12.0f\n" "on" updates rps_on;
+  row "trace overhead %.1f%% (pooled over %d interleaved runs per mode)\n"
+    overhead reps;
+  row "e2e delivery (update send -> subscriber pull, via the follower):\n";
+  row "  %d samples, p50 %.2f ms, p99 %.2f ms\n" (List.length e2e) e2e_p50 e2e_p99;
+  row "follower repl lag: p99 %.0f updates over the run, %.0f after catch-up\n"
+    lag_p99 final_lag;
+  if e2e = [] then failwith "o1: no traced events were delivered";
+  bench_extras :=
+    [ ("trace_overhead_pct", Json.Float overhead);
+      ("rps_trace_off", Json.Float rps_off);
+      ("rps_trace_on", Json.Float rps_on);
+      ("e2e_p50_ms", Json.Float e2e_p50);
+      ("e2e_p99_ms", Json.Float e2e_p99);
+      ("e2e_samples", Json.Int (List.length e2e));
+      ("repl_lag_p99", Json.Float lag_p99);
+      ("final_lag_updates", Json.Float final_lag);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment id               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1218,7 +1450,7 @@ let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
     ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("s1", s1);
-    ("s2", s2) ]
+    ("s2", s2); ("o1", o1) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

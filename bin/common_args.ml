@@ -48,3 +48,12 @@ let checkpoint_every =
 
 let no_fsync =
   Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip fsync per record (benchmarks only)")
+
+let log_level =
+  Arg.(value
+       & opt string "info"
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Log verbosity: $(b,debug), $(b,info), $(b,warn) or $(b,error)")
+
+let log_json =
+  Arg.(value & flag & info [ "log-json" ] ~doc:"Emit logs as JSON lines (on stderr)")

@@ -139,16 +139,203 @@ let trace_workload seed n count gap dbfile updates_file as_json =
   if as_json then print_endline (Moq_obs.Json.to_string (Trace.to_json tr))
   else Format.printf "%a@." Trace.pp tr
 
+(* moq trace pipeline: in-process primary → chaos proxy → follower →
+   subscribed client.  One traced UPDATE flows the whole way; the spans it
+   left in all four tracers (primary, follower, and the client's two
+   connections) are stitched into one causal trace, and the depth-0 stage
+   spans — which tile the interval from client send to client delivery —
+   are summed and checked against the measured end-to-end latency. *)
+let trace_pipeline as_json =
+  let module Server = Moq_server.Server in
+  let module Client = Moq_server.Client in
+  let module Chaos = Moq_chaos.Chaos in
+  let module Proto = Moq_proto.Proto in
+  let module Sink = Moq_obs.Sink in
+  let module Registry = Moq_obs.Registry in
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "moq-pipeline-%s-%d" tag (Unix.getpid ()))
+    in
+    let rec rm p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+    in
+    rm d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let loop = "127.0.0.1" in
+  let srv_cfg ~dir ~init_db ~follow =
+    { (Server.default_config ~listen:(Server.Tcp (loop, 0)) ~store_dir:dir) with
+      Server.init_db; fsync = false; follow; trace = true }
+  in
+  let db = Gen.uniform_db ~seed:42 ~n:4 ~extent:100 ~speed:6 () in
+  let pdir = fresh_dir "primary" and fdir = fresh_dir "follower" in
+  let primary =
+    match Server.start (srv_cfg ~dir:pdir ~init_db:(Some db) ~follow:None) with
+    | Ok s -> s
+    | Error e -> die "primary: %s" e
+  in
+  let pport =
+    match Server.bound_addr primary with Server.Tcp (_, p) -> p | _ -> die "no port"
+  in
+  (* the replication link runs through a (quiet) chaos proxy: the stitched
+     trace crosses the same path the chaos tests exercise *)
+  let proxy =
+    Chaos.start ~profile:Chaos.quiet ~seed:7
+      ~upstream:(Unix.ADDR_INET (Unix.inet_addr_loopback, pport)) ()
+  in
+  let follower =
+    match
+      Server.start
+        (srv_cfg ~dir:fdir
+           ~init_db:(Some (DB.empty ~dim:2 ~tau:(q 0)))
+           ~follow:(Some (Server.Tcp (loop, Chaos.port proxy))))
+    with
+    | Ok s -> s
+    | Error e -> die "follower: %s" e
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Server.repl_connected follower)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if not (Server.repl_connected follower) then die "follower never connected";
+  let creg = Registry.create () in
+  let csink = Sink.of_registry creg in
+  let ctr = Trace.create ~host:"client" () in
+  let conn addr =
+    match Client.connect ~timeout:10. ~sink:csink ~tracer:ctr addr with
+    | Ok c -> c
+    | Error e -> die "connect: %s" (Client.error_to_string e)
+  in
+  let c_up = conn (Server.bound_addr primary) in
+  let c_sub = conn (Server.bound_addr follower) in
+  (match (Client.hello c_up, Client.hello c_sub) with
+   | Ok _, Ok _ -> ()
+   | _ -> die "handshake failed");
+  (match
+     Client.request c_sub
+       (Proto.Subscribe { kind = Proto.Sub_knn 1; lo = q 0; hi = q 100 })
+   with
+   | Ok (Proto.R_subscribe _) -> ()
+   | Ok m -> die "subscribe: %s" (Proto.render_server_msg m)
+   | Error e -> die "subscribe: %s" (Client.error_to_string e));
+  let updates =
+    Gen.mixed_stream ~seed:1 ~db ~start:(q 1) ~gap:(q 5) ~count:3 ()
+  in
+  let warm, traced =
+    match List.rev updates with
+    | last :: rev_warm -> (List.rev rev_warm, last)
+    | [] -> die "empty update stream"
+  in
+  List.iter
+    (fun u ->
+      match Client.request c_up (Proto.Update u) with
+      | Ok (Proto.R_update _) -> ()
+      | Ok m -> die "update: %s" (Proto.render_server_msg m)
+      | Error e -> die "update: %s" (Client.error_to_string e))
+    warm;
+  let ctx = Trace.new_ctx () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Client.request_attrs c_up
+       { Proto.no_attrs with Proto.a_trace = Some (ctx.Trace.trace_id, ctx.Trace.span_id) }
+       (Proto.Update traced)
+   with
+   | Ok (Proto.R_update Proto.V_accepted) -> ()
+   | Ok m -> die "traced update not accepted: %s" (Proto.render_server_msg m)
+   | Error e -> die "traced update: %s" (Client.error_to_string e));
+  (* wait for an event caused by the traced update to reach the client
+     through the follower *)
+  let rec await deadline =
+    if Unix.gettimeofday () > deadline then die "no traced event within 10s"
+    else
+      match Client.next_event_full ~timeout:0.5 c_sub with
+      | Some (_, attrs, _) ->
+        (match attrs.Proto.a_trace with
+         | Some (tid, _) when tid = ctx.Trace.trace_id -> Unix.gettimeofday ()
+         | _ -> await deadline)
+      | None -> await deadline
+  in
+  let t1 = await (t0 +. 10.) in
+  let e2e = t1 -. t0 in
+  Thread.delay 0.05;  (* let the follower's queue/write spans land *)
+  let all_spans =
+    List.concat_map Trace.spans
+      [ Server.tracer primary; Server.tracer follower; ctr ]
+    |> List.filter (fun s ->
+        match Trace.span_ctx s with
+        | Some c -> c.Trace.trace_id = ctx.Trace.trace_id
+        | None -> false)
+    |> List.sort (fun a b -> Float.compare (Trace.span_start a) (Trace.span_start b))
+  in
+  let stage_sum =
+    List.fold_left
+      (fun acc s -> if Trace.span_depth s = 0 then acc +. Trace.duration s else acc)
+      0. all_spans
+  in
+  let covered = if e2e > 0. then 100. *. stage_sum /. e2e else 0. in
+  let ok = Float.abs (stage_sum -. e2e) <= Float.max (0.1 *. e2e) 0.002 in
+  if as_json then
+    print_endline
+      (Moq_obs.Json.to_string
+         (Moq_obs.Json.Obj
+            [ ("trace", Moq_obs.Json.Str (Trace.ctx_to_string ctx));
+              ("e2e_ms", Moq_obs.Json.Float (1e3 *. e2e));
+              ("stage_sum_ms", Moq_obs.Json.Float (1e3 *. stage_sum));
+              ("covered_pct", Moq_obs.Json.Float covered);
+              ("within_tolerance", Moq_obs.Json.Bool ok);
+              ("spans",
+               Moq_obs.Json.List
+                 (List.map
+                    (fun s ->
+                      Moq_obs.Json.Obj
+                        [ ("host", Moq_obs.Json.Str (Trace.span_host s));
+                          ("name", Moq_obs.Json.Str (Trace.span_name s));
+                          ("depth", Moq_obs.Json.Int (Trace.span_depth s));
+                          ("start_ms", Moq_obs.Json.Float (1e3 *. (Trace.span_start s -. t0)));
+                          ("dur_ms", Moq_obs.Json.Float (1e3 *. Trace.duration s)) ])
+                    all_spans)) ]))
+  else begin
+    Format.printf "one UPDATE, client → primary → follower → client (trace %s):@."
+      (Trace.ctx_to_string ctx);
+    List.iter
+      (fun s ->
+        Format.printf "  [%+8.3f ms] %*s%-10s %-9s %8.3f ms@."
+          (1e3 *. (Trace.span_start s -. t0))
+          (2 * Trace.span_depth s) "" (Trace.span_name s) (Trace.span_host s)
+          (1e3 *. Trace.duration s))
+      all_spans;
+    Format.printf "stage sum %.3f ms vs end-to-end %.3f ms (%.1f%% covered) — %s@."
+      (1e3 *. stage_sum) (1e3 *. e2e) covered
+      (if ok then "within tolerance" else "OUT OF TOLERANCE")
+  end;
+  ignore (Client.request c_up Proto.Bye);
+  ignore (Client.request c_sub Proto.Bye);
+  Client.close c_up;
+  Client.close c_sub;
+  Server.stop follower;
+  Chaos.stop proxy;
+  Server.stop primary;
+  if not ok then exit 3
+
 let trace_cmd =
   let scenario =
     Arg.(required
          & pos 0
              (some (enum
                 [ ("example12", `Example12); ("figure2", `Figure2);
-                  ("workload", `Workload) ]))
+                  ("workload", `Workload); ("pipeline", `Pipeline) ]))
              None
          & info [] ~docv:"SCENARIO"
-             ~doc:"example12, figure2, or workload (monitored update stream with span tracing)")
+             ~doc:"example12, figure2, workload (monitored update stream with \
+                   span tracing), or pipeline (one traced update through \
+                   primary → follower → client, stitched cross-process)")
   in
   let updates = Common_args.updates_file in
   let count = Common_args.count ~default:10 () in
@@ -159,6 +346,7 @@ let trace_cmd =
     | `Example12 -> trace_example12 ()
     | `Figure2 -> trace_figure2 ()
     | `Workload -> trace_workload seed n count gap dbfile updates json
+    | `Pipeline -> trace_pipeline json
   in
   Cmd.v
     (Cmd.info "trace"
@@ -460,14 +648,23 @@ module Server = Moq_server.Server
 module Client = Moq_server.Client
 module Proto = Moq_proto.Proto
 module Chaos = Moq_chaos.Chaos
+module J = Moq_obs.Json
+module Log = Moq_obs.Log
 
 let default_listen = "tcp:127.0.0.1:7407"
 
 let parse_addr s =
   match Server.addr_of_string s with Ok a -> a | Error e -> die "%s" e
 
+let setup_logging level json =
+  (match Log.level_of_string level with
+   | Ok l -> Log.set_level l
+   | Error e -> die "%s" e);
+  Log.set_json json
+
 let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_subs
-    queue_soft queue_hwm idle_timeout follow digest_every =
+    queue_soft queue_hwm idle_timeout follow digest_every trace log_level log_json =
+  setup_logging log_level log_json;
   let listen = parse_addr listen in
   let follow = Option.map parse_addr follow in
   let init_db =
@@ -481,7 +678,7 @@ let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_sub
     { (Server.default_config ~listen ~store_dir) with
       Server.init_db; fsync = not no_fsync; checkpoint_every = every;
       max_sessions; max_subs_per_session = max_subs; queue_soft; queue_hwm;
-      idle_timeout; follow; repl_digest_every = digest_every }
+      idle_timeout; follow; repl_digest_every = digest_every; trace }
   in
   match Server.start cfg with
   | Error e -> die "%s" e
@@ -547,6 +744,12 @@ let serve_cmd =
              ~doc:"Ship a state digest to followers every N streamed updates \
                    (the divergence audit); 0 disables")
   in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Propagate trace= frame contexts and record pipeline spans \
+                   (stage histograms are collected regardless)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a durable MOD over moqp: concurrent sessions, chronological \
@@ -555,12 +758,14 @@ let serve_cmd =
     Term.(const serve_run $ listen $ Common_args.store_req $ Common_args.db
           $ Common_args.seed $ Common_args.n $ Common_args.checkpoint_every
           $ Common_args.no_fsync $ max_sessions $ max_subs $ queue_soft
-          $ queue_hwm $ idle_timeout $ follow $ digest_every)
+          $ queue_hwm $ idle_timeout $ follow $ digest_every $ trace
+          $ Common_args.log_level $ Common_args.log_json)
 
 (* Script lines are raw moqp request heads ("SUBSCRIBE knn 1 0 40"), plus
    '#' comments and a "!sleep SECONDS" directive.  Events arriving between
    requests are printed as they drain. *)
-let client_run connect script_file wait timeout connect_timeout =
+let client_run connect script_file wait timeout connect_timeout log_level log_json =
+  setup_logging log_level log_json;
   let addr = parse_addr connect in
   match Client.connect ~timeout ~connect_timeout addr with
   | Error e -> die "connect %s: %s" connect (Client.error_to_string e)
@@ -674,9 +879,11 @@ let client_cmd =
        ~doc:"Drive a moq server from a request script; print responses and \
              pushed events.  Exits 4 if the server reported dropped events \
              that were never re-delivered.")
-    Term.(const client_run $ connect $ script $ wait $ timeout $ connect_timeout)
+    Term.(const client_run $ connect $ script $ wait $ timeout $ connect_timeout
+          $ Common_args.log_level $ Common_args.log_json)
 
-let chaos_run upstream seed profile port duration =
+let chaos_run upstream seed profile port duration log_level log_json =
+  setup_logging log_level log_json;
   let upstream_addr = parse_addr upstream in
   let upstream_sock = Server.sockaddr_of upstream_addr in
   let profile =
@@ -740,7 +947,221 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Run a seeded network chaos proxy in front of a moq server: \
              delays, torn frames, reordering, corruption, partitions")
-    Term.(const chaos_run $ upstream $ seed $ profile $ port $ duration)
+    Term.(const chaos_run $ upstream $ seed $ profile $ port $ duration
+          $ Common_args.log_level $ Common_args.log_json)
+
+(* ------------------------------------------------------------------ *)
+(* moq top: live fleet dashboard over STATS json                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One short-lived session per poll: connect, HELLO, STATS json, BYE.
+   Dashboards poll every couple of seconds; session churn at that rate is
+   noise, and a fresh connection per sample means a restarted server just
+   shows up again without reconnect bookkeeping here. *)
+let fetch_stats ~timeout addr =
+  match Client.connect ~timeout ~connect_timeout:timeout addr with
+  | Error e -> Error (Client.error_to_string e)
+  | Ok c ->
+    let r =
+      match Client.hello c with
+      | Ok (Proto.R_hello _) ->
+        (match Client.request c (Proto.Stats `Json) with
+         | Ok (Proto.R_stats s) ->
+           (match J.of_string s with
+            | Ok j -> Ok j
+            | Error e -> Error ("bad STATS json: " ^ e))
+         | Ok _ -> Error "unexpected response to STATS"
+         | Error e -> Error (Client.error_to_string e))
+      | Ok _ -> Error "handshake refused"
+      | Error e -> Error (Client.error_to_string e)
+    in
+    if Client.is_open c then ignore (Client.request c Proto.Bye);
+    Client.close c;
+    r
+
+let jget j section name =
+  Option.bind (Option.bind (J.member section j) (J.member name)) J.to_float_opt
+
+(* Every moq_stage_*_ns histogram in the sample, as
+   (short name, p50, p99, count); new stages appear without dashboard
+   changes. *)
+let stage_rows j =
+  match J.member "histograms" j with
+  | Some (J.Obj kvs) ->
+    List.filter_map
+      (fun (name, h) ->
+        if not (String.length name > 10 && String.sub name 0 10 = "moq_stage_") then
+          None
+        else begin
+          let short = String.sub name 10 (String.length name - 10) in
+          let short =
+            if Filename.check_suffix short "_ns" then
+              String.sub short 0 (String.length short - 3)
+            else short
+          in
+          let q k = Option.bind (J.member k h) J.to_float_opt in
+          Some (short, q "p50", q "p99", q "count")
+        end)
+      kvs
+  | _ -> []
+
+let top_endpoint_json name r ~rate =
+  let fopt = function Some v -> J.Float v | None -> J.Null in
+  match r with
+  | Error e -> J.Obj [ ("endpoint", J.Str name); ("ok", J.Bool false); ("error", J.Str e) ]
+  | Ok j ->
+    let role =
+      if jget j "gauges" "moq_repl_lag_updates" <> None then "follower" else "primary"
+    in
+    let ns_ms = Option.map (fun v -> v /. 1e6) in
+    J.Obj
+      [ ("endpoint", J.Str name);
+        ("ok", J.Bool true);
+        ("role", J.Str role);
+        ("rps", fopt (rate "moq_server_rpcs_total"));
+        ("pushed_per_s", fopt (rate "moq_server_pushed_events_total"));
+        ("wal_appends_per_s", fopt (rate "moq_wal_appends_total"));
+        ("fsyncs_per_s", fopt (rate "moq_wal_fsyncs_total"));
+        ("sessions", fopt (jget j "gauges" "moq_server_connections"));
+        ("subscriptions", fopt (jget j "gauges" "moq_server_subscriptions"));
+        ("queue_depth", fopt (jget j "gauges" "moq_server_push_queue_depth"));
+        ("dropped_events_total", fopt (jget j "counters" "moq_server_dropped_events_total"));
+        ("repl_lag_updates", fopt (jget j "gauges" "moq_repl_lag_updates"));
+        ("repl_lag_ms", fopt (jget j "gauges" "moq_repl_lag_ms"));
+        ("stages",
+         J.Obj
+           (List.map
+              (fun (s, p50, p99, count) ->
+                (s,
+                 J.Obj
+                   [ ("p50_ms", fopt (ns_ms p50)); ("p99_ms", fopt (ns_ms p99));
+                     ("count", fopt count) ]))
+              (stage_rows j)));
+      ]
+
+let top_endpoint_text name r ~rate =
+  let fv = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
+  let fms = function Some v -> Printf.sprintf "%.2f" (v /. 1e6) | None -> "-" in
+  match r with
+  | Error e -> Format.printf "%-28s DOWN  %s@." name e
+  | Ok j ->
+    let role =
+      if jget j "gauges" "moq_repl_lag_updates" <> None then "follower" else "primary"
+    in
+    Format.printf "%-28s %-8s rps %-8s sessions %s subs %s queue %s dropped %s@."
+      name role
+      (fv (rate "moq_server_rpcs_total"))
+      (fv (jget j "gauges" "moq_server_connections"))
+      (fv (jget j "gauges" "moq_server_subscriptions"))
+      (fv (jget j "gauges" "moq_server_push_queue_depth"))
+      (fv (jget j "counters" "moq_server_dropped_events_total"));
+    Format.printf "  wal %s appends/s, %s fsyncs/s"
+      (fv (rate "moq_wal_appends_total"))
+      (fv (rate "moq_wal_fsyncs_total"));
+    (match (jget j "gauges" "moq_repl_lag_updates", jget j "gauges" "moq_repl_lag_ms") with
+     | Some u, ms ->
+       Format.printf "   repl lag %.0f updates / %s ms" u
+         (match ms with Some v -> Printf.sprintf "%.1f" v | None -> "-")
+     | None, _ -> ());
+    Format.printf "@.";
+    (match stage_rows j with
+     | [] -> ()
+     | rows ->
+       Format.printf "  stage p50/p99 ms:";
+       List.iter
+         (fun (s, p50, p99, _) ->
+           Format.printf " %s %s/%s" s (fms p50) (fms p99))
+         rows;
+       Format.printf "@.")
+
+let top_run endpoints interval once as_json timeout =
+  let endpoints = if endpoints = [] then [ default_listen ] else endpoints in
+  let addrs = List.map (fun e -> (e, parse_addr e)) endpoints in
+  let prev : (string, float * J.t) Hashtbl.t = Hashtbl.create 8 in
+  let stopped = ref false in
+  let stop _ = stopped := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop) with Invalid_argument _ -> ());
+  let round () =
+    let samples =
+      List.map
+        (fun (name, addr) ->
+          let at = Unix.gettimeofday () in
+          (name, at, fetch_stats ~timeout addr))
+        addrs
+    in
+    let rendered =
+      List.map
+        (fun (name, at, r) ->
+          let rate cname =
+            match (r, Hashtbl.find_opt prev name) with
+            | Ok j, Some (at0, j0) when at > at0 ->
+              (match (jget j "counters" cname, jget j0 "counters" cname) with
+               | Some v, Some v0 -> Some (Float.max 0. ((v -. v0) /. (at -. at0)))
+               | _ -> None)
+            | _ -> None
+          in
+          (name, r, rate))
+        samples
+    in
+    if as_json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [ ("at", J.Float (Unix.gettimeofday ()));
+                ("endpoints",
+                 J.List
+                   (List.map (fun (name, r, rate) -> top_endpoint_json name r ~rate)
+                      rendered)) ]))
+    else begin
+      if not once then print_string "\027[2J\027[H";
+      Format.printf "moq top — %d endpoint%s, every %gs@." (List.length addrs)
+        (if List.length addrs = 1 then "" else "s")
+        interval;
+      List.iter (fun (name, r, rate) -> top_endpoint_text name r ~rate) rendered;
+      Format.print_flush ()
+    end;
+    List.iter
+      (fun (name, at, r) ->
+        match r with Ok j -> Hashtbl.replace prev name (at, j) | Error _ -> ())
+      samples
+  in
+  round ();
+  if not once then
+    while not !stopped do
+      let slept = ref 0. in
+      while (not !stopped) && !slept < interval do
+        Thread.delay 0.1;
+        slept := !slept +. 0.1
+      done;
+      if not !stopped then round ()
+    done
+
+let top_cmd =
+  let endpoints =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ADDR"
+             ~doc:"Endpoints to poll (tcp:HOST:PORT or unix:PATH); default the \
+                   local server")
+  in
+  let interval =
+    Arg.(value & opt float 2.
+         & info [ "interval" ] ~doc:"Seconds between refreshes")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Sample once and exit (for scripts)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit samples as JSON instead of a screen")
+  in
+  let timeout =
+    Arg.(value & opt float 5. & info [ "timeout" ] ~doc:"Per-endpoint poll timeout in seconds")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live fleet dashboard: poll STATS from one or more moq servers and \
+             show rates, per-stage latency quantiles, replication lag and \
+             backpressure counters")
+    Term.(const top_run $ endpoints $ interval $ once $ json $ timeout)
 
 let () =
   let doc = "moving-object queries: plane-sweep evaluation (PODS 2002 reproduction)" in
@@ -750,7 +1171,7 @@ let () =
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
               show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd;
-              chaos_cmd ]))
+              chaos_cmd; top_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

@@ -1,4 +1,6 @@
 module Faults = Moq_durable.Faults
+module Log = Moq_obs.Log
+module Json = Moq_obs.Json
 
 type profile = {
   delay_p : float;
@@ -83,10 +85,16 @@ let shutdown_conn c =
 
 let partition t =
   with_lock t.m (fun () -> t.partitioned <- true);
+  Log.info
+    ~fields:[ ("port", Json.Int t.port);
+              ("cut_conns", Json.Int (List.length (with_lock t.m (fun () -> t.conns)))) ]
+    "chaos: partitioned";
   (* existing flows die too: a partition cuts, it does not just refuse *)
   List.iter shutdown_conn (with_lock t.m (fun () -> t.conns))
 
-let heal t = with_lock t.m (fun () -> t.partitioned <- false)
+let heal t =
+  with_lock t.m (fun () -> t.partitioned <- false);
+  Log.info ~fields:[ ("port", Json.Int t.port) ] "chaos: healed"
 
 let tear_all t = List.iter shutdown_conn (with_lock t.m (fun () -> t.conns))
 
@@ -144,6 +152,7 @@ let pump t rng src dst conn =
       if Faults.flip rng t.profile.tear_p then begin
         (* a torn frame: ship a ragged prefix, then cut the connection *)
         with_lock t.m (fun () -> t.c_tears <- t.c_tears + 1);
+        Log.debug ~fields:[ ("conn", Json.Int conn.id) ] "chaos: tearing connection";
         (try write_all dst (String.sub s 0 (Faults.int rng n)) with Unix.Unix_error _ -> ());
         shutdown_conn conn
       end
@@ -177,6 +186,7 @@ let pump t rng src dst conn =
 let handle t client =
   let refuse () =
     with_lock t.m (fun () -> t.c_refused <- t.c_refused + 1);
+    Log.debug ~fields:[ ("port", Json.Int t.port) ] "chaos: refused connection";
     try Unix.close client with Unix.Unix_error _ -> ()
   in
   if with_lock t.m (fun () -> t.partitioned || t.stopping) then refuse ()
@@ -202,6 +212,7 @@ let handle t client =
             c)
       in
       (* distinct deterministic streams per (seed, conn, direction) *)
+      Log.debug ~fields:[ ("conn", Json.Int conn.id) ] "chaos: proxying connection";
       let rng_fwd = Faults.create ~seed:(t.seed + (conn.id * 2)) in
       let rng_bwd = Faults.create ~seed:(t.seed + (conn.id * 2) + 1) in
       let th_f = Thread.create (fun () -> pump t rng_fwd client up conn) () in

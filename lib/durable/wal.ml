@@ -105,8 +105,15 @@ type writer = {
 
 let sync w =
   if w.fsync then begin
-    Sink.count w.sink "moq_wal_fsyncs_total" 1;
-    Sink.time w.sink "moq_wal_fsync_seconds" @@ fun () -> Fsutil.fsync w.fd
+    if Sink.active w.sink then begin
+      Sink.count w.sink "moq_wal_fsyncs_total" 1;
+      let t0 = Unix.gettimeofday () in
+      Fsutil.fsync w.fd;
+      let dt = Unix.gettimeofday () -. t0 in
+      Sink.observe w.sink "moq_wal_fsync_seconds" dt;
+      Sink.observe w.sink "moq_stage_fsync_ns" (dt *. 1e9)
+    end
+    else Fsutil.fsync w.fd
   end
 
 let create ?(fsync = true) ?(sink = Sink.noop) ~path ~dim () =
@@ -122,11 +129,19 @@ let open_append ?(fsync = true) ?(sink = Sink.noop) ~path ~good_bytes () =
   { fd; fsync; sink }
 
 let append w u =
-  Sink.count w.sink "moq_wal_appends_total" 1;
-  Sink.time w.sink "moq_wal_append_seconds" @@ fun () ->
-  let line = record_line u ^ "\n" in
-  Sink.count w.sink "moq_wal_bytes_written_total" (String.length line);
-  Fsutil.write_string w.fd line;
-  sync w
+  if Sink.active w.sink then begin
+    Sink.count w.sink "moq_wal_appends_total" 1;
+    let line = record_line u ^ "\n" in
+    Sink.count w.sink "moq_wal_bytes_written_total" (String.length line);
+    let t0 = Unix.gettimeofday () in
+    Fsutil.write_string w.fd line;
+    Sink.observe w.sink "moq_stage_wal_append_ns" ((Unix.gettimeofday () -. t0) *. 1e9);
+    sync w;
+    Sink.observe w.sink "moq_wal_append_seconds" (Unix.gettimeofday () -. t0)
+  end
+  else begin
+    Fsutil.write_string w.fd (record_line u ^ "\n");
+    sync w
+  end
 
 let close w = Unix.close w.fd

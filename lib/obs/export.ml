@@ -7,24 +7,51 @@ let num f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.12g" f
 
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else is
+   mapped to '_' so a hostile or buggy metric name cannot corrupt the
+   exposition stream. *)
+let sanitize_name name =
+  if name = "" then "_"
+  else
+    String.mapi
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+        | '0' .. '9' when i > 0 -> c
+        | _ -> '_')
+      name
+
+(* HELP text escaping per exposition format 0.0.4: backslash and newline
+   are the only escaped characters in HELP lines. *)
+let escape_help h =
+  let b = Buffer.create (String.length h + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    h;
+  Buffer.contents b
+
 let prometheus reg =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
-  let help name h = if h <> "" then line "# HELP %s %s" name h in
+  let help name h = if h <> "" then line "# HELP %s %s" name (escape_help h) in
   List.iter
     (function
       | Registry.Counter c ->
-        let name = Registry.counter_name c in
+        let name = sanitize_name (Registry.counter_name c) in
         help name (Registry.counter_help c);
         line "# TYPE %s counter" name;
         line "%s %d" name (Registry.value c)
       | Registry.Gauge g ->
-        let name = Registry.gauge_name g in
+        let name = sanitize_name (Registry.gauge_name g) in
         help name (Registry.gauge_help g);
         line "# TYPE %s gauge" name;
         line "%s %s" name (num (Registry.gauge_value g))
       | Registry.Histogram h ->
-        let name = Histo.name h in
+        let name = sanitize_name (Histo.name h) in
         help name (Histo.help h);
         line "# TYPE %s histogram" name;
         List.iter

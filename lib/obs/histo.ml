@@ -16,6 +16,10 @@ type t = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  m : Mutex.t;
+      (* observations are non-atomic read-modify-writes and arrive from
+         session/monitor/repl threads concurrently; the mutex makes each
+         observation (and each quantile read) atomic *)
 }
 
 let default_ratio = sqrt (sqrt 2.0) (* 2^(1/4) *)
@@ -25,7 +29,12 @@ let create ?(lo = 1e-9) ?(ratio = default_ratio) ?(buckets = 256) ?(help = "") n
   if ratio <= 1.0 then invalid_arg "Histo.create: ratio must exceed 1";
   if buckets < 2 then invalid_arg "Histo.create: need at least 2 buckets";
   { name; help; lo; log_r = log ratio; counts = Array.make buckets 0;
-    count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+    count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
+    m = Mutex.create () }
+
+let locked h f =
+  Mutex.lock h.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.m) f
 
 let name h = h.name
 let help h = h.help
@@ -47,14 +56,14 @@ let index h v =
 
 let observe h v =
   if Float.is_nan v then ()
-  else begin
+  else
+    locked h @@ fun () ->
     let i = index h v in
     h.counts.(i) <- h.counts.(i) + 1;
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v < h.min_v then h.min_v <- v;
     if v > h.max_v then h.max_v <- v
-  end
 
 (* Representative value of bucket [i]: the geometric midpoint of its
    bounds (the bound itself for bucket 0). *)
@@ -66,6 +75,7 @@ let representative h i =
    estimate is clamped into [min, max] so degenerate distributions (all
    observations equal) report exactly. *)
 let quantile h q =
+  locked h @@ fun () ->
   if h.count = 0 then nan
   else begin
     let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
@@ -84,6 +94,7 @@ let quantile h q =
    ascending order — the Prometheus exposition's `le` series, restricted to
    buckets that actually received observations. *)
 let cumulative h =
+  locked h @@ fun () ->
   let n = Array.length h.counts in
   let out = ref [] in
   let acc = ref 0 in

@@ -12,3 +12,16 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+
+val float_repr : float -> string
+(** The emitter's float rendering (NaN/infinities become ["null"]). *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document.  Integral numbers without a fraction/exponent
+    decode as [Int], all others as [Float].  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to key [k] when [j] is an object. *)
+
+val to_float_opt : t -> float option
+(** Numeric view of [Int]/[Float] nodes. *)

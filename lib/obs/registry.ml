@@ -8,6 +8,9 @@ type counter = {
   c_name : string;
   c_help : string;
   mutable c_v : int;
+  c_m : Mutex.t;
+      (* [add] is a read-modify-write; concurrent session/monitor/repl
+         threads would lose increments without it *)
 }
 
 type gauge = {
@@ -24,27 +27,34 @@ type metric =
 type t = {
   metrics : (string, metric) Hashtbl.t;
   mutable order : string list; (* registration order, newest first *)
+  m : Mutex.t;                 (* guards [metrics] and [order] *)
 }
 
-let create () = { metrics = Hashtbl.create 64; order = [] }
+let create () = { metrics = Hashtbl.create 64; order = []; m = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let register t name m =
   Hashtbl.replace t.metrics name m;
   t.order <- name :: t.order
 
-let find t name = Hashtbl.find_opt t.metrics name
+let find t name = locked t @@ fun () -> Hashtbl.find_opt t.metrics name
 
 let counter ?(help = "") t name =
-  match find t name with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.metrics name with
   | Some (Counter c) -> c
   | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " registered as another type")
   | None ->
-    let c = { c_name = name; c_help = help; c_v = 0 } in
+    let c = { c_name = name; c_help = help; c_v = 0; c_m = Mutex.create () } in
     register t name (Counter c);
     c
 
 let gauge ?(help = "") t name =
-  match find t name with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.metrics name with
   | Some (Gauge g) -> g
   | Some _ -> invalid_arg ("Registry.gauge: " ^ name ^ " registered as another type")
   | None ->
@@ -53,7 +63,8 @@ let gauge ?(help = "") t name =
     g
 
 let histogram ?(help = "") ?lo ?ratio ?buckets t name =
-  match find t name with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.metrics name with
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg ("Registry.histogram: " ^ name ^ " registered as another type")
   | None ->
@@ -65,8 +76,11 @@ let histogram ?(help = "") ?lo ?ratio ?buckets t name =
    instead of wrapping negative, and refuses to move backwards. *)
 let add c n =
   if n < 0 then invalid_arg "Registry.add: counters are monotonic"
-  else if c.c_v > max_int - n then c.c_v <- max_int
-  else c.c_v <- c.c_v + n
+  else begin
+    Mutex.lock c.c_m;
+    if c.c_v > max_int - n then c.c_v <- max_int else c.c_v <- c.c_v + n;
+    Mutex.unlock c.c_m
+  end
 
 let incr c = add c 1
 let value c = c.c_v
@@ -82,8 +96,9 @@ let gauge_help g = g.g_help
 (* Metrics in name order — deterministic exports regardless of
    registration interleaving. *)
 let items t =
+  locked t @@ fun () ->
   let names = List.sort_uniq String.compare (List.rev t.order) in
-  List.filter_map (fun n -> find t n) names
+  List.filter_map (fun n -> Hashtbl.find_opt t.metrics n) names
 
 (* Flat numeric view: counters and gauges by name, histograms expanded to
    _count / _sum — the `counters` map of the bench JSON schema. *)

@@ -31,33 +31,28 @@ let time t name f =
   end
 
 let of_registry reg =
+  (* One mutex guards all three handle caches: sinks are shared across
+     session/monitor/repl threads and Hashtbl is not thread-safe. *)
+  let cache_m = Mutex.create () in
   let counters : (string, Registry.counter) Hashtbl.t = Hashtbl.create 32 in
   let gauges : (string, Registry.gauge) Hashtbl.t = Hashtbl.create 16 in
   let histos : (string, Histo.t) Hashtbl.t = Hashtbl.create 16 in
-  let counter name =
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
-    | None ->
-      let c = Registry.counter reg name in
-      Hashtbl.add counters name c;
-      c
+  let cached tbl make name =
+    Mutex.lock cache_m;
+    let v =
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+        let v = try make name with e -> Mutex.unlock cache_m; raise e in
+        Hashtbl.add tbl name v;
+        v
+    in
+    Mutex.unlock cache_m;
+    v
   in
-  let gauge name =
-    match Hashtbl.find_opt gauges name with
-    | Some g -> g
-    | None ->
-      let g = Registry.gauge reg name in
-      Hashtbl.add gauges name g;
-      g
-  in
-  let histo name =
-    match Hashtbl.find_opt histos name with
-    | Some h -> h
-    | None ->
-      let h = Registry.histogram reg name in
-      Hashtbl.add histos name h;
-      h
-  in
+  let counter name = cached counters (Registry.counter reg) name in
+  let gauge name = cached gauges (Registry.gauge reg) name in
+  let histo name = cached histos (Registry.histogram reg) name in
   { count = (fun name n -> Registry.add (counter name) n);
     observe = (fun name v -> Histo.observe (histo name) v);
     set = (fun name v -> Registry.set (gauge name) v);

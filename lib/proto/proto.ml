@@ -385,6 +385,134 @@ let parse_server_msg payload =
   | w :: _ -> Error ("unknown server message: " ^ w)
 
 (* ---------------------------------------------------------------- *)
+(* Frame attributes                                                  *)
+
+(* Optional `key=value` attributes appended to the head line of a frame:
+   `trace=<id>/<span>` (hex trace context), `ts=<wall>` (sender clock at
+   socket write, seconds), `wm=<epoch>/<seq>` (commit watermark on repl
+   frames).  Attributes ride only on heads whose grammar is closed over
+   `=`-free tokens (updates, queries, events, repl frames) — free-text
+   heads like ERR keep their tails verbatim.  moqp 1 peers that predate
+   attributes parse these frames through {!parse_request} /
+   {!parse_server_msg}, which strip and ignore the suffix; peers that
+   never send attributes produce frames the attr-aware parsers accept
+   with {!no_attrs}.  Malformed attribute values are stripped and
+   ignored rather than failing the frame. *)
+
+type attrs = {
+  a_trace : (int * int) option;  (* (trace_id, span_id) *)
+  a_ts : float option;           (* sender wall clock, Unix seconds *)
+  a_wm : (int * int) option;     (* (epoch, seq) commit watermark *)
+}
+
+let no_attrs = { a_trace = None; a_ts = None; a_wm = None }
+
+let render_attrs a =
+  let b = Buffer.create 32 in
+  (match a.a_trace with
+   | Some (t, s) -> Buffer.add_string b (Printf.sprintf " trace=%x/%x" t s)
+   | None -> ());
+  (match a.a_ts with
+   | Some ts -> Buffer.add_string b (Printf.sprintf " ts=%.6f" ts)
+   | None -> ());
+  (match a.a_wm with
+   | Some (e, s) -> Buffer.add_string b (Printf.sprintf " wm=%d/%d" e s)
+   | None -> ());
+  Buffer.contents b
+
+(* Heads that may carry attributes: their token grammar never produces a
+   token starting with "trace=", "ts=" or "wm=", so stripping from the
+   right is unambiguous.  ERR / SHUTDOWN / verdict reasons are free text
+   and are left untouched. *)
+let attr_capable_head head =
+  let w =
+    match String.index_opt head ' ' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  match w with
+  | "UPDATE" | "QUERY" | "SUBSCRIBE" | "UNSUBSCRIBE" | "EVENT" | "EVENT-DROPPED"
+  | "EVENT-COMPLETE" | "REPL-UPDATE" | "REPL-DIGEST" -> true
+  | _ -> false
+
+let pair_of_string ~hex v =
+  match String.index_opt v '/' with
+  | None -> None
+  | Some i ->
+    let a = String.sub v 0 i in
+    let b = String.sub v (i + 1) (String.length v - i - 1) in
+    let conv s = int_of_string_opt (if hex then "0x" ^ s else s) in
+    (match (conv a, conv b) with
+     | Some x, Some y when x >= 0 && y >= 0 -> Some (x, y)
+     | _ -> None)
+
+(* Merge one `k=v` token into [acc]; [None] when the token is not an
+   attribute at all (ends the strip scan). *)
+let apply_attr acc tok =
+  match String.index_opt tok '=' with
+  | None -> None
+  | Some i ->
+    let k = String.sub tok 0 i in
+    let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+    (match k with
+     | "trace" -> Some { acc with a_trace = (match pair_of_string ~hex:true v with None -> acc.a_trace | p -> p) }
+     | "ts" ->
+       let ts = match float_of_string_opt v with Some f when Float.is_finite f -> Some f | _ -> acc.a_ts in
+       Some { acc with a_ts = ts }
+     | "wm" -> Some { acc with a_wm = (match pair_of_string ~hex:false v with None -> acc.a_wm | p -> p) }
+     | _ -> None)
+
+let strip_head_attrs head =
+  if not (attr_capable_head head) then (head, no_attrs)
+  else begin
+    let rec go head acc =
+      match String.rindex_opt head ' ' with
+      | Some i ->
+        let tok = String.sub head (i + 1) (String.length head - i - 1) in
+        (match apply_attr acc tok with
+         | Some acc -> go (String.sub head 0 i) acc
+         | None -> (head, acc))
+      | None -> (head, acc)
+    in
+    go head no_attrs
+  end
+
+(* Split a payload at the head line; the second component keeps its
+   leading '\n' so [head ^ rest] reassembles losslessly. *)
+let split_head payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i -> (String.sub payload 0 i, String.sub payload i (String.length payload - i))
+
+let strip_attrs payload =
+  let head, rest = split_head payload in
+  let head, attrs = strip_head_attrs head in
+  (head ^ rest, attrs)
+
+let attach_attrs attrs payload =
+  let head, rest = split_head payload in
+  if attr_capable_head head then head ^ render_attrs attrs ^ rest else payload
+
+let parse_request_attrs ~dim payload =
+  let payload, attrs = strip_attrs payload in
+  let* r = parse_request ~dim payload in
+  Ok (r, attrs)
+
+let render_request_attrs attrs r = attach_attrs attrs (render_request r)
+
+let parse_server_msg_attrs payload =
+  let payload, attrs = strip_attrs payload in
+  let* m = parse_server_msg payload in
+  Ok (m, attrs)
+
+let render_server_msg_attrs attrs m = attach_attrs attrs (render_server_msg m)
+
+(* Attr-blind views: a moqp 1 peer that predates attributes sees exactly
+   the frame minus the suffix. *)
+let parse_request ~dim payload = Result.map fst (parse_request_attrs ~dim payload)
+let parse_server_msg payload = Result.map fst (parse_server_msg_attrs payload)
+
+(* ---------------------------------------------------------------- *)
 (* Canonical piece streams                                           *)
 
 (* Wire-level mirror of [Timeline.simplify]: collapse maximal runs with

@@ -133,6 +133,38 @@ val is_event : server_msg -> bool
 val render_server_msg : server_msg -> string
 val parse_server_msg : string -> (server_msg, string) result
 
+(** {1 Frame attributes}
+
+    Optional [key=value] tokens appended to the head line of a frame:
+    [trace=<id>/<span>] (hex trace context for cross-process span
+    stitching), [ts=<seconds>] (sender wall clock at socket write),
+    [wm=<epoch>/<seq>] (commit watermark on repl frames, the follower's
+    freshness reference).  Attributes ride only on heads whose grammar is
+    closed over [=]-free tokens — updates, queries, subscriptions, events
+    and repl frames; free-text heads ([ERR], [SHUTDOWN], verdicts) never
+    carry them.  Backward compatible both ways: {!parse_request} /
+    {!parse_server_msg} strip and ignore attributes (a moqp 1 peer keeps
+    interoperating), and the attr-aware parsers accept attribute-free
+    frames as {!no_attrs}.  Malformed attribute values are stripped and
+    ignored rather than failing the frame. *)
+
+type attrs = {
+  a_trace : (int * int) option;  (** (trace_id, span_id), hex on the wire *)
+  a_ts : float option;  (** sender wall clock, Unix seconds *)
+  a_wm : (int * int) option;  (** (epoch, seq) commit watermark *)
+}
+
+val no_attrs : attrs
+
+val render_attrs : attrs -> string
+(** The rendered suffix, ["" ] when all fields are [None]; each present
+    attribute contributes one leading-space-separated token. *)
+
+val render_request_attrs : attrs -> request -> string
+val parse_request_attrs : dim:int -> string -> (request * attrs, string) result
+val render_server_msg_attrs : attrs -> server_msg -> string
+val parse_server_msg_attrs : string -> (server_msg * attrs, string) result
+
 (** {1 Canonical piece streams}
 
     Different monitor instances over the same database chunk their

@@ -3,6 +3,7 @@ module Proto = Moq_proto.Proto
 module Q = Moq_numeric.Rat
 module Faults = Moq_durable.Faults
 module Sink = Moq_obs.Sink
+module Trace = Moq_obs.Trace
 
 type error =
   | Timeout of string
@@ -19,10 +20,13 @@ let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 type t = {
   fd : Unix.file_descr;
   timeout : float;
+  sink : Sink.t;  (* receives moq_stage_deliver_ns / moq_client_e2e_seconds *)
+  tracer : Trace.t option;  (* records link/deliver spans when given *)
   m : Mutex.t;  (* guards [resps], [events], [closed] *)
   wm : Mutex.t;  (* serializes request/response pairs on the wire *)
   mutable resps : Proto.server_msg list;  (* oldest first *)
-  mutable events : Proto.server_msg list;  (* oldest first *)
+  mutable events : (Proto.server_msg * Proto.attrs * float) list;
+      (* oldest first; (message, frame attrs, local arrival time) *)
   mutable closed : bool;
   mutable reader : Thread.t option;
 }
@@ -40,11 +44,22 @@ let reader_loop c =
     | `Eof | `Garbage _ -> ()
     | `Timeout -> if with_lock c.m (fun () -> c.closed) then () else go ()
     | `Frame payload ->
-      (match Proto.parse_server_msg payload with
+      let arrival = Unix.gettimeofday () in
+      (match Proto.parse_server_msg_attrs payload with
        | Error _ -> ()
-       | Ok msg ->
+       | Ok (msg, attrs) ->
+         (match (c.tracer, attrs.Proto.a_trace, attrs.Proto.a_ts) with
+          | Some tr, Some (trace_id, span_id), Some ts ->
+            (* transit span; the sender clock may be skewed against ours,
+               so clamp the start to arrival — a skewed link span shrinks
+               to zero rather than going negative *)
+            let start = Float.min ts arrival in
+            ignore
+              (Trace.record ~ctx:{ Trace.trace_id; span_id } tr ~name:"link"
+                 ~start ~dur:(arrival -. start) ())
+          | _ -> ());
          with_lock c.m (fun () ->
-             if Proto.is_event msg then c.events <- c.events @ [ msg ]
+             if Proto.is_event msg then c.events <- c.events @ [ (msg, attrs, arrival) ]
              else c.resps <- c.resps @ [ msg ]);
          go ())
   in
@@ -53,7 +68,8 @@ let reader_loop c =
 
 exception Connect_timed_out
 
-let connect ?(timeout = 30.) ?(connect_timeout = 10.) addr =
+let connect ?(timeout = 30.) ?(connect_timeout = 10.) ?(sink = Sink.noop) ?tracer
+    addr =
   (* a server closing mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
@@ -82,8 +98,8 @@ let connect ?(timeout = 30.) ?(connect_timeout = 10.) addr =
   with
   | fd ->
     let c =
-      { fd; timeout; m = Mutex.create (); wm = Mutex.create (); resps = [];
-        events = []; closed = false; reader = None }
+      { fd; timeout; sink; tracer; m = Mutex.create (); wm = Mutex.create ();
+        resps = []; events = []; closed = false; reader = None }
     in
     c.reader <- Some (Thread.create (fun () -> reader_loop c) ());
     Ok c
@@ -118,32 +134,63 @@ let await_resp c =
   in
   go ()
 
-let request c req =
+let request_attrs c attrs req =
   with_lock c.wm (fun () ->
       if with_lock c.m (fun () -> c.closed) then Error (Closed "by peer")
-      else
-        match Frame.write c.fd (Proto.render_request req) with
+      else begin
+        (* stamp the send clock as late as possible, so the link span
+           measures wire transit rather than queueing in this process *)
+        let attrs =
+          if attrs.Proto.a_trace <> None then
+            { attrs with Proto.a_ts = Some (Unix.gettimeofday ()) }
+          else attrs
+        in
+        match Frame.write c.fd (Proto.render_request_attrs attrs req) with
         | Ok () -> await_resp c
         | Error e -> Error (Protocol (Frame.error_to_string e))
         | exception Unix.Unix_error (err, fn, _) ->
-          Error (Closed (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+          Error (Closed (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+      end)
 
+let request c req = request_attrs c Proto.no_attrs req
 let hello c = request c (Proto.Hello Proto.version)
 
-let next_event ?timeout c =
+(* Delivery accounting at the moment the consumer takes the event: the
+   deliver span covers local queue wait (arrival → pull); end-to-end uses
+   the sender's [ts=] stamp, meaningful when peers share a clock (same
+   host, or NTP-close — same caveat as the link spans). *)
+let note_delivery c (_, attrs, arrival) =
+  let now = Unix.gettimeofday () in
+  if Sink.active c.sink then begin
+    Sink.observe c.sink "moq_stage_deliver_ns" ((now -. arrival) *. 1e9);
+    match attrs.Proto.a_ts with
+    | Some ts -> Sink.observe c.sink "moq_client_e2e_seconds" (Float.max 0. (now -. ts))
+    | None -> ()
+  end;
+  match (c.tracer, attrs.Proto.a_trace) with
+  | Some tr, Some (trace_id, span_id) ->
+    ignore
+      (Trace.record ~ctx:{ Trace.trace_id; span_id } tr ~name:"deliver"
+         ~start:arrival ~dur:(now -. arrival) ())
+  | _ -> ()
+
+let next_event_full ?timeout c =
   let timeout = match timeout with Some s -> s | None -> c.timeout in
   let deadline = Unix.gettimeofday () +. timeout in
   let rec go () =
     let r =
       with_lock c.m (fun () ->
           match c.events with
-          | msg :: rest ->
+          | ev :: rest ->
             c.events <- rest;
-            Some (Some msg)
+            Some (Some ev)
           | [] -> if c.closed then Some None else None)
     in
     match r with
-    | Some r -> r
+    | Some (Some ev) ->
+      note_delivery c ev;
+      Some ev
+    | Some None -> None
     | None ->
       if Unix.gettimeofday () > deadline then None
       else begin
@@ -153,11 +200,20 @@ let next_event ?timeout c =
   in
   go ()
 
+let next_event ?timeout c =
+  match next_event_full ?timeout c with
+  | Some (msg, _, _) -> Some msg
+  | None -> None
+
 let drain_events c =
-  with_lock c.m (fun () ->
-      let evs = c.events in
-      c.events <- [];
-      evs)
+  let evs =
+    with_lock c.m (fun () ->
+        let evs = c.events in
+        c.events <- [];
+        evs)
+  in
+  List.iter (note_delivery c) evs;
+  List.map (fun (msg, _, _) -> msg) evs
 
 let is_open c = not (with_lock c.m (fun () -> c.closed))
 
@@ -261,7 +317,7 @@ module Resilient = struct
             let addr = List.nth t.conf.addrs ix in
             match
               cconnect ~timeout:t.conf.timeout
-                ~connect_timeout:t.conf.connect_timeout addr
+                ~connect_timeout:t.conf.connect_timeout ~sink:t.conf.sink addr
             with
             | Ok c ->
               (match creq c (Proto.Hello Proto.version) with

@@ -28,11 +28,14 @@ val pp_error : Format.formatter -> error -> unit
 type t
 
 val connect :
-  ?timeout:float -> ?connect_timeout:float -> Server.addr -> (t, error) result
+  ?timeout:float -> ?connect_timeout:float -> ?sink:Moq_obs.Sink.t ->
+  ?tracer:Moq_obs.Trace.t -> Server.addr -> (t, error) result
 (** [timeout] (default 30s) bounds each {!request}'s wait for its
     response; [connect_timeout] (default 10s) bounds the TCP/Unix
     connect itself, so a black-holed peer yields [Error (Timeout _)]
-    rather than a hang. *)
+    rather than a hang.  [sink] receives the delivery-latency histograms
+    ([moq_stage_deliver_ns], [moq_client_e2e_seconds]); [tracer] records
+    link/deliver spans for frames carrying a [trace=] attribute. *)
 
 val hello : t -> (Proto.server_msg, error) result
 (** Send the protocol handshake; servers require it first. *)
@@ -41,9 +44,20 @@ val request : t -> Proto.request -> (Proto.server_msg, error) result
 (** Send one request and wait (≤ timeout) for its response.  Thread-safe;
     concurrent requests are serialized. *)
 
+val request_attrs :
+  t -> Proto.attrs -> Proto.request -> (Proto.server_msg, error) result
+(** As {!request} with frame attributes attached; when a trace context is
+    present the [ts=] stamp is (re)taken just before the socket write, so
+    the receiver's link span measures transit, not client-side queueing. *)
+
 val next_event : ?timeout:float -> t -> Proto.server_msg option
 (** Next queued asynchronous event, waiting up to [timeout] (default: the
     connect-time timeout).  [None] on timeout or a closed connection. *)
+
+val next_event_full :
+  ?timeout:float -> t -> (Proto.server_msg * Proto.attrs * float) option
+(** As {!next_event}, also exposing the frame's attributes and its local
+    arrival time (Unix seconds) — what the e2e latency accounting uses. *)
 
 val drain_events : t -> Proto.server_msg list
 val is_open : t -> bool

@@ -11,6 +11,9 @@ module Crc32 = Moq_durable.Crc32
 module Registry = Moq_obs.Registry
 module Sink = Moq_obs.Sink
 module Export = Moq_obs.Export
+module Trace = Moq_obs.Trace
+module Log = Moq_obs.Log
+module Json = Moq_obs.Json
 module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
 
@@ -71,13 +74,14 @@ type config = {
   follow : addr option;  (* replicate from this primary: run as a follower *)
   repl_digest_every : int;  (* digest cadence in streamed updates; 0 = never *)
   repl_backlog : int;  (* in-memory update ring for delta resumes *)
+  trace : bool;  (* propagate trace contexts across moqp + record spans *)
 }
 
 let default_config ~listen ~store_dir =
   { listen; store_dir; init_db = None; fsync = true; checkpoint_every = 256;
     max_sessions = 64; max_subs_per_session = 8; queue_soft = 64;
     queue_hwm = 256; idle_timeout = 300.; writer_delay = 0.; follow = None;
-    repl_digest_every = 64; repl_backlog = 4096 }
+    repl_digest_every = 64; repl_backlog = 4096; trace = false }
 
 (* ---------------------------------------------------------------- *)
 (* Sessions and subscriptions                                        *)
@@ -89,6 +93,14 @@ type out_item =
       first_seq : int;
       mutable count : int;
       mutable pieces_rev : Proto.piece list;  (* newest first *)
+      mutable trace : (int * int) option;  (* latest contributing trace ctx *)
+      enq : float;  (* queue-entry wall time: the queue-wait span start *)
+    }
+  | O_frame of {
+      msg : string;  (* rendered single-line repl head; never dropped *)
+      trace : (int * int) option;
+      wm : bool;  (* stamp the commit watermark at pop time *)
+      enq : float;
     }
   | O_dropped of { sub : int; mutable from_seq : int; to_seq : int }
 
@@ -117,6 +129,7 @@ type t = {
   cfg : config;
   reg : Registry.t;
   sink : Sink.t;
+  tracer : Trace.t;
   mutable store : Store.t;  (* replaced wholesale on a follower snapshot reset *)
   mutable san : Sanitize.t;
   dim : int;
@@ -141,6 +154,11 @@ type t = {
   mutable repl_since_digest : int;
   (* Follower side *)
   mutable repl_pos : (int * int) option;  (* last applied primary (epoch, seq) *)
+  (* Freshness: the highest primary head seq seen on a watermark, and the
+     receiver-local wall time at which we first fell behind it.  Lag is
+     never a cross-host clock comparison — [lag_anchor] is our own clock. *)
+  mutable lag_target : int;
+  mutable lag_anchor : float;
   mutable repl_connected : bool;
   mutable repl_divergence : int;
   mutable repl_fd : Unix.file_descr option;
@@ -151,11 +169,27 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+let tctx (trace_id, span_id) = { Trace.trace_id; span_id }
+
+(* Time [f], observe the duration under [ns_metric], and — when a trace
+   context is being propagated — record it as a depth-1 stage span. *)
+let stage_obs t ?trace ~name ~ns_metric f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Sink.observe t.sink ns_metric (dt *. 1e9);
+  (match trace with
+   | Some c when t.cfg.trace ->
+     ignore (Trace.record ~depth:1 ~ctx:(tctx c) t.tracer ~name ~start:t0 ~dur:dt ())
+   | _ -> ());
+  r
+
 (* ---------------------------------------------------------------- *)
 (* Output queue: enqueue, coalesce, drop                             *)
 
 let render_item = function
   | O_msg s -> s
+  | O_frame f -> f.msg
   | O_event e ->
     Proto.render_server_msg
       (Proto.E_pieces
@@ -205,6 +239,7 @@ let enqueue_item t sess item =
         when last.sub = e.sub && last.first_seq + last.count = e.first_seq ->
         last.pieces_rev <- e.pieces_rev @ last.pieces_rev;
         last.count <- last.count + e.count;
+        (match e.trace with Some _ as tr -> last.trace <- tr | None -> ());
         Sink.count t.sink "moq_server_coalesced_events_total" 1;
         true
       | _ -> false
@@ -252,15 +287,17 @@ let query_of_kind kind ~lo ~hi =
 
 (* t.lock held.  Push freshly validated pieces of [sub] to its session;
    retire the subscription once its whole interval is valid. *)
-let push_fresh t sess sub =
+let push_fresh ?trace t sess sub =
   let pieces = Mon.drain_valid sub.mon in
   if pieces <> [] then begin
     let wire = List.map wire_piece pieces in
     let n = List.length wire in
     Sink.count t.sink "moq_server_pushed_events_total" n;
+    let t0 = Unix.gettimeofday () in
     enqueue t sess
       (O_event { sub = sub.sub_id; first_seq = sub.next_seq; count = n;
-                 pieces_rev = List.rev wire });
+                 pieces_rev = List.rev wire; trace; enq = t0 });
+    Sink.observe t.sink "moq_stage_enqueue_ns" ((Unix.gettimeofday () -. t0) *. 1e9);
     sub.next_seq <- sub.next_seq + n
   end;
   if Q.compare (Mon.clock sub.mon) sub.sub_hi >= 0 then begin
@@ -270,25 +307,28 @@ let push_fresh t sess sub =
   end
 
 (* t.lock held: apply one accepted update to every live subscription. *)
-let fanout t u =
+let fanout ?trace t u =
   List.iter
     (fun sess ->
       List.iter
         (fun sub ->
+          let t0 = Unix.gettimeofday () in
           (match Mon.apply_update sub.mon u with
            | Ok () -> ()
            | Error _ -> Sink.count t.sink "moq_server_fanout_errors_total" 1);
-          push_fresh t sess sub)
+          Sink.observe t.sink "moq_stage_monitor_ns"
+            ((Unix.gettimeofday () -. t0) *. 1e9);
+          push_fresh ?trace t sess sub)
         sess.subs)
     t.sessions
 
 (* qm must NOT be held.  Replication frames are O_msg (never dropped), so
    a follower that stops draining would grow the queue without bound —
    kick it instead; it resumes from its last applied position. *)
-let enqueue_repl t sess msg =
+let enqueue_repl t sess item =
   let kick =
     with_lock sess.qm (fun () ->
-        enqueue_item t sess (O_msg msg);
+        enqueue_item t sess item;
         if sess.qlen > 2 * t.cfg.queue_hwm then begin
           sess.dead <- true;
           Condition.broadcast sess.qc;
@@ -298,14 +338,18 @@ let enqueue_repl t sess msg =
   in
   if kick then begin
     Sink.count t.sink "moq_repl_kicked_followers_total" 1;
+    Log.warn
+      ~fields:[ ("session", Json.Int sess.sid) ]
+      "follower not draining its repl stream; kicking";
     try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
   end
 
 (* t.lock held: one update has been appended to the store.  Fan it out to
    the live subscriptions, remember it in the delta-resume backlog, and
    ship it — plus a periodic state digest — to tailing followers. *)
-let committed t u =
-  fanout t u;
+let committed ?trace t u =
+  stage_obs t ?trace ~name:"fanout" ~ns_metric:"moq_stage_fanout_ns" (fun () ->
+      fanout ?trace t u);
   t.repl_seq <- t.repl_seq + 1;
   Queue.push (t.repl_seq, u) t.repl_backlog_q;
   while Queue.length t.repl_backlog_q > t.cfg.repl_backlog do
@@ -319,7 +363,10 @@ let committed t u =
         (Proto.E_repl_update { seq = t.repl_seq; dim = t.dim; u })
     in
     Sink.count t.sink "moq_repl_streamed_updates_total" (List.length followers);
-    List.iter (fun sess -> enqueue_repl t sess msg) followers;
+    let enq = Unix.gettimeofday () in
+    List.iter
+      (fun sess -> enqueue_repl t sess (O_frame { msg; trace; wm = true; enq }))
+      followers;
     t.repl_since_digest <- t.repl_since_digest + 1;
     if t.cfg.repl_digest_every > 0
        && t.repl_since_digest >= t.cfg.repl_digest_every
@@ -333,23 +380,33 @@ let committed t u =
                crc = Crc32.to_hex (Crc32.string payload) })
       in
       Sink.count t.sink "moq_repl_digests_total" 1;
-      List.iter (fun sess -> enqueue_repl t sess dmsg) followers
+      let enq = Unix.gettimeofday () in
+      List.iter
+        (fun sess ->
+          enqueue_repl t sess (O_frame { msg = dmsg; trace = None; wm = true; enq }))
+        followers
     end
 
 (* t.lock held.  The sanitizer → WAL pipeline: like {!Store.ingest}, but
    every applied update — including quarantine graduates — is fanned out to
    the live subscriptions. *)
-let ingest_and_fanout t u =
-  let try_apply u =
-    match Sanitize.classify t.san (Store.db t.store) u with
+let ingest_and_fanout ?trace t u =
+  let try_apply ?trace u =
+    match
+      stage_obs t ?trace ~name:"sanitize" ~ns_metric:"moq_stage_sanitize_ns"
+        (fun () -> Sanitize.classify t.san (Store.db t.store) u)
+    with
     | Sanitize.Accepted _ as v ->
-      (match Store.append t.store u with
-       | Ok () -> committed t u
+      (match
+         stage_obs t ?trace ~name:"append" ~ns_metric:"moq_stage_store_append_ns"
+           (fun () -> Store.append t.store u)
+       with
+       | Ok () -> committed ?trace t u
        | Error _ -> () (* unreachable: classified against this very db *));
       v
     | v -> v
   in
-  let verdict = try_apply u in
+  let verdict = try_apply ?trace u in
   (match verdict with
    | Sanitize.Accepted _ ->
      let rec drain () =
@@ -393,10 +450,26 @@ let rpc_name = function
   | Proto.Stats _ -> "stats"
   | Proto.Ping -> "ping"
   | Proto.Bye -> "bye"
-  | Proto.Repl_hello _ -> "repl-hello"
+  | Proto.Repl_hello _ -> "repl_hello"  (* snake_case: this names a metric *)
+
+(* The propagated trace ctx for a request, when tracing is on. *)
+let req_trace t (attrs : Proto.attrs) = if t.cfg.trace then attrs.Proto.a_trace else None
+
+(* Record the cross-process link span: the gap between the sender stamping
+   [ts] at socket write and this process parsing the frame at [arrival].
+   Sender and receiver clocks only meet here — on one host (the deployment
+   this repo's tests exercise) the gap is exact; across hosts it inherits
+   clock skew, which is why the lag gauges use watermarks instead. *)
+let record_link t ?(name = "link") (attrs : Proto.attrs) ~arrival =
+  match (req_trace t attrs, attrs.Proto.a_ts) with
+  | Some c, Some ts ->
+    let start = Float.min ts arrival in
+    ignore
+      (Trace.record ~ctx:(tctx c) t.tracer ~name ~start ~dur:(arrival -. start) ())
+  | _ -> ()
 
 (* Returns [false] when the session should close. *)
-let dispatch t sess (req : Proto.request) =
+let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
   Sink.count t.sink "moq_server_rpcs_total" 1;
   Sink.time t.sink (Printf.sprintf "moq_server_rpc_%s_seconds" (rpc_name req))
   @@ fun () ->
@@ -429,7 +502,17 @@ let dispatch t sess (req : Proto.request) =
       true
     end
     else begin
-      let verdict = with_lock t.lock (fun () -> ingest_and_fanout t u) in
+      let trace = req_trace t attrs in
+      record_link t attrs ~arrival;
+      let verdict = with_lock t.lock (fun () -> ingest_and_fanout ?trace t u) in
+      let t_done = Unix.gettimeofday () in
+      Sink.observe t.sink "moq_stage_ingest_ns" ((t_done -. arrival) *. 1e9);
+      (match trace with
+       | Some c ->
+         ignore
+           (Trace.record ~ctx:(tctx c) t.tracer ~name:"dispatch" ~start:arrival
+              ~dur:(t_done -. arrival) ())
+       | None -> ());
       enqueue_msg t sess (Proto.R_update (verdict_wire verdict));
       true
     end
@@ -471,6 +554,7 @@ let dispatch t sess (req : Proto.request) =
           enqueue_msg t sess (Proto.R_unsubscribe { sub = sub_id; pieces }));
     true
   | Proto.Query { kind; lo; hi } ->
+    record_link t attrs ~arrival;
     (* snapshot under the lock, sweep outside it: the MOD is persistent *)
     let db = with_lock t.lock (fun () -> Store.db t.store) in
     let gdist = Gdist.euclidean_sq ~gamma:(origin_gamma t.dim) in
@@ -479,6 +563,13 @@ let dispatch t sess (req : Proto.request) =
       | Proto.Qk_knn k -> (Knn.run_obs ~sink:t.sink ~db ~gdist ~k ~lo ~hi).Knn.timeline
       | Proto.Qk_range b -> (Range.run ~db ~gdist ~bound:b ~lo ~hi).Range.timeline
     in
+    (match req_trace t attrs with
+     | Some c ->
+       let t_done = Unix.gettimeofday () in
+       ignore
+         (Trace.record ~ctx:(tctx c) t.tracer ~name:"query" ~start:arrival
+            ~dur:(t_done -. arrival) ())
+     | None -> ());
     enqueue_msg t sess (Proto.R_query (List.map wire_piece timeline));
     true
   | Proto.Stats fmt ->
@@ -530,12 +621,16 @@ let dispatch t sess (req : Proto.request) =
              commit can interleave between the handshake and the stream *)
           match delta_from with
           | Some s ->
+            let enq = Unix.gettimeofday () in
             Queue.iter
               (fun (q, u) ->
                 if q > s then
                   enqueue_repl t sess
-                    (Proto.render_server_msg
-                       (Proto.E_repl_update { seq = q; dim = t.dim; u })))
+                    (O_frame
+                       { msg =
+                           Proto.render_server_msg
+                             (Proto.E_repl_update { seq = q; dim = t.dim; u });
+                         trace = None; wm = true; enq }))
               t.repl_backlog_q
           | None -> ());
       true
@@ -561,8 +656,48 @@ let writer_loop t sess =
         sess.outq <- rest;
         sess.qlen <- sess.qlen - 1;
         Mutex.unlock sess.qm;
-        (match Frame.write sess.fd (render_item item) with
+        let now = Unix.gettimeofday () in
+        let payload =
+          match item with
+          | O_event e ->
+            Sink.observe t.sink "moq_stage_queue_ns" ((now -. e.enq) *. 1e9);
+            let msg =
+              Proto.E_pieces
+                { sub = e.sub; first_seq = e.first_seq; pieces = List.rev e.pieces_rev }
+            in
+            (match e.trace with
+             | Some c when t.cfg.trace ->
+               ignore
+                 (Trace.record ~ctx:(tctx c) t.tracer ~name:"queue" ~start:e.enq
+                    ~dur:(now -. e.enq) ());
+               Proto.render_server_msg_attrs
+                 { Proto.no_attrs with Proto.a_trace = Some c; a_ts = Some now }
+                 msg
+             | _ -> Proto.render_server_msg msg)
+          | O_frame f ->
+            Sink.observe t.sink "moq_stage_queue_ns" ((now -. f.enq) *. 1e9);
+            let trace = if t.cfg.trace then f.trace else None in
+            (match trace with
+             | Some c ->
+               ignore
+                 (Trace.record ~ctx:(tctx c) t.tracer ~name:"queue" ~start:f.enq
+                    ~dur:(now -. f.enq) ())
+             | None -> ());
+            (* unsynchronized read of epoch/repl_seq: both advance
+               monotonically, so a momentarily stale watermark can only
+               understate the follower's lag *)
+            let wm = if f.wm then Some (t.epoch, t.repl_seq) else None in
+            f.msg
+            ^ Proto.render_attrs
+                { Proto.a_trace = trace;
+                  a_ts = (if trace <> None then Some now else None);
+                  a_wm = wm }
+          | item -> render_item item
+        in
+        (match Frame.write sess.fd payload with
          | Ok () ->
+           Sink.observe t.sink "moq_stage_write_ns"
+             ((Unix.gettimeofday () -. now) *. 1e9);
            if t.cfg.writer_delay > 0. then Thread.delay t.cfg.writer_delay;
            go ()
          | Error e ->
@@ -593,6 +728,7 @@ let teardown t sess =
       Condition.broadcast sess.qc);
   (match sess.writer with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   (try Unix.close sess.fd with Unix.Unix_error _ -> ());
+  Log.debug ~fields:[ ("session", Json.Int sess.sid) ] "session closed";
   if not t.crashed then
     with_lock t.lock (fun () ->
         t.sessions <- List.filter (fun s -> s.sid <> sess.sid) t.sessions;
@@ -614,18 +750,21 @@ let reader_loop t sess =
       enqueue_msg t sess
         (Proto.R_err { code = "proto"; msg = Frame.error_to_string g })
     | `Frame payload ->
-      (match Proto.parse_request ~dim:t.dim payload with
+      (match Proto.parse_request_attrs ~dim:t.dim payload with
        | Error e ->
          Sink.count t.sink "moq_server_protocol_errors_total" 1;
          enqueue_msg t sess (Proto.R_err { code = "proto"; msg = e });
          go ~hello_done
-       | Ok ((Proto.Hello _ | Proto.Repl_hello _) as req) ->
-         if dispatch t sess req then go ~hello_done:true
+       | Ok (((Proto.Hello _ | Proto.Repl_hello _) as req), attrs) ->
+         if dispatch t sess req attrs ~arrival:(Unix.gettimeofday ()) then
+           go ~hello_done:true
        | Ok _ when not hello_done ->
          Sink.count t.sink "moq_server_protocol_errors_total" 1;
          enqueue_msg t sess (Proto.R_err { code = "proto"; msg = "HELLO first" });
          go ~hello_done
-       | Ok req -> if dispatch t sess req then go ~hello_done)
+       | Ok (req, attrs) ->
+         if dispatch t sess req attrs ~arrival:(Unix.gettimeofday ()) then
+           go ~hello_done)
   in
   (try go ~hello_done:false with _ -> ());
   teardown t sess
@@ -655,6 +794,10 @@ let handle_accept t fd =
   match admitted with
   | None ->
     Sink.count t.sink "moq_server_rejected_sessions_total" 1;
+    Log.warn
+      ~fields:
+        [ ("reason", Json.Str (if t.stopping then "shutting-down" else "busy")) ]
+      "session rejected";
     let msg =
       Proto.render_server_msg
         (Proto.R_err
@@ -668,6 +811,7 @@ let handle_accept t fd =
      | exception Unix.Unix_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
   | Some sess ->
+    Log.debug ~fields:[ ("session", Json.Int sess.sid) ] "session accepted";
     sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
     let reader = Thread.create (fun () -> reader_loop t sess) () in
     with_lock t.lock (fun () -> t.readers <- reader :: t.readers)
@@ -737,6 +881,8 @@ let snapshot_reset t db =
   Queue.clear t.repl_backlog_q;
   t.repl_since_digest <- 0;
   Sink.count t.sink "moq_repl_resets_total" 1;
+  Log.info ~fields:[ ("epoch", Json.Int t.epoch) ]
+    "snapshot reset: state replaced from primary image";
   List.iter
     (fun sess ->
       if sess.repl || sess.subs <> [] then begin
@@ -750,6 +896,28 @@ let snapshot_reset t db =
         try Unix.shutdown sess.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
       end)
     t.sessions
+
+(* t.lock held.  Refresh the freshness gauges from a commit watermark:
+   [head] is the primary's head seq as carried on the last repl frame.
+   Lag-in-updates is the watermark/applied delta; lag-in-ms is measured
+   against the receiver-local instant we first fell behind — no cross-host
+   clock comparison is ever involved. *)
+let note_lag t ~head =
+  let applied = match t.repl_pos with Some (_, s) -> s | None -> 0 in
+  let now = Unix.gettimeofday () in
+  if head > applied then begin
+    if head > t.lag_target then begin
+      if t.lag_target <= applied then t.lag_anchor <- now;
+      t.lag_target <- head
+    end;
+    Sink.set t.sink "moq_repl_lag_updates" (float_of_int (head - applied));
+    Sink.set t.sink "moq_repl_lag_ms" ((now -. t.lag_anchor) *. 1000.)
+  end
+  else begin
+    t.lag_target <- applied;
+    Sink.set t.sink "moq_repl_lag_updates" 0.;
+    Sink.set t.sink "moq_repl_lag_ms" 0.
+  end
 
 (* One replication session over [fd]: handshake, apply the bootstrap
    snapshot or resume as a delta, then pump the commit stream.  Returns
@@ -811,42 +979,78 @@ let repl_tail t fd =
                 | None, Some (_, s) ->
                   (* a delta is only granted within our epoch *)
                   t.repl_pos <- Some (epoch, s));
-               t.repl_connected <- true);
+               t.repl_connected <- true;
+               (* the handshake names the primary's head: seed the lag
+                  gauges so a resume shows its backlog immediately *)
+               note_lag t ~head:seq);
+           Log.info
+             ~fields:
+               [ ("epoch", Json.Int epoch); ("seq", Json.Int seq);
+                 ("mode", Json.Str (if snapshot = None then "delta" else "snapshot")) ]
+             "replication stream connected";
            let rec pump () =
              match read_frame () with
              | None -> ()
              | Some p ->
-               (match Proto.parse_server_msg p with
-                | Ok (Proto.E_repl_update { seq = useq; dim = _; u }) ->
+               (match Proto.parse_server_msg_attrs p with
+                | Ok (Proto.E_repl_update { seq = useq; dim = _; u }, attrs) ->
+                  let arrival = Unix.gettimeofday () in
+                  record_link t attrs ~arrival;
+                  let trace = req_trace t attrs in
                   let contiguous =
                     with_lock t.lock (fun () ->
                         let last =
                           match t.repl_pos with Some (_, s) -> s | None -> -1
                         in
-                        if useq <= last then true (* resume replay overlap *)
-                        else if useq = last + 1 then begin
-                          (match Store.append t.store u with
-                           | Ok () -> committed t u
-                           | Error _ ->
-                             (* the primary accepted it; refusing it here is
-                                itself a divergence signal *)
-                             Sink.count t.sink "moq_repl_apply_errors_total" 1);
-                          t.repl_pos <- Some (epoch, useq);
-                          true
-                        end
-                        else begin
-                          (* a hole in the commit stream: the link delivered
-                             frames out of order (a scrambling network, not
-                             the primary).  Applying past the hole would lose
-                             an update forever; drop the session instead and
-                             delta-resume from our last applied position *)
-                          Sink.count t.sink "moq_repl_stream_gaps_total" 1;
-                          false
-                        end)
+                        let r =
+                          if useq <= last then true (* resume replay overlap *)
+                          else if useq = last + 1 then begin
+                            (match Store.append t.store u with
+                             | Ok () -> committed ?trace t u
+                             | Error _ ->
+                               (* the primary accepted it; refusing it here is
+                                  itself a divergence signal *)
+                               Sink.count t.sink "moq_repl_apply_errors_total" 1);
+                            t.repl_pos <- Some (epoch, useq);
+                            true
+                          end
+                          else begin
+                            (* a hole in the commit stream: the link delivered
+                               frames out of order (a scrambling network, not
+                               the primary).  Applying past the hole would lose
+                               an update forever; drop the session instead and
+                               delta-resume from our last applied position *)
+                            Sink.count t.sink "moq_repl_stream_gaps_total" 1;
+                            Log.warn
+                              ~fields:
+                                [ ("expected", Json.Int (last + 1));
+                                  ("got", Json.Int useq) ]
+                              "replication stream gap; dropping session to resume";
+                            false
+                          end
+                        in
+                        (* the frame's watermark names the primary's head at
+                           send time — the freshness reference *)
+                        (match attrs.Proto.a_wm with
+                         | Some (we, head) when we = epoch -> note_lag t ~head
+                         | _ -> note_lag t ~head:useq);
+                        r)
                   in
+                  let t_done = Unix.gettimeofday () in
+                  Sink.observe t.sink "moq_stage_follower_apply_ns"
+                    ((t_done -. arrival) *. 1e9);
+                  (match trace with
+                   | Some c ->
+                     ignore
+                       (Trace.record ~ctx:(tctx c) t.tracer ~name:"apply"
+                          ~start:arrival ~dur:(t_done -. arrival) ())
+                   | None -> ());
                   if contiguous then pump ()
-                | Ok (Proto.E_repl_digest { clock; bytes; crc }) ->
+                | Ok (Proto.E_repl_digest { clock; bytes; crc }, attrs) ->
                   with_lock t.lock (fun () ->
+                      (match attrs.Proto.a_wm with
+                       | Some (we, head) when we = epoch -> note_lag t ~head
+                       | _ -> ());
                       (* the stream is ordered, so at the digest's clock our
                          state must serialize to the primary's exact bytes *)
                       if Q.compare (Store.clock t.store) clock = 0 then begin
@@ -856,11 +1060,17 @@ let repl_tail t fd =
                            || Crc32.to_hex (Crc32.string payload) <> crc
                         then begin
                           t.repl_divergence <- t.repl_divergence + 1;
-                          Sink.count t.sink "moq_repl_divergence_total" 1
+                          Sink.count t.sink "moq_repl_divergence_total" 1;
+                          Log.error
+                            ~fields:
+                              [ ("clock", Json.Str (Q.to_string clock));
+                                ("expected_bytes", Json.Int bytes);
+                                ("got_bytes", Json.Int (String.length payload)) ]
+                            "replica state diverges from primary digest"
                         end
                       end);
                   pump ()
-                | Ok (Proto.E_shutdown _) -> ()
+                | Ok (Proto.E_shutdown _, _) -> ()
                 | Ok _ | Error _ -> pump ())
            in
            pump ();
@@ -892,6 +1102,10 @@ let repl_loop t paddr =
         t.repl_fd <- None;
         (try Unix.close fd with Unix.Unix_error _ -> ());
         with_lock t.lock (fun () -> t.repl_connected <- false);
+        if not t.stopping then
+          Log.info
+            ~fields:[ ("handshake_ok", Json.Bool ok) ]
+            "replication stream disconnected; reconnecting";
         if ok then backoff := 0.05;
         retry ()
     end
@@ -943,16 +1157,32 @@ let start ?registry cfg =
      | listen_fd ->
        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
        let san = Sanitize.create ~sink () in
+       let tracer =
+         Trace.create ~capacity:1024
+           ~host:(match cfg.follow with Some _ -> "follower" | None -> "primary")
+           ()
+       in
        let t =
-         { cfg; reg; sink; store; san; dim = Store.dim store; lock = Mutex.create ();
+         { cfg; reg; sink; store; san; tracer; dim = Store.dim store;
+           lock = Mutex.create ();
            sessions = []; next_sid = 1; next_sub = 1; stopping = false;
            crashed = false; listen_fd; wake_r; wake_w; accept_thread = None;
            readers = []; epoch = fresh_epoch (); repl_seq = 0;
            repl_backlog_q = Queue.create (); repl_since_digest = 0;
            repl_pos = None; repl_connected = false; repl_divergence = 0;
+           lag_target = 0; lag_anchor = 0.;
            repl_fd = None; repl_thread = None }
        in
        update_gauges t;
+       (* register the load-bearing counters at zero so a scrape (or `moq
+          top`) before the first event still sees them *)
+       Sink.count sink "moq_server_rpcs_total" 0;
+       Sink.count sink "moq_server_dropped_events_total" 0;
+       if cfg.follow <> None then begin
+         (* same for the freshness gauges before the first repl frame *)
+         Sink.set sink "moq_repl_lag_updates" 0.;
+         Sink.set sink "moq_repl_lag_ms" 0.
+       end;
        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
        (match cfg.follow with
         | Some paddr ->
@@ -976,6 +1206,7 @@ let bound_addr t =
   | a, _ -> a
 
 let registry t = t.reg
+let tracer t = t.tracer
 let db_snapshot t = with_lock t.lock (fun () -> Store.db t.store)
 let clock t = with_lock t.lock (fun () -> Store.clock t.store)
 let is_follower t = t.cfg.follow <> None

@@ -68,6 +68,9 @@ type config = {
           updates; 0 disables (default 64) *)
   repl_backlog : int;
       (** commits kept in memory for delta resumes (default 4096) *)
+  trace : bool;
+      (** propagate [trace=] contexts and record pipeline spans; stage
+          histograms are always collected regardless (default false) *)
 }
 
 val default_config : listen:addr -> store_dir:string -> config
@@ -86,6 +89,10 @@ val bound_addr : t -> addr
 (** Actual address — resolves port 0 to the kernel-chosen port. *)
 
 val registry : t -> Moq_obs.Registry.t
+
+val tracer : t -> Moq_obs.Trace.t
+(** The server's span ring: pipeline stages (link, dispatch, queue, apply)
+    recorded when [config.trace] is set. *)
 
 val db_snapshot : t -> DB.t
 (** Current MOD (persistent value, safe to use concurrently). *)

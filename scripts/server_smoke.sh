@@ -56,6 +56,21 @@ stop_server() { # graceful drain
 start_server "$WORK/a" "$WORK/a.log"
 printf '%s\n%s\n%s\n' "$UPDATES_FIRST" "$UPDATES_SECOND" "$PROBE" \
   | $MOQ client --connect "$ADDR" >"$WORK/a.out"
+
+# dashboard smoke: one `moq top` JSON sample against the live server must
+# report a healthy primary with populated stage histograms
+$MOQ top --once --json "$ADDR" >"$WORK/top.json"
+python3 - "$WORK/top.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+(ep,) = doc["endpoints"]
+assert ep["ok"] is True, ep
+assert ep["role"] == "primary", ep
+assert ep["stages"], "no stage histograms in top output"
+assert ep["dropped_events_total"] == 0, ep
+print("moq top smoke OK: primary healthy, %d stage histograms" % len(ep["stages"]))
+PY
+
 stop_server
 grep -q 'drained; store checkpointed' "$WORK/a.log" \
   || { echo "phase A: no graceful drain"; exit 1; }

@@ -22,9 +22,18 @@ plus optional per-experiment extras:
     "agg_query_rps": float     # >= 0; replication experiments only
     "primary_p99_ms": float    # >= 0; replication experiments only
     "divergence_detected": bool  # must be false — replicas stayed exact
+    "trace_overhead_pct": float  # tracing cost in % throughput (o1); may be < 0
+    "rps_trace_off": float     # >= 0; o1 only
+    "rps_trace_on": float      # >= 0; o1 only
+    "e2e_p50_ms": float        # >= 0; o1 only
+    "e2e_p99_ms": float        # > 0 and >= e2e_p50_ms; o1 only
+    "e2e_samples": int         # > 0; o1 only
+    "repl_lag_p99": float      # >= 0; o1 only
+    "final_lag_updates": int   # must be 0 — the follower caught up
 
-Usage: validate_bench.py [--min-hit-rate X] FILE [FILE...]
+Usage: validate_bench.py [--min-hit-rate X] [--max-trace-overhead X] FILE...
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
+With --max-trace-overhead, files carrying "trace_overhead_pct" above X fail.
 Exits non-zero with one `file: message` line per problem.
 """
 import argparse
@@ -37,14 +46,17 @@ OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "connections", "rps", "p50_ms", "p99_ms", "pushed_events",
             "dropped", "recover_identical",
             "followers", "agg_query_rps", "primary_p99_ms",
-            "divergence_detected"}
+            "divergence_detected",
+            "trace_overhead_pct", "rps_trace_off", "rps_trace_on",
+            "e2e_p50_ms", "e2e_p99_ms", "e2e_samples", "repl_lag_p99",
+            "final_lag_updates"}
 
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
-def problems(path, min_hit_rate=None):
+def problems(path, min_hit_rate=None, max_trace_overhead=None):
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -108,6 +120,33 @@ def problems(path, min_hit_rate=None):
     if "divergence_detected" in doc and doc["divergence_detected"] is not False:
         yield ("'divergence_detected' must be false — a replica diverged "
                "from the primary")
+    if "trace_overhead_pct" in doc:
+        overhead = doc["trace_overhead_pct"]
+        if not is_number(overhead):
+            yield "'trace_overhead_pct' must be a number"
+        elif max_trace_overhead is not None and overhead > max_trace_overhead:
+            yield "trace_overhead_pct %.2f above allowed maximum %.2f" % (
+                overhead, max_trace_overhead)
+    elif max_trace_overhead is not None:
+        yield "--max-trace-overhead given but file has no 'trace_overhead_pct'"
+    for key in ("rps_trace_off", "rps_trace_on", "e2e_p50_ms", "repl_lag_p99"):
+        if key in doc and (not is_number(doc[key]) or doc[key] < 0):
+            yield "'%s' must be a non-negative number" % key
+    if "e2e_p99_ms" in doc and (
+        not is_number(doc["e2e_p99_ms"]) or doc["e2e_p99_ms"] <= 0
+    ):
+        yield "'e2e_p99_ms' must be a positive number"
+    if (is_number(doc.get("e2e_p50_ms")) and is_number(doc.get("e2e_p99_ms"))
+            and doc["e2e_p99_ms"] < doc["e2e_p50_ms"]):
+        yield "'e2e_p99_ms' must be >= 'e2e_p50_ms'"
+    if "e2e_samples" in doc and (
+        not isinstance(doc["e2e_samples"], int)
+        or isinstance(doc["e2e_samples"], bool) or doc["e2e_samples"] <= 0
+    ):
+        yield "'e2e_samples' must be a positive integer"
+    if "final_lag_updates" in doc and doc["final_lag_updates"] != 0:
+        yield ("'final_lag_updates' must be 0 — the follower never caught "
+               "up with the primary")
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"
@@ -124,12 +163,16 @@ def main(argv):
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--min-hit-rate", type=float, default=None, metavar="X",
                         help="fail files whose filter_hit_rate is below X")
+    parser.add_argument("--max-trace-overhead", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose trace_overhead_pct is above X")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
     bad = 0
     for path in args.files:
         found = False
-        for msg in problems(path, min_hit_rate=args.min_hit_rate):
+        for msg in problems(path, min_hit_rate=args.min_hit_rate,
+                            max_trace_overhead=args.max_trace_overhead):
             print("%s: %s" % (path, msg), file=sys.stderr)
             found = True
         if found:

@@ -21,6 +21,9 @@ module Proto = Moq_proto.Proto
 module Server = Moq_server.Server
 module Client = Moq_server.Client
 module Chaos = Moq_chaos.Chaos
+module Registry = Moq_obs.Registry
+module Sink = Moq_obs.Sink
+module Trace = Moq_obs.Trace
 
 let q = Q.of_int
 
@@ -62,13 +65,13 @@ let wait_for ?(deadline = 15.) what pred =
   in
   go ()
 
-let with_primary db f =
+let with_primary ?(trace = false) db f =
   let dir = tmp_dir () in
   let cfg =
     { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
       with
       Server.init_db = Some db; fsync = false; idle_timeout = 0.;
-      repl_digest_every = 1 }
+      repl_digest_every = 1; trace }
   in
   let srv =
     match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e
@@ -81,13 +84,13 @@ let with_primary db f =
 
 (* A follower of [of_] (usually the primary's address, possibly behind a
    chaos proxy). *)
-let with_follower ~of_ f =
+let with_follower ?(trace = false) ~of_ f =
   let dir = tmp_dir () in
   let cfg =
     { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
       with
       Server.init_db = Some (DB.empty ~dim:2 ~tau:(q 0)); fsync = false;
-      idle_timeout = 0.; follow = Some of_ }
+      idle_timeout = 0.; follow = Some of_; trace }
   in
   let fol =
     match Server.start cfg with Ok s -> s | Error e -> Alcotest.fail e
@@ -301,6 +304,197 @@ let test_partition_heal seed () =
               Client.close uc)))
 
 (* ------------------------------------------------------------------ *)
+(* Stitched trace: one update's spans across primary, follower and     *)
+(* client tile the measured end-to-end latency                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_stitched_trace seed () =
+  let db = Gen.uniform_db ~seed ~n:6 ~extent:20 ~speed:4 () in
+  with_primary ~trace:true db (fun pri ->
+      let proxy =
+        Chaos.start ~profile:Chaos.quiet ~seed
+          ~upstream:(Server.sockaddr_of (Server.bound_addr pri)) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Chaos.stop proxy)
+        (fun () ->
+          with_follower ~trace:true
+            ~of_:(Server.Tcp ("127.0.0.1", Chaos.port proxy))
+            (fun fol ->
+              wait_for "follower bootstrap" (fun () ->
+                  Server.repl_connected fol && converged pri fol);
+              let ctr = Trace.create ~host:"client" () in
+              let creg = Registry.create () in
+              let csink = Sink.of_registry creg in
+              let conn srv =
+                match
+                  Client.connect ~timeout:10. ~sink:csink ~tracer:ctr
+                    (Server.bound_addr srv)
+                with
+                | Ok c -> c
+                | Error e -> Alcotest.fail (Client.error_to_string e)
+              in
+              let c_sub = conn fol and c_up = conn pri in
+              hello c_sub;
+              hello c_up;
+              (match
+                 Client.request c_sub
+                   (Proto.Subscribe
+                      { kind = Proto.Sub_knn 1; lo = q 0; hi = q 1000 })
+               with
+               | Ok (Proto.R_subscribe _) -> ()
+               | Ok m ->
+                 Alcotest.failf "subscribe: %s" (Proto.render_server_msg m)
+               | Error e ->
+                 Alcotest.failf "subscribe: %s" (Client.error_to_string e));
+              let updates =
+                clean_updates db
+                  (Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 1) ~gap:(q 2)
+                     ~count:8 ())
+              in
+              (* trace every commit; the first traced event to surface at the
+                 client (through the follower) picks the trace we audit *)
+              let sent = Hashtbl.create 16 in
+              let matched = ref None in
+              let poll timeout =
+                match Client.next_event_full ~timeout c_sub with
+                | Some (_, attrs, _) ->
+                  (match attrs.Proto.a_trace with
+                   | Some (tid, _) when Hashtbl.mem sent tid && !matched = None
+                     ->
+                     matched :=
+                       Some (tid, Hashtbl.find sent tid, Unix.gettimeofday ())
+                   | _ -> ())
+                | None -> ()
+              in
+              List.iter
+                (fun u ->
+                  if !matched = None then begin
+                    let ctx = Trace.new_ctx () in
+                    Hashtbl.replace sent ctx.Trace.trace_id
+                      (Unix.gettimeofday ());
+                    (match
+                       Client.request_attrs c_up
+                         { Proto.no_attrs with
+                           Proto.a_trace =
+                             Some (ctx.Trace.trace_id, ctx.Trace.span_id) }
+                         (Proto.Update u)
+                     with
+                     | Ok (Proto.R_update _) -> ()
+                     | Ok m ->
+                       Alcotest.failf "update: %s" (Proto.render_server_msg m)
+                     | Error e ->
+                       Alcotest.failf "update: %s" (Client.error_to_string e));
+                    poll 0.3
+                  end)
+                updates;
+              let stop = Unix.gettimeofday () +. 10. in
+              while !matched = None && Unix.gettimeofday () < stop do
+                poll 0.3
+              done;
+              (match !matched with
+               | None -> Alcotest.fail "no traced event reached the client"
+               | Some (tid, t0, t1) ->
+                 let e2e = t1 -. t0 in
+                 Thread.delay 0.05;  (* let trailing queue spans land *)
+                 let spans =
+                   List.concat_map Trace.spans
+                     [ Server.tracer pri; Server.tracer fol; ctr ]
+                   |> List.filter (fun s ->
+                       match Trace.span_ctx s with
+                       | Some c -> c.Trace.trace_id = tid
+                       | None -> false)
+                 in
+                 Alcotest.(check (list string)) "spans from every hop"
+                   [ "client"; "follower"; "primary" ]
+                   (List.sort_uniq compare (List.map Trace.span_host spans));
+                 (* the depth-0 spans tile the pipeline: their durations must
+                    account for the measured end-to-end latency *)
+                 let stage_sum =
+                   List.fold_left
+                     (fun acc s ->
+                       if Trace.span_depth s = 0 then acc +. Trace.duration s
+                       else acc)
+                     0. spans
+                 in
+                 let tol = Float.max (0.1 *. e2e) 0.002 in
+                 if Float.abs (stage_sum -. e2e) > tol then
+                   Alcotest.failf
+                     "stage spans sum to %.3f ms but e2e is %.3f ms (tol %.3f ms)"
+                     (1000. *. stage_sum) (1000. *. e2e) (1000. *. tol);
+                 (* the client sink saw the delivery *)
+                 Alcotest.(check bool) "e2e histogram populated" true
+                   (List.assoc_opt "moq_client_e2e_seconds_count"
+                      (Registry.flatten creg)
+                    |> Option.value ~default:0. > 0.));
+              Client.close c_up;
+              Client.close c_sub)))
+
+(* ------------------------------------------------------------------ *)
+(* Replication lag gauge: climbs while partitioned, back to 0 on heal  *)
+(* ------------------------------------------------------------------ *)
+
+let lag_gauges fol =
+  let flat = Registry.flatten (Server.registry fol) in
+  ( List.assoc_opt "moq_repl_lag_updates" flat,
+    List.assoc_opt "moq_repl_lag_ms" flat )
+
+let test_lag_heals seed () =
+  let db = Gen.uniform_db ~seed ~n:6 ~extent:20 ~speed:4 () in
+  with_primary db (fun pri ->
+      let proxy =
+        Chaos.start ~profile:Chaos.quiet ~seed
+          ~upstream:(Server.sockaddr_of (Server.bound_addr pri)) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Chaos.stop proxy)
+        (fun () ->
+          with_follower ~of_:(Server.Tcp ("127.0.0.1", Chaos.port proxy))
+            (fun fol ->
+              wait_for "follower bootstrap" (fun () ->
+                  Server.repl_connected fol && converged pri fol);
+              (* the gauges exist from the start, so dashboards never miss
+                 the metric on a healthy follower *)
+              (match lag_gauges fol with
+               | Some u, Some ms ->
+                 Alcotest.(check (float 0.)) "lag starts at 0" 0. u;
+                 Alcotest.(check (float 0.)) "lag ms starts at 0" 0. ms
+               | _ -> Alcotest.fail "lag gauges not registered at start");
+              let uc = connect pri in
+              hello uc;
+              let updates =
+                clean_updates db
+                  (Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q 1) ~gap:(q 1)
+                     ~count:12 ())
+              in
+              let send u =
+                match req uc (Proto.Update u) with
+                | Proto.R_update Proto.V_accepted -> ()
+                | m ->
+                  Alcotest.failf "update not accepted: %s"
+                    (Proto.render_server_msg m)
+              in
+              Chaos.partition proxy;
+              wait_for "link observed down" (fun () ->
+                  not (Server.repl_connected fol));
+              List.iter send updates;
+              Alcotest.(check bool) "follower is behind" true
+                (not (Q.equal (Server.clock fol) (Server.clock pri)));
+              wait_for "reconnect attempt refused" (fun () ->
+                  (Chaos.stats proxy).Chaos.refused >= 1);
+              Chaos.heal proxy;
+              wait_for "post-heal convergence" (fun () ->
+                  Server.repl_connected fol && converged pri fol);
+              (* the acceptance criterion: lag back to exactly 0 once the
+                 backlog has replayed *)
+              wait_for "lag gauge back to 0" (fun () ->
+                  match lag_gauges fol with
+                  | Some u, Some ms -> u = 0. && ms = 0.
+                  | _ -> false);
+              Alcotest.(check int) "no divergence" 0 (Server.repl_divergence fol);
+              Client.close uc)))
+
+(* ------------------------------------------------------------------ *)
 (* Request workload through a torn, delayed, reordered link            *)
 (* ------------------------------------------------------------------ *)
 
@@ -353,4 +547,6 @@ let () =
   Alcotest.run "chaos"
     [ ("failover", per_seed "kill the primary" test_kill_primary_failover);
       ("partition", per_seed "partition and heal" test_partition_heal);
+      ("trace", per_seed "stitched cross-process trace" test_stitched_trace);
+      ("lag", per_seed "lag gauge heals" test_lag_heals);
       ("proxy", per_seed "requests through chaos" test_requests_through_chaos) ]

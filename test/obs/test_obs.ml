@@ -87,6 +87,33 @@ let test_counter_overflow () =
     (Invalid_argument "Registry.add: counters are monotonic") (fun () ->
       Registry.add c (-1))
 
+(* Regression for the unsynchronised-increment bug: counters, sinks and
+   histograms must tally exactly under contention, not approximately.
+   Before the registry grew its mutex, parallel [add]s lost updates. *)
+let test_registry_race () =
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let h = Registry.histogram reg "race_lat" in
+  let c = Registry.counter reg "race_total" in
+  let threads = 8 and iters = 10_000 in
+  let worker _ =
+    for _ = 1 to iters do
+      Registry.add c 1;
+      (* exercises lazy registration under contention too *)
+      Sink.count sink "race_sink_total" 1;
+      Histo.observe h 1.0
+    done
+  in
+  let ts = List.init threads (fun i -> Thread.create worker i) in
+  List.iter Thread.join ts;
+  let expect = threads * iters in
+  Alcotest.(check int) "counter exact" expect (Registry.value c);
+  Alcotest.(check (option int)) "sink counter exact" (Some expect)
+    (Registry.counter_value reg "race_sink_total");
+  Alcotest.(check int) "histogram count exact" expect (Histo.count h);
+  Alcotest.(check (float 1e-6)) "histogram sum exact" (float_of_int expect)
+    (Histo.sum h)
+
 let test_registry_idempotent () =
   let reg = Registry.create () in
   let c1 = Registry.counter reg "shared_total" in
@@ -135,6 +162,28 @@ let test_prometheus_golden () =
      moq_order_len 17.5\n"
   in
   Alcotest.(check string) "exposition" expected (Export.prometheus reg)
+
+(* Hostile metric names and help strings must not corrupt the exposition
+   stream: names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*, HELP text gets
+   backslash and newline escaped (format 0.0.4), nothing else changes. *)
+let test_prometheus_pathological () =
+  let reg = Registry.create () in
+  let anon = Registry.counter ~help:"anonymous" reg "" in
+  Registry.add anon 1;
+  let c = Registry.counter ~help:"nine\nlives \\ counted" reg "9lives_total" in
+  Registry.add c 9;
+  Registry.set (Registry.gauge reg "moq bad gauge!") 2.5;
+  let expected =
+    "# HELP _ anonymous\n\
+     # TYPE _ counter\n\
+     _ 1\n\
+     # HELP _lives_total nine\\nlives \\\\ counted\n\
+     # TYPE _lives_total counter\n\
+     _lives_total 9\n\
+     # TYPE moq_bad_gauge_ gauge\n\
+     moq_bad_gauge_ 2.5\n"
+  in
+  Alcotest.(check string) "sanitized exposition" expected (Export.prometheus reg)
 
 let test_json_export () =
   let reg = Registry.create () in
@@ -280,9 +329,12 @@ let () =
          Alcotest.test_case "edges and NaN" `Quick test_histo_edges ]);
       ("registry",
        [ Alcotest.test_case "counter saturation" `Quick test_counter_overflow;
+         Alcotest.test_case "exact under contention" `Quick test_registry_race;
          Alcotest.test_case "idempotent registration" `Quick test_registry_idempotent ]);
       ("export",
        [ Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+         Alcotest.test_case "pathological names escaped" `Quick
+           test_prometheus_pathological;
          Alcotest.test_case "json snapshot" `Quick test_json_export ]);
       ("trace",
        [ Alcotest.test_case "ring buffer" `Quick test_trace_ring;

@@ -235,6 +235,142 @@ let test_malformed_server_msgs () =
       "REPL-UPDATE 1 2"; "REPL-DIGEST 3 x y" ]
 
 (* ------------------------------------------------------------------ *)
+(* Frame attributes (tracing extension)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Heads whose grammar admits a [trace=]/[ts=]/[wm=] suffix. *)
+let attr_requests =
+  List.filter
+    (function
+      | Proto.Update _ | Proto.Query _ | Proto.Subscribe _ | Proto.Unsubscribe _ ->
+        true
+      | _ -> false)
+    requests
+
+let attr_server_msgs =
+  List.filter
+    (function
+      | Proto.E_pieces _ | Proto.E_dropped _ | Proto.E_complete _
+      | Proto.E_repl_update _ | Proto.E_repl_digest _ ->
+        true
+      | _ -> false)
+    server_msgs
+
+let full_attrs =
+  { Proto.a_trace = Some (0x1fabc, 0x9d);
+    a_ts = Some 1723112345.5;
+    a_wm = Some (170001, 42) }
+
+let test_attrs_roundtrip () =
+  List.iter
+    (fun req ->
+      let s = Proto.render_request_attrs full_attrs req in
+      match Proto.parse_request_attrs ~dim:2 s with
+      | Ok (req', a) ->
+        Alcotest.(check bool) s true (req' = req && a = full_attrs)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    attr_requests;
+  List.iter
+    (fun msg ->
+      let s = Proto.render_server_msg_attrs full_attrs msg in
+      match Proto.parse_server_msg_attrs s with
+      | Ok (msg', a) ->
+        Alcotest.(check bool)
+          (String.split_on_char '\n' s |> List.hd)
+          true
+          (msg' = msg && a = full_attrs)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    attr_server_msgs
+
+let test_attrs_free_text_untouched () =
+  (* free-text heads neither gain nor lose attribute-shaped tokens *)
+  let err = Proto.R_err { code = "busy"; msg = "retry later trace=1/2" } in
+  (match Proto.parse_server_msg_attrs (Proto.render_server_msg err) with
+   | Ok (got, a) ->
+     Alcotest.(check bool) "ERR text verbatim" true
+       (got = err && a = Proto.no_attrs)
+   | Error e -> Alcotest.failf "ERR: %s" e);
+  (* attrs requested on a non-capable head are dropped, not smuggled *)
+  Alcotest.(check string) "HELLO ignores attrs"
+    (Proto.render_request (Proto.Hello 1))
+    (Proto.render_request_attrs full_attrs (Proto.Hello 1))
+
+let test_attrs_malformed_ignored () =
+  let base = Proto.render_request (Proto.Unsubscribe 4) in
+  List.iter
+    (fun suffix ->
+      match Proto.parse_request_attrs ~dim:2 (base ^ suffix) with
+      | Ok (req, a) ->
+        Alcotest.(check bool) (base ^ suffix) true
+          (req = Proto.Unsubscribe 4 && a = Proto.no_attrs)
+      | Error e -> Alcotest.failf "%s: %s" (base ^ suffix) e)
+    [ " trace=xyz"; " trace=1"; " ts=bogus"; " ts=nan"; " ts=inf"; " wm=5";
+      " wm=a/b"; " trace=zz ts=oops wm=x" ]
+
+(* Property coverage: a moqp 1 peer must parse every attributed frame to
+   the same request/message (forward interop), and the attr-aware parsers
+   must accept every attribute-free moqp 1 frame as [no_attrs] (backward
+   interop).  Attribute codecs roundtrip exactly — [ts] values are drawn
+   on the microsecond grid the wire format preserves. *)
+
+let gen_opt g = QCheck.Gen.(frequency [ (1, return None); (3, map Option.some g) ])
+
+let gen_attrs =
+  let open QCheck.Gen in
+  let id = int_bound 0xFFFFFFF in
+  let ts = map (fun k -> float_of_int k /. 1e6) (int_bound 2_000_000_000) in
+  map
+    (fun (tr, t, wm) -> { Proto.a_trace = tr; a_ts = t; a_wm = wm })
+    (triple (gen_opt (pair id id)) (gen_opt ts) (gen_opt (pair id id)))
+
+let arb_attrs_req =
+  QCheck.make
+    ~print:(fun (a, r) -> Proto.render_request_attrs a r)
+    QCheck.Gen.(pair gen_attrs (oneofl attr_requests))
+
+let arb_attrs_msg =
+  QCheck.make
+    ~print:(fun (a, m) -> Proto.render_server_msg_attrs a m)
+    QCheck.Gen.(pair gen_attrs (oneofl attr_server_msgs))
+
+let prop_attrs_roundtrip_req =
+  QCheck.Test.make ~name:"attrs request roundtrip" ~count:300 arb_attrs_req
+    (fun (a, req) ->
+      Proto.parse_request_attrs ~dim:2 (Proto.render_request_attrs a req)
+      = Ok (req, a))
+
+let prop_attrs_roundtrip_msg =
+  QCheck.Test.make ~name:"attrs server msg roundtrip" ~count:300 arb_attrs_msg
+    (fun (a, msg) ->
+      Proto.parse_server_msg_attrs (Proto.render_server_msg_attrs a msg)
+      = Ok (msg, a))
+
+let prop_moqp1_reads_attrs =
+  QCheck.Test.make ~name:"moqp 1 parser strips attrs" ~count:300 arb_attrs_req
+    (fun (a, req) ->
+      Proto.parse_request ~dim:2 (Proto.render_request_attrs a req) = Ok req)
+
+let prop_moqp1_reads_attrs_msg =
+  QCheck.Test.make ~name:"moqp 1 parser strips attrs (msgs)" ~count:300
+    arb_attrs_msg
+    (fun (a, msg) ->
+      Proto.parse_server_msg (Proto.render_server_msg_attrs a msg) = Ok msg)
+
+let prop_attrs_read_moqp1 =
+  QCheck.Test.make ~name:"attr parser accepts moqp 1 frames" ~count:100
+    (QCheck.make ~print:Proto.render_request QCheck.Gen.(oneofl requests))
+    (fun req ->
+      Proto.parse_request_attrs ~dim:2 (Proto.render_request req)
+      = Ok (req, Proto.no_attrs))
+
+let prop_attrs_read_moqp1_msg =
+  QCheck.Test.make ~name:"attr parser accepts moqp 1 frames (msgs)" ~count:100
+    (QCheck.make ~print:Proto.render_server_msg QCheck.Gen.(oneofl server_msgs))
+    (fun msg ->
+      Proto.parse_server_msg_attrs (Proto.render_server_msg msg)
+      = Ok (msg, Proto.no_attrs))
+
+(* ------------------------------------------------------------------ *)
 (* Canonical piece streams                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,6 +453,15 @@ let () =
          Alcotest.test_case "piece roundtrip" `Quick test_piece_roundtrip;
          Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
          Alcotest.test_case "malformed server msgs" `Quick test_malformed_server_msgs ]);
+      ("attrs",
+       Alcotest.test_case "full roundtrip" `Quick test_attrs_roundtrip
+       :: Alcotest.test_case "free text untouched" `Quick
+            test_attrs_free_text_untouched
+       :: Alcotest.test_case "malformed ignored" `Quick test_attrs_malformed_ignored
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_attrs_roundtrip_req; prop_attrs_roundtrip_msg;
+              prop_moqp1_reads_attrs; prop_moqp1_reads_attrs_msg;
+              prop_attrs_read_moqp1; prop_attrs_read_moqp1_msg ]);
       ("canon",
        [ Alcotest.test_case "simplify idempotent" `Quick test_simplify_idempotent;
          Alcotest.test_case "canon = simplify" `Quick test_canon_matches_simplify;
