@@ -1360,6 +1360,233 @@ let o1 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* O2: query-level observability -- explain + flight-recorder + cost-  *)
+(* accounting overhead (o1's pooled interleaved methodology, obs        *)
+(* machinery off vs on), and hot-object attribution coverage on a       *)
+(* skewed workload (a few movers soak up nearly all sweep comparisons). *)
+(* ------------------------------------------------------------------ *)
+
+module MonX = Moq_core.Monitor.Make (BX)
+module Explain = Moq_core.Explain
+module Recorder = Moq_obs.Recorder
+
+let o2 () =
+  header "O2" "observability: explain/flight-recorder overhead, hot-object coverage";
+  (* the epsilon slow-query threshold makes nearly every step a capture
+     (that is the point: the capture path is what we are pricing), so
+     silence the resulting WARN flood for the duration of the run *)
+  Moq_obs.Log.set_level Moq_obs.Log.Error;
+  Fun.protect ~finally:(fun () -> Moq_obs.Log.set_level Moq_obs.Log.Info)
+  @@ fun () ->
+  let n = 16 and updates = 400 and reps = 5 in
+  bench_n := n;
+  bench_seed := 6;
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "moq_bench_o2_%s_%d" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    d
+  in
+  let rm_dir d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      try Unix.rmdir d with Unix.Unix_error _ -> ()
+    end
+  in
+  (* One rep: a primary with one subscribed client; the writer pushes
+     [updates] chronological chdirs with a k-NN query every 64.  The two
+     modes run the identical request sequence; only the observability
+     machinery differs: [obs] on = defaults (flight recorder, per-object
+     attribution, slow-query capture at an epsilon threshold so the
+     capture path is actually exercised), off = all three disabled. *)
+  let slowq_captured = ref 0 and flight_recorded = ref 0 in
+  let run_mode ~obs rep =
+    let dir = fresh_dir (Printf.sprintf "%s%d" (if obs then "on" else "off") rep) in
+    let db = Gen.uniform_db ~seed:6 ~n ~extent:100 ~speed:6 () in
+    let reg = if obs then !bench_reg else Registry.create () in
+    let cfg =
+      { (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0)) ~store_dir:dir)
+        with
+        Server.init_db = Some db; fsync = false; idle_timeout = 0.;
+        slow_query_ms = (if obs then 0.05 else 0.);
+        hot_objects = obs;
+        flight_capacity = (if obs then 2048 else 0) }
+    in
+    let srv =
+      match Server.start ~registry:reg cfg with
+      | Ok s -> s
+      | Error e -> failwith ("o2 server: " ^ e)
+    in
+    let conn what =
+      match SClient.connect ~timeout:15. (Server.bound_addr srv) with
+      | Ok c ->
+        (match SClient.hello c with
+         | Ok (Proto.R_hello _) -> c
+         | Ok _ | Error _ -> failwith ("o2: handshake failed: " ^ what))
+      | Error e -> failwith ("o2 " ^ what ^ ": " ^ SClient.error_to_string e)
+    in
+    let sc = conn "subscriber" in
+    (match
+       SClient.request sc
+         (Proto.Subscribe
+            { kind = Proto.Sub_range (q 100000); lo = q 0; hi = q (updates + 50) })
+     with
+     | Ok (Proto.R_subscribe _) -> ()
+     | Ok _ | Error _ -> failwith "o2: subscribe failed");
+    let stop_sub = ref false in
+    let sub_thread =
+      Thread.create
+        (fun () ->
+          while not !stop_sub do
+            ignore (SClient.next_event ~timeout:0.05 sc)
+          done)
+        ()
+    in
+    let wc = conn "writer" in
+    let st = Random.State.make [| 42; rep |] in
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to updates - 1 do
+      let oid = 1 + Random.State.int st n in
+      let vel =
+        Qvec.of_list
+          [ q (Random.State.int st 13 - 6); q (Random.State.int st 13 - 6) ]
+      in
+      (match
+         SClient.request wc (Proto.Update (U.Chdir { oid; tau = q (j + 2); a = vel }))
+       with
+       | Ok (Proto.R_update Proto.V_accepted) -> ()
+       | Ok _ | Error _ -> failwith "o2: update failed");
+      if j mod 64 = 63 then
+        match
+          SClient.request wc
+            (Proto.Query { kind = Proto.Qk_knn 2; lo = q 0; hi = q (updates + 50) })
+        with
+        | Ok (Proto.R_query _) -> ()
+        | Ok _ | Error _ -> failwith "o2: query failed"
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (* a STATS scrape outside the timed window publishes the hot gauges *)
+    (match SClient.request wc (Proto.Stats `Json) with
+     | Ok (Proto.R_stats _) -> ()
+     | Ok _ | Error _ -> failwith "o2: stats failed");
+    if obs then begin
+      slowq_captured :=
+        (match Registry.counter_value (Server.registry srv) "moq_slowq_total" with
+         | Some v -> v
+         | None -> 0);
+      flight_recorded := Recorder.recorded (Server.recorder srv)
+    end;
+    stop_sub := true;
+    Thread.join sub_thread;
+    ignore (SClient.request wc Proto.Bye);
+    ignore (SClient.request sc Proto.Bye);
+    SClient.close wc;
+    SClient.close sc;
+    Server.stop srv;
+    rm_dir dir;
+    float_of_int updates /. wall
+  in
+  (* one discarded warmup, then the modes interleaved and pooled, exactly
+     as in o1: rps = total updates / total wall per mode *)
+  ignore (run_mode ~obs:false 99);
+  let runs =
+    List.init (2 * reps) (fun i -> (i mod 2 = 1, run_mode ~obs:(i mod 2 = 1) (i / 2)))
+  in
+  let pooled obs =
+    let mine = List.filter_map (fun (o, r) -> if o = obs then Some r else None) runs in
+    let wall =
+      List.fold_left (fun acc rps -> acc +. (float_of_int updates /. rps)) 0. mine
+    in
+    float_of_int (List.length mine * updates) /. wall
+  in
+  let rps_off = pooled false and rps_on = pooled true in
+  let overhead = 100. *. (rps_off -. rps_on) /. rps_off in
+  row "%14s %12s %12s\n" "observability" "updates" "pooled rps";
+  row "%14s %12d %12.0f\n" "off" updates rps_off;
+  row "%14s %12d %12.0f\n" "on" updates rps_on;
+  row "explain/recorder/accounting overhead %.1f%% (pooled over %d runs per mode)\n"
+    overhead reps;
+  row "slow-query captures %d, flight-recorder events %d (last obs-on rep)\n"
+    !slowq_captured !flight_recorded;
+  (* Hot-object attribution coverage on a deliberately skewed workload:
+     5 movers trading places near the origin, 45 stationary bystanders
+     far away.  Nearly every sweep comparison belongs to a mover, so the
+     top-5 must cover >= 80% of all attributed comparisons. *)
+  let movers = 5 and cold = 45 and hot_updates = 200 in
+  let db = ref (DB.empty ~dim:2 ~tau:(q 0)) in
+  for i = 1 to movers do
+    db :=
+      DB.add_initial !db i
+        (T.linear ~start:(q 0) ~a:(Qvec.zero 2) ~b:(Qvec.of_list [ q i; q 0 ]))
+  done;
+  for i = 1 to cold do
+    db :=
+      DB.add_initial !db (movers + i)
+        (T.linear ~start:(q 0) ~a:(Qvec.zero 2)
+           ~b:(Qvec.of_list [ q (1000 + (10 * i)); q 1000 ]))
+  done;
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let query =
+    Fof.nearest_q ~interval:(Fof.Interval.closed (q 0) (q (hot_updates + 10)))
+  in
+  let m = MonX.create ~sink:!bench_sink ~db:!db ~gdist ~query () in
+  for j = 0 to hot_updates - 1 do
+    let oid = 1 + (j mod movers) in
+    (* alternate aim: overtake then fall back, so the movers' distance
+       curves keep crossing each other *)
+    let s = if j mod 2 = 0 then 1 else -1 in
+    MonX.apply_update_exn m
+      (U.Chdir
+         { oid; tau = q (j + 1);
+           a = Qvec.of_list [ q (s * (1 + (j mod 3))); q 0 ] })
+  done;
+  let hot =
+    List.map
+      (fun (h : MonX.E.hot) ->
+        { Explain.oid = h.MonX.E.h_oid; comparisons = h.MonX.E.h_comparisons;
+          swaps = h.MonX.E.h_swaps })
+      (MonX.hot_objects m)
+  in
+  let report =
+    Explain.make ~kind:"past" ~query:"o2 skewed nearest" ~backend:"exact"
+      ~n_objects:(movers + cold) ~lo:0. ~hi:(float_of_int (hot_updates + 10))
+      ~timeline_pieces:0
+      ~sweep:
+        { Explain.batches = 0; crossings = 0; births = 0; deaths = 0; jumps = 0;
+          swaps = 0; comparisons = 0; support_changes = 0 }
+      ~hot ~counters:(Registry.flatten !bench_reg) ()
+  in
+  let coverage = 100. *. Explain.hot_coverage report in
+  let total_cmp = List.fold_left (fun a h -> a + h.Explain.comparisons) 0 hot in
+  let top5_cmp =
+    List.fold_left (fun a h -> a + h.Explain.comparisons) 0 (Explain.top_hot report)
+  in
+  row "hot-object attribution (skewed: %d movers / %d bystanders, %d updates):\n"
+    movers cold hot_updates;
+  List.iter
+    (fun h ->
+      row "  oid %-4d %7d comparisons %6d swaps\n" h.Explain.oid
+        h.Explain.comparisons h.Explain.swaps)
+    (Explain.top_hot report);
+  row "top-5 cover %.1f%% of %d attributed comparisons\n" coverage total_cmp;
+  if total_cmp = 0 then failwith "o2: no comparisons were attributed";
+  bench_extras :=
+    [ ("explain_overhead_pct", Json.Float overhead);
+      ("rps_obs_off", Json.Float rps_off);
+      ("rps_obs_on", Json.Float rps_on);
+      ("hot_coverage_pct", Json.Float coverage);
+      ("hot_top5_comparisons", Json.Int top5_cmp);
+      ("hot_total_comparisons", Json.Int total_cmp);
+      ("hot_attributed_objects", Json.Int (List.length hot));
+      ("slowq_captured", Json.Int !slowq_captured);
+      ("flight_recorded", Json.Int !flight_recorded);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment id               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1450,7 +1677,7 @@ let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
     ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("s1", s1);
-    ("s2", s2); ("o1", o1) ]
+    ("s2", s2); ("o1", o1); ("o2", o2) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

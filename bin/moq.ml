@@ -31,6 +31,10 @@ module Registry = Moq_obs.Registry
 module Sink = Moq_obs.Sink
 module Export = Moq_obs.Export
 module Trace = Moq_obs.Trace
+module J = Moq_obs.Json
+module Log = Moq_obs.Log
+module Recorder = Moq_obs.Recorder
+module Explain = Moq_core.Explain
 
 open Cmdliner
 
@@ -53,6 +57,12 @@ let die_parse path e =
   match file_line with
   | Some (line, msg) -> die "%s:%s:%s" path line msg
   | None -> die "%s: %s" path e
+
+let setup_logging level json =
+  (match Log.level_of_string level with
+   | Ok l -> Log.set_level l
+   | Error e -> die "%s" e);
+  Log.set_json json
 
 let trace_example12 () =
   let o1, o2, o3, o4 = Scenario.example12_curves () in
@@ -482,12 +492,298 @@ let reduction_cmd =
     Term.(const reduction_run $ machine $ steps)
 
 (* ------------------------------------------------------------------ *)
+(* moq explain: plan + cost report for one query run                   *)
+(* ------------------------------------------------------------------ *)
+
+let backend_name = function
+  | `Exact -> "exact"
+  | `Filtered -> "filtered"
+  | `Approx -> "approx"
+
+(* Runs one query under an instrumented sink and flattens the functorized
+   engine stats / hot lists into Explain's plain data. *)
+module Explain_pipeline (B : Moq_core.Backend.S) = struct
+  module Sw = Moq_core.Sweep.Make (B)
+  module K = Moq_core.Knn.Make (B)
+
+  let run_knn ~sink ~db ~gdist ~k ~lo ~hi =
+    let r = K.run_obs ~sink ~db ~gdist ~k ~lo ~hi in
+    let s = r.K.stats in
+    let sweep =
+      { Explain.batches = s.K.E.batches; crossings = s.K.E.crossings;
+        births = s.K.E.births; deaths = s.K.E.deaths; jumps = s.K.E.jumps;
+        swaps = s.K.E.swaps; comparisons = s.K.E.comparisons;
+        support_changes = s.K.E.crossings + s.K.E.births + s.K.E.deaths }
+    in
+    let hot =
+      List.map
+        (fun (h : K.E.hot) ->
+          { Explain.oid = h.K.E.h_oid; comparisons = h.K.E.h_comparisons;
+            swaps = h.K.E.h_swaps })
+        r.K.hot
+    in
+    (sweep, hot, List.length r.K.timeline)
+
+  let run_past ~sink ~db ~gdist ~query =
+    let r = Sw.run_obs ~sink ~db ~gdist ~query in
+    let s = r.Sw.stats in
+    let sweep =
+      { Explain.batches = s.Sw.E.batches; crossings = s.Sw.E.crossings;
+        births = s.Sw.E.births; deaths = s.Sw.E.deaths; jumps = s.Sw.E.jumps;
+        swaps = s.Sw.E.swaps; comparisons = s.Sw.E.comparisons;
+        support_changes = r.Sw.support_changes }
+    in
+    let hot =
+      List.map
+        (fun (h : Sw.E.hot) ->
+          { Explain.oid = h.Sw.E.h_oid; comparisons = h.Sw.E.h_comparisons;
+            swaps = h.Sw.E.h_swaps })
+        r.Sw.hot
+    in
+    (sweep, hot, List.length r.Sw.timeline)
+end
+
+let zero_sweep =
+  { Explain.batches = 0; crossings = 0; births = 0; deaths = 0; jumps = 0;
+    swaps = 0; comparisons = 0; support_changes = 0 }
+
+let explain_report kind seed n k lo hi dbfile backend =
+  if hi < lo then die "explain: empty window [%d, %d]" lo hi;
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let t0 = Unix.gettimeofday () in
+  let db = load_or_gen dbfile seed n in
+  let t_load = Unix.gettimeofday () -. t0 in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let query = Fof.nearest_q ~interval:(Fof.Interval.closed (q lo) (q hi)) in
+  let classification =
+    Format.asprintf "%a" Classify.pp (Classify.classify db query)
+  in
+  BFl.reset_filter_stats ();
+  let module B = (val backend_module backend) in
+  let module P = Explain_pipeline (B) in
+  let t1 = Unix.gettimeofday () in
+  let kind_s, qdesc, classification, (sweep, hot, pieces) =
+    match kind with
+    | `Knn ->
+      ( "knn",
+        Printf.sprintf "%d-NN to the origin over [%d, %d]" k lo hi,
+        "n/a",
+        P.run_knn ~sink ~db ~gdist ~k ~lo:(q lo) ~hi:(q hi) )
+    | `Past ->
+      ( "past",
+        Printf.sprintf "nearest-neighbour query swept over [%d, %d]" lo hi,
+        classification,
+        P.run_past ~sink ~db ~gdist ~query )
+    | `Cql ->
+      (* the Definition 5 classification is the plan: a past query is
+         frozen and swept in full; otherwise the sweep belongs to the
+         monitor's semi-evaluation and nothing runs here *)
+      let run =
+        if classification = "past" then P.run_past ~sink ~db ~gdist ~query
+        else (zero_sweep, [], 0)
+      in
+      ( "cql",
+        Printf.sprintf "FO(f) nearest query over [%d, %d] — %s" lo hi
+          (if classification = "past" then "frozen, swept in full (Theorem 4)"
+           else "semi-evaluated by the monitor (not swept here)"),
+        classification,
+        run )
+  in
+  let t_run = Unix.gettimeofday () -. t1 in
+  (match backend with `Filtered -> BFl.publish sink | `Exact | `Approx -> ());
+  let filter =
+    match backend with
+    | `Filtered ->
+      let s = BFl.filter_stats () in
+      Some
+        { Explain.f_hits = s.BFl.hits; f_misses = s.BFl.misses;
+          f_decisions = s.BFl.decisions; f_fallback_ns = s.BFl.fallback_ns;
+          f_straddles = s.BFl.straddles }
+    | `Exact | `Approx -> None
+  in
+  Explain.make ~kind:kind_s ~query:qdesc ~backend:(backend_name backend)
+    ~classification ~n_objects:(DB.cardinal db) ~lo:(float_of_int lo)
+    ~hi:(float_of_int hi) ~timeline_pieces:pieces ~sweep ?filter ~hot
+    ~phases:
+      [ { Explain.name = "load_db"; ns = 1e9 *. t_load };
+        { Explain.name = "run"; ns = 1e9 *. t_run } ]
+    ~counters:(Registry.flatten reg) ()
+
+let explain_run kind seed n k lo hi dbfile backend as_json log_level log_json =
+  setup_logging log_level log_json;
+  let report = explain_report kind seed n k lo hi dbfile backend in
+  if as_json then print_endline (J.to_string (Explain.to_json report))
+  else print_string (Explain.to_text report)
+
+let explain_cmd =
+  let kind =
+    Arg.(value
+         & pos 0 (enum [ ("knn", `Knn); ("past", `Past); ("cql", `Cql) ]) `Knn
+         & info [] ~docv:"KIND"
+             ~doc:"What to explain: $(b,knn) (k-NN timeline), $(b,past) \
+                   (nearest-neighbour past query), or $(b,cql) \
+                   (classification-driven: sweeps only if the query is past)")
+  in
+  let k = Arg.(value & opt int 2 & info [ "k"; "neighbours" ] ~doc:"Neighbours for knn") in
+  let lo = Arg.(value & opt int 0 & info [ "lo" ] ~doc:"Window start") in
+  let hi = Arg.(value & opt int 50 & info [ "hi" ] ~doc:"Window end") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (stable schema)") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run one query and report its plan and cost: backend chosen, \
+             sweep events and comparisons, Lemma 9 per-event work vs bound, \
+             filter hits/misses and straddled instants, hottest objects")
+    Term.(const explain_run $ kind $ seed_arg $ n_arg $ k $ lo $ hi $ db_arg
+          $ backend_arg $ json $ Common_args.log_level $ Common_args.log_json)
+
+(* ------------------------------------------------------------------ *)
+(* moq blackbox: read a flight-recorder dump, correlate with the WAL   *)
+(* ------------------------------------------------------------------ *)
+
+let blackbox_correlate d wal_path =
+  match Wal.read wal_path with
+  | Error e -> Error (Printf.sprintf "%s: %s" wal_path e)
+  | Ok w ->
+    let wal_last =
+      match List.rev w.Wal.updates with [] -> None | u :: _ -> Some u
+    in
+    let rec_last =
+      List.fold_left
+        (fun acc (e : Recorder.event) ->
+          if e.Recorder.kind = "update_admitted" then Some e else acc)
+        None d.Recorder.d_events
+    in
+    let field e name =
+      match List.assoc_opt name e.Recorder.fields with
+      | Some (J.Str s) -> Some s
+      | Some (J.Int i) -> Some (string_of_int i)
+      | _ -> None
+    in
+    (match (wal_last, rec_last) with
+     | None, None -> Ok "both empty: no updates in WAL, none recorded"
+     | Some u, Some e ->
+       let w_oid = string_of_int (Moq_mod.Update.oid u) in
+       let w_tau = Q.to_string (Moq_mod.Update.time u) in
+       if field e "oid" = Some w_oid && field e "tau" = Some w_tau then
+         Ok
+           (Printf.sprintf
+              "last recorded update (oid %s at tau %s) agrees with the WAL tail"
+              w_oid w_tau)
+       else
+         Error
+           (Printf.sprintf
+              "DIVERGED: WAL tail has oid %s at tau %s; recorder has oid %s at tau %s"
+              w_oid w_tau
+              (Option.value ~default:"?" (field e "oid"))
+              (Option.value ~default:"?" (field e "tau")))
+     | Some u, None ->
+       Error
+         (Printf.sprintf
+            "WAL tail has oid %d at tau %s but the recorder saw no admitted update \
+             (ring wrapped? dropped=%d)"
+            (Moq_mod.Update.oid u)
+            (Q.to_string (Moq_mod.Update.time u))
+            d.Recorder.d_dropped)
+     | None, Some e ->
+       Error
+         (Printf.sprintf
+            "recorder admitted an update (oid %s at tau %s) absent from the WAL"
+            (Option.value ~default:"?" (field e "oid"))
+            (Option.value ~default:"?" (field e "tau"))))
+
+let blackbox_run dump_path wal_with as_json =
+  match Recorder.load dump_path with
+  | Error e -> die "%s" e
+  | Ok d ->
+    let wal_path =
+      Option.map
+        (fun p -> if Sys.is_directory p then Store.wal_file p else p)
+        wal_with
+    in
+    let correlation = Option.map (blackbox_correlate d) wal_path in
+    if as_json then begin
+      let corr_json =
+        match correlation with
+        | None -> []
+        | Some (Ok m) ->
+          [ ("wal_agrees", J.Bool true); ("wal_verdict", J.Str m) ]
+        | Some (Error m) ->
+          [ ("wal_agrees", J.Bool false); ("wal_verdict", J.Str m) ]
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              ([ ("file", J.Str dump_path);
+                 ("reason", J.Str d.Recorder.d_reason);
+                 ("wall", J.Float d.Recorder.d_wall);
+                 ("pid", J.Int d.Recorder.d_pid);
+                 ("recorded", J.Int d.Recorder.d_recorded);
+                 ("dropped", J.Int d.Recorder.d_dropped);
+                 ("events",
+                  J.List
+                    (List.map
+                       (fun (e : Recorder.event) ->
+                         J.Obj
+                           [ ("seq", J.Int e.Recorder.seq);
+                             ("ts", J.Float e.Recorder.ts);
+                             ("kind", J.Str e.Recorder.kind);
+                             ("fields", J.Obj e.Recorder.fields) ])
+                       d.Recorder.d_events)) ]
+              @ corr_json)))
+    end
+    else begin
+      Format.printf "flight recorder dump %s@." dump_path;
+      Format.printf "  reason    %s@." d.Recorder.d_reason;
+      Format.printf "  pid       %d@." d.Recorder.d_pid;
+      Format.printf "  recorded  %d event(s), %d overwritten@."
+        d.Recorder.d_recorded d.Recorder.d_dropped;
+      List.iter
+        (fun (e : Recorder.event) ->
+          Format.printf "  [%6d] %+9.3fs  %-20s %s@." e.Recorder.seq
+            (e.Recorder.ts -. d.Recorder.d_wall)
+            e.Recorder.kind
+            (String.concat " "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%s" k (J.to_string v))
+                  e.Recorder.fields)))
+        d.Recorder.d_events;
+      match correlation with
+      | None -> ()
+      | Some (Ok m) -> Format.printf "wal: %s@." m
+      | Some (Error m) -> Format.printf "wal: %s@." m
+    end;
+    match correlation with Some (Error _) -> exit 5 | _ -> ()
+
+let blackbox_cmd =
+  let dump =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP"
+         ~doc:"A flight-<ms>-<reason>.json dump file")
+  in
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"PATH"
+             ~doc:"Correlate against this write-ahead log (a wal.log file or \
+                   a store directory); exits 5 when the dump's last admitted \
+                   update disagrees with the WAL tail")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the dump (and verdict) as JSON") in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:"Pretty-print a flight-recorder dump and correlate it against \
+             the store's write-ahead log")
+    Term.(const blackbox_run $ dump $ wal $ json)
+
+(* ------------------------------------------------------------------ *)
 (* Durable store: replay (ingest) and recover                          *)
 (* ------------------------------------------------------------------ *)
 
 let store_arg = Common_args.store_req
 
-let replay_run store_dir dbfile updates_file seed n count gap every no_fsync =
+let replay_run store_dir dbfile updates_file seed n count gap every no_fsync
+    log_level log_json =
+  setup_logging log_level log_json;
   let fsync = not no_fsync in
   let store =
     if Sys.file_exists (Filename.concat store_dir "checkpoint.mod") then begin
@@ -539,9 +835,11 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Ingest an update stream into a durable store through the sanitizer (WAL + checkpoints)")
-    Term.(const replay_run $ store_arg $ db_arg $ updates $ seed_arg $ n_arg $ count $ gap $ every $ no_fsync)
+    Term.(const replay_run $ store_arg $ db_arg $ updates $ seed_arg $ n_arg $ count $ gap $ every $ no_fsync
+          $ Common_args.log_level $ Common_args.log_json)
 
-let recover_run store_dir =
+let recover_run store_dir log_level log_json =
+  setup_logging log_level log_json;
   match Store.recover ~dir:store_dir with
   | Ok r ->
     Format.printf "%a@." Store.pp_recovery r;
@@ -563,7 +861,7 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Reconstruct the MOD and clock from a store's checkpoint + write-ahead log")
-    Term.(const recover_run $ store_arg)
+    Term.(const recover_run $ store_arg $ Common_args.log_level $ Common_args.log_json)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: replay a workload end to end with a live sink, dump the  *)
@@ -573,6 +871,30 @@ let recover_cmd =
 module Stats_pipeline (B : Moq_core.Backend.S) = struct
   module Mon = Moq_core.Monitor.Make (B)
   module K = Moq_core.Knn.Make (B)
+
+  (* Top-5 hottest objects (per-object sweep-cost attribution) as flat
+     gauges: rank-indexed names keep the registry's flat namespace, and the
+     coverage gauge says how concentrated the cost is. *)
+  let publish_hot ~sink hots =
+    let total =
+      List.fold_left (fun a (h : Mon.E.hot) -> a + h.Mon.E.h_comparisons) 0 hots
+    in
+    let top = ref 0 in
+    List.iteri
+      (fun i (h : Mon.E.hot) ->
+        if i < 5 then begin
+          top := !top + h.Mon.E.h_comparisons;
+          Sink.set sink (Printf.sprintf "moq_hot_oid_%d" i)
+            (float_of_int h.Mon.E.h_oid);
+          Sink.set sink (Printf.sprintf "moq_hot_comparisons_%d" i)
+            (float_of_int h.Mon.E.h_comparisons);
+          Sink.set sink (Printf.sprintf "moq_hot_swaps_%d" i)
+            (float_of_int h.Mon.E.h_swaps)
+        end)
+      hots;
+    if total > 0 then
+      Sink.set sink "moq_hot_coverage_pct"
+        (100. *. float_of_int !top /. float_of_int total)
 
   let run ~sink ~store ~san ~db ~gdist ~query ~updates ~hi =
     let m = Mon.create ~sink ~db ~gdist ~query () in
@@ -584,13 +906,16 @@ module Stats_pipeline (B : Moq_core.Backend.S) = struct
         | Sanitize.Rejected _ | Sanitize.Quarantined _ -> ())
       updates;
     ignore (Mon.audit_and_heal m);
+    publish_hot ~sink (Mon.hot_objects m);
     ignore (Mon.finalize m);
     Store.close store;
     (* past-query path, so the sweep metrics are populated too *)
     ignore (K.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi)
 end
 
-let stats_run seed n count gap dbfile updates_file store_dir every format backend =
+let stats_run seed n count gap dbfile updates_file store_dir every format backend
+    log_level log_json =
+  setup_logging log_level log_json;
   let reg = Registry.create () in
   let sink = Sink.of_registry reg in
   let dir =
@@ -637,7 +962,8 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Replay a workload through the instrumented store, monitor and sweep; dump the metric registry")
-    Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format $ backend_arg)
+    Term.(const stats_run $ seed_arg $ n_arg $ count $ gap $ db_arg $ updates $ store $ every $ format $ backend_arg
+          $ Common_args.log_level $ Common_args.log_json)
 
 (* ------------------------------------------------------------------ *)
 (* Serving: moq serve (the concurrent MOD server) and moq client (a    *)
@@ -648,22 +974,15 @@ module Server = Moq_server.Server
 module Client = Moq_server.Client
 module Proto = Moq_proto.Proto
 module Chaos = Moq_chaos.Chaos
-module J = Moq_obs.Json
-module Log = Moq_obs.Log
 
 let default_listen = "tcp:127.0.0.1:7407"
 
 let parse_addr s =
   match Server.addr_of_string s with Ok a -> a | Error e -> die "%s" e
 
-let setup_logging level json =
-  (match Log.level_of_string level with
-   | Ok l -> Log.set_level l
-   | Error e -> die "%s" e);
-  Log.set_json json
-
 let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_subs
-    queue_soft queue_hwm idle_timeout follow digest_every trace log_level log_json =
+    queue_soft queue_hwm idle_timeout follow digest_every trace slow_query_ms
+    no_hot_objects flight_capacity log_level log_json =
   setup_logging log_level log_json;
   let listen = parse_addr listen in
   let follow = Option.map parse_addr follow in
@@ -678,7 +997,8 @@ let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_sub
     { (Server.default_config ~listen ~store_dir) with
       Server.init_db; fsync = not no_fsync; checkpoint_every = every;
       max_sessions; max_subs_per_session = max_subs; queue_soft; queue_hwm;
-      idle_timeout; follow; repl_digest_every = digest_every; trace }
+      idle_timeout; follow; repl_digest_every = digest_every; trace;
+      slow_query_ms; hot_objects = not no_hot_objects; flight_capacity }
   in
   match Server.start cfg with
   | Error e -> die "%s" e
@@ -690,6 +1010,13 @@ let serve_run listen store_dir dbfile seed n every no_fsync max_sessions max_sub
     in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (* SIGQUIT: dump the flight recorder and keep serving — the live
+       counterpart of the on-crash dump *)
+    (try
+       Sys.set_signal Sys.sigquit
+         (Sys.Signal_handle
+            (fun _ -> ignore (Server.flight_dump srv ~reason:"sigquit")))
+     with Invalid_argument _ -> ());
     Format.printf "listening on %a (store %s, %d objects, clock %s)@."
       Server.pp_addr (Server.bound_addr srv) store_dir
       (DB.cardinal (Server.db_snapshot srv))
@@ -750,6 +1077,26 @@ let serve_cmd =
              ~doc:"Propagate trace= frame contexts and record pipeline spans \
                    (stage histograms are collected regardless)")
   in
+  let slow_query_ms =
+    Arg.(value & opt float 250.
+         & info [ "slow-query-ms" ] ~docv:"MS"
+             ~doc:"Capture the explain record of any server-side query or \
+                   per-subscription monitor step slower than this into the \
+                   structured log (moq_slowq_* counters); 0 disables")
+  in
+  let no_hot_objects =
+    Arg.(value & flag
+         & info [ "no-hot-objects" ]
+             ~doc:"Disable per-object cost attribution in subscription \
+                   monitors (drops the moq_hot_* gauges)")
+  in
+  let flight_capacity =
+    Arg.(value & opt int 2048
+         & info [ "flight-capacity" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity in events — dumped to the \
+                   store directory on crash, SIGQUIT or replication \
+                   divergence; 0 disables")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a durable MOD over moqp: concurrent sessions, chronological \
@@ -759,6 +1106,7 @@ let serve_cmd =
           $ Common_args.seed $ Common_args.n $ Common_args.checkpoint_every
           $ Common_args.no_fsync $ max_sessions $ max_subs $ queue_soft
           $ queue_hwm $ idle_timeout $ follow $ digest_every $ trace
+          $ slow_query_ms $ no_hot_objects $ flight_capacity
           $ Common_args.log_level $ Common_args.log_json)
 
 (* Script lines are raw moqp request heads ("SUBSCRIBE knn 1 0 40"), plus
@@ -1005,6 +1353,30 @@ let stage_rows j =
       kvs
   | _ -> []
 
+(* Rank-indexed moq_hot_* gauges (top-K cost attribution, published by the
+   server on STATS and by moq stats), re-assembled into rows. *)
+let hot_rows j =
+  let g name i = jget j "gauges" (Printf.sprintf "%s_%d" name i) in
+  let rec go i acc =
+    match g "moq_hot_oid" i with
+    | None -> List.rev acc
+    | Some oid ->
+      go (i + 1)
+        ((oid, g "moq_hot_comparisons" i, g "moq_hot_swaps" i) :: acc)
+  in
+  go 0 []
+
+let hot_sub_rows j =
+  let g name i = jget j "gauges" (Printf.sprintf "%s_%d" name i) in
+  let rec go i acc =
+    match g "moq_hot_sub_id" i with
+    | None -> List.rev acc
+    | Some id ->
+      go (i + 1)
+        ((id, g "moq_hot_sub_bytes" i, g "moq_hot_sub_queue" i) :: acc)
+  in
+  go 0 []
+
 let top_endpoint_json name r ~rate =
   let fopt = function Some v -> J.Float v | None -> J.Null in
   match r with
@@ -1028,6 +1400,23 @@ let top_endpoint_json name r ~rate =
         ("dropped_events_total", fopt (jget j "counters" "moq_server_dropped_events_total"));
         ("repl_lag_updates", fopt (jget j "gauges" "moq_repl_lag_updates"));
         ("repl_lag_ms", fopt (jget j "gauges" "moq_repl_lag_ms"));
+        ("slow_queries_total", fopt (jget j "counters" "moq_slowq_total"));
+        ("hot_objects",
+         J.List
+           (List.map
+              (fun (oid, cmp, swaps) ->
+                J.Obj
+                  [ ("oid", J.Int (int_of_float oid));
+                    ("comparisons", fopt cmp); ("swaps", fopt swaps) ])
+              (hot_rows j)));
+        ("hot_subs",
+         J.List
+           (List.map
+              (fun (id, bytes, queue) ->
+                J.Obj
+                  [ ("sub", J.Int (int_of_float id));
+                    ("fanout_bytes", fopt bytes); ("queue", fopt queue) ])
+              (hot_sub_rows j)));
         ("stages",
          J.Obj
            (List.map
@@ -1072,9 +1461,28 @@ let top_endpoint_text name r ~rate =
          (fun (s, p50, p99, _) ->
            Format.printf " %s %s/%s" s (fms p50) (fms p99))
          rows;
+       Format.printf "@.");
+    (match hot_rows j with
+     | [] -> ()
+     | rows ->
+       Format.printf "  hot objects:";
+       List.iter
+         (fun (oid, cmp, swaps) ->
+           Format.printf " oid %.0f (%s cmp/%s swap)" oid (fv cmp) (fv swaps))
+         rows;
+       Format.printf "@.");
+    (match hot_sub_rows j with
+     | [] -> ()
+     | rows ->
+       Format.printf "  hot subs:";
+       List.iter
+         (fun (id, bytes, queue) ->
+           Format.printf " #%.0f (%s B/%s queued)" id (fv bytes) (fv queue))
+         rows;
        Format.printf "@.")
 
 let top_run endpoints interval once as_json timeout =
+  if as_json then Log.set_json true;
   let endpoints = if endpoints = [] then [ default_listen ] else endpoints in
   let addrs = List.map (fun e -> (e, parse_addr e)) endpoints in
   let prev : (string, float * J.t) Hashtbl.t = Hashtbl.create 8 in
@@ -1103,11 +1511,15 @@ let top_run endpoints interval once as_json timeout =
           (name, r, rate))
         samples
     in
+    let reachable =
+      List.length (List.filter (fun (_, _, r) -> Result.is_ok r) samples)
+    in
     if as_json then
       print_endline
         (J.to_string
            (J.Obj
               [ ("at", J.Float (Unix.gettimeofday ()));
+                ("reachable", J.Int reachable);
                 ("endpoints",
                  J.List
                    (List.map (fun (name, r, rate) -> top_endpoint_json name r ~rate)
@@ -1123,9 +1535,19 @@ let top_run endpoints interval once as_json timeout =
     List.iter
       (fun (name, at, r) ->
         match r with Ok j -> Hashtbl.replace prev name (at, j) | Error _ -> ())
-      samples
+      samples;
+    reachable
   in
-  round ();
+  let reachable = round () in
+  (* a fleet that is entirely down must not read like an empty-but-healthy
+     one in scripts: structured error record + non-zero exit *)
+  if once && reachable = 0 then begin
+    Log.error "moq top: every endpoint unreachable"
+      ~fields:
+        [ ("endpoints", J.List (List.map (fun (n, _) -> J.Str n) addrs));
+          ("polled", J.Int (List.length addrs)) ];
+    exit 2
+  end;
   if not once then
     while not !stopped do
       let slept = ref 0. in
@@ -1133,7 +1555,7 @@ let top_run endpoints interval once as_json timeout =
         Thread.delay 0.1;
         slept := !slept +. 0.1
       done;
-      if not !stopped then round ()
+      if not !stopped then ignore (round ())
     done
 
 let top_cmd =
@@ -1171,7 +1593,7 @@ let () =
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
               show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd;
-              chaos_cmd; top_cmd ]))
+              chaos_cmd; top_cmd; explain_cmd; blackbox_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

@@ -185,6 +185,11 @@ module Filtered : sig
     misses : int;  (** decisions that fell back to exact arithmetic *)
     decisions : int;  (** total filtered decisions (= hits + misses) *)
     fallback_ns : float;  (** wall time spent inside exact fallbacks *)
+    straddles : float list;
+        (** approximate locations (float midpoints of the inconclusive
+            enclosure) of the first few instants whose interval straddled
+            and forced an exact fallback — the concrete places the filter
+            lost, surfaced by [moq explain]; capped at 16, capture order *)
   }
 
   val filter_stats : unit -> filter_stats
@@ -213,21 +218,39 @@ end = struct
      sign of exactly zero at a non-dyadic point. *)
   type instant = { ex : A.t; mutable iv : IV.t; zero_of : P.t option }
 
-  type filter_stats = { hits : int; misses : int; decisions : int; fallback_ns : float }
+  type filter_stats = {
+    hits : int;
+    misses : int;
+    decisions : int;
+    fallback_ns : float;
+    straddles : float list;
+  }
 
   let hits = ref 0
   let misses = ref 0
   let decisions = ref 0
   let fallback_ns = ref 0.0
 
+  let straddle_cap = 16
+  let straddles = ref []  (* first [straddle_cap] captures, newest first *)
+  let straddle_count = ref 0
+
   let filter_stats () =
-    { hits = !hits; misses = !misses; decisions = !decisions; fallback_ns = !fallback_ns }
+    { hits = !hits; misses = !misses; decisions = !decisions;
+      fallback_ns = !fallback_ns; straddles = List.rev !straddles }
 
   let reset_filter_stats () =
     hits := 0;
     misses := 0;
     decisions := 0;
-    fallback_ns := 0.0
+    fallback_ns := 0.0;
+    straddles := [];
+    straddle_count := 0
+
+  let note_straddle (iv : IV.t) =
+    incr straddle_count;
+    if !straddle_count <= straddle_cap then
+      straddles := (0.5 *. (IV.lo iv +. IV.hi iv)) :: !straddles
 
   let publish sink =
     Sink.count sink "moq_filter_hit" !hits;
@@ -238,8 +261,9 @@ end = struct
     incr hits;
     v
 
-  let miss f =
+  let miss ?at f =
     incr misses;
+    (match at with Some iv -> note_straddle iv | None -> ());
     let t0 = Sink.wall () in
     let r = f () in
     fallback_ns := !fallback_ns +. ((Sink.wall () -. t0) *. 1e9);
@@ -279,7 +303,7 @@ end = struct
            | _ -> false) ->
         hit 0 (* both are the unique root of the same linear polynomial *)
       | None ->
-        miss (fun () ->
+        miss ~at:a.iv (fun () ->
           let c = A.compare a.ex b.ex in
           refresh a;
           refresh b;
@@ -291,7 +315,7 @@ end = struct
     match IV.compare_certain i.iv (IV.of_rat s) with
     | Some c -> hit c
     | None ->
-      miss (fun () ->
+      miss ~at:i.iv (fun () ->
         let c = A.compare i.ex (A.of_rat s) in
         refresh i;
         c)
@@ -304,7 +328,7 @@ end = struct
       | Some s -> hit s
       | None when is_zero_of i p -> hit 0
       | None ->
-        miss (fun () ->
+        miss ~at:i.iv (fun () ->
           let s = A.sign_of_poly_at p i.ex in
           refresh i;
           s)
@@ -386,15 +410,15 @@ end = struct
           (* [i] the unique root of [p] itself: no root strictly after *)
           if is_zero_of i p then hit None
           else
-            miss (fun () ->
+            miss ~at:rv (fun () ->
               if A.compare (A.of_rat r) i.ex > 0 then root () else None)
       end
       else if d = 2 then begin
         match quad_first_root p i.iv with
         | Some ans -> hit ans
-        | None -> miss (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
+        | None -> miss ~at:i.iv (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
       end
-      else miss (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
+      else miss ~at:i.iv (fun () -> Option.map of_algnum (A.first_root_after p i.ex))
     end
 
   let first_root_at_or_after p s =
@@ -409,16 +433,19 @@ end = struct
         match IV.compare_certain rv (IV.of_rat s) with
         | Some c -> hit (if c >= 0 then root () else None)
         | None ->
-          miss (fun () ->
+          miss ~at:rv (fun () ->
             if Q.compare r s >= 0 then root () else None)
       end
       else if d = 2 then begin
         match quad_first_root p (IV.of_rat s) with
         | Some ans -> hit ans
         | None ->
-          miss (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
+          miss ~at:(IV.of_rat s)
+            (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
       end
-      else miss (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
+      else
+        miss ~at:(IV.of_rat s)
+          (fun () -> Option.map of_algnum (A.first_root_at_or_after p (A.of_rat s)))
     end
 
   let all_roots p = List.map of_algnum (A.roots p)
@@ -437,7 +464,7 @@ end = struct
     in
     match fast with
     | Some m -> hit (Q.of_float m) (* exact dyadic, strictly between *)
-    | None -> miss (fun () -> A.rational_between a.ex b.ex)
+    | None -> miss ~at:a.iv (fun () -> A.rational_between a.ex b.ex)
 
   let scalar_after i ~upto =
     match upto with
@@ -448,7 +475,7 @@ end = struct
       let fast = if IV.hi i.iv < IV.lo uv then gap_mid (IV.hi i.iv) (IV.lo uv) else None in
       (match fast with
        | Some m -> hit (Q.of_float m)
-       | None -> miss (fun () -> A.rational_between i.ex (A.of_rat u)))
+       | None -> miss ~at:i.iv (fun () -> A.rational_between i.ex (A.of_rat u)))
 
   let scalar_of_rat q = q
   let curve_of_qpiece c = c

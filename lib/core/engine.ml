@@ -69,6 +69,19 @@ module Make (B : Backend.S) = struct
     | V_dead -> "dead"
     | V_clock -> "clock"
 
+  (* Per-object cost attribution: one mutable cell per OID seen on the
+     sweep, bumped on each comparison/swap the object participates in.  The
+     table is bounded by the number of distinct objects, and the hot-path
+     cost is a hashtable probe — [None] (attribution off) skips even
+     that. *)
+  type attr_cell = { mutable a_cmp : int; mutable a_swap : int }
+
+  type hot = {
+    h_oid : Moq_mod.Oid.t;
+    h_comparisons : int;
+    h_swaps : int;
+  }
+
   type t = {
     order : entry OL.t;
     mutable queue : (B.instant, event_data) LH.t;
@@ -77,6 +90,7 @@ module Make (B : Backend.S) = struct
     by_label : (label, entry) Hashtbl.t;
     stats : stats;
     sink : Sink.t;
+    attr : (Moq_mod.Oid.t, attr_cell) Hashtbl.t option;
   }
 
   let now t = t.now
@@ -104,8 +118,49 @@ module Make (B : Backend.S) = struct
 
   (* Ordering of two live entries at instant [i]: value, then one-sided jet,
      then stable label order. *)
+  let attr_cell h oid =
+    match Hashtbl.find_opt h oid with
+    | Some c -> c
+    | None ->
+      let c = { a_cmp = 0; a_swap = 0 } in
+      Hashtbl.add h oid c;
+      c
+
+  let note_cmp t e =
+    match t.attr, e.lbl with
+    | Some h, Obj (oid, _) ->
+      let c = attr_cell h oid in
+      c.a_cmp <- c.a_cmp + 1
+    | _ -> ()
+
+  let note_swap t e =
+    match t.attr, e.lbl with
+    | Some h, Obj (oid, _) ->
+      let c = attr_cell h oid in
+      c.a_swap <- c.a_swap + 1
+    | _ -> ()
+
+  let hot_objects t =
+    match t.attr with
+    | None -> []
+    | Some h ->
+      Hashtbl.fold
+        (fun oid c acc -> { h_oid = oid; h_comparisons = c.a_cmp; h_swaps = c.a_swap } :: acc)
+        h []
+      |> List.sort (fun a b ->
+             match compare b.h_comparisons a.h_comparisons with
+             | 0 ->
+               (match compare b.h_swaps a.h_swaps with
+                | 0 -> Moq_mod.Oid.compare a.h_oid b.h_oid
+                | c -> c)
+             | c -> c)
+
   let cmp_entries_at t i e1 e2 =
     t.stats.comparisons <- t.stats.comparisons + 1;
+    if t.attr <> None then begin
+      note_cmp t e1;
+      note_cmp t e2
+    end;
     let s = C.diff_sign_at e1.curve e2.curve i in
     if s <> 0 then s
     else begin
@@ -205,7 +260,7 @@ module Make (B : Backend.S) = struct
     | Some p, Some _ -> schedule_around t p
     | _ -> ()
 
-  let create ?(sink = Sink.noop) ~start ?horizon curves =
+  let create ?(sink = Sink.noop) ?(attr = true) ~start ?horizon curves =
     let start_i = B.instant_of_scalar start in
     let t =
       { order = OL.create ();
@@ -216,6 +271,7 @@ module Make (B : Backend.S) = struct
         stats = { crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0; jumps = 0; comparisons = 0; audit_failures = 0; rebuilds = 0;
                   audit_structure = 0; audit_order = 0; audit_event = 0; audit_dead = 0; audit_clock = 0 };
         sink;
+        attr = (if attr then Some (Hashtbl.create 64) else None);
       }
     in
     let entries =
@@ -295,6 +351,10 @@ module Make (B : Backend.S) = struct
            e.node <- Some nn;
            n.node <- Some en;
            t.stats.swaps <- t.stats.swaps + 1;
+           if t.attr <> None then begin
+             note_swap t e;
+             note_swap t n
+           end;
            (* stale events around the swapped pair *)
            drop_right_event t e;
            drop_right_event t n;

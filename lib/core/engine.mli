@@ -67,13 +67,30 @@ module Make (B : Backend.S) : sig
   val violation_kind_name : violation_kind -> string
 
   val create :
-    ?sink:Moq_obs.Sink.t -> start:B.P.F.t -> ?horizon:B.P.F.t ->
+    ?sink:Moq_obs.Sink.t -> ?attr:bool -> start:B.P.F.t -> ?horizon:B.P.F.t ->
     (label * B.PW.t) list -> t
   (** Initialize the sweep at time [start]: curves alive at [start] are
       sorted into the object list (O(N log N), Theorem 5(1)); curves whose
       domain begins later are scheduled as birth events.  Curves ending
       before [start] are ignored.  Events after [horizon] are never
-      scheduled. *)
+      scheduled.  [attr] (default [true]) keeps per-object comparison/swap
+      attribution ({!hot_objects}); pass [false] to shave the per-comparison
+      table probe off the hot path. *)
+
+  (** Per-object attribution of the sweep's cost units: how many
+      curve-order comparisons and adjacent transpositions each object
+      participated in (a comparison bumps both participants, so the sum
+      over objects is up to 2× {!stats}.comparisons — constant curves from
+      query terms carry the rest). *)
+  type hot = {
+    h_oid : Moq_mod.Oid.t;
+    h_comparisons : int;
+    h_swaps : int;
+  }
+
+  val hot_objects : t -> hot list
+  (** Every attributed object, hottest (most comparisons) first; [[]] when
+      attribution is off. *)
 
   val now : t -> B.instant
   val stats : t -> stats

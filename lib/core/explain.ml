@@ -1,0 +1,235 @@
+(* Plan + cost report assembly and rendering.  Deliberately functor-free:
+   every field is already a plain int/float/string by the time a report is
+   built, so one module serves all three backends and the CLI can print a
+   report without knowing which functor instantiation produced it. *)
+
+module Json = Moq_obs.Json
+
+type sweep = {
+  batches : int;
+  crossings : int;
+  births : int;
+  deaths : int;
+  jumps : int;
+  swaps : int;
+  comparisons : int;
+  support_changes : int;
+}
+
+type lemma9 = {
+  events : int;
+  event_comparisons : int;
+  ops_per_event : float;
+  bound : float;
+  within : bool;
+}
+
+type filter = {
+  f_hits : int;
+  f_misses : int;
+  f_decisions : int;
+  f_fallback_ns : float;
+  f_straddles : float list;
+}
+
+type hot = {
+  oid : int;
+  comparisons : int;
+  swaps : int;
+}
+
+type phase = {
+  name : string;
+  ns : float;
+}
+
+type t = {
+  kind : string;
+  query : string;
+  backend : string;
+  classification : string;
+  n_objects : int;
+  lo : float;
+  hi : float;
+  timeline_pieces : int;
+  sweep : sweep;
+  lemma9 : lemma9;
+  filter : filter option;
+  hot : hot list;
+  phases : phase list;
+  counters : (string * float) list;
+}
+
+let lemma9_bound ~n_objects =
+  8. +. (4. *. (log (float_of_int (n_objects + 1)) /. log 2.))
+
+let counter counters name =
+  match List.assoc_opt name counters with Some v -> v | None -> 0.
+
+let make ~kind ~query ~backend ?(classification = "n/a") ~n_objects ~lo ~hi
+    ~timeline_pieces ~sweep ?filter ?(hot = []) ?(phases = []) ~counters () =
+  let events = int_of_float (counter counters "moq_sweep_events_total") in
+  let event_comparisons =
+    int_of_float (counter counters "moq_sweep_comparisons_total")
+  in
+  let ops_per_event =
+    float_of_int event_comparisons /. float_of_int (max 1 events)
+  in
+  let bound = lemma9_bound ~n_objects in
+  let lemma9 =
+    { events; event_comparisons; ops_per_event; bound;
+      within = ops_per_event <= bound }
+  in
+  { kind; query; backend; classification; n_objects; lo; hi; timeline_pieces;
+    sweep; lemma9; filter; hot; phases; counters }
+
+let top_hot ?(k = 5) t =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take (max 0 k) t.hot
+
+let hot_coverage t =
+  let total =
+    List.fold_left (fun a h -> a + h.comparisons) 0 t.hot
+  in
+  if total = 0 then 0.
+  else begin
+    let top =
+      List.fold_left (fun a h -> a + h.comparisons) 0 (top_hot ~k:5 t)
+    in
+    float_of_int top /. float_of_int total
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_to_json s =
+  Json.Obj
+    [ ("batches", Json.Int s.batches);
+      ("crossings", Json.Int s.crossings);
+      ("births", Json.Int s.births);
+      ("deaths", Json.Int s.deaths);
+      ("jumps", Json.Int s.jumps);
+      ("swaps", Json.Int s.swaps);
+      ("comparisons", Json.Int s.comparisons);
+      ("support_changes", Json.Int s.support_changes);
+    ]
+
+let lemma9_to_json l =
+  Json.Obj
+    [ ("events", Json.Int l.events);
+      ("event_comparisons", Json.Int l.event_comparisons);
+      ("ops_per_event", Json.Float l.ops_per_event);
+      ("bound", Json.Float l.bound);
+      ("within", Json.Bool l.within);
+    ]
+
+let filter_to_json f =
+  Json.Obj
+    [ ("hits", Json.Int f.f_hits);
+      ("misses", Json.Int f.f_misses);
+      ("decisions", Json.Int f.f_decisions);
+      ("fallback_ns", Json.Float f.f_fallback_ns);
+      ("straddles", Json.List (List.map (fun x -> Json.Float x) f.f_straddles));
+    ]
+
+let hot_to_json h =
+  Json.Obj
+    [ ("oid", Json.Int h.oid);
+      ("comparisons", Json.Int h.comparisons);
+      ("swaps", Json.Int h.swaps);
+    ]
+
+let phase_to_json p =
+  Json.Obj [ ("name", Json.Str p.name); ("ns", Json.Float p.ns) ]
+
+let to_json t =
+  Json.Obj
+    [ ("moq_explain", Json.Int 1);
+      ("kind", Json.Str t.kind);
+      ("query", Json.Str t.query);
+      ("backend", Json.Str t.backend);
+      ("classification", Json.Str t.classification);
+      ("n_objects", Json.Int t.n_objects);
+      ("lo", Json.Float t.lo);
+      ("hi", Json.Float t.hi);
+      ("timeline_pieces", Json.Int t.timeline_pieces);
+      ("sweep", sweep_to_json t.sweep);
+      ("lemma9", lemma9_to_json t.lemma9);
+      ( "filter",
+        match t.filter with None -> Json.Null | Some f -> filter_to_json f );
+      ("hot", Json.List (List.map hot_to_json t.hot));
+      ("hot_coverage_top5", Json.Float (hot_coverage t));
+      ("phases", Json.List (List.map phase_to_json t.phases));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.counters) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let to_text t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "moq explain: %s" t.query;
+  line "  kind          %s" t.kind;
+  line "  backend       %s" t.backend;
+  if t.classification <> "n/a" then
+    line "  classified    %s (Definition 5, vs the MOD clock)" t.classification;
+  line "  objects       %d" t.n_objects;
+  line "  window        [%g, %g]" t.lo t.hi;
+  line "  answer        %d timeline piece(s)" t.timeline_pieces;
+  let s = t.sweep in
+  line "sweep";
+  line "  batches       %d" s.batches;
+  line "  events        %d crossings, %d births, %d deaths, %d jumps"
+    s.crossings s.births s.deaths s.jumps;
+  line "  swaps         %d" s.swaps;
+  line "  comparisons   %d (incl. initial sort)" s.comparisons;
+  line "  support chg   %d (the paper's m)" s.support_changes;
+  let l = t.lemma9 in
+  line "lemma 9 (per-event order-list work)";
+  line "  events        %d" l.events;
+  line "  comparisons   %d (in-batch)" l.event_comparisons;
+  line "  ops/event     %.2f  (bound %.2f — %s)" l.ops_per_event l.bound
+    (if l.within then "within" else "EXCEEDED");
+  (match t.filter with
+   | None -> ()
+   | Some f ->
+     line "interval filter";
+     line "  decisions     %d (%d hit / %d miss)" f.f_decisions f.f_hits
+       f.f_misses;
+     let rate =
+       if f.f_decisions = 0 then 0.
+       else 100. *. float_of_int f.f_hits /. float_of_int f.f_decisions
+     in
+     line "  hit rate      %.1f%%" rate;
+     line "  fallback      %.3f ms exact-arithmetic time"
+       (f.f_fallback_ns /. 1e6);
+     (match f.f_straddles with
+      | [] -> ()
+      | xs ->
+        line "  straddled at  %s"
+          (String.concat ", "
+             (List.map (fun x -> Printf.sprintf "%.4g" x) xs))));
+  (match top_hot t with
+   | [] -> ()
+   | hs ->
+     line "hot objects (top %d of %d, %.0f%% of attributed comparisons)"
+       (List.length hs) (List.length t.hot) (100. *. hot_coverage t);
+     List.iter
+       (fun h ->
+         line "  oid %-6d    %d comparisons, %d swaps" h.oid h.comparisons
+           h.swaps)
+       hs);
+  (match t.phases with
+   | [] -> ()
+   | ps ->
+     line "phases";
+     List.iter (fun p -> line "  %-12s  %.3f ms" p.name (p.ns /. 1e6)) ps);
+  Buffer.contents b

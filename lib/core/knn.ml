@@ -20,6 +20,7 @@ module Make (B : Backend.S) = struct
   type result = {
     timeline : TL.t;
     stats : E.stats;
+    hot : E.hot list;  (** per-object cost attribution, hottest first *)
   }
 
   let oid_of e = match E.label e with E.Obj (o, _) -> Some o | E.Cst _ -> None
@@ -82,7 +83,8 @@ module Make (B : Backend.S) = struct
           :: !pieces
       end
     end;
-    { timeline = TL.simplify (List.rev !pieces); stats = E.stats eng }
+    { timeline = TL.simplify (List.rev !pieces); stats = E.stats eng;
+      hot = E.hot_objects eng }
 
   let run ~db ~gdist ~k ~lo ~hi = run_obs ~sink:Sink.noop ~db ~gdist ~k ~lo ~hi
 end

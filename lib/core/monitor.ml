@@ -60,12 +60,12 @@ module Make (B : Backend.S) = struct
     end
 
   (* Theorem 5(1): initialization, O(N log N). *)
-  let create ?(sink = Sink.noop) ?(materialize = true) ~(db : DB.t)
+  let create ?(sink = Sink.noop) ?(attr = true) ?(materialize = true) ~(db : DB.t)
       ~(gdist : Gdist.t) ~(query : Fof.query) () : t =
     let lo, hi = interval_bounds query in
     let p = P.create ~db ~gdist ~query ~istart:lo in
     let eng =
-      E.create ~sink ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi)
+      E.create ~sink ~attr ~start:(B.scalar_of_rat lo) ~horizon:(B.scalar_of_rat hi)
         (P.entry_list p)
     in
     if Sink.active sink then begin
@@ -183,6 +183,8 @@ module Make (B : Backend.S) = struct
      this update triggered (events processed while advancing to the update
      time, plus the update's own births/deaths). *)
   let support_of (s : E.stats) = s.E.crossings + s.E.births + s.E.deaths
+
+  let hot_objects m = E.hot_objects m.engine
 
   let apply_update m (u : U.t) : (unit, DB.error) result =
     if not (Sink.active m.sink) then apply_update_raw m u

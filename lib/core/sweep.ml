@@ -21,6 +21,7 @@ module Make (B : Backend.S) = struct
     timeline : TL.t;
     stats : E.stats;
     support_changes : int;  (** the paper's m *)
+    hot : E.hot list;  (** per-object cost attribution, hottest first *)
   }
 
   let interval_bounds (q : Fof.query) =
@@ -62,7 +63,9 @@ module Make (B : Backend.S) = struct
     end;
     let timeline = TL.simplify (List.rev !pieces) in
     let stats = E.stats eng in
-    { timeline; stats; support_changes = stats.E.crossings + stats.E.births + stats.E.deaths }
+    { timeline; stats;
+      support_changes = stats.E.crossings + stats.E.births + stats.E.deaths;
+      hot = E.hot_objects eng }
 
   let run ~db ~gdist ~query = run_obs ~sink:Sink.noop ~db ~gdist ~query
 end

@@ -1,0 +1,178 @@
+(* Bounded flight-recorder ring.  The hot path ([record]) is one mutex
+   acquisition, one array store and the event allocation itself; everything
+   expensive (JSON rendering, file IO) happens only at dump time, which is
+   by construction a rare, already-catastrophic moment. *)
+
+type event = {
+  seq : int;
+  ts : float;
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+type t = {
+  ring : event option array;  (* [||] when disabled *)
+  mutable next : int;  (* total events ever recorded *)
+  m : Mutex.t;
+}
+
+let create ?(capacity = 2048) () =
+  if capacity < 0 then invalid_arg "Recorder.create: negative capacity";
+  { ring = Array.make capacity None; next = 0; m = Mutex.create () }
+
+let default = create ()
+let capacity t = Array.length t.ring
+let enabled t = Array.length t.ring > 0
+let recorded t = t.next
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let record t ~kind ?(fields = []) () =
+  let cap = Array.length t.ring in
+  if cap > 0 then begin
+    let ts = Unix.gettimeofday () in
+    Mutex.lock t.m;
+    t.ring.(t.next mod cap) <- Some { seq = t.next; ts; kind; fields };
+    t.next <- t.next + 1;
+    Mutex.unlock t.m
+  end
+
+let events t =
+  let cap = Array.length t.ring in
+  if cap = 0 then []
+  else begin
+    Mutex.lock t.m;
+    let n = t.next in
+    let first = max 0 (n - cap) in
+    let out = ref [] in
+    for i = n - 1 downto first do
+      match t.ring.(i mod cap) with
+      | Some e -> out := e :: !out
+      | None -> ()
+    done;
+    Mutex.unlock t.m;
+    !out
+  end
+
+let last ?kind t =
+  let matches e = match kind with None -> true | Some k -> e.kind = k in
+  List.fold_left (fun acc e -> if matches e then Some e else acc) None (events t)
+
+let clear t =
+  Mutex.lock t.m;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  Mutex.unlock t.m
+
+let event_to_json e =
+  Json.Obj
+    [ ("seq", Json.Int e.seq);
+      ("ts", Json.Float e.ts);
+      ("kind", Json.Str e.kind);
+      ("fields", Json.Obj e.fields);
+    ]
+
+let to_json t ~reason =
+  Json.Obj
+    [ ("moq_flight_recorder", Json.Int 1);
+      ("reason", Json.Str reason);
+      ("wall", Json.Float (Unix.gettimeofday ()));
+      ("pid", Json.Int (Unix.getpid ()));
+      ("capacity", Json.Int (capacity t));
+      ("recorded", Json.Int (recorded t));
+      ("dropped", Json.Int (dropped t));
+      ("events", Json.List (List.map event_to_json (events t)));
+    ]
+
+(* File names sort chronologically and carry the trigger; the reason is
+   sanitized so a caller-supplied string can never escape the directory. *)
+let dump_filename ~reason ~at =
+  let safe =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' then c
+        else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+        else '_')
+      reason
+  in
+  Printf.sprintf "flight-%.0f-%s.json" (at *. 1000.) safe
+
+let dump t ~dir ~reason =
+  let doc = to_json t ~reason in
+  let path = Filename.concat dir (dump_filename ~reason ~at:(Unix.gettimeofday ())) in
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path;
+    Ok path
+  with
+  | Sys_error e -> Error e
+  | Unix.Unix_error (err, fn, arg) ->
+    Error (Printf.sprintf "%s: %s (%s)" fn (Unix.error_message err) arg)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing dumps back (moq blackbox)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type dump_doc = {
+  d_reason : string;
+  d_wall : float;
+  d_pid : int;
+  d_recorded : int;
+  d_dropped : int;
+  d_events : event list;
+}
+
+let jstr = function Some (Json.Str s) -> Some s | _ -> None
+let jint = function
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let event_of_json j =
+  match
+    ( jint (Json.member "seq" j),
+      Option.bind (Json.member "ts" j) Json.to_float_opt,
+      jstr (Json.member "kind" j),
+      Json.member "fields" j )
+  with
+  | Some seq, Some ts, Some kind, Some (Json.Obj fields) ->
+    Ok { seq; ts; kind; fields }
+  | Some seq, Some ts, Some kind, None -> Ok { seq; ts; kind; fields = [] }
+  | _ -> Error "event missing seq/ts/kind"
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | raw ->
+    (match Json.of_string raw with
+     | Error e -> Error (Printf.sprintf "%s: %s" path e)
+     | Ok j ->
+       if jint (Json.member "moq_flight_recorder" j) <> Some 1 then
+         Error (path ^ ": not a flight-recorder dump")
+       else begin
+         let events =
+           match Json.member "events" j with
+           | Some (Json.List l) -> List.map event_of_json l
+           | _ -> []
+         in
+         match List.find_opt Result.is_error events with
+         | Some (Error e) -> Error (Printf.sprintf "%s: %s" path e)
+         | _ ->
+           Ok
+             { d_reason = Option.value ~default:"?" (jstr (Json.member "reason" j));
+               d_wall =
+                 Option.value ~default:0.
+                   (Option.bind (Json.member "wall" j) Json.to_float_opt);
+               d_pid = Option.value ~default:0 (jint (Json.member "pid" j));
+               d_recorded = Option.value ~default:0 (jint (Json.member "recorded" j));
+               d_dropped = Option.value ~default:0 (jint (Json.member "dropped" j));
+               d_events = List.filter_map Result.to_option events;
+             }
+       end)

@@ -1,0 +1,70 @@
+(** Always-on flight recorder: a bounded ring of recent structured events.
+
+    Components record coarse lifecycle events (updates admitted/rejected,
+    support-change digests, session open/close, replication digests,
+    backpressure drops) as they happen; the ring keeps only the most recent
+    [capacity] of them, so steady-state memory is constant and a record is
+    one array store plus the event allocation.  On a crash, a SIGQUIT or an
+    audit violation the ring is dumped to a timestamped JSON file — a
+    self-contained forensic artifact that [moq blackbox] pretty-prints and
+    correlates against the store's write-ahead log.
+
+    Recording is mutex-serialized (server threads share one recorder); dump
+    files are written atomically (tmp + rename) so a reader never sees a
+    torn dump. *)
+
+type t
+
+type event = {
+  seq : int;  (** monotonically increasing record number, never reset *)
+  ts : float;  (** wall-clock seconds ([Unix.gettimeofday]) *)
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 2048 events; a capacity of 0 disables the recorder
+    ({!record} becomes a no-op and {!dump} writes an empty ring). *)
+
+val default : t
+(** Process-global recorder (capacity 2048) for components without their
+    own instance (CLI pipelines, tests). *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded (including those since overwritten). *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val record : t -> kind:string -> ?fields:(string * Json.t) list -> unit -> unit
+
+val events : t -> event list
+(** Ring contents, oldest first. *)
+
+val last : ?kind:string -> t -> event option
+(** Most recent event, optionally restricted to one [kind]. *)
+
+val clear : t -> unit
+(** Drop the ring contents (counters keep their totals). *)
+
+val to_json : t -> reason:string -> Json.t
+
+val dump : t -> dir:string -> reason:string -> (string, string) result
+(** Write the ring as [flight-<unix-ms>-<reason>.json] under [dir]
+    (created if missing), atomically; returns the file path.  Never
+    raises — filesystem failures come back as [Error]. *)
+
+(** A parsed dump file, for [moq blackbox]. *)
+type dump_doc = {
+  d_reason : string;
+  d_wall : float;  (** dump wall-clock time *)
+  d_pid : int;
+  d_recorded : int;
+  d_dropped : int;
+  d_events : event list;  (** oldest first *)
+}
+
+val load : string -> (dump_doc, string) result

@@ -14,6 +14,8 @@ module Export = Moq_obs.Export
 module Trace = Moq_obs.Trace
 module Log = Moq_obs.Log
 module Json = Moq_obs.Json
+module Recorder = Moq_obs.Recorder
+module Explain = Moq_core.Explain
 module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
 
@@ -75,13 +77,18 @@ type config = {
   repl_digest_every : int;  (* digest cadence in streamed updates; 0 = never *)
   repl_backlog : int;  (* in-memory update ring for delta resumes *)
   trace : bool;  (* propagate trace contexts across moqp + record spans *)
+  slow_query_ms : float;  (* queries/monitor steps over this auto-capture
+                             their explain record into the log; 0 disables *)
+  hot_objects : bool;  (* per-object sweep-cost attribution in sub monitors *)
+  flight_capacity : int;  (* flight-recorder ring size; 0 disables *)
 }
 
 let default_config ~listen ~store_dir =
   { listen; store_dir; init_db = None; fsync = true; checkpoint_every = 256;
     max_sessions = 64; max_subs_per_session = 8; queue_soft = 64;
     queue_hwm = 256; idle_timeout = 300.; writer_delay = 0.; follow = None;
-    repl_digest_every = 64; repl_backlog = 4096; trace = false }
+    repl_digest_every = 64; repl_backlog = 4096; trace = false;
+    slow_query_ms = 250.; hot_objects = true; flight_capacity = 2048 }
 
 (* ---------------------------------------------------------------- *)
 (* Sessions and subscriptions                                        *)
@@ -111,6 +118,16 @@ type sub = {
   mutable next_seq : int;
 }
 
+(* Per-subscription fanout accounting: who costs the output path the most.
+   Kept outside [sub] (in a table keyed by sub id) because writer threads
+   attribute bytes after the subscription may already be retired. *)
+type subacct = {
+  mutable sa_bytes : int;   (* event payload bytes written for this sub *)
+  mutable sa_events : int;  (* event frames written *)
+  mutable sa_qpeak : int;   (* worst session queue depth seen at enqueue *)
+  mutable sa_drops : int;   (* events dropped under backpressure *)
+}
+
 type session = {
   sid : int;
   fd : Unix.file_descr;
@@ -130,6 +147,9 @@ type t = {
   reg : Registry.t;
   sink : Sink.t;
   tracer : Trace.t;
+  recorder : Recorder.t;
+  acct_m : Mutex.t;  (* leaf lock guarding [subacct]; never held across others *)
+  subacct : (int, subacct) Hashtbl.t;
   mutable store : Store.t;  (* replaced wholesale on a follower snapshot reset *)
   mutable san : Sanitize.t;
   dim : int;
@@ -170,6 +190,36 @@ let with_lock m f =
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let tctx (trace_id, span_id) = { Trace.trace_id; span_id }
+
+let record t kind fields = Recorder.record t.recorder ~kind ~fields ()
+
+(* Leaf-locked per-subscription accounting; creates the row on first use. *)
+let acct t sub_id f =
+  with_lock t.acct_m (fun () ->
+      let a =
+        match Hashtbl.find_opt t.subacct sub_id with
+        | Some a -> a
+        | None ->
+          let a = { sa_bytes = 0; sa_events = 0; sa_qpeak = 0; sa_drops = 0 } in
+          Hashtbl.replace t.subacct sub_id a;
+          a
+      in
+      f a)
+
+(* Dump the flight-recorder ring next to the WAL so `moq blackbox` can
+   correlate the two without being told where either lives. *)
+let flight_dump t ~reason =
+  let r = Recorder.dump t.recorder ~dir:t.cfg.store_dir ~reason in
+  (match r with
+   | Ok path ->
+     Log.warn
+       ~fields:[ ("path", Json.Str path); ("reason", Json.Str reason) ]
+       "flight recorder dumped"
+   | Error e ->
+     Log.error
+       ~fields:[ ("reason", Json.Str reason); ("error", Json.Str e) ]
+       "flight recorder dump failed");
+  r
 
 (* Time [f], observe the duration under [ns_metric], and — when a trace
    context is being propagated — record it as a depth-1 stage span. *)
@@ -216,6 +266,9 @@ let drop_oldest_event t sess =
     | [] -> None
     | O_event e :: rest ->
       Sink.count t.sink "moq_server_dropped_events_total" e.count;
+      acct t e.sub (fun a -> a.sa_drops <- a.sa_drops + e.count);
+      record t "backpressure_drop"
+        [ ("sub", Json.Int e.sub); ("count", Json.Int e.count) ];
       Some
         (O_dropped
            { sub = e.sub; from_seq = e.first_seq; to_seq = e.first_seq + e.count - 1 }
@@ -249,6 +302,10 @@ let enqueue_item t sess item =
       sess.qlen <- sess.qlen + 1
     end;
     while sess.qlen > t.cfg.queue_hwm && drop_oldest_event t sess do () done;
+    (match item with
+     | O_event e ->
+       acct t e.sub (fun a -> if sess.qlen > a.sa_qpeak then a.sa_qpeak <- sess.qlen)
+     | _ -> ());
     Sink.observe t.sink "moq_server_push_queue_depth" (float_of_int sess.qlen);
     Condition.signal sess.qc
   end
@@ -298,10 +355,12 @@ let push_fresh ?trace t sess sub =
       (O_event { sub = sub.sub_id; first_seq = sub.next_seq; count = n;
                  pieces_rev = List.rev wire; trace; enq = t0 });
     Sink.observe t.sink "moq_stage_enqueue_ns" ((Unix.gettimeofday () -. t0) *. 1e9);
+    record t "sub_pieces" [ ("sub", Json.Int sub.sub_id); ("n", Json.Int n) ];
     sub.next_seq <- sub.next_seq + n
   end;
   if Q.compare (Mon.clock sub.mon) sub.sub_hi >= 0 then begin
     Sink.count t.sink "moq_server_completed_subscriptions_total" 1;
+    record t "sub_complete" [ ("sub", Json.Int sub.sub_id) ];
     enqueue_msg t sess (Proto.E_complete { sub = sub.sub_id });
     sess.subs <- List.filter (fun s -> s.sub_id <> sub.sub_id) sess.subs
   end
@@ -316,8 +375,18 @@ let fanout ?trace t u =
           (match Mon.apply_update sub.mon u with
            | Ok () -> ()
            | Error _ -> Sink.count t.sink "moq_server_fanout_errors_total" 1);
-          Sink.observe t.sink "moq_stage_monitor_ns"
-            ((Unix.gettimeofday () -. t0) *. 1e9);
+          let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          Sink.observe t.sink "moq_stage_monitor_ns" (dt_ms *. 1e6);
+          if t.cfg.slow_query_ms > 0. && dt_ms > t.cfg.slow_query_ms then begin
+            Sink.count t.sink "moq_slowq_total" 1;
+            Sink.count t.sink "moq_slowq_monitor_total" 1;
+            let fields =
+              [ ("source", Json.Str "monitor"); ("sub", Json.Int sub.sub_id);
+                ("ms", Json.Float dt_ms); ("oid", Json.Int (U.oid u)) ]
+            in
+            record t "slow_monitor_step" fields;
+            Log.warn ~fields "slow monitor step"
+          end;
           push_fresh ?trace t sess sub)
         sess.subs)
     t.sessions
@@ -348,6 +417,10 @@ let enqueue_repl t sess item =
    the live subscriptions, remember it in the delta-resume backlog, and
    ship it — plus a periodic state digest — to tailing followers. *)
 let committed ?trace t u =
+  (* exactly one record per store append, in WAL order (quarantine
+     graduates included) — the invariant `moq blackbox` correlates on *)
+  record t "update_admitted"
+    [ ("oid", Json.Int (U.oid u)); ("tau", Json.Str (Q.to_string (U.time u))) ];
   stage_obs t ?trace ~name:"fanout" ~ns_metric:"moq_stage_fanout_ns" (fun () ->
       fanout ?trace t u);
   t.repl_seq <- t.repl_seq + 1;
@@ -380,6 +453,8 @@ let committed ?trace t u =
                crc = Crc32.to_hex (Crc32.string payload) })
       in
       Sink.count t.sink "moq_repl_digests_total" 1;
+      record t "repl_digest_sent"
+        [ ("clock", Json.Str (Q.to_string (Store.clock t.store))) ];
       let enq = Unix.gettimeofday () in
       List.iter
         (fun sess ->
@@ -422,7 +497,14 @@ let ingest_and_fanout ?trace t u =
        end
      in
      drain ()
-   | _ -> ());
+   | Sanitize.Rejected (r, _) ->
+     record t "update_rejected"
+       [ ("oid", Json.Int (U.oid u));
+         ("reason", Json.Str (Format.asprintf "%a" Sanitize.pp_reason r)) ]
+   | Sanitize.Quarantined (r, _) ->
+     record t "update_quarantined"
+       [ ("oid", Json.Int (U.oid u));
+         ("reason", Json.Str (Format.asprintf "%a" Sanitize.pp_reason r)) ]);
   verdict
 
 let verdict_wire = function
@@ -440,6 +522,65 @@ let update_gauges t =
     (float_of_int (List.length t.sessions));
   Registry.set (Registry.gauge t.reg "moq_server_subscriptions")
     (float_of_int (List.fold_left (fun a s -> a + List.length s.subs) 0 t.sessions))
+
+(* t.lock held.  Merge per-object sweep-cost attribution across every live
+   subscription monitor and export the top-5 (plus their share of all
+   attributed comparisons) as rank-indexed gauges; likewise the costliest
+   subscriptions by fanout bytes.  Rank gauges left over from a previous
+   publish simply go stale at their old values — readers key on the
+   current ranks 0..4 only. *)
+let publish_hot t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun sess ->
+      List.iter
+        (fun sub ->
+          List.iter
+            (fun (h : Mon.E.hot) ->
+              let c, s =
+                match Hashtbl.find_opt tbl h.Mon.E.h_oid with
+                | Some cs -> cs
+                | None -> (0, 0)
+              in
+              Hashtbl.replace tbl h.Mon.E.h_oid
+                (c + h.Mon.E.h_comparisons, s + h.Mon.E.h_swaps))
+            (Mon.hot_objects sub.mon))
+        sess.subs)
+    t.sessions;
+  let rows = Hashtbl.fold (fun oid (c, s) acc -> (oid, c, s) :: acc) tbl [] in
+  let rows = List.sort (fun (_, c1, _) (_, c2, _) -> compare c2 c1) rows in
+  let total = List.fold_left (fun a (_, c, _) -> a + c) 0 rows in
+  let top = ref 0 in
+  List.iteri
+    (fun i (oid, c, s) ->
+      if i < 5 then begin
+        top := !top + c;
+        Sink.set t.sink (Printf.sprintf "moq_hot_oid_%d" i) (float_of_int oid);
+        Sink.set t.sink (Printf.sprintf "moq_hot_comparisons_%d" i)
+          (float_of_int c);
+        Sink.set t.sink (Printf.sprintf "moq_hot_swaps_%d" i) (float_of_int s)
+      end)
+    rows;
+  if total > 0 then
+    Sink.set t.sink "moq_hot_coverage_pct"
+      (100. *. float_of_int !top /. float_of_int total);
+  let subs =
+    with_lock t.acct_m (fun () ->
+        Hashtbl.fold
+          (fun id a acc -> (id, a.sa_bytes, a.sa_qpeak) :: acc)
+          t.subacct [])
+  in
+  let subs = List.sort (fun (_, b1, _) (_, b2, _) -> compare b2 b1) subs in
+  List.iteri
+    (fun i (id, bytes, qpeak) ->
+      if i < 5 then begin
+        Sink.set t.sink (Printf.sprintf "moq_hot_sub_id_%d" i) (float_of_int id);
+        Sink.set t.sink (Printf.sprintf "moq_hot_sub_bytes_%d" i)
+          (float_of_int bytes);
+        Sink.set t.sink (Printf.sprintf "moq_hot_sub_queue_%d" i)
+          (float_of_int qpeak)
+      end)
+    subs
 
 let rpc_name = function
   | Proto.Hello _ -> "hello"
@@ -527,13 +668,18 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
         else begin
           let gdist = gdist_of_kind t kind in
           let query = query_of_kind kind ~lo ~hi in
-          match Mon.create ~sink:t.sink ~db:(Store.db t.store) ~gdist ~query () with
+          match
+            Mon.create ~sink:t.sink ~attr:t.cfg.hot_objects
+              ~db:(Store.db t.store) ~gdist ~query ()
+          with
           | mon ->
             let sub_id = t.next_sub in
             t.next_sub <- t.next_sub + 1;
             let sub = { sub_id; sub_hi = hi; mon; next_seq = 0 } in
             sess.subs <- sub :: sess.subs;
             Sink.count t.sink "moq_server_subscriptions_total" 1;
+            record t "subscribe"
+              [ ("sub", Json.Int sub_id); ("session", Json.Int sess.sid) ];
             (* response first, then any already-valid prefix as events —
                same lock scope, so no update can interleave *)
             enqueue_msg t sess (Proto.R_subscribe { sub = sub_id });
@@ -558,11 +704,84 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
     (* snapshot under the lock, sweep outside it: the MOD is persistent *)
     let db = with_lock t.lock (fun () -> Store.db t.store) in
     let gdist = Gdist.euclidean_sq ~gamma:(origin_gamma t.dim) in
-    let timeline =
+    let cval name = Option.value ~default:0 (Registry.counter_value t.reg name) in
+    let ev0 = cval "moq_sweep_events_total" in
+    let cmp0 = cval "moq_sweep_comparisons_total" in
+    let t0 = Unix.gettimeofday () in
+    (* the explain report is only assembled when the run turns out slow;
+       each arm returns the timeline plus a thunk that builds it *)
+    let timeline, mk_explain =
       match kind with
-      | Proto.Qk_knn k -> (Knn.run_obs ~sink:t.sink ~db ~gdist ~k ~lo ~hi).Knn.timeline
-      | Proto.Qk_range b -> (Range.run ~db ~gdist ~bound:b ~lo ~hi).Range.timeline
+      | Proto.Qk_knn k ->
+        let r = Knn.run_obs ~sink:t.sink ~db ~gdist ~k ~lo ~hi in
+        let s = r.Knn.stats in
+        ( r.Knn.timeline,
+          fun ~counters ~phases ->
+            let sweep =
+              { Explain.batches = s.Knn.E.batches; crossings = s.Knn.E.crossings;
+                births = s.Knn.E.births; deaths = s.Knn.E.deaths;
+                jumps = s.Knn.E.jumps; swaps = s.Knn.E.swaps;
+                comparisons = s.Knn.E.comparisons;
+                support_changes =
+                  s.Knn.E.crossings + s.Knn.E.births + s.Knn.E.deaths }
+            in
+            let hot =
+              List.map
+                (fun (h : Knn.E.hot) ->
+                  { Explain.oid = h.Knn.E.h_oid;
+                    comparisons = h.Knn.E.h_comparisons;
+                    swaps = h.Knn.E.h_swaps })
+                r.Knn.hot
+            in
+            Explain.make ~kind:"knn"
+              ~query:(Printf.sprintf "server query knn k=%d" k)
+              ~backend:"exact" ~n_objects:(List.length (DB.objects db))
+              ~lo:(Q.to_float lo) ~hi:(Q.to_float hi)
+              ~timeline_pieces:(List.length r.Knn.timeline) ~sweep ~hot
+              ~phases ~counters () )
+      | Proto.Qk_range b ->
+        let r = Range.run ~db ~gdist ~bound:b ~lo ~hi in
+        let s = r.Range.stats in
+        ( r.Range.timeline,
+          fun ~counters ~phases ->
+            let sweep =
+              { Explain.batches = s.Range.E.batches;
+                crossings = s.Range.E.crossings; births = s.Range.E.births;
+                deaths = s.Range.E.deaths; jumps = s.Range.E.jumps;
+                swaps = s.Range.E.swaps; comparisons = s.Range.E.comparisons;
+                support_changes =
+                  s.Range.E.crossings + s.Range.E.births + s.Range.E.deaths }
+            in
+            Explain.make ~kind:"range"
+              ~query:(Printf.sprintf "server query range bound=%s" (Q.to_string b))
+              ~backend:"exact" ~n_objects:(List.length (DB.objects db))
+              ~lo:(Q.to_float lo) ~hi:(Q.to_float hi)
+              ~timeline_pieces:(List.length r.Range.timeline) ~sweep
+              ~phases ~counters () )
     in
+    let dur_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    if t.cfg.slow_query_ms > 0. && dur_ms > t.cfg.slow_query_ms then begin
+      Sink.count t.sink "moq_slowq_total" 1;
+      Sink.count t.sink "moq_slowq_query_total" 1;
+      (* counter deltas around the run stand in for a private registry:
+         exact when this query ran alone, approximate under concurrency *)
+      let counters =
+        [ ("moq_sweep_events_total",
+           float_of_int (cval "moq_sweep_events_total" - ev0));
+          ("moq_sweep_comparisons_total",
+           float_of_int (cval "moq_sweep_comparisons_total" - cmp0)) ]
+      in
+      let ex =
+        mk_explain ~counters
+          ~phases:[ { Explain.name = "run"; ns = dur_ms *. 1e6 } ]
+      in
+      let fields =
+        [ ("source", Json.Str "query"); ("session", Json.Int sess.sid);
+          ("ms", Json.Float dur_ms); ("explain", Explain.to_json ex) ]
+      in
+      record t "slow_query" fields;
+      Log.warn ~fields "slow query"
+    end;
     (match req_trace t attrs with
      | Some c ->
        let t_done = Unix.gettimeofday () in
@@ -573,7 +792,9 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
     enqueue_msg t sess (Proto.R_query (List.map wire_piece timeline));
     true
   | Proto.Stats fmt ->
-    with_lock t.lock (fun () -> update_gauges t);
+    with_lock t.lock (fun () ->
+        update_gauges t;
+        publish_hot t);
     let body =
       match fmt with
       | `Json -> Export.json_string t.reg
@@ -657,7 +878,7 @@ let writer_loop t sess =
         sess.qlen <- sess.qlen - 1;
         Mutex.unlock sess.qm;
         let now = Unix.gettimeofday () in
-        let payload =
+        let payload : string =
           match item with
           | O_event e ->
             Sink.observe t.sink "moq_stage_queue_ns" ((now -. e.enq) *. 1e9);
@@ -694,6 +915,12 @@ let writer_loop t sess =
                   a_wm = wm }
           | item -> render_item item
         in
+        (match item with
+         | O_event e ->
+           acct t e.sub (fun a ->
+               a.sa_bytes <- a.sa_bytes + String.length payload;
+               a.sa_events <- a.sa_events + 1)
+         | _ -> ());
         (match Frame.write sess.fd payload with
          | Ok () ->
            Sink.observe t.sink "moq_stage_write_ns"
@@ -728,6 +955,7 @@ let teardown t sess =
       Condition.broadcast sess.qc);
   (match sess.writer with Some th -> (try Thread.join th with _ -> ()) | None -> ());
   (try Unix.close sess.fd with Unix.Unix_error _ -> ());
+  record t "session_close" [ ("session", Json.Int sess.sid) ];
   Log.debug ~fields:[ ("session", Json.Int sess.sid) ] "session closed";
   if not t.crashed then
     with_lock t.lock (fun () ->
@@ -811,6 +1039,7 @@ let handle_accept t fd =
      | exception Unix.Unix_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
   | Some sess ->
+    record t "session_open" [ ("session", Json.Int sess.sid) ];
     Log.debug ~fields:[ ("session", Json.Int sess.sid) ] "session accepted";
     sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
     let reader = Thread.create (fun () -> reader_loop t sess) () in
@@ -1066,7 +1295,13 @@ let repl_tail t fd =
                               [ ("clock", Json.Str (Q.to_string clock));
                                 ("expected_bytes", Json.Int bytes);
                                 ("got_bytes", Json.Int (String.length payload)) ]
-                            "replica state diverges from primary digest"
+                            "replica state diverges from primary digest";
+                          (* the audit-violation analogue of a crash: the
+                             evidence is the recent event history, so dump
+                             it while it is still in the ring *)
+                          record t "repl_divergence"
+                            [ ("clock", Json.Str (Q.to_string clock)) ];
+                          ignore (flight_dump t ~reason:"repl-divergence")
                         end
                       end);
                   pump ()
@@ -1164,6 +1399,8 @@ let start ?registry cfg =
        in
        let t =
          { cfg; reg; sink; store; san; tracer; dim = Store.dim store;
+           recorder = Recorder.create ~capacity:cfg.flight_capacity ();
+           acct_m = Mutex.create (); subacct = Hashtbl.create 64;
            lock = Mutex.create ();
            sessions = []; next_sid = 1; next_sub = 1; stopping = false;
            crashed = false; listen_fd; wake_r; wake_w; accept_thread = None;
@@ -1178,6 +1415,7 @@ let start ?registry cfg =
           top`) before the first event still sees them *)
        Sink.count sink "moq_server_rpcs_total" 0;
        Sink.count sink "moq_server_dropped_events_total" 0;
+       Sink.count sink "moq_slowq_total" 0;
        if cfg.follow <> None then begin
          (* same for the freshness gauges before the first repl frame *)
          Sink.set sink "moq_repl_lag_updates" 0.;
@@ -1207,6 +1445,7 @@ let bound_addr t =
 
 let registry t = t.reg
 let tracer t = t.tracer
+let recorder t = t.recorder
 let db_snapshot t = with_lock t.lock (fun () -> Store.db t.store)
 let clock t = with_lock t.lock (fun () -> Store.clock t.store)
 let is_follower t = t.cfg.follow <> None
@@ -1232,6 +1471,7 @@ let stop t =
 let crash t =
   t.crashed <- true;
   t.stopping <- true;
+  ignore (flight_dump t ~reason:"crash");
   shutdown_repl_link t;
   (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
    with Unix.Unix_error _ -> ());

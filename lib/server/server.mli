@@ -71,6 +71,16 @@ type config = {
   trace : bool;
       (** propagate [trace=] contexts and record pipeline spans; stage
           histograms are always collected regardless (default false) *)
+  slow_query_ms : float;
+      (** a query or per-subscription monitor step slower than this
+          auto-captures its explain record into the structured log (and
+          the flight recorder) and counts [moq_slowq_total]; 0 disables
+          (default 250) *)
+  hot_objects : bool;
+      (** per-object sweep-cost attribution inside subscription monitors,
+          exported as [moq_hot_*] gauges on STATS (default true) *)
+  flight_capacity : int;
+      (** flight-recorder ring size in events; 0 disables (default 2048) *)
 }
 
 val default_config : listen:addr -> store_dir:string -> config
@@ -93,6 +103,17 @@ val registry : t -> Moq_obs.Registry.t
 val tracer : t -> Moq_obs.Trace.t
 (** The server's span ring: pipeline stages (link, dispatch, queue, apply)
     recorded when [config.trace] is set. *)
+
+val recorder : t -> Moq_obs.Recorder.t
+(** The always-on flight recorder: updates admitted/rejected, session and
+    subscription lifecycle, backpressure drops, repl digests, slow
+    queries.  Dumped automatically on {!crash} and on a replication
+    digest divergence; see {!flight_dump} for explicit triggers. *)
+
+val flight_dump : t -> reason:string -> (string, string) result
+(** Dump the flight-recorder ring to a timestamped JSON file in the store
+    directory (next to the WAL, so [moq blackbox] can correlate the two);
+    returns the path.  Used by the CLI's SIGQUIT handler. *)
 
 val db_snapshot : t -> DB.t
 (** Current MOD (persistent value, safe to use concurrently). *)

@@ -8,7 +8,8 @@ and fails on a regression beyond the threshold in either direction of
 merit:
 
   - throughput-like extras (higher is better): rps, agg_query_rps,
-    rps_trace_off, rps_trace_on, speedup_vs_exact
+    rps_trace_off, rps_trace_on, rps_obs_off, rps_obs_on,
+    speedup_vs_exact, hot_coverage_pct
   - latency-like extras (lower is better): p50_ms, p99_ms,
     primary_p99_ms, e2e_p50_ms, e2e_p99_ms
 
@@ -29,7 +30,8 @@ import os
 import sys
 
 HIGHER_IS_BETTER = ("rps", "agg_query_rps", "rps_trace_off", "rps_trace_on",
-                    "speedup_vs_exact")
+                    "rps_obs_off", "rps_obs_on", "speedup_vs_exact",
+                    "hot_coverage_pct")
 LOWER_IS_BETTER = ("p50_ms", "p99_ms", "primary_p99_ms", "e2e_p50_ms",
                    "e2e_p99_ms")
 

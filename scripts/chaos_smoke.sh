@@ -14,6 +14,9 @@
 # Env:   MOQ — the moq binary (default: dune exec bin/moq.exe --)
 #        MOQ_FAULT_SEEDS — comma-separated seeds; the first is used when
 #        no SEED argument is given (default 7)
+#        MOQ_SMOKE_ARTIFACTS — when set and the script fails, flight-recorder
+#        dumps and node logs are copied there before the workdir is wiped
+#        (CI uploads that directory for post-mortem)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,9 +27,15 @@ SEED=${SEED:-7}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/moq_chaos_smoke.XXXXXX")
 PRI_PID="" FOL_PID="" PROXY_PID=""
 cleanup() {
+  status=$?
   for pid in "$PROXY_PID" "$FOL_PID" "$PRI_PID"; do
     [ -n "$pid" ] && kill -KILL "$pid" 2>/dev/null || true
   done
+  if [ "$status" -ne 0 ] && [ -n "${MOQ_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$MOQ_SMOKE_ARTIFACTS"
+    find "$WORK" -name 'flight-*.json' -exec cp -t "$MOQ_SMOKE_ARTIFACTS" {} + 2>/dev/null || true
+    cp "$WORK"/*.log "$MOQ_SMOKE_ARTIFACTS"/ 2>/dev/null || true
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -121,5 +130,23 @@ echo 'UPDATE chdir 1 7 0 0' | $MOQ client --connect "$FADDR" >"$WORK/readonly.ou
 grep -q '^ERR read-only' "$WORK/readonly.out" \
   || { echo "follower accepted a local update"; cat "$WORK/readonly.out"; exit 1; }
 
+# ----- flight recorder survives the chaos run ------------------------------
+# SIGQUIT the primary: its black-box dump must parse and its last recorded
+# admitted update must agree with the primary WAL tail (blackbox exits 5
+# on disagreement)
+kill -QUIT "$PRI_PID"
+DUMP=""
+for _ in $(seq 1 50); do
+  DUMP=$(ls "$WORK"/primary/flight-*.json 2>/dev/null | head -n1 || true)
+  [ -n "$DUMP" ] && break
+  sleep 0.1
+done
+[ -n "$DUMP" ] || { echo "SIGQUIT produced no flight-recorder dump on the primary"; \
+                    cat "$WORK/primary.log"; exit 1; }
+$MOQ blackbox "$DUMP" --wal "$WORK/primary" >"$WORK/blackbox.out"
+grep -q 'agrees with the WAL tail' "$WORK/blackbox.out" \
+  || { echo "flight dump does not correlate with the primary WAL"; \
+       cat "$WORK/blackbox.out"; exit 1; }
+
 echo "chaos smoke OK (seed $SEED): follower converged through faults + a proxy kill," \
-     "zero divergence, byte-identical query answers"
+     "zero divergence, byte-identical query answers, flight dump correlates"

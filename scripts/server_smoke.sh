@@ -10,6 +10,9 @@
 #
 # Usage: scripts/server_smoke.sh
 # Env:   MOQ — the moq binary (default: dune exec bin/moq.exe --)
+#        MOQ_SMOKE_ARTIFACTS — when set and the script fails, flight-recorder
+#        dumps and server logs are copied there before the workdir is wiped
+#        (CI uploads that directory for post-mortem)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,7 +21,13 @@ MOQ=${MOQ:-"dune exec --no-print-directory bin/moq.exe --"}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/moq_server_smoke.XXXXXX")
 SRV_PID=""
 cleanup() {
+  status=$?
   [ -n "$SRV_PID" ] && kill -KILL "$SRV_PID" 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -n "${MOQ_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$MOQ_SMOKE_ARTIFACTS"
+    find "$WORK" -name 'flight-*.json' -exec cp -t "$MOQ_SMOKE_ARTIFACTS" {} + 2>/dev/null || true
+    cp "$WORK"/*.log "$MOQ_SMOKE_ARTIFACTS"/ 2>/dev/null || true
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -69,6 +78,28 @@ assert ep["role"] == "primary", ep
 assert ep["stages"], "no stage histograms in top output"
 assert ep["dropped_events_total"] == 0, ep
 print("moq top smoke OK: primary healthy, %d stage histograms" % len(ep["stages"]))
+PY
+
+# flight recorder: SIGQUIT must drop a black-box dump next to the WAL whose
+# last recorded admitted update agrees with the WAL tail (moq blackbox
+# exits 5 on disagreement)
+kill -QUIT "$SRV_PID"
+DUMP=""
+for _ in $(seq 1 50); do
+  DUMP=$(ls "$WORK"/a/flight-*.json 2>/dev/null | head -n1 || true)
+  [ -n "$DUMP" ] && break
+  sleep 0.1
+done
+[ -n "$DUMP" ] || { echo "SIGQUIT produced no flight-recorder dump"; cat "$WORK/a.log"; exit 1; }
+$MOQ blackbox "$DUMP" --wal "$WORK/a" --json >"$WORK/blackbox.json"
+python3 - "$WORK/blackbox.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["reason"] == "sigquit", doc["reason"]
+assert doc["wal_agrees"] is True, doc.get("wal_verdict")
+assert any(e["kind"] == "update_admitted" for e in doc["events"]), \
+    "dump recorded no admitted updates"
+print("blackbox smoke OK: %s" % doc["wal_verdict"])
 PY
 
 stop_server

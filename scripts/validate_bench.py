@@ -30,10 +30,23 @@ plus optional per-experiment extras:
     "e2e_samples": int         # > 0; o1 only
     "repl_lag_p99": float      # >= 0; o1 only
     "final_lag_updates": int   # must be 0 — the follower caught up
+    "explain_overhead_pct": float  # explain/recorder cost in % (o2); may be < 0
+    "rps_obs_off": float       # >= 0; o2 only
+    "rps_obs_on": float        # >= 0; o2 only
+    "hot_coverage_pct": float  # in [0, 100]; o2 only
+    "hot_top5_comparisons": int    # >= 0, <= hot_total_comparisons; o2 only
+    "hot_total_comparisons": int   # > 0; o2 only
+    "hot_attributed_objects": int  # > 0; o2 only
+    "slowq_captured": int      # > 0 — the slow-query log actually fired
+    "flight_recorded": int     # > 0 — the flight recorder actually recorded
 
-Usage: validate_bench.py [--min-hit-rate X] [--max-trace-overhead X] FILE...
+Usage: validate_bench.py [--min-hit-rate X] [--max-trace-overhead X]
+                         [--max-explain-overhead X] [--min-hot-coverage X]
+                         FILE...
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
 With --max-trace-overhead, files carrying "trace_overhead_pct" above X fail.
+With --max-explain-overhead, files carrying "explain_overhead_pct" above X fail.
+With --min-hot-coverage, files carrying "hot_coverage_pct" below X fail.
 Exits non-zero with one `file: message` line per problem.
 """
 import argparse
@@ -49,14 +62,19 @@ OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "divergence_detected",
             "trace_overhead_pct", "rps_trace_off", "rps_trace_on",
             "e2e_p50_ms", "e2e_p99_ms", "e2e_samples", "repl_lag_p99",
-            "final_lag_updates"}
+            "final_lag_updates",
+            "explain_overhead_pct", "rps_obs_off", "rps_obs_on",
+            "hot_coverage_pct", "hot_top5_comparisons",
+            "hot_total_comparisons", "hot_attributed_objects",
+            "slowq_captured", "flight_recorded"}
 
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
-def problems(path, min_hit_rate=None, max_trace_overhead=None):
+def problems(path, min_hit_rate=None, max_trace_overhead=None,
+             max_explain_overhead=None, min_hot_coverage=None):
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -147,6 +165,45 @@ def problems(path, min_hit_rate=None, max_trace_overhead=None):
     if "final_lag_updates" in doc and doc["final_lag_updates"] != 0:
         yield ("'final_lag_updates' must be 0 — the follower never caught "
                "up with the primary")
+    if "explain_overhead_pct" in doc:
+        overhead = doc["explain_overhead_pct"]
+        if not is_number(overhead):
+            yield "'explain_overhead_pct' must be a number"
+        elif max_explain_overhead is not None and overhead > max_explain_overhead:
+            yield "explain_overhead_pct %.2f above allowed maximum %.2f" % (
+                overhead, max_explain_overhead)
+    elif max_explain_overhead is not None:
+        yield "--max-explain-overhead given but file has no 'explain_overhead_pct'"
+    for key in ("rps_obs_off", "rps_obs_on"):
+        if key in doc and (not is_number(doc[key]) or doc[key] < 0):
+            yield "'%s' must be a non-negative number" % key
+    if "hot_coverage_pct" in doc:
+        cov = doc["hot_coverage_pct"]
+        if not is_number(cov) or not 0.0 <= cov <= 100.0:
+            yield "'hot_coverage_pct' must be a number in [0, 100]"
+        elif min_hot_coverage is not None and cov < min_hot_coverage:
+            yield "hot_coverage_pct %.2f below required minimum %.2f" % (
+                cov, min_hot_coverage)
+    elif min_hot_coverage is not None:
+        yield "--min-hot-coverage given but file has no 'hot_coverage_pct'"
+    for key in ("hot_top5_comparisons", "hot_total_comparisons",
+                "hot_attributed_objects", "slowq_captured",
+                "flight_recorded"):
+        if key in doc and (
+            not isinstance(doc[key], int) or isinstance(doc[key], bool)
+            or doc[key] < 0
+        ):
+            yield "'%s' must be a non-negative integer" % key
+    if (isinstance(doc.get("hot_top5_comparisons"), int)
+            and isinstance(doc.get("hot_total_comparisons"), int)
+            and doc["hot_top5_comparisons"] > doc["hot_total_comparisons"]):
+        yield ("'hot_top5_comparisons' must be <= 'hot_total_comparisons' — "
+               "attribution over-counted")
+    for key in ("hot_total_comparisons", "hot_attributed_objects",
+                "slowq_captured", "flight_recorded"):
+        if key in doc and doc[key] == 0:
+            yield ("'%s' must be positive — the instrumentation never fired"
+                   % key)
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"
@@ -166,13 +223,21 @@ def main(argv):
     parser.add_argument("--max-trace-overhead", type=float, default=None,
                         metavar="X",
                         help="fail files whose trace_overhead_pct is above X")
+    parser.add_argument("--max-explain-overhead", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose explain_overhead_pct is above X")
+    parser.add_argument("--min-hot-coverage", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose hot_coverage_pct is below X")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
     bad = 0
     for path in args.files:
         found = False
         for msg in problems(path, min_hit_rate=args.min_hit_rate,
-                            max_trace_overhead=args.max_trace_overhead):
+                            max_trace_overhead=args.max_trace_overhead,
+                            max_explain_overhead=args.max_explain_overhead,
+                            min_hot_coverage=args.min_hot_coverage):
             print("%s: %s" % (path, msg), file=sys.stderr)
             found = True
         if found:

@@ -1,0 +1,178 @@
+(* Explain-report tests: the JSON schema is golden (key set and order are
+   stable), the report's counters reconcile exactly with the registry the
+   run counted into, the Lemma 9 block is the in-batch per-event quantity
+   (initial sort excluded), and hot-object attribution is ranked and
+   covers the attributed comparisons. *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module Registry = Moq_obs.Registry
+module Sink = Moq_obs.Sink
+module Json = Moq_obs.Json
+module Gdist = Moq_core.Gdist
+module Explain = Moq_core.Explain
+module Gen = Moq_workload.Gen
+module BX = Moq_core.Backend.Exact
+module KnnX = Moq_core.Knn.Make (BX)
+
+let q = Q.of_int
+
+(* Run a k-NN sweep against a live registry and assemble the report the
+   way the CLI and the server do. *)
+let run_report ?(seed = 11) ?(n = 16) ?(k = 2) ?(lo = 0) ?(hi = 40) () =
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let db = Gen.uniform_db ~seed ~n ~extent:50 ~speed:5 () in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let gdist = Gdist.euclidean_sq ~gamma in
+  let r = KnnX.run_obs ~sink ~db ~gdist ~k ~lo:(q lo) ~hi:(q hi) in
+  let s = r.KnnX.stats in
+  let sweep =
+    { Explain.batches = s.KnnX.E.batches; crossings = s.KnnX.E.crossings;
+      births = s.KnnX.E.births; deaths = s.KnnX.E.deaths;
+      jumps = s.KnnX.E.jumps; swaps = s.KnnX.E.swaps;
+      comparisons = s.KnnX.E.comparisons;
+      support_changes = s.KnnX.E.crossings + s.KnnX.E.births + s.KnnX.E.deaths }
+  in
+  let hot =
+    List.map
+      (fun (h : KnnX.E.hot) ->
+        { Explain.oid = h.KnnX.E.h_oid; comparisons = h.KnnX.E.h_comparisons;
+          swaps = h.KnnX.E.h_swaps })
+      r.KnnX.hot
+  in
+  let report =
+    Explain.make ~kind:"knn" ~query:"test knn" ~backend:"exact" ~n_objects:n
+      ~lo:(float_of_int lo) ~hi:(float_of_int hi)
+      ~timeline_pieces:(List.length r.KnnX.timeline) ~sweep ~hot
+      ~phases:[ { Explain.name = "run"; ns = 1e6 } ]
+      ~counters:(Registry.flatten reg) ()
+  in
+  (report, reg)
+
+(* The golden schema: any key added, removed or reordered here is a
+   deliberate, versioned change (bump moq_explain alongside). *)
+let golden_keys =
+  [ "moq_explain"; "kind"; "query"; "backend"; "classification"; "n_objects";
+    "lo"; "hi"; "timeline_pieces"; "sweep"; "lemma9"; "filter"; "hot";
+    "hot_coverage_top5"; "phases"; "counters" ]
+
+let golden_sweep_keys =
+  [ "batches"; "crossings"; "births"; "deaths"; "jumps"; "swaps";
+    "comparisons"; "support_changes" ]
+
+let golden_lemma9_keys =
+  [ "events"; "event_comparisons"; "ops_per_event"; "bound"; "within" ]
+
+let obj_keys = function
+  | Json.Obj kvs -> List.map fst kvs
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let field j k =
+  match j with
+  | Json.Obj kvs ->
+    (match List.assoc_opt k kvs with
+     | Some v -> v
+     | None -> Alcotest.failf "field %s missing" k)
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let test_golden_schema () =
+  let report, _ = run_report () in
+  let j = Explain.to_json report in
+  Alcotest.(check (list string)) "top-level keys" golden_keys (obj_keys j);
+  Alcotest.(check (list string)) "sweep keys" golden_sweep_keys
+    (obj_keys (field j "sweep"));
+  Alcotest.(check (list string)) "lemma9 keys" golden_lemma9_keys
+    (obj_keys (field j "lemma9"));
+  (match field j "moq_explain" with
+   | Json.Int 1 -> ()
+   | _ -> Alcotest.fail "schema version tag must be 1");
+  (* the exact backend carries no filter block *)
+  (match field j "filter" with
+   | Json.Null -> ()
+   | _ -> Alcotest.fail "exact backend: filter must be null");
+  (* the report must also survive a print (no exceptions, non-empty) *)
+  Alcotest.(check bool) "to_text renders" true
+    (String.length (Explain.to_text report) > 0)
+
+let test_counters_reconcile () =
+  let report, reg = run_report () in
+  let c name =
+    match Registry.counter_value reg name with Some v -> v | None -> 0
+  in
+  let s = report.Explain.sweep in
+  Alcotest.(check int) "crossings = registry" (c "moq_sweep_crossings_total")
+    s.Explain.crossings;
+  Alcotest.(check int) "swaps = registry" (c "moq_sweep_swaps_total")
+    s.Explain.swaps;
+  Alcotest.(check int) "batches = registry" (c "moq_sweep_batches_total")
+    s.Explain.batches;
+  (* the registry counts order-line exchanges (swaps + births + deaths);
+     the report's support_changes is Corollary 6's m — distinct support
+     change events (crossings + births + deaths) *)
+  Alcotest.(check int) "registry support changes = swaps + births + deaths"
+    (c "moq_sweep_support_changes_total")
+    (s.Explain.swaps + s.Explain.births + s.Explain.deaths);
+  (* lemma9 reads the in-batch counters, so it reconciles by construction;
+     check it against the registry rather than the engine total (which
+     includes the initial O(N log N) sort) *)
+  let l = report.Explain.lemma9 in
+  Alcotest.(check int) "lemma9 events" (c "moq_sweep_events_total") l.Explain.events;
+  Alcotest.(check int) "lemma9 comparisons" (c "moq_sweep_comparisons_total")
+    l.Explain.event_comparisons;
+  Alcotest.(check bool) "in-batch < total comparisons" true
+    (l.Explain.event_comparisons < s.Explain.comparisons);
+  (* and the flattened registry embedded in the report agrees too *)
+  Alcotest.(check (option (float 0.))) "embedded counters agree"
+    (Some (float_of_int s.Explain.crossings))
+    (List.assoc_opt "moq_sweep_crossings_total" report.Explain.counters)
+
+let test_lemma9_regime () =
+  (* per-event work stays within the generous c·log2(N+1) + c' reference
+     line across sizes — the Lemma 9 regime check the report automates *)
+  List.iter
+    (fun n ->
+      let report, _ = run_report ~seed:7 ~n () in
+      let l = report.Explain.lemma9 in
+      if l.Explain.events > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "within bound at n=%d (%.2f <= %.2f)" n
+             l.Explain.ops_per_event l.Explain.bound)
+          true l.Explain.within)
+    [ 4; 16; 48 ]
+
+let test_hot_ranked_and_covering () =
+  let report, _ = run_report ~n:24 () in
+  let hot = report.Explain.hot in
+  Alcotest.(check bool) "attribution on" true (hot <> []);
+  let rec sorted = function
+    | a :: (b :: _ as tl) ->
+      a.Explain.comparisons >= b.Explain.comparisons && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "hottest first" true (sorted hot);
+  let cov = Explain.hot_coverage report in
+  Alcotest.(check bool) "coverage in (0,1]" true (cov > 0. && cov <= 1.);
+  (* top_hot truncates without reordering *)
+  Alcotest.(check int) "top_hot caps at k" (min 3 (List.length hot))
+    (List.length (Explain.top_hot ~k:3 report))
+
+let test_bound_monotone () =
+  Alcotest.(check bool) "bound grows with N" true
+    (Explain.lemma9_bound ~n_objects:1000 > Explain.lemma9_bound ~n_objects:10);
+  Alcotest.(check bool) "bound sane at N=0" true
+    (Explain.lemma9_bound ~n_objects:0 >= 8.)
+
+let () =
+  Alcotest.run "explain"
+    [ ("schema",
+       [ Alcotest.test_case "golden JSON key set" `Quick test_golden_schema ]);
+      ("reconcile",
+       [ Alcotest.test_case "report = registry" `Quick test_counters_reconcile ]);
+      ("lemma9",
+       [ Alcotest.test_case "per-event regime" `Quick test_lemma9_regime;
+         Alcotest.test_case "bound monotone" `Quick test_bound_monotone ]);
+      ("hot",
+       [ Alcotest.test_case "ranked attribution" `Quick
+           test_hot_ranked_and_covering ]) ]

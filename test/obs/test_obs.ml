@@ -9,6 +9,7 @@ module Export = Moq_obs.Export
 module Json = Moq_obs.Json
 module Sink = Moq_obs.Sink
 module Trace = Moq_obs.Trace
+module Recorder = Moq_obs.Recorder
 
 module Q = Moq_numeric.Rat
 module DB = Moq_mod.Mobdb
@@ -321,6 +322,67 @@ let test_sweep_matches_naive () =
      Alcotest.(check bool) "per-event ops observed" true (Histo.count h > 0)
    | _ -> Alcotest.fail "moq_sweep_ops_per_event missing")
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_ring () =
+  let r = Recorder.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Recorder.record r ~kind:"tick" ~fields:[ ("i", Json.Int i) ] ()
+  done;
+  Alcotest.(check int) "recorded total" 10 (Recorder.recorded r);
+  Alcotest.(check int) "dropped by wrap" 6 (Recorder.dropped r);
+  let evs = Recorder.events r in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length evs);
+  (* oldest-first, seq monotonic, and only the newest four survive *)
+  let seqs = List.map (fun (e : Recorder.event) -> e.Recorder.seq) evs in
+  Alcotest.(check (list int)) "newest four, in order" [ 6; 7; 8; 9 ] seqs;
+  (match Recorder.last ~kind:"tick" r with
+   | Some e ->
+     Alcotest.(check bool) "last field" true
+       (List.assoc_opt "i" e.Recorder.fields = Some (Json.Int 10))
+   | None -> Alcotest.fail "last event missing");
+  Recorder.clear r;
+  Alcotest.(check int) "clear empties the ring" 0 (List.length (Recorder.events r));
+  Alcotest.(check int) "clear keeps the totals" 10 (Recorder.recorded r)
+
+let test_recorder_disabled () =
+  let r = Recorder.create ~capacity:0 () in
+  Alcotest.(check bool) "disabled" false (Recorder.enabled r);
+  Recorder.record r ~kind:"tick" ();
+  Alcotest.(check int) "record is a no-op" 0 (Recorder.recorded r)
+
+let test_recorder_dump_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "moq_rec_%d" (Unix.getpid ()))
+  in
+  let r = Recorder.create ~capacity:8 () in
+  Recorder.record r ~kind:"update_admitted"
+    ~fields:[ ("oid", Json.Int 7); ("tau", Json.Str "3/2") ] ();
+  Recorder.record r ~kind:"session_close" ~fields:[ ("session", Json.Int 1) ] ();
+  (match Recorder.dump r ~dir ~reason:"test" with
+   | Error e -> Alcotest.fail e
+   | Ok path ->
+     (match Recorder.load path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        Alcotest.(check string) "reason" "test" d.Recorder.d_reason;
+        Alcotest.(check int) "events" 2 (List.length d.Recorder.d_events);
+        let kinds =
+          List.map (fun (e : Recorder.event) -> e.Recorder.kind) d.Recorder.d_events
+        in
+        Alcotest.(check (list string)) "kinds oldest-first"
+          [ "update_admitted"; "session_close" ] kinds;
+        (match d.Recorder.d_events with
+         | e :: _ ->
+           Alcotest.(check bool) "fields survive the roundtrip" true
+             (List.assoc_opt "tau" e.Recorder.fields = Some (Json.Str "3/2"))
+         | [] -> Alcotest.fail "empty"));
+     Sys.remove path);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 let () =
   Alcotest.run "obs"
     [ ("histo",
@@ -343,4 +405,9 @@ let () =
       ("sweep",
        [ Alcotest.test_case "instrumentation vs naive baseline" `Quick
            test_sweep_matches_naive ]);
+      ("recorder",
+       [ Alcotest.test_case "bounded ring" `Quick test_recorder_ring;
+         Alcotest.test_case "capacity 0 disables" `Quick test_recorder_disabled;
+         Alcotest.test_case "dump/load roundtrip" `Quick
+           test_recorder_dump_roundtrip ]);
     ]

@@ -23,6 +23,9 @@ module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
 module Server = Moq_server.Server
 module Client = Moq_server.Client
+module Recorder = Moq_obs.Recorder
+module Json = Moq_obs.Json
+module Wal = Moq_durable.Wal
 
 let q = Q.of_int
 let vec l = Qvec.of_list (List.map Q.of_int l)
@@ -573,6 +576,115 @@ let test_kill_and_recover () =
          Alcotest.(check int) "WAL replayed past the checkpoint" 4 r.Store.replayed
        | Error e -> Alcotest.fail e))
 
+(* The on-crash flight dump is a parseable forensic artifact whose last
+   recorded admission agrees with the WAL tail. *)
+let test_flight_dump_on_crash () =
+  with_server (fun srv dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      List.iter
+        (fun u ->
+          match req c (Proto.Update u) with
+          | Proto.R_update Proto.V_accepted -> ()
+          | m -> Alcotest.failf "update: %s" (Proto.render_server_msg m))
+        [ U.Chdir { oid = 1; tau = q 1; a = vec [ 2; 0 ] };
+          U.New { oid = 9; tau = q 2; a = vec [ -1; 1 ]; b = vec [ 3; 3 ] };
+          U.Chdir { oid = 9; tau = q 3; a = vec [ 0; 1 ] } ];
+      Server.crash srv;
+      Client.close c;
+      let dumps =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 7 && String.sub f 0 7 = "flight-")
+      in
+      Alcotest.(check int) "one crash dump" 1 (List.length dumps);
+      match Recorder.load (Filename.concat dir (List.hd dumps)) with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+        Alcotest.(check string) "reason" "crash" d.Recorder.d_reason;
+        let last_admitted =
+          List.fold_left
+            (fun acc (e : Recorder.event) ->
+              if e.Recorder.kind = "update_admitted" then Some e else acc)
+            None d.Recorder.d_events
+        in
+        (match last_admitted, Wal.read (Store.wal_file dir) with
+         | Some e, Ok r ->
+           let wal_last = List.nth r.Wal.updates (List.length r.Wal.updates - 1) in
+           let oid =
+             match List.assoc_opt "oid" e.Recorder.fields with
+             | Some (Json.Int i) -> i
+             | _ -> -1
+           in
+           let tau =
+             match List.assoc_opt "tau" e.Recorder.fields with
+             | Some (Json.Str s) -> s
+             | _ -> "?"
+           in
+           Alcotest.(check int) "last recorded oid = WAL tail" (U.oid wal_last) oid;
+           Alcotest.(check string) "last recorded tau = WAL tail"
+             (Q.to_string (U.time wal_last)) tau
+         | None, _ -> Alcotest.fail "no update_admitted event in the dump"
+         | _, Error e -> Alcotest.fail e))
+
+(* A query over an epsilon threshold lands in the slow-query log: the
+   counter moves and the explain record is in the flight-recorder ring. *)
+let test_slow_query_capture () =
+  with_server
+    ~tweak:(fun c -> { c with Server.slow_query_ms = 0.000001 })
+    (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (match req c (Proto.Query { kind = Proto.Qk_knn 1; lo = q 0; hi = q 10 }) with
+       | Proto.R_query _ -> ()
+       | m -> Alcotest.failf "query: %s" (Proto.render_server_msg m));
+      let reg = Server.registry srv in
+      Alcotest.(check bool) "moq_slowq_total moved" true
+        (match Moq_obs.Registry.counter_value reg "moq_slowq_total" with
+         | Some n -> n >= 1
+         | None -> false);
+      (match Recorder.last ~kind:"slow_query" (Server.recorder srv) with
+       | None -> Alcotest.fail "no slow_query event recorded"
+       | Some e ->
+         (* the captured record is a full explain document *)
+         (match List.assoc_opt "explain" e.Recorder.fields with
+          | Some (Json.Obj kvs) ->
+            Alcotest.(check bool) "explain schema tag" true
+              (List.assoc_opt "moq_explain" kvs = Some (Json.Int 1))
+          | _ -> Alcotest.fail "slow_query event carries no explain"));
+      Client.close c)
+
+(* STATS publishes rank-indexed hot-object and hot-subscription gauges. *)
+let test_hot_gauges_on_stats () =
+  with_server (fun srv _dir _db ->
+      let c = connect srv in
+      ignore (hello c);
+      (match req c (Proto.Subscribe { kind = Proto.Sub_knn 1; lo = q 0; hi = q 40 }) with
+       | Proto.R_subscribe _ -> ()
+       | m -> Alcotest.failf "subscribe: %s" (Proto.render_server_msg m));
+      List.iter
+        (fun u -> ignore (req c (Proto.Update u)))
+        [ U.Chdir { oid = 1; tau = q 1; a = vec [ 2; 0 ] };
+          U.Chdir { oid = 2; tau = q 2; a = vec [ 0; 2 ] };
+          U.Chdir { oid = 3; tau = q 3; a = vec [ 1; 1 ] } ];
+      (match req c (Proto.Stats `Json) with
+       | Proto.R_stats _ -> ()
+       | m -> Alcotest.failf "stats: %s" (Proto.render_server_msg m));
+      let flat = Moq_obs.Registry.flatten (Server.registry srv) in
+      Alcotest.(check bool) "rank-0 hot object gauge" true
+        (List.mem_assoc "moq_hot_oid_0" flat);
+      Alcotest.(check bool) "rank-0 hot object cost" true
+        (match List.assoc_opt "moq_hot_comparisons_0" flat with
+         | Some v -> v > 0.
+         | None -> false);
+      Alcotest.(check bool) "hot coverage gauge" true
+        (match List.assoc_opt "moq_hot_coverage_pct" flat with
+         | Some v -> v > 0. && v <= 100.
+         | None -> false);
+      Alcotest.(check bool) "rank-0 hot subscription gauge" true
+        (List.mem_assoc "moq_hot_sub_id_0" flat);
+      Client.close c)
+
 let test_graceful_drain () =
   with_server (fun srv dir _db ->
       let c = connect srv in
@@ -643,4 +755,8 @@ let () =
            test_follower_catches_up_after_partition ]);
       ("durability",
        [ Alcotest.test_case "kill and recover" `Quick test_kill_and_recover;
-         Alcotest.test_case "graceful drain" `Quick test_graceful_drain ]) ]
+         Alcotest.test_case "graceful drain" `Quick test_graceful_drain ]);
+      ("observability",
+       [ Alcotest.test_case "flight dump on crash" `Quick test_flight_dump_on_crash;
+         Alcotest.test_case "slow-query capture" `Quick test_slow_query_capture;
+         Alcotest.test_case "hot gauges on stats" `Quick test_hot_gauges_on_stats ]) ]
