@@ -397,19 +397,25 @@ module BFl = Moq_core.Backend.Filtered
 
 let backend_arg =
   Arg.(value
-       & opt (enum [ ("exact", `Exact); ("filtered", `Filtered); ("approx", `Approx) ]) `Exact
+       & opt
+           (enum
+              [ ("exact", `Exact); ("filtered", `Filtered);
+                ("approx", `Approx); ("sharded-filtered", `ShardedFl) ])
+           `Exact
        & info [ "backend" ]
            ~doc:"Numeric backend: $(b,exact) (rational/algebraic), $(b,filtered) \
                  (float-interval fast path with exact fallback, same answers as exact), \
-                 or $(b,approx) (plain floats)")
+                 $(b,approx) (plain floats), or $(b,sharded-filtered) \
+                 (filtered arithmetic under the spatially sharded, \
+                 index-pruned sweep driver — same answers as exact)")
 
 let backend_module = function
   | `Exact -> (module BX : Moq_core.Backend.S)
-  | `Filtered -> (module BFl : Moq_core.Backend.S)
+  | `Filtered | `ShardedFl -> (module BFl : Moq_core.Backend.S)
   | `Approx -> (module Moq_core.Backend.Approx : Moq_core.Backend.S)
 
 let print_filter_stats = function
-  | `Filtered ->
+  | `Filtered | `ShardedFl ->
     let s = BFl.filter_stats () in
     Format.printf "filter: %d hits, %d misses (%.1f%% hit rate)@." s.BFl.hits s.BFl.misses
       (100.0 *. float_of_int s.BFl.hits /. float_of_int (max 1 s.BFl.decisions))
@@ -425,14 +431,32 @@ module Knn_pipeline (B : Moq_core.Backend.S) = struct
     Format.printf "%d support changes@." r.K.stats.K.E.crossings
 end
 
+module Sharded_knn_pipeline (B : Moq_core.Backend.S) = struct
+  module Sh = Moq_core.Shard.Make (B)
+
+  let run ~db ~gamma ~k ~lo ~hi ~hi_int =
+    let r = Sh.run ~db ~gamma ~k ~lo ~hi () in
+    Format.printf "%d-NN to the origin over [0, %d] (%d objects):@.%a@." k hi_int
+      (DB.cardinal db) Sh.TL.pp r.Sh.timeline;
+    Format.printf "%d support changes@." r.Sh.stats.Sh.E.crossings;
+    let s = r.Sh.shard in
+    Format.printf "shards: %d/%d touched, %d admitted, %d pruned@."
+      s.Sh.shards_touched s.Sh.shards_total s.Sh.admitted s.Sh.pruned
+end
+
 let knn_run seed n k hi dbfile backend =
   let db = load_or_gen dbfile seed n in
   let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
   let gdist = Gdist.euclidean_sq ~gamma in
   BFl.reset_filter_stats ();
   let module B = (val backend_module backend) in
-  let module P = Knn_pipeline (B) in
-  P.run ~db ~gdist ~k ~lo:(q 0) ~hi:(q hi) ~hi_int:hi;
+  (match backend with
+   | `ShardedFl ->
+     let module P = Sharded_knn_pipeline (B) in
+     P.run ~db ~gamma ~k ~lo:(q 0) ~hi:(q hi) ~hi_int:hi
+   | `Exact | `Filtered | `Approx ->
+     let module P = Knn_pipeline (B) in
+     P.run ~db ~gdist ~k ~lo:(q 0) ~hi:(q hi) ~hi_int:hi);
   print_filter_stats backend
 
 let knn_cmd =
@@ -499,12 +523,14 @@ let backend_name = function
   | `Exact -> "exact"
   | `Filtered -> "filtered"
   | `Approx -> "approx"
+  | `ShardedFl -> "sharded-filtered"
 
 (* Runs one query under an instrumented sink and flattens the functorized
    engine stats / hot lists into Explain's plain data. *)
 module Explain_pipeline (B : Moq_core.Backend.S) = struct
   module Sw = Moq_core.Sweep.Make (B)
   module K = Moq_core.Knn.Make (B)
+  module Sh = Moq_core.Shard.Make (B)
 
   let run_knn ~sink ~db ~gdist ~k ~lo ~hi =
     let r = K.run_obs ~sink ~db ~gdist ~k ~lo ~hi in
@@ -522,7 +548,32 @@ module Explain_pipeline (B : Moq_core.Backend.S) = struct
             swaps = h.K.E.h_swaps })
         r.K.hot
     in
-    (sweep, hot, List.length r.K.timeline)
+    (sweep, hot, List.length r.K.timeline, None)
+
+  let run_knn_sharded ~sink ~db ~gamma ~k ~lo ~hi =
+    let r = Sh.run_obs ~sink ~db ~gamma ~k ~lo ~hi () in
+    let s = r.Sh.stats in
+    let sweep =
+      { Explain.batches = s.Sh.E.batches; crossings = s.Sh.E.crossings;
+        births = s.Sh.E.births; deaths = s.Sh.E.deaths; jumps = s.Sh.E.jumps;
+        swaps = s.Sh.E.swaps; comparisons = s.Sh.E.comparisons;
+        support_changes = s.Sh.E.crossings + s.Sh.E.births + s.Sh.E.deaths }
+    in
+    let hot =
+      List.map
+        (fun (h : Sh.E.hot) ->
+          { Explain.oid = h.Sh.E.h_oid; comparisons = h.Sh.E.h_comparisons;
+            swaps = h.Sh.E.h_swaps })
+        r.Sh.hot
+    in
+    let sb = r.Sh.shard in
+    let shards =
+      { Explain.s_total = sb.Sh.shards_total; s_touched = sb.Sh.shards_touched;
+        s_admitted = sb.Sh.admitted; s_pruned = sb.Sh.pruned;
+        s_merge_ops = sb.Sh.frontier_merge_ops; s_events = sb.Sh.shard_events;
+        s_band = sb.Sh.band }
+    in
+    (sweep, hot, List.length r.Sh.timeline, Some shards)
 
   let run_past ~sink ~db ~gdist ~query =
     let r = Sw.run_obs ~sink ~db ~gdist ~query in
@@ -540,7 +591,7 @@ module Explain_pipeline (B : Moq_core.Backend.S) = struct
             swaps = h.Sw.E.h_swaps })
         r.Sw.hot
     in
-    (sweep, hot, List.length r.Sw.timeline)
+    (sweep, hot, List.length r.Sw.timeline, None)
 end
 
 let zero_sweep =
@@ -564,13 +615,17 @@ let explain_report kind seed n k lo hi dbfile backend =
   let module B = (val backend_module backend) in
   let module P = Explain_pipeline (B) in
   let t1 = Unix.gettimeofday () in
-  let kind_s, qdesc, classification, (sweep, hot, pieces) =
+  let kind_s, qdesc, classification, (sweep, hot, pieces, shards) =
     match kind with
     | `Knn ->
       ( "knn",
         Printf.sprintf "%d-NN to the origin over [%d, %d]" k lo hi,
         "n/a",
-        P.run_knn ~sink ~db ~gdist ~k ~lo:(q lo) ~hi:(q hi) )
+        match backend with
+        | `ShardedFl ->
+          P.run_knn_sharded ~sink ~db ~gamma ~k ~lo:(q lo) ~hi:(q hi)
+        | `Exact | `Filtered | `Approx ->
+          P.run_knn ~sink ~db ~gdist ~k ~lo:(q lo) ~hi:(q hi) )
     | `Past ->
       ( "past",
         Printf.sprintf "nearest-neighbour query swept over [%d, %d]" lo hi,
@@ -582,7 +637,7 @@ let explain_report kind seed n k lo hi dbfile backend =
          monitor's semi-evaluation and nothing runs here *)
       let run =
         if classification = "past" then P.run_past ~sink ~db ~gdist ~query
-        else (zero_sweep, [], 0)
+        else (zero_sweep, [], 0, None)
       in
       ( "cql",
         Printf.sprintf "FO(f) nearest query over [%d, %d] — %s" lo hi
@@ -592,10 +647,12 @@ let explain_report kind seed n k lo hi dbfile backend =
         run )
   in
   let t_run = Unix.gettimeofday () -. t1 in
-  (match backend with `Filtered -> BFl.publish sink | `Exact | `Approx -> ());
+  (match backend with
+   | `Filtered | `ShardedFl -> BFl.publish sink
+   | `Exact | `Approx -> ());
   let filter =
     match backend with
-    | `Filtered ->
+    | `Filtered | `ShardedFl ->
       let s = BFl.filter_stats () in
       Some
         { Explain.f_hits = s.BFl.hits; f_misses = s.BFl.misses;
@@ -605,7 +662,7 @@ let explain_report kind seed n k lo hi dbfile backend =
   in
   Explain.make ~kind:kind_s ~query:qdesc ~backend:(backend_name backend)
     ~classification ~n_objects:(DB.cardinal db) ~lo:(float_of_int lo)
-    ~hi:(float_of_int hi) ~timeline_pieces:pieces ~sweep ?filter ~hot
+    ~hi:(float_of_int hi) ~timeline_pieces:pieces ~sweep ?filter ?shards ~hot
     ~phases:
       [ { Explain.name = "load_db"; ns = 1e9 *. t_load };
         { Explain.name = "run"; ns = 1e9 *. t_run } ]
@@ -871,6 +928,7 @@ let recover_cmd =
 module Stats_pipeline (B : Moq_core.Backend.S) = struct
   module Mon = Moq_core.Monitor.Make (B)
   module K = Moq_core.Knn.Make (B)
+  module Sh = Moq_core.Shard.Make (B)
 
   (* Top-5 hottest objects (per-object sweep-cost attribution) as flat
      gauges: rank-indexed names keep the registry's flat namespace, and the
@@ -896,7 +954,7 @@ module Stats_pipeline (B : Moq_core.Backend.S) = struct
       Sink.set sink "moq_hot_coverage_pct"
         (100. *. float_of_int !top /. float_of_int total)
 
-  let run ~sink ~store ~san ~db ~gdist ~query ~updates ~hi =
+  let run ~sink ~store ~san ~db ~gamma ~gdist ~query ~updates ~hi ~sharded =
     let m = Mon.create ~sink ~db ~gdist ~query () in
     List.iter
       (fun u ->
@@ -910,7 +968,9 @@ module Stats_pipeline (B : Moq_core.Backend.S) = struct
     ignore (Mon.finalize m);
     Store.close store;
     (* past-query path, so the sweep metrics are populated too *)
-    ignore (K.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi)
+    if sharded then
+      ignore (Sh.run_obs ~sink ~db:(Store.db store) ~gamma ~k:2 ~lo:(q 0) ~hi ())
+    else ignore (K.run_obs ~sink ~db:(Store.db store) ~gdist ~k:2 ~lo:(q 0) ~hi)
 end
 
 let stats_run seed n count gap dbfile updates_file store_dir every format backend
@@ -940,9 +1000,12 @@ let stats_run seed n count gap dbfile updates_file store_dir every format backen
   BFl.reset_filter_stats ();
   let module B = (val backend_module backend) in
   let module P = Stats_pipeline (B) in
-  P.run ~sink ~store ~san ~db ~gdist ~query ~updates ~hi;
+  P.run ~sink ~store ~san ~db ~gamma ~gdist ~query ~updates ~hi
+    ~sharded:(backend = `ShardedFl);
   (* filtered backend: surface moq_filter_* alongside the engine metrics *)
-  (match backend with `Filtered -> BFl.publish sink | `Exact | `Approx -> ());
+  (match backend with
+   | `Filtered | `ShardedFl -> BFl.publish sink
+   | `Exact | `Approx -> ());
   (match Store.recover_obs ~sink ~dir with Ok _ -> () | Error _ -> ());
   match format with
   | `Json -> print_endline (Export.json_string reg)

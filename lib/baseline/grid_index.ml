@@ -26,19 +26,38 @@ let range t ~center ~radius =
   let cx, cy = key t.cell center in
   let r_cells = 1 + int_of_float (Float.ceil (radius /. t.cell)) in
   let acc = ref [] in
-  for i = cx - r_cells to cx + r_cells do
-    for j = cy - r_cells to cy + r_cells do
-      match Hashtbl.find_opt t.buckets (i, j) with
-      | None -> ()
-      | Some pts ->
-        List.iter
-          (fun (o, p) ->
-            let d = dist center p in
-            if d <= radius then acc := (o, d) :: !acc)
-          pts
-    done
-  done;
+  let scan pts =
+    List.iter
+      (fun (o, p) ->
+        let d = dist center p in
+        if d <= radius then acc := (o, d) :: !acc)
+      pts
+  in
+  let side = (2 * r_cells) + 1 in
+  (* When the scan rectangle has more cells than the index has occupied
+     buckets (a radius that doubled past the data), walking the occupied
+     buckets is strictly cheaper than walking the rectangle. *)
+  if side > 4096 || side * side > Hashtbl.length t.buckets then
+    Hashtbl.iter
+      (fun (i, j) pts ->
+        if abs (i - cx) <= r_cells && abs (j - cy) <= r_cells then scan pts)
+      t.buckets
+  else
+    for i = cx - r_cells to cx + r_cells do
+      for j = cy - r_cells to cy + r_cells do
+        match Hashtbl.find_opt t.buckets (i, j) with
+        | None -> ()
+        | Some pts -> scan pts
+      done
+    done;
   !acc
+
+(* Ascending by (distance, oid): the oid tie-break makes the answer a
+   function of the point set alone — duplicate positions and exact
+   distance ties come back in one canonical order, so the index agrees
+   with a naive scan element for element. *)
+let by_dist_oid (o1, a) (o2, b) =
+  match Float.compare a b with 0 -> Oid.compare o1 o2 | c -> c
 
 let nearest_k t ~center ~k =
   if t.count = 0 || k <= 0 then []
@@ -49,6 +68,6 @@ let nearest_k t ~center ~k =
       if List.length found >= min k t.count then found else grow (2.0 *. radius)
     in
     let found = grow t.cell in
-    let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) found in
+    let sorted = List.sort by_dist_oid found in
     List.filteri (fun i _ -> i < k) sorted
   end

@@ -14,7 +14,11 @@ val range : t -> center:float * float -> radius:float -> (Moq_mod.Oid.t * float)
 (** Objects within [radius] of [center], with their distances (unsorted). *)
 
 val nearest_k : t -> center:float * float -> k:int -> (Moq_mod.Oid.t * float) list
-(** The [k] nearest objects, ascending by distance — found by growing the
-    search radius ring by ring, exactly the range re-search loop of [26]. *)
+(** The [k] nearest objects, ascending by (distance, oid) — found by
+    growing the search radius ring by ring, exactly the range re-search
+    loop of [26].  The oid tie-break makes the order canonical: duplicate
+    positions, equidistant points and points on cell boundaries agree with
+    a naive scan element for element.  Returns all objects (still sorted)
+    when [k] exceeds the population; [[]] when [k <= 0]. *)
 
 val size : t -> int

@@ -32,6 +32,16 @@ type filter = {
   f_straddles : float list;
 }
 
+type shards = {
+  s_total : int;
+  s_touched : int;
+  s_admitted : int;
+  s_pruned : int;
+  s_merge_ops : int;
+  s_events : int;
+  s_band : float option;
+}
+
 type hot = {
   oid : int;
   comparisons : int;
@@ -55,6 +65,7 @@ type t = {
   sweep : sweep;
   lemma9 : lemma9;
   filter : filter option;
+  shards : shards option;
   hot : hot list;
   phases : phase list;
   counters : (string * float) list;
@@ -67,7 +78,8 @@ let counter counters name =
   match List.assoc_opt name counters with Some v -> v | None -> 0.
 
 let make ~kind ~query ~backend ?(classification = "n/a") ~n_objects ~lo ~hi
-    ~timeline_pieces ~sweep ?filter ?(hot = []) ?(phases = []) ~counters () =
+    ~timeline_pieces ~sweep ?filter ?shards ?(hot = []) ?(phases = [])
+    ~counters () =
   let events = int_of_float (counter counters "moq_sweep_events_total") in
   let event_comparisons =
     int_of_float (counter counters "moq_sweep_comparisons_total")
@@ -81,7 +93,7 @@ let make ~kind ~query ~backend ?(classification = "n/a") ~n_objects ~lo ~hi
       within = ops_per_event <= bound }
   in
   { kind; query; backend; classification; n_objects; lo; hi; timeline_pieces;
-    sweep; lemma9; filter; hot; phases; counters }
+    sweep; lemma9; filter; shards; hot; phases; counters }
 
 let top_hot ?(k = 5) t =
   let rec take n = function
@@ -137,6 +149,18 @@ let filter_to_json f =
       ("straddles", Json.List (List.map (fun x -> Json.Float x) f.f_straddles));
     ]
 
+let shards_to_json s =
+  Json.Obj
+    [ ("total", Json.Int s.s_total);
+      ("touched", Json.Int s.s_touched);
+      ("admitted", Json.Int s.s_admitted);
+      ("pruned", Json.Int s.s_pruned);
+      ("frontier_merge_ops", Json.Int s.s_merge_ops);
+      ("shard_events", Json.Int s.s_events);
+      ( "band",
+        match s.s_band with None -> Json.Null | Some b -> Json.Float b );
+    ]
+
 let hot_to_json h =
   Json.Obj
     [ ("oid", Json.Int h.oid);
@@ -149,7 +173,7 @@ let phase_to_json p =
 
 let to_json t =
   Json.Obj
-    [ ("moq_explain", Json.Int 1);
+    [ ("moq_explain", Json.Int 2);
       ("kind", Json.Str t.kind);
       ("query", Json.Str t.query);
       ("backend", Json.Str t.backend);
@@ -162,6 +186,8 @@ let to_json t =
       ("lemma9", lemma9_to_json t.lemma9);
       ( "filter",
         match t.filter with None -> Json.Null | Some f -> filter_to_json f );
+      ( "shards",
+        match t.shards with None -> Json.Null | Some s -> shards_to_json s );
       ("hot", Json.List (List.map hot_to_json t.hot));
       ("hot_coverage_top5", Json.Float (hot_coverage t));
       ("phases", Json.List (List.map phase_to_json t.phases));
@@ -217,6 +243,21 @@ let to_text t =
         line "  straddled at  %s"
           (String.concat ", "
              (List.map (fun x -> Printf.sprintf "%.4g" x) xs))));
+  (match t.shards with
+   | None -> ()
+   | Some s ->
+     line "sharding";
+     line "  shards        %d touched of %d" s.s_touched s.s_total;
+     line "  admitted      %d object(s), %d pruned" s.s_admitted s.s_pruned;
+     let pop = s.s_admitted + s.s_pruned in
+     if pop > 0 then
+       line "  prune rate    %.1f%%"
+         (100. *. float_of_int s.s_pruned /. float_of_int pop);
+     line "  frontier      %d merge op(s), %d shard event(s)" s.s_merge_ops
+       s.s_events;
+     (match s.s_band with
+      | None -> line "  band          none (all shards swept)"
+      | Some b -> line "  band          %.6g (squared distance)" b));
   (match top_hot t with
    | [] -> ()
    | hs ->

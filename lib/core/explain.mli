@@ -48,6 +48,17 @@ type filter = {
           concrete instants that straddled the filter *)
 }
 
+(** Sharded-sweep pruning outcome (sharded backends only). *)
+type shards = {
+  s_total : int;       (** home shards in the spatial index *)
+  s_touched : int;     (** shards actually swept *)
+  s_admitted : int;    (** objects admitted into the merge sweep *)
+  s_pruned : int;      (** objects never admitted *)
+  s_merge_ops : int;   (** frontier labels offered to the admitted union *)
+  s_events : int;      (** events across all shard sweeps *)
+  s_band : float option;  (** the band bound B (squared distance) *)
+}
+
 (** Per-object attribution, hottest first. *)
 type hot = {
   oid : int;
@@ -76,6 +87,7 @@ type t = {
   sweep : sweep;
   lemma9 : lemma9;
   filter : filter option;
+  shards : shards option;
   hot : hot list;
   phases : phase list;
   counters : (string * float) list;
@@ -91,7 +103,8 @@ val lemma9_bound : n_objects:int -> float
 val make :
   kind:string -> query:string -> backend:string -> ?classification:string ->
   n_objects:int -> lo:float -> hi:float -> timeline_pieces:int ->
-  sweep:sweep -> ?filter:filter -> ?hot:hot list -> ?phases:phase list ->
+  sweep:sweep -> ?filter:filter -> ?shards:shards -> ?hot:hot list ->
+  ?phases:phase list ->
   counters:(string * float) list -> unit -> t
 (** Assemble a report.  The {!lemma9} block is derived here: events and
     event-comparisons are read from the [moq_sweep_events_total] /
@@ -106,7 +119,9 @@ val hot_coverage : t -> float
     hot objects; 0 when attribution is off or nothing was attributed. *)
 
 val to_json : t -> Moq_obs.Json.t
-(** Stable, golden-tested schema; top-level key [moq_explain = 1]. *)
+(** Stable, golden-tested schema; top-level key [moq_explain = 2].
+    Version history: 1 = original; 2 = added the [shards] block (null for
+    unsharded runs). *)
 
 val to_text : t -> string
 (** Aligned human-readable report (what [moq explain] prints without

@@ -1,0 +1,326 @@
+(* Sharded, index-pruned k-NN sweep.  See shard.mli for the algorithm and
+   the soundness argument; the invariant that matters throughout this file
+   is that every decision that can change an answer — the band bound B, the
+   shard separation test, the frontier tie extension — is made in exact
+   arithmetic. *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module T = Moq_mod.Trajectory
+module DB = Moq_mod.Mobdb
+module Oid = Moq_mod.Oid
+module Grid = Moq_index.Grid
+module Sink = Moq_obs.Sink
+
+module Make (B : Backend.S) = struct
+  module E = Engine.Make (B)
+  module C = E.C
+  module TL = Timeline.Make (B)
+
+  type shard_stats = {
+    shards_total : int;
+    shards_touched : int;
+    admitted : int;
+    pruned : int;
+    frontier_merge_ops : int;
+    shard_events : int;
+    band : float option;
+  }
+
+  type result = {
+    timeline : TL.t;
+    stats : E.stats;
+    shard : shard_stats;
+    hot : E.hot list;
+  }
+
+  let default_cell = 64.0
+
+  (* ---------------------------------------------------------------- *)
+  (* Exact band bound                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  let covers tr ~lo ~hi =
+    Q.compare (T.birth tr) lo <= 0
+    && (match T.death tr with None -> true | Some d -> Q.compare d hi >= 0)
+
+  (* Max over [lo, hi] of |tr(t) - gamma(t)|², exact.  Both trajectories
+     are piecewise linear, so the squared distance is piecewise quadratic
+     with non-negative leading coefficient (|Δa|² t² + ...): convex on
+     each piece, hence maximal at a piece breakpoint.  Requires both
+     trajectories defined throughout the window. *)
+  let dmax_sq tr gamma ~lo ~hi =
+    let breaks tr =
+      List.filter
+        (fun t -> Q.compare lo t < 0 && Q.compare t hi < 0)
+        (List.map (fun (p : T.piece) -> p.T.start) (T.pieces tr))
+    in
+    let pts = (lo :: hi :: breaks tr) @ breaks gamma in
+    List.fold_left
+      (fun acc t ->
+        let d = Qvec.dist2 (T.position_exn tr t) (T.position_exn gamma t) in
+        match acc with None -> Some d | Some m -> Some (Q.max m d))
+      None pts
+
+  (* The band bound B: the k-th smallest exact window-max distance among
+     pilot objects found by ring search around gamma.  Any k pilots alive
+     throughout the window make the bound sound — at every instant at
+     least k objects sit within B — and near pilots make it tight.
+     [None] when gamma does not cover the window or pilots run out. *)
+  let band_bound grid db gamma ~k ~lo ~hi =
+    if not (covers gamma ~lo ~hi) then None
+    else begin
+      let pos = T.position_exn gamma lo in
+      let x = Q.to_float (Qvec.get pos 0) in
+      let y = if Qvec.dim pos >= 2 then Q.to_float (Qvec.get pos 1) else 0.0 in
+      let center = Grid.cell_of ~cell:(Grid.cell_size grid) (x, y) in
+      let last = Grid.max_ring grid ~center in
+      (* an object's pieces can span cells in several rings — pilots must
+         be distinct or k copies of one nearby object fake a tight band *)
+      let seen = Hashtbl.create 16 in
+      let rec collect ring extra acc count =
+        if ring > last || extra < 0 then acc
+        else begin
+          let fresh =
+            List.filter
+              (fun o ->
+                (not (Hashtbl.mem seen o))
+                &&
+                (Hashtbl.add seen o ();
+                 match DB.find db o with
+                 | Some tr -> covers tr ~lo ~hi
+                 | None -> false))
+              (Grid.ring_candidates grid ~center ~ring)
+          in
+          let count = count + List.length fresh in
+          (* one extra ring after reaching k pilots, for tightness *)
+          let extra = if count >= k then extra - 1 else extra in
+          collect (ring + 1) extra (List.rev_append fresh acc) count
+        end
+      in
+      let pilots = collect 0 1 [] 0 in
+      let dmaxes =
+        List.filter_map
+          (fun o ->
+            match DB.find db o with
+            | Some tr -> dmax_sq tr gamma ~lo ~hi
+            | None -> None)
+          pilots
+      in
+      let sorted = List.sort Q.compare dmaxes in
+      if List.length sorted >= k then Some (List.nth sorted (k - 1)) else None
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Frontier extraction                                               *)
+  (* ---------------------------------------------------------------- *)
+
+  (* A shard sweep admits its local top-k on every span, extended with
+     local k-th ties at event instants — the smallest set guaranteed to
+     contain every shard member that can ever appear in the global
+     answer. *)
+  let sweep_shard ~sink ~admit ~k ~lo ~hi entries =
+    let eng = E.create ~sink ~start:(B.scalar_of_rat lo)
+        ~horizon:(B.scalar_of_rat hi) entries
+    in
+    let admit_entry e = admit (E.label e) in
+    let frontier_span () = List.iter admit_entry (E.first_n eng k) in
+    let frontier_at i =
+      let firsts = E.first_n eng k in
+      List.iter admit_entry firsts;
+      if List.length firsts >= k then begin
+        let kth = List.nth firsts (k - 1) in
+        let rec extend j =
+          match E.nth_entry eng j with
+          | Some e when C.diff_sign_at (E.curve e) (E.curve kth) i = 0 ->
+            admit_entry e;
+            extend (j + 1)
+          | _ -> ()
+        in
+        extend k
+      end
+    in
+    let lo_i = B.instant_of_scalar (B.scalar_of_rat lo) in
+    frontier_at lo_i;
+    if Q.compare lo hi < 0 then begin
+      let emit = function
+        | E.Span (_, _) -> frontier_span ()
+        | E.Point i -> frontier_at i
+      in
+      E.advance eng ~upto:(B.scalar_of_rat hi) ~emit;
+      (* the final span up to the horizon, and the horizon instant *)
+      frontier_span ();
+      frontier_at (B.instant_of_scalar (B.scalar_of_rat hi))
+    end;
+    eng
+
+  (* ---------------------------------------------------------------- *)
+  (* The driver                                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  let zero_stats () =
+    { E.crossings = 0; swaps = 0; births = 0; deaths = 0; batches = 0;
+      jumps = 0; comparisons = 0; audit_failures = 0; rebuilds = 0;
+      audit_structure = 0; audit_order = 0; audit_event = 0; audit_dead = 0;
+      audit_clock = 0 }
+
+  let accumulate acc (s : E.stats) =
+    acc.E.crossings <- acc.E.crossings + s.E.crossings;
+    acc.E.swaps <- acc.E.swaps + s.E.swaps;
+    acc.E.births <- acc.E.births + s.E.births;
+    acc.E.deaths <- acc.E.deaths + s.E.deaths;
+    acc.E.batches <- acc.E.batches + s.E.batches;
+    acc.E.jumps <- acc.E.jumps + s.E.jumps;
+    acc.E.comparisons <- acc.E.comparisons + s.E.comparisons;
+    acc.E.audit_failures <- acc.E.audit_failures + s.E.audit_failures;
+    acc.E.rebuilds <- acc.E.rebuilds + s.E.rebuilds
+
+  let events_of (s : E.stats) =
+    s.E.crossings + s.E.births + s.E.deaths + s.E.jumps
+
+  let merge_hot tbl hots =
+    List.iter
+      (fun (h : E.hot) ->
+        let c, s =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt tbl h.E.h_oid)
+        in
+        Hashtbl.replace tbl h.E.h_oid
+          (c + h.E.h_comparisons, s + h.E.h_swaps))
+      hots
+
+  let run_obs ~(sink : Sink.t) ~(db : DB.t) ~(gamma : T.t) ~(k : int)
+      ~(lo : Q.t) ~(hi : Q.t) ?(cell = default_cell) () : result =
+    if k <= 0 then invalid_arg "Shard.run: k must be positive";
+    Sink.count sink "moq_query_sharded_knn_total" 1;
+    let gdist = Gdist.euclidean_sq ~gamma in
+    let grid =
+      Sink.time sink "moq_shard_index_build_seconds" @@ fun () ->
+      Grid.build ~cell ~lo ~hi db
+    in
+    let band = band_bound grid db gamma ~k ~lo ~hi in
+    let gamma_box = Grid.trajectory_box gamma ~lo ~hi in
+    let shards = Grid.shards grid in
+    let admitted = Hashtbl.create 64 in
+    let merge_ops = ref 0 in
+    let admit = function
+      | E.Obj (o, _) ->
+        incr merge_ops;
+        if not (Hashtbl.mem admitted o) then Hashtbl.add admitted o ()
+      | E.Cst _ -> ()
+    in
+    let entries_of oids =
+      List.filter_map
+        (fun o ->
+          Option.map
+            (fun tr -> (E.Obj (o, 0), B.curve_of_qpiece (Gdist.curve gdist tr)))
+            (DB.find db o))
+        oids
+    in
+    let stats = zero_stats () in
+    let hot_tbl = Hashtbl.create 64 in
+    let touched = ref 0 in
+    let shard_events = ref 0 in
+    (Sink.time sink "moq_shard_sweep_seconds" @@ fun () ->
+     List.iter
+       (fun ((_key : int * int), members, box) ->
+         let skip =
+           match box with
+           | None -> true  (* no window presence: never in any answer *)
+           | Some sbox ->
+             (match band, gamma_box with
+              | Some b, Some gbox ->
+                Q.compare (Grid.box_separation_sq sbox gbox) b > 0
+              | _ -> false)
+         in
+         if not skip then begin
+           incr touched;
+           let eng = sweep_shard ~sink ~admit ~k ~lo ~hi (entries_of members) in
+           let s = E.stats eng in
+           shard_events := !shard_events + events_of s;
+           accumulate stats s;
+           merge_hot hot_tbl (E.hot_objects eng)
+         end)
+       shards);
+    (* Merge sweep over the admitted union: the same emit protocol as the
+       plain k-NN run, so the simplified timeline is bit-identical to it. *)
+    let admitted_oids =
+      List.sort Oid.compare (Hashtbl.fold (fun o () acc -> o :: acc) admitted [])
+    in
+    let eng = E.create ~sink ~start:(B.scalar_of_rat lo)
+        ~horizon:(B.scalar_of_rat hi) (entries_of admitted_oids)
+    in
+    let oid_of e = match E.label e with E.Obj (o, _) -> Some o | E.Cst _ -> None in
+    let set_of_entries es =
+      List.fold_left
+        (fun acc e ->
+          match oid_of e with Some o -> Oid.Set.add o acc | None -> acc)
+        Oid.Set.empty es
+    in
+    let answer_span () = set_of_entries (E.first_n eng k) in
+    let answer_at i =
+      let firsts = E.first_n eng k in
+      let n = List.length firsts in
+      if n < k then set_of_entries firsts
+      else begin
+        let kth = List.nth firsts (k - 1) in
+        let rec extend j acc =
+          match E.nth_entry eng j with
+          | Some e when C.diff_sign_at (E.curve e) (E.curve kth) i = 0 ->
+            extend (j + 1) (e :: acc)
+          | _ -> acc
+        in
+        set_of_entries (extend k firsts)
+      end
+    in
+    let pieces = ref [] in
+    let emit = function
+      | E.Span (a, b) -> pieces := TL.Span (a, b, answer_span ()) :: !pieces
+      | E.Point i -> pieces := TL.At (i, answer_at i) :: !pieces
+    in
+    let lo_i = B.instant_of_scalar (B.scalar_of_rat lo) in
+    let hi_s = B.scalar_of_rat hi in
+    let hi_i = B.instant_of_scalar hi_s in
+    pieces := [ TL.At (lo_i, answer_at lo_i) ];
+    if Q.compare lo hi < 0 then begin
+      E.advance eng ~upto:hi_s ~emit;
+      let last = E.now eng in
+      if B.compare_instant last hi_i < 0 then
+        pieces :=
+          TL.At (hi_i, answer_at hi_i)
+          :: TL.Span (last, hi_i, answer_span ())
+          :: !pieces
+    end;
+    let merge_stats = E.stats eng in
+    accumulate stats merge_stats;
+    merge_hot hot_tbl (E.hot_objects eng);
+    let n_admitted = List.length admitted_oids in
+    let shard =
+      { shards_total = List.length shards;
+        shards_touched = !touched;
+        admitted = n_admitted;
+        pruned = Grid.population grid - n_admitted;
+        frontier_merge_ops = !merge_ops;
+        shard_events = !shard_events;
+        band = Option.map Q.to_float band }
+    in
+    Sink.set sink "moq_shard_shards" (float_of_int shard.shards_total);
+    Sink.count sink "moq_shard_touched_total" shard.shards_touched;
+    Sink.count sink "moq_shard_admissions_total" shard.admitted;
+    Sink.count sink "moq_shard_prunes_total" shard.pruned;
+    Sink.count sink "moq_shard_frontier_merge_ops_total" shard.frontier_merge_ops;
+    Sink.count sink "moq_shard_events_total" shard.shard_events;
+    let hot =
+      Hashtbl.fold
+        (fun o (c, s) acc ->
+          { E.h_oid = o; h_comparisons = c; h_swaps = s } :: acc)
+        hot_tbl []
+      |> List.sort (fun (a : E.hot) b ->
+             match compare b.E.h_comparisons a.E.h_comparisons with
+             | 0 -> Oid.compare a.E.h_oid b.E.h_oid
+             | c -> c)
+    in
+    { timeline = TL.simplify (List.rev !pieces); stats; shard; hot }
+
+  let run ~db ~gamma ~k ~lo ~hi ?cell () =
+    run_obs ~sink:Sink.noop ~db ~gamma ~k ~lo ~hi ?cell ()
+end

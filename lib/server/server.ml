@@ -114,6 +114,10 @@ type out_item =
 type sub = {
   sub_id : int;
   sub_hi : Q.t;
+  sub_shard : int * int;
+      (* home cell of the subscription's reference trajectory under the
+         affinity grid — the routing key a shard-affine worker pool
+         (ROADMAP item 2) partitions subscriptions by *)
   mon : Mon.t;
   mutable next_seq : int;
 }
@@ -336,6 +340,44 @@ let gdist_of_kind t = function
     Gdist.euclidean_sq ~gamma:(origin_gamma t.dim)
   | Proto.Sub_gdist (Proto.Speed_sq, _) -> Gdist.speed_sq
 
+(* Shard affinity.  Subscriptions and updates both hash to a cell of one
+   coarse affinity grid; an update whose object moves in (or next to) a
+   subscription's cell is shard-local to it.  Today this only drives the
+   moq_server_shard_{local,remote}_updates_total counters — the measured
+   case for the shard-affine worker pool of ROADMAP item 2, which will
+   route each update to the worker owning its cell. *)
+let affinity_cell = 256.0
+
+let affinity_shard_of_pos pos =
+  let x = Q.to_float (Qvec.get pos 0) in
+  let y = if Qvec.dim pos >= 2 then Q.to_float (Qvec.get pos 1) else 0.0 in
+  Moq_index.Grid.cell_of ~cell:affinity_cell (x, y)
+
+(* The cell of the subscription's reference trajectory when the
+   subscription starts.  Speed-relative subscriptions have no spatial
+   anchor; they share the origin cell. *)
+let affinity_shard_of_sub t kind ~lo =
+  match kind with
+  | Proto.Sub_gdist (Proto.Speed_sq, _) -> affinity_shard_of_pos (Qvec.zero t.dim)
+  | Proto.Sub_knn _ | Proto.Sub_range _ | Proto.Sub_gdist (Proto.Euclidean_sq, _) ->
+    let gamma = origin_gamma t.dim in
+    let at = Q.max lo gamma_start in
+    if T.defined_at gamma at then affinity_shard_of_pos (T.position_exn gamma at)
+    else affinity_shard_of_pos (Qvec.zero t.dim)
+
+(* The cell the updated object lands in, from the post-commit MOD.  None
+   when the update leaves the object undefined at its own timestamp (a
+   deletion). *)
+let affinity_shard_of_update t u =
+  match DB.find (Store.db t.store) (U.oid u) with
+  | None -> None
+  | Some tr ->
+    let at = U.time u in
+    if T.defined_at tr at then Some (affinity_shard_of_pos (T.position_exn tr at))
+    else None
+
+let shard_local (ai, aj) (bi, bj) = abs (ai - bi) <= 1 && abs (aj - bj) <= 1
+
 let query_of_kind kind ~lo ~hi =
   let interval = Fof.Interval.closed lo hi in
   match kind with
@@ -367,10 +409,16 @@ let push_fresh ?trace t sess sub =
 
 (* t.lock held: apply one accepted update to every live subscription. *)
 let fanout ?trace t u =
+  let ushard = affinity_shard_of_update t u in
   List.iter
     (fun sess ->
       List.iter
         (fun sub ->
+          (match ushard with
+           | Some c when shard_local c sub.sub_shard ->
+             Sink.count t.sink "moq_server_shard_local_updates_total" 1
+           | Some _ | None ->
+             Sink.count t.sink "moq_server_shard_remote_updates_total" 1);
           let t0 = Unix.gettimeofday () in
           (match Mon.apply_update sub.mon u with
            | Ok () -> ()
@@ -675,11 +723,24 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
           | mon ->
             let sub_id = t.next_sub in
             t.next_sub <- t.next_sub + 1;
-            let sub = { sub_id; sub_hi = hi; mon; next_seq = 0 } in
+            let sub_shard = affinity_shard_of_sub t kind ~lo in
+            let sub = { sub_id; sub_hi = hi; sub_shard; mon; next_seq = 0 } in
             sess.subs <- sub :: sess.subs;
             Sink.count t.sink "moq_server_subscriptions_total" 1;
+            let si, sj = sub_shard in
+            (* distinct shards with a live subscription: the worker-pool
+               size a shard-affine fanout would need right now *)
+            let shards =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun s -> List.map (fun su -> su.sub_shard) s.subs)
+                   t.sessions)
+            in
+            Sink.set t.sink "moq_server_sub_shards"
+              (float_of_int (List.length shards));
             record t "subscribe"
-              [ ("sub", Json.Int sub_id); ("session", Json.Int sess.sid) ];
+              [ ("sub", Json.Int sub_id); ("session", Json.Int sess.sid);
+                ("shard_i", Json.Int si); ("shard_j", Json.Int sj) ];
             (* response first, then any already-valid prefix as events —
                same lock scope, so no update can interleave *)
             enqueue_msg t sess (Proto.R_subscribe { sub = sub_id });

@@ -25,6 +25,36 @@ let uniform_db ~seed ~n ?(dim = 2) ?(extent = 1000) ?(speed = 10) () =
   in
   add db 1
 
+let clustered_db ~seed ~n ?(dim = 2) ?(clusters = 0) ?(spacing = 10_000)
+    ?(spread = 200) ?(speed = 5) () =
+  let st = Random.State.make [| seed |] in
+  let clusters = if clusters > 0 then clusters else max 1 (n / 100) in
+  let w = int_of_float (Float.ceil (sqrt (float_of_int clusters))) in
+  let center d c =
+    (* cluster 0 sits at the origin; the rest march along a grid row by
+       row, [spacing] apart — far enough that distant clusters never
+       interact with an origin-anchored query *)
+    if c = 0 then Q.zero
+    else if d = 0 then q (c mod w * spacing)
+    else if d = 1 then q (c / w * spacing)
+    else Q.zero
+  in
+  let db = DB.empty ~dim ~tau:(q 0) in
+  let rec add db i =
+    if i > n then db
+    else begin
+      let c = (i - 1) mod clusters in
+      let b =
+        Qvec.of_list
+          (List.init dim (fun d ->
+               Q.add (center d c) (q (rand_int st (-spread) spread))))
+      in
+      let tr = T.linear ~start:(q 0) ~a:(rand_vec st dim speed) ~b in
+      add (DB.add_initial db i tr) (i + 1)
+    end
+  in
+  add db 1
+
 (* A permutation of 0..n-1 with exactly [k] inversions: start from the
    identity and repeatedly swap a random adjacent in-order pair (each such
    swap adds exactly one inversion). *)

@@ -16,6 +16,18 @@ val uniform_db :
     [[-extent, extent]^dim] and integer velocities in [[-speed, speed]^dim].
     Default [dim = 2], [extent = 1000], [speed = 10]. *)
 
+val clustered_db :
+  seed:int -> n:int -> ?dim:int -> ?clusters:int -> ?spacing:int ->
+  ?spread:int -> ?speed:int -> unit -> DB.t
+(** Spatially local activity: [n] objects dealt round-robin into
+    [clusters] clusters (default [max 1 (n/100)]), each a [spread]-sized
+    blob of slow movers ([speed], default 5) around its center.  Cluster 0
+    is centered at the origin; the rest sit on a square grid [spacing]
+    (default 10000) apart, so an origin-anchored query interacts with one
+    cluster and growing N only adds far-away clusters — the workload under
+    which per-event cost should stay flat in N for an index-pruned sweep
+    while a global sweep degrades. *)
+
 val inversions_db : seed:int -> n:int -> inversions:int -> horizon:Q.t -> DB.t
 (** One-dimensional workload with an exactly controlled number of support
     changes: object [i] starts at height [i] and moves linearly so that at

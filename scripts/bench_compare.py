@@ -9,9 +9,9 @@ merit:
 
   - throughput-like extras (higher is better): rps, agg_query_rps,
     rps_trace_off, rps_trace_on, rps_obs_off, rps_obs_on,
-    speedup_vs_exact, hot_coverage_pct
+    speedup_vs_exact, hot_coverage_pct, prune_rate
   - latency-like extras (lower is better): p50_ms, p99_ms,
-    primary_p99_ms, e2e_p50_ms, e2e_p99_ms
+    primary_p99_ms, e2e_p50_ms, e2e_p99_ms, per_event_growth
 
 A key present in only one of the two files is reported as an error —
 the trajectory must stay comparable release over release.  Latency
@@ -31,9 +31,9 @@ import sys
 
 HIGHER_IS_BETTER = ("rps", "agg_query_rps", "rps_trace_off", "rps_trace_on",
                     "rps_obs_off", "rps_obs_on", "speedup_vs_exact",
-                    "hot_coverage_pct")
+                    "hot_coverage_pct", "prune_rate")
 LOWER_IS_BETTER = ("p50_ms", "p99_ms", "primary_p99_ms", "e2e_p50_ms",
-                   "e2e_p99_ms")
+                   "e2e_p99_ms", "per_event_growth")
 
 
 def is_number(v):

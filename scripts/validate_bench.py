@@ -39,14 +39,21 @@ plus optional per-experiment extras:
     "hot_attributed_objects": int  # > 0; o2 only
     "slowq_captured": int      # > 0 — the slow-query log actually fired
     "flight_recorded": int     # > 0 — the flight recorder actually recorded
+    "per_event_ns_by_n": {str: float}  # N -> ns/event; sharded experiments (s3)
+    "per_event_growth": float  # > 0; per-event cost ratio largest/second N
+    "prune_rate": float        # in [0, 1]; fraction of objects index-pruned
+    "identical_to_exact": bool # must be true — sharded output is bit-exact
 
 Usage: validate_bench.py [--min-hit-rate X] [--max-trace-overhead X]
                          [--max-explain-overhead X] [--min-hot-coverage X]
+                         [--min-prune-rate X] [--max-per-event-growth X]
                          FILE...
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
 With --max-trace-overhead, files carrying "trace_overhead_pct" above X fail.
 With --max-explain-overhead, files carrying "explain_overhead_pct" above X fail.
 With --min-hot-coverage, files carrying "hot_coverage_pct" below X fail.
+With --min-prune-rate, files carrying "prune_rate" below X fail.
+With --max-per-event-growth, files carrying "per_event_growth" above X fail.
 Exits non-zero with one `file: message` line per problem.
 """
 import argparse
@@ -66,7 +73,9 @@ OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "explain_overhead_pct", "rps_obs_off", "rps_obs_on",
             "hot_coverage_pct", "hot_top5_comparisons",
             "hot_total_comparisons", "hot_attributed_objects",
-            "slowq_captured", "flight_recorded"}
+            "slowq_captured", "flight_recorded",
+            "per_event_ns_by_n", "per_event_growth", "prune_rate",
+            "identical_to_exact"}
 
 
 def is_number(v):
@@ -74,7 +83,8 @@ def is_number(v):
 
 
 def problems(path, min_hit_rate=None, max_trace_overhead=None,
-             max_explain_overhead=None, min_hot_coverage=None):
+             max_explain_overhead=None, min_hot_coverage=None,
+             min_prune_rate=None, max_per_event_growth=None):
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -204,6 +214,41 @@ def problems(path, min_hit_rate=None, max_trace_overhead=None,
         if key in doc and doc[key] == 0:
             yield ("'%s' must be positive — the instrumentation never fired"
                    % key)
+    if "per_event_ns_by_n" in doc:
+        table = doc["per_event_ns_by_n"]
+        if not isinstance(table, dict) or not table:
+            yield "'per_event_ns_by_n' must be a non-empty object"
+        else:
+            for size, ns in table.items():
+                if not size.isdigit() or int(size) <= 0:
+                    yield ("'per_event_ns_by_n' key %r is not a positive "
+                           "integer N" % size)
+                if not is_number(ns) or ns <= 0:
+                    yield ("'per_event_ns_by_n'[%r] must be a positive "
+                           "number" % size)
+    if "per_event_growth" in doc:
+        growth = doc["per_event_growth"]
+        if not is_number(growth) or growth <= 0:
+            yield "'per_event_growth' must be a positive number"
+        elif (max_per_event_growth is not None
+              and growth > max_per_event_growth):
+            yield ("per_event_growth %.2f above allowed maximum %.2f — "
+                   "per-event cost is no longer local" % (
+                       growth, max_per_event_growth))
+    elif max_per_event_growth is not None:
+        yield "--max-per-event-growth given but file has no 'per_event_growth'"
+    if "prune_rate" in doc:
+        rate = doc["prune_rate"]
+        if not is_number(rate) or not 0.0 <= rate <= 1.0:
+            yield "'prune_rate' must be a number in [0, 1]"
+        elif min_prune_rate is not None and rate < min_prune_rate:
+            yield "prune_rate %.4f below required minimum %.4f" % (
+                rate, min_prune_rate)
+    elif min_prune_rate is not None:
+        yield "--min-prune-rate given but file has no 'prune_rate'"
+    if "identical_to_exact" in doc and doc["identical_to_exact"] is not True:
+        yield ("'identical_to_exact' must be true — the sharded timeline "
+               "diverged from the exact backend")
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"
@@ -229,6 +274,12 @@ def main(argv):
     parser.add_argument("--min-hot-coverage", type=float, default=None,
                         metavar="X",
                         help="fail files whose hot_coverage_pct is below X")
+    parser.add_argument("--min-prune-rate", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose prune_rate is below X")
+    parser.add_argument("--max-per-event-growth", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose per_event_growth is above X")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
     bad = 0
@@ -237,7 +288,9 @@ def main(argv):
         for msg in problems(path, min_hit_rate=args.min_hit_rate,
                             max_trace_overhead=args.max_trace_overhead,
                             max_explain_overhead=args.max_explain_overhead,
-                            min_hot_coverage=args.min_hot_coverage):
+                            min_hot_coverage=args.min_hot_coverage,
+                            min_prune_rate=args.min_prune_rate,
+                            max_per_event_growth=args.max_per_event_growth):
             print("%s: %s" % (path, msg), file=sys.stderr)
             found = True
         if found:

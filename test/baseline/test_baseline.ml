@@ -76,6 +76,86 @@ let test_grid_nearest_k () =
   Alcotest.(check (list int)) "k=3" [ 1; 3; 2 ] (nearest 3);
   Alcotest.(check (list int)) "k=10 clamps" [ 1; 3; 2; 4 ] (nearest 10)
 
+(* nearest_k edge cases: the index must agree with a naive scan element
+   for element (not just by distance multiset) — oids break ties, so
+   duplicate positions, equidistant points and boundary-snapped points all
+   have one canonical answer.  k may be 0, exceed the population, etc. *)
+
+let naive_nearest points ~center:(cx, cy) ~k =
+  if k <= 0 then []
+  else
+    List.sort
+      (fun (o1, (x1, y1)) (o2, (x2, y2)) ->
+        match
+          Float.compare
+            (Float.hypot (x1 -. cx) (y1 -. cy))
+            (Float.hypot (x2 -. cx) (y2 -. cy))
+        with
+        | 0 -> compare o1 o2
+        | c -> c)
+      points
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun (o, (x, y)) -> (o, Float.hypot (x -. cx) (y -. cy)))
+
+let grid_agrees ~cell points ~center ~k =
+  let g = Grid.build ~cell points in
+  Grid.nearest_k g ~center ~k = naive_nearest points ~center ~k
+
+(* Generator biased toward the hard cases: coordinates snapped to cell
+   boundaries (multiples of the cell size) and duplicated positions. *)
+let hard_points_arb =
+  let cell = 5.0 in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (pair
+           (oneof
+              [ float_range (-50.) 50.;
+                map (fun i -> float_of_int i *. cell) (int_range (-10) 10) ])
+           (oneof
+              [ float_range (-50.) 50.;
+                map (fun i -> float_of_int i *. cell) (int_range (-10) 10) ]))
+      >>= fun pts ->
+      (* duplicate a random prefix so several oids share one position *)
+      int_range 0 (List.length pts) >|= fun d ->
+      let dupes = List.filteri (fun i _ -> i < d) pts in
+      pts @ dupes)
+  in
+  QCheck.make gen ~print:QCheck.Print.(list (pair float float))
+
+let prop_grid_nearest_k_edges =
+  prop ~count:200 "grid nearest_k = naive scan (ties, boundaries, any k)"
+    (QCheck.pair hard_points_arb (QCheck.int_range 0 6))
+    (fun (pts, kk) ->
+      let points = List.mapi (fun i p -> (i + 1, p)) pts in
+      let pop = List.length points in
+      (* k = 0, small, exactly the population, and past it *)
+      List.for_all
+        (fun k -> grid_agrees ~cell:5.0 points ~center:(0.0, 0.0) ~k)
+        [ 0; kk; pop; pop + 5 ]
+      (* a boundary-snapped query center too *)
+      && grid_agrees ~cell:5.0 points ~center:(5.0, -10.0) ~k:(max 1 kk))
+
+let test_grid_nearest_k_duplicates () =
+  (* five oids on two positions in one cell: ties broken by oid, k past
+     the population clamps *)
+  let points =
+    [ (5, (1.0, 1.0)); (3, (1.0, 1.0)); (1, (2.0, 0.0)); (4, (2.0, 0.0));
+      (2, (1.0, 1.0)) ]
+  in
+  let g = Grid.build ~cell:10.0 points in
+  let nearest k = List.map fst (Grid.nearest_k g ~center:(0.0, 0.0) ~k) in
+  Alcotest.(check (list int)) "ties by oid" [ 2; 3; 5 ] (nearest 3);
+  Alcotest.(check (list int)) "k > pop" [ 2; 3; 5; 1; 4 ] (nearest 9);
+  Alcotest.(check (list int)) "k = 0" [] (nearest 0)
+
+let test_grid_nearest_k_boundary () =
+  (* points exactly on cell boundaries: floor keying must not lose them *)
+  let points = [ (1, (5.0, 0.0)); (2, (10.0, 0.0)); (3, (-5.0, 0.0)); (4, (0.0, 5.0)) ] in
+  let g = Grid.build ~cell:5.0 points in
+  Alcotest.(check (list int)) "all found, canonical order" [ 1; 3; 4; 2 ]
+    (List.map fst (Grid.nearest_k g ~center:(0.0, 0.0) ~k:4))
+
 let prop_grid_matches_linear_scan =
   prop "grid nearest_k = sort by distance"
     (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 30)
@@ -185,7 +265,10 @@ let () =
       ("grid", [
         Alcotest.test_case "range" `Quick test_grid_range;
         Alcotest.test_case "nearest_k" `Quick test_grid_nearest_k;
+        Alcotest.test_case "nearest_k duplicates + clamp" `Quick test_grid_nearest_k_duplicates;
+        Alcotest.test_case "nearest_k boundary points" `Quick test_grid_nearest_k_boundary;
         prop_grid_matches_linear_scan;
+        prop_grid_nearest_k_edges;
       ]);
       ("song-roussopoulos", [
         Alcotest.test_case "misses exchanges between searches" `Quick test_sr_misses_exchange;

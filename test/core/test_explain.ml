@@ -55,8 +55,12 @@ let run_report ?(seed = 11) ?(n = 16) ?(k = 2) ?(lo = 0) ?(hi = 40) () =
    deliberate, versioned change (bump moq_explain alongside). *)
 let golden_keys =
   [ "moq_explain"; "kind"; "query"; "backend"; "classification"; "n_objects";
-    "lo"; "hi"; "timeline_pieces"; "sweep"; "lemma9"; "filter"; "hot";
-    "hot_coverage_top5"; "phases"; "counters" ]
+    "lo"; "hi"; "timeline_pieces"; "sweep"; "lemma9"; "filter"; "shards";
+    "hot"; "hot_coverage_top5"; "phases"; "counters" ]
+
+let golden_shards_keys =
+  [ "total"; "touched"; "admitted"; "pruned"; "frontier_merge_ops";
+    "shard_events"; "band" ]
 
 let golden_sweep_keys =
   [ "batches"; "crossings"; "births"; "deaths"; "jumps"; "swaps";
@@ -86,15 +90,81 @@ let test_golden_schema () =
   Alcotest.(check (list string)) "lemma9 keys" golden_lemma9_keys
     (obj_keys (field j "lemma9"));
   (match field j "moq_explain" with
-   | Json.Int 1 -> ()
-   | _ -> Alcotest.fail "schema version tag must be 1");
+   | Json.Int 2 -> ()
+   | _ -> Alcotest.fail "schema version tag must be 2");
   (* the exact backend carries no filter block *)
   (match field j "filter" with
    | Json.Null -> ()
    | _ -> Alcotest.fail "exact backend: filter must be null");
+  (* an unsharded run carries no shards block *)
+  (match field j "shards" with
+   | Json.Null -> ()
+   | _ -> Alcotest.fail "unsharded run: shards must be null");
   (* the report must also survive a print (no exceptions, non-empty) *)
   Alcotest.(check bool) "to_text renders" true
     (String.length (Explain.to_text report) > 0)
+
+(* A sharded run populates the shards block with self-consistent pruning
+   accounting, under the same golden key order. *)
+let test_sharded_report () =
+  let module BFl = Moq_core.Backend.Filtered in
+  let module Sh = Moq_core.Shard.Make (BFl) in
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  let n = 30 in
+  let db =
+    Gen.clustered_db ~seed:21 ~n ~clusters:5 ~spacing:3_000 ~spread:40
+      ~speed:2 ()
+  in
+  let gamma = T.stationary ~start:(q 0) (Qvec.zero 2) in
+  let r = Sh.run_obs ~sink ~db ~gamma ~k:2 ~lo:(q 0) ~hi:(q 20) ~cell:64.0 () in
+  let s = r.Sh.stats in
+  let sweep =
+    { Explain.batches = s.Sh.E.batches; crossings = s.Sh.E.crossings;
+      births = s.Sh.E.births; deaths = s.Sh.E.deaths; jumps = s.Sh.E.jumps;
+      swaps = s.Sh.E.swaps; comparisons = s.Sh.E.comparisons;
+      support_changes = s.Sh.E.crossings + s.Sh.E.births + s.Sh.E.deaths }
+  in
+  let sb = r.Sh.shard in
+  let shards =
+    { Explain.s_total = sb.Sh.shards_total; s_touched = sb.Sh.shards_touched;
+      s_admitted = sb.Sh.admitted; s_pruned = sb.Sh.pruned;
+      s_merge_ops = sb.Sh.frontier_merge_ops; s_events = sb.Sh.shard_events;
+      s_band = sb.Sh.band }
+  in
+  let report =
+    Explain.make ~kind:"knn" ~query:"test sharded knn"
+      ~backend:"sharded-filtered" ~n_objects:n ~lo:0. ~hi:20.
+      ~timeline_pieces:(List.length r.Sh.timeline) ~sweep ~shards
+      ~counters:(Registry.flatten reg) ()
+  in
+  let j = Explain.to_json report in
+  Alcotest.(check (list string)) "top-level keys" golden_keys (obj_keys j);
+  Alcotest.(check (list string)) "shards keys" golden_shards_keys
+    (obj_keys (field j "shards"));
+  (match field j "shards" with
+   | Json.Obj kvs ->
+     let geti k =
+       match List.assoc_opt k kvs with
+       | Some (Json.Int i) -> i
+       | _ -> Alcotest.failf "shards.%s missing or not an int" k
+     in
+     Alcotest.(check int) "admitted + pruned = population" n
+       (geti "admitted" + geti "pruned");
+     Alcotest.(check bool) "touched <= total" true
+       (geti "touched" <= geti "total");
+     Alcotest.(check bool) "clustered run pruned objects" true
+       (geti "pruned" > 0)
+   | _ -> Alcotest.fail "shards must be an object for a sharded run");
+  (* the text rendering mentions the sharding section *)
+  let txt = Explain.to_text report in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "to_text has sharding section" true
+    (contains txt "sharding")
 
 let test_counters_reconcile () =
   let report, reg = run_report () in
@@ -167,7 +237,9 @@ let test_bound_monotone () =
 let () =
   Alcotest.run "explain"
     [ ("schema",
-       [ Alcotest.test_case "golden JSON key set" `Quick test_golden_schema ]);
+       [ Alcotest.test_case "golden JSON key set" `Quick test_golden_schema;
+         Alcotest.test_case "sharded report shards block" `Quick
+           test_sharded_report ]);
       ("reconcile",
        [ Alcotest.test_case "report = registry" `Quick test_counters_reconcile ]);
       ("lemma9",

@@ -650,7 +650,7 @@ let test_slow_query_capture () =
          (match List.assoc_opt "explain" e.Recorder.fields with
           | Some (Json.Obj kvs) ->
             Alcotest.(check bool) "explain schema tag" true
-              (List.assoc_opt "moq_explain" kvs = Some (Json.Int 1))
+              (List.assoc_opt "moq_explain" kvs = Some (Json.Int 2))
           | _ -> Alcotest.fail "slow_query event carries no explain"));
       Client.close c)
 
