@@ -36,6 +36,11 @@ module LH = Moq_dstruct.Leftist_heap
 module BH = Moq_dstruct.Bin_heap
 module Gen = Moq_workload.Gen
 module Scenario = Moq_workload.Scenario
+module Agg = Moq_agg.Agg
+module AggX = Moq_agg.Agg.Make (BX)
+module AlibiX = Moq_agg.Alibi.Make (BX)
+module AlibiFl = Moq_agg.Alibi.Make (BFl)
+module Ingest = Moq_ingest.Ingest
 module Cql = Moq_cql.Cql
 module Cql_ex = Moq_cql.Cql_examples
 module Turing = Moq_decide.Turing
@@ -1588,6 +1593,112 @@ let o2 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* W1: the workload subsystem — continuous POI aggregation on an
+   ingested trace, incremental vs per-window rescans, plus the alibi
+   query's exact-vs-filtered bit-identity over 200 paired workloads    *)
+(* ------------------------------------------------------------------ *)
+
+let w1 () =
+  (* Trace → segmentation → update stream, the real ingestion path: a
+     GPS-style sampled trace from Gen.trace_like is quantised into a
+     piecewise-linear stream, the [New]s seed the MOD and the rest drive
+     the continuous aggregation.  The incremental path (per-POI monitors,
+     ring-pruned watch sets, harvest-on-window-close) is timed against
+     the ground-truth baseline that sweeps the whole database once per
+     POI per window; both must produce bit-identical rows. *)
+  let seed = 77 and n = 16 and steps = 16 in
+  bench_seed := seed;
+  bench_n := n;
+  let samples =
+    List.map
+      (fun (oid, t, pos) -> { Ingest.oid; t; pos })
+      (Gen.trace_like ~seed ~n ~steps ~extent:120 ~speed:5 ())
+  in
+  let stream = Ingest.segment samples in
+  let news, rest =
+    List.partition (function U.New _ -> true | _ -> false) stream
+  in
+  let db =
+    List.fold_left
+      (fun db u ->
+        match u with
+        | U.New { oid; tau; a; b } ->
+          DB.add_initial db oid (T.of_pieces [ { T.start = tau; a; b } ])
+        | _ -> db)
+      (DB.empty ~dim:2 ~tau:Q.zero)
+      news
+  in
+  let lo = q 0 and hi = q (steps - 1) and window = q 5 and d = q 30 in
+  let pois =
+    List.init 4 (fun i ->
+        let c = Q.div (q ((i + 1) * 120)) (q 5) in
+        Qvec.of_list [ c; c ])
+  in
+  let run_incremental () =
+    let cont =
+      AggX.Cont.create ~sink:!bench_sink ~cell:32.0 ~db ~pois ~d ~window ~lo
+        ~hi ()
+    in
+    List.iter (AggX.Cont.apply_update_exn cont) rest;
+    (AggX.Cont.finalize cont, AggX.Cont.stats cont)
+  in
+  let t_inc, (inc_rows, st) = timed ~reps:3 run_incremental in
+  let final_db = DB.apply_all_exn db rest in
+  let t_scan, scan_rows =
+    timed ~reps:1 (fun () -> AggX.rescan ~db:final_db ~pois ~d ~window ~lo ~hi ())
+  in
+  let identical = AggX.equal_rows inc_rows scan_rows in
+  if not identical then
+    failwith "W1: incremental rows diverged from the rescan baseline";
+  let speedup = t_scan /. Float.max 1e-9 t_inc in
+  row "W1: continuous aggregation, %d samples -> %d update(s), %d POI(s) x %d window(s)\n"
+    (List.length samples) (List.length stream) st.Agg.pois st.Agg.windows;
+  row "  incremental %.4f s, rescan %.4f s: %.1fx (gate: >= 5x, bit-identical)\n"
+    t_inc t_scan speedup;
+  row "  watch sets: %d admitted / %d pruned; %d update(s) offered, %d forwarded\n"
+    st.Agg.admitted st.Agg.pruned st.Agg.updates st.Agg.forwarded;
+  (* The alibi query: 200 paired workloads decided on both the exact and
+     the float-filtered backend; verdicts and earliest-meeting witnesses
+     must be bit-identical. *)
+  let alibi_cases = 200 in
+  let alibi_meets = ref 0 in
+  let alibi_identical = ref true in
+  for i = 1 to alibi_cases do
+    let adb = Gen.uniform_db ~seed:(9000 + i) ~n:2 ~extent:60 ~speed:6 () in
+    let find oid =
+      match DB.find adb oid with Some tr -> tr | None -> assert false
+    in
+    let o1 = find 1 and o2 = find 2 in
+    let d = q (1 + (i mod 40)) and lo = q 0 and hi = q 30 in
+    let vx = AlibiX.decide ~o1 ~o2 ~d ~lo ~hi in
+    let vf = AlibiFl.decide ~o1 ~o2 ~d ~lo ~hi in
+    match vx, vf with
+    | AlibiX.No_meet, AlibiFl.No_meet -> ()
+    | AlibiX.Meet wx, AlibiFl.Meet wf ->
+      incr alibi_meets;
+      if A.compare wx (BFl.to_algnum wf) <> 0 then alibi_identical := false
+    | AlibiX.Meet _, AlibiFl.No_meet | AlibiX.No_meet, AlibiFl.Meet _ ->
+      alibi_identical := false
+  done;
+  if not !alibi_identical then
+    failwith "W1: alibi verdicts diverged between exact and filtered";
+  row "  alibi: %d/%d workloads meet; exact == filtered on all %d\n"
+    !alibi_meets alibi_cases alibi_cases;
+  bench_extras :=
+    [ ("agg_speedup_vs_rescan", Json.Float speedup);
+      ("agg_identical", Json.Bool identical);
+      ("agg_rows", Json.Int (List.length inc_rows));
+      ("agg_pois", Json.Int st.Agg.pois);
+      ("agg_windows", Json.Int st.Agg.windows);
+      ("watch_admitted", Json.Int st.Agg.admitted);
+      ("watch_pruned", Json.Int st.Agg.pruned);
+      ("ingest_updates", Json.Int (List.length stream));
+      ("alibi_cases", Json.Int alibi_cases);
+      ("alibi_meets", Json.Int !alibi_meets);
+      ("alibi_identical", Json.Bool !alibi_identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment id               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1771,7 +1882,7 @@ let experiments =
   [ ("f1", f1); ("f2", f2); ("f3", f3); ("p1", p1); ("t2", t2); ("t4", t4);
     ("t5a", t5a); ("t5b", t5b); ("t10", t10); ("b1", b1); ("b2", b2);
     ("b3", b3); ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("s1", s1);
-    ("s2", s2); ("s3", s3); ("o1", o1); ("o2", o2) ]
+    ("s2", s2); ("s3", s3); ("o1", o1); ("o2", o2); ("w1", w1) ]
 
 let () =
   let args = List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv)) in

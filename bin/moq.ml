@@ -35,6 +35,10 @@ module J = Moq_obs.Json
 module Log = Moq_obs.Log
 module Recorder = Moq_obs.Recorder
 module Explain = Moq_core.Explain
+module Agg = Moq_agg.Agg
+module AggX = Moq_agg.Agg.Make (BX)
+module AlibiX = Moq_agg.Alibi.Make (BX)
+module Ingest = Moq_ingest.Ingest
 
 open Cmdliner
 
@@ -516,6 +520,270 @@ let reduction_cmd =
     Term.(const reduction_run $ machine $ steps)
 
 (* ------------------------------------------------------------------ *)
+(* moq agg / alibi / ingest: the workload subsystem                    *)
+(* ------------------------------------------------------------------ *)
+
+let rat_of_string_arg what s =
+  try Q.of_string s with _ -> die "%s: not a rational: %s" what s
+
+(* "--poi x,y" values; when none are given, [npois] points are spread on
+   the diagonal of the default [0,100] extent — deterministic without any
+   dependence on the workload seed. *)
+let resolve_pois poi_strs npois =
+  match poi_strs with
+  | _ :: _ ->
+    List.map
+      (fun s ->
+        match String.split_on_char ',' s with
+        | [ x; y ] ->
+          Qvec.of_list [ rat_of_string_arg "poi" x; rat_of_string_arg "poi" y ]
+        | _ -> die "poi: expected x,y (got %s)" s)
+      poi_strs
+  | [] ->
+    if npois < 1 then die "agg: need at least one POI";
+    List.init npois (fun i ->
+        let c = Q.div (q ((i + 1) * 100)) (q (npois + 1)) in
+        Qvec.of_list [ c; c ])
+
+let row_json (r : Agg.row) =
+  J.Obj
+    [ ("poi", J.Int r.Agg.r_poi);
+      ("window", J.Int r.Agg.r_widx);
+      ("lo", J.Str (Q.to_string r.Agg.r_lo));
+      ("hi", J.Str (Q.to_string r.Agg.r_hi));
+      ("count", J.Int r.Agg.r_count);
+      ("density", J.Float r.Agg.r_density);
+      ("distinct", J.Int r.Agg.r_distinct);
+    ]
+
+let agg_run seed n count gap dbfile poi_strs npois d window lo hi check_rescan
+    as_json =
+  if hi <= lo then die "agg: need lo < hi (got [%d, %d])" lo hi;
+  let db = load_or_gen dbfile seed n in
+  let pois = resolve_pois poi_strs npois in
+  let d = rat_of_string_arg "d" d in
+  let window = rat_of_string_arg "window" window in
+  let cont =
+    try
+      AggX.Cont.create ~db ~pois ~d ~window ~lo:(q lo) ~hi:(q hi) ()
+    with Invalid_argument m -> die "agg: %s" m
+  in
+  let updates =
+    Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q lo) ~gap:(q gap) ~count ()
+  in
+  List.iter
+    (fun u ->
+      match AggX.Cont.apply_update cont u with
+      | Ok () -> ()
+      | Error e -> die "agg: update rejected: %a" DB.pp_error e)
+    updates;
+  let rows = AggX.Cont.finalize cont in
+  let identical =
+    if not check_rescan then None
+    else begin
+      let ground =
+        let db' = DB.apply_all_exn db updates in
+        AggX.rescan ~db:db' ~pois ~d ~window ~lo:(q lo) ~hi:(q hi) ()
+      in
+      Some (AggX.equal_rows rows ground)
+    end
+  in
+  let s = AggX.Cont.stats cont in
+  if as_json then begin
+    let doc =
+      J.Obj
+        ([ ("rows", J.List (List.map row_json rows));
+           ("pois", J.Int s.Agg.pois);
+           ("windows", J.Int s.Agg.windows);
+           ("watch_admitted", J.Int s.Agg.admitted);
+           ("watch_pruned", J.Int s.Agg.pruned);
+           ("updates", J.Int s.Agg.updates);
+           ("forwarded", J.Int s.Agg.forwarded);
+         ]
+         @ match identical with
+           | None -> []
+           | Some ok -> [ ("rescan_identical", J.Bool ok) ])
+    in
+    print_endline (J.to_string doc)
+  end
+  else begin
+    List.iter (fun r -> Format.printf "%a@." Agg.pp_row r) rows;
+    Format.printf
+      "%d POI(s) x %d window(s): %d row(s); watch %d admitted / %d pruned; \
+       %d update(s), %d forwarded@."
+      s.Agg.pois s.Agg.windows s.Agg.rows s.Agg.admitted s.Agg.pruned
+      s.Agg.updates s.Agg.forwarded;
+    match identical with
+    | None -> ()
+    | Some true -> Format.printf "rescan cross-check: bit-identical@."
+    | Some false -> die "agg: incremental rows differ from the rescan baseline"
+  end;
+  match identical with Some false -> exit 1 | _ -> ()
+
+let agg_cmd =
+  let count = Common_args.count ~default:10 () in
+  let poi =
+    Arg.(value & opt_all string []
+         & info [ "poi" ] ~docv:"X,Y"
+             ~doc:"A place of interest (repeatable); exact rationals or decimals")
+  in
+  let npois =
+    Arg.(value & opt int 2
+         & info [ "pois" ]
+             ~doc:"Number of POIs to place on the extent diagonal when no \
+                   $(b,--poi) is given")
+  in
+  let d =
+    Arg.(value & opt string "25"
+         & info [ "dist" ] ~docv:"DIST"
+             ~doc:"POI radius: objects within distance DIST count as present")
+  in
+  let window =
+    Arg.(value & opt string "10"
+         & info [ "window" ] ~docv:"W" ~doc:"Tumbling window length")
+  in
+  let lo = Arg.(value & opt int 0 & info [ "lo" ] ~doc:"Aggregation start") in
+  let hi = Arg.(value & opt int 40 & info [ "hi" ] ~doc:"Aggregation end") in
+  let check =
+    Arg.(value & flag
+         & info [ "check-rescan" ]
+             ~doc:"Recompute every window by a full per-window sweep and \
+                   require bit-identical rows")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit rows and stats as JSON") in
+  Cmd.v
+    (Cmd.info "agg"
+       ~doc:"Continuous per-POI aggregation: count, time-weighted density and \
+             distinct visitors per tumbling window, maintained incrementally \
+             from the update stream")
+    Term.(const agg_run $ seed_arg $ n_arg $ count $ Common_args.gap $ db_arg
+          $ poi $ npois $ d $ window $ lo $ hi $ check $ json)
+
+let alibi_run seed n dbfile oid1 oid2 d lo hi as_json =
+  let db = load_or_gen dbfile seed n in
+  let find oid =
+    match DB.find db oid with
+    | Some tr -> tr
+    | None -> die "alibi: no object %d in the MOD" oid
+  in
+  let o1 = find oid1 and o2 = find oid2 in
+  let d = rat_of_string_arg "d" d in
+  let verdict = AlibiX.decide ~o1 ~o2 ~d ~lo:(q lo) ~hi:(q hi) in
+  if as_json then
+    print_endline
+      (J.to_string
+         (J.Obj
+            (( "verdict",
+               J.Str (match verdict with
+                 | AlibiX.No_meet -> "no_meet"
+                 | AlibiX.Meet _ -> "meet") )
+             :: (match verdict with
+                 | AlibiX.No_meet -> []
+                 | AlibiX.Meet w ->
+                   [ ("witness", J.Str (Format.asprintf "%a" BX.pp_instant w)) ]))))
+  else begin
+    match verdict with
+    | AlibiX.No_meet ->
+      Format.printf
+        "alibi holds: objects %d and %d could not have been within %a of \
+         each other during [%d, %d]@."
+        oid1 oid2 Q.pp d lo hi
+    | AlibiX.Meet w ->
+      Format.printf
+        "no alibi: objects %d and %d are within %a at t = %a (earliest \
+         such instant in [%d, %d])@."
+        oid1 oid2 Q.pp d BX.pp_instant w lo hi
+  end
+
+let alibi_cmd =
+  let o1 = Arg.(value & opt int 1 & info [ "o1" ] ~doc:"First object id") in
+  let o2 = Arg.(value & opt int 2 & info [ "o2" ] ~doc:"Second object id") in
+  let d =
+    Arg.(value & opt string "5"
+         & info [ "dist" ] ~docv:"DIST"
+             ~doc:"Meeting distance; exact rational or decimal")
+  in
+  let lo = Arg.(value & opt int 0 & info [ "lo" ] ~doc:"Window start") in
+  let hi = Arg.(value & opt int 40 & info [ "hi" ] ~doc:"Window end") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON") in
+  Cmd.v
+    (Cmd.info "alibi"
+       ~doc:"The alibi query: decide exactly whether two objects could have \
+             been within distance DIST of each other during [lo, hi], with \
+             the earliest possible meeting instant as witness")
+    Term.(const alibi_run $ seed_arg $ n_arg $ db_arg $ o1 $ o2 $ d $ lo $ hi
+          $ json)
+
+let ingest_run csv dim quant terminate out as_json =
+  let quant = rat_of_string_arg "quant" quant in
+  match Ingest.csv_to_updates ~dim ~quant ~terminate (Moq_mod.Mod_io.read_file csv) with
+  | Error e -> die_parse csv e
+  | Ok (updates, s) ->
+    let stats_line oc =
+      Printf.fprintf oc
+        "ingested %d sample(s) of %d object(s): %d update(s), %d moving + %d \
+         stationary segment(s)\n"
+        s.Ingest.samples s.Ingest.objects s.Ingest.updates
+        s.Ingest.moving_segments s.Ingest.stationary_segments
+    in
+    (match out with
+     | Some path ->
+       Moq_mod.Mod_io.save_updates ~dim updates path;
+       if as_json then () else stats_line stdout
+     | None ->
+       (* update lines to stdout (pipe-friendly), summary to stderr *)
+       if not as_json then begin
+         List.iter
+           (fun u -> print_endline (Moq_mod.Mod_io.update_to_line u))
+           updates;
+         stats_line stderr
+       end);
+    if as_json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [ ("samples", J.Int s.Ingest.samples);
+                ("objects", J.Int s.Ingest.objects);
+                ("updates", J.Int s.Ingest.updates);
+                ("moving_segments", J.Int s.Ingest.moving_segments);
+                ("stationary_segments", J.Int s.Ingest.stationary_segments);
+              ]))
+
+let ingest_cmd =
+  let csv =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"CSV" ~doc:"Trace file: oid,t,x,y rows")
+  in
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Coordinate dimension") in
+  let quant =
+    Arg.(value & opt string "1/10"
+         & info [ "quant" ] ~docv:"Q"
+             ~doc:"Quantisation threshold: inter-sample displacement of \
+                   length <= Q parks the object instead of moving it")
+  in
+  let terminate =
+    Arg.(value & flag
+         & info [ "terminate" ]
+             ~doc:"Terminate each object at its last sample instead of \
+                   parking it")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the update stream here (mod_io format) instead of \
+                   stdout")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON") in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Turn a sampled GPS-style CSV trace into a piecewise-linear \
+             update stream: exact pass-through of moving samples, \
+             sub-threshold jitter absorbed as stationary segments, \
+             equal-time samples serialized by an arbitrarily small rational \
+             deferral")
+    Term.(const ingest_run $ csv $ dim $ quant $ terminate $ out $ json)
+
+(* ------------------------------------------------------------------ *)
 (* moq explain: plan + cost report for one query run                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,8 +883,41 @@ let explain_report kind seed n k lo hi dbfile backend =
   let module B = (val backend_module backend) in
   let module P = Explain_pipeline (B) in
   let t1 = Unix.gettimeofday () in
+  let agg_block = ref None in
   let kind_s, qdesc, classification, (sweep, hot, pieces, shards) =
     match kind with
+    | `Agg ->
+      (* continuous POI aggregation over the generated workload: k POIs on
+         the extent diagonal, the monitor/harvest path under a short mixed
+         update stream; always evaluated on the exact backend *)
+      let pois = resolve_pois [] (max 1 k) in
+      let cont =
+        try
+          AggX.Cont.create ~sink ~db ~pois ~d:(q 25) ~window:(q 10)
+            ~lo:(q lo) ~hi:(q hi) ()
+        with Invalid_argument m -> die "explain agg: %s" m
+      in
+      let gap = Q.div (Q.sub (q hi) (q lo)) (q 12) in
+      let updates =
+        if Q.sign gap > 0 then
+          Gen.mixed_stream ~seed:(seed + 1) ~db ~start:(q lo) ~gap ~count:10 ()
+        else []
+      in
+      List.iter (fun u -> ignore (AggX.Cont.apply_update cont u)) updates;
+      let rows = AggX.Cont.finalize cont in
+      let s = AggX.Cont.stats cont in
+      agg_block :=
+        Some
+          { Explain.a_pois = s.Agg.pois; a_windows = s.Agg.windows;
+            a_rows = s.Agg.rows; a_admitted = s.Agg.admitted;
+            a_pruned = s.Agg.pruned; a_updates = s.Agg.updates;
+            a_forwarded = s.Agg.forwarded };
+      ( "agg",
+        Printf.sprintf
+          "%d POI(s), radius 25, window 10, aggregated over [%d, %d]"
+          (List.length pois) lo hi,
+        "continuing",
+        (zero_sweep, [], List.length rows, None) )
     | `Knn ->
       ( "knn",
         Printf.sprintf "%d-NN to the origin over [%d, %d]" k lo hi,
@@ -660,9 +961,13 @@ let explain_report kind seed n k lo hi dbfile backend =
           f_straddles = s.BFl.straddles }
     | `Exact | `Approx -> None
   in
-  Explain.make ~kind:kind_s ~query:qdesc ~backend:(backend_name backend)
+  let backend_str =
+    match kind with `Agg -> "exact" | _ -> backend_name backend
+  in
+  Explain.make ~kind:kind_s ~query:qdesc ~backend:backend_str
     ~classification ~n_objects:(DB.cardinal db) ~lo:(float_of_int lo)
-    ~hi:(float_of_int hi) ~timeline_pieces:pieces ~sweep ?filter ?shards ~hot
+    ~hi:(float_of_int hi) ~timeline_pieces:pieces ~sweep ?filter ?shards
+    ?agg:!agg_block ~hot
     ~phases:
       [ { Explain.name = "load_db"; ns = 1e9 *. t_load };
         { Explain.name = "run"; ns = 1e9 *. t_run } ]
@@ -677,13 +982,22 @@ let explain_run kind seed n k lo hi dbfile backend as_json log_level log_json =
 let explain_cmd =
   let kind =
     Arg.(value
-         & pos 0 (enum [ ("knn", `Knn); ("past", `Past); ("cql", `Cql) ]) `Knn
+         & pos 0
+             (enum
+                [ ("knn", `Knn); ("past", `Past); ("cql", `Cql);
+                  ("agg", `Agg) ])
+             `Knn
          & info [] ~docv:"KIND"
              ~doc:"What to explain: $(b,knn) (k-NN timeline), $(b,past) \
-                   (nearest-neighbour past query), or $(b,cql) \
-                   (classification-driven: sweeps only if the query is past)")
+                   (nearest-neighbour past query), $(b,cql) \
+                   (classification-driven: sweeps only if the query is past), \
+                   or $(b,agg) (continuous POI aggregation — the agg block)")
   in
-  let k = Arg.(value & opt int 2 & info [ "k"; "neighbours" ] ~doc:"Neighbours for knn") in
+  let k =
+    Arg.(value & opt int 2
+         & info [ "k"; "neighbours" ]
+             ~doc:"Neighbours for knn; POI count for agg")
+  in
   let lo = Arg.(value & opt int 0 & info [ "lo" ] ~doc:"Window start") in
   let hi = Arg.(value & opt int 50 & info [ "hi" ] ~doc:"Window end") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (stable schema)") in
@@ -1655,8 +1969,9 @@ let () =
       (Cmd.eval
          (Cmd.group (Cmd.info "moq" ~doc)
             [ trace_cmd; knn_cmd; monitor_cmd; classify_cmd; reduction_cmd; generate_cmd;
-              show_cmd; replay_cmd; recover_cmd; stats_cmd; serve_cmd; client_cmd;
-              chaos_cmd; top_cmd; explain_cmd; blackbox_cmd ]))
+              show_cmd; agg_cmd; alibi_cmd; ingest_cmd; replay_cmd; recover_cmd;
+              stats_cmd; serve_cmd; client_cmd; chaos_cmd; top_cmd; explain_cmd;
+              blackbox_cmd ]))
   with
   | Moq_mod.Mod_io.Parse (line, msg) -> die "parse error at line %d: %s" line msg
   | Sys_error msg -> die "%s" msg

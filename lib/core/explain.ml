@@ -42,6 +42,16 @@ type shards = {
   s_band : float option;
 }
 
+type agg = {
+  a_pois : int;
+  a_windows : int;
+  a_rows : int;
+  a_admitted : int;
+  a_pruned : int;
+  a_updates : int;
+  a_forwarded : int;
+}
+
 type hot = {
   oid : int;
   comparisons : int;
@@ -66,6 +76,7 @@ type t = {
   lemma9 : lemma9;
   filter : filter option;
   shards : shards option;
+  agg : agg option;
   hot : hot list;
   phases : phase list;
   counters : (string * float) list;
@@ -78,7 +89,7 @@ let counter counters name =
   match List.assoc_opt name counters with Some v -> v | None -> 0.
 
 let make ~kind ~query ~backend ?(classification = "n/a") ~n_objects ~lo ~hi
-    ~timeline_pieces ~sweep ?filter ?shards ?(hot = []) ?(phases = [])
+    ~timeline_pieces ~sweep ?filter ?shards ?agg ?(hot = []) ?(phases = [])
     ~counters () =
   let events = int_of_float (counter counters "moq_sweep_events_total") in
   let event_comparisons =
@@ -93,7 +104,7 @@ let make ~kind ~query ~backend ?(classification = "n/a") ~n_objects ~lo ~hi
       within = ops_per_event <= bound }
   in
   { kind; query; backend; classification; n_objects; lo; hi; timeline_pieces;
-    sweep; lemma9; filter; shards; hot; phases; counters }
+    sweep; lemma9; filter; shards; agg; hot; phases; counters }
 
 let top_hot ?(k = 5) t =
   let rec take n = function
@@ -161,6 +172,17 @@ let shards_to_json s =
         match s.s_band with None -> Json.Null | Some b -> Json.Float b );
     ]
 
+let agg_to_json a =
+  Json.Obj
+    [ ("pois", Json.Int a.a_pois);
+      ("windows", Json.Int a.a_windows);
+      ("rows", Json.Int a.a_rows);
+      ("watch_admitted", Json.Int a.a_admitted);
+      ("watch_pruned", Json.Int a.a_pruned);
+      ("updates", Json.Int a.a_updates);
+      ("forwarded", Json.Int a.a_forwarded);
+    ]
+
 let hot_to_json h =
   Json.Obj
     [ ("oid", Json.Int h.oid);
@@ -173,7 +195,7 @@ let phase_to_json p =
 
 let to_json t =
   Json.Obj
-    [ ("moq_explain", Json.Int 2);
+    [ ("moq_explain", Json.Int 3);
       ("kind", Json.Str t.kind);
       ("query", Json.Str t.query);
       ("backend", Json.Str t.backend);
@@ -188,6 +210,7 @@ let to_json t =
         match t.filter with None -> Json.Null | Some f -> filter_to_json f );
       ( "shards",
         match t.shards with None -> Json.Null | Some s -> shards_to_json s );
+      ("agg", match t.agg with None -> Json.Null | Some a -> agg_to_json a);
       ("hot", Json.List (List.map hot_to_json t.hot));
       ("hot_coverage_top5", Json.Float (hot_coverage t));
       ("phases", Json.List (List.map phase_to_json t.phases));
@@ -258,6 +281,19 @@ let to_text t =
      (match s.s_band with
       | None -> line "  band          none (all shards swept)"
       | Some b -> line "  band          %.6g (squared distance)" b));
+  (match t.agg with
+   | None -> ()
+   | Some a ->
+     line "aggregation";
+     line "  pois          %d, %d window(s) each" a.a_pois a.a_windows;
+     line "  rows          %d finalized" a.a_rows;
+     line "  watch         %d admitted, %d pruned" a.a_admitted a.a_pruned;
+     let pop = a.a_admitted + a.a_pruned in
+     if pop > 0 then
+       line "  prune rate    %.1f%%"
+         (100. *. float_of_int a.a_pruned /. float_of_int pop);
+     line "  updates       %d offered, %d forwarded into POI monitors"
+       a.a_updates a.a_forwarded);
   (match top_hot t with
    | [] -> ()
    | hs ->

@@ -59,6 +59,17 @@ type shards = {
   s_band : float option;  (** the band bound B (squared distance) *)
 }
 
+(** Continuous POI aggregation outcome ([moq agg] / agg subscriptions). *)
+type agg = {
+  a_pois : int;      (** places of interest *)
+  a_windows : int;   (** tumbling windows per POI *)
+  a_rows : int;      (** rows finalized *)
+  a_admitted : int;  (** watch admissions across POIs (initial + lazy) *)
+  a_pruned : int;    (** admission tests that kept an object out *)
+  a_updates : int;   (** updates offered to the aggregation *)
+  a_forwarded : int; (** update deliveries into per-POI monitors *)
+}
+
 (** Per-object attribution, hottest first. *)
 type hot = {
   oid : int;
@@ -88,6 +99,7 @@ type t = {
   lemma9 : lemma9;
   filter : filter option;
   shards : shards option;
+  agg : agg option;
   hot : hot list;
   phases : phase list;
   counters : (string * float) list;
@@ -103,7 +115,7 @@ val lemma9_bound : n_objects:int -> float
 val make :
   kind:string -> query:string -> backend:string -> ?classification:string ->
   n_objects:int -> lo:float -> hi:float -> timeline_pieces:int ->
-  sweep:sweep -> ?filter:filter -> ?shards:shards -> ?hot:hot list ->
+  sweep:sweep -> ?filter:filter -> ?shards:shards -> ?agg:agg -> ?hot:hot list ->
   ?phases:phase list ->
   counters:(string * float) list -> unit -> t
 (** Assemble a report.  The {!lemma9} block is derived here: events and
@@ -119,9 +131,10 @@ val hot_coverage : t -> float
     hot objects; 0 when attribution is off or nothing was attributed. *)
 
 val to_json : t -> Moq_obs.Json.t
-(** Stable, golden-tested schema; top-level key [moq_explain = 2].
+(** Stable, golden-tested schema; top-level key [moq_explain = 3].
     Version history: 1 = original; 2 = added the [shards] block (null for
-    unsharded runs). *)
+    unsharded runs); 3 = added the [agg] block (null for non-aggregation
+    runs). *)
 
 val to_text : t -> string
 (** Aligned human-readable report (what [moq explain] prints without

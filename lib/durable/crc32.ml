@@ -15,8 +15,25 @@ let string s =
 
 let to_hex c = Printf.sprintf "%08x" (c land 0xFFFFFFFF)
 
+(* Strict inverse of [to_hex]: exactly 8 lowercase hex digits.  A looser
+   parse (e.g. [int_of_string "0x.."]) would accept case-flipped digits
+   that denote the same value, so single-bit corruption of the CRC text
+   itself could go undetected. *)
 let of_hex s =
   if String.length s <> 8 then None
-  else begin
-    try Some (int_of_string ("0x" ^ s)) with Failure _ -> None
-  end
+  else
+    let ok = ref true in
+    let v = ref 0 in
+    String.iter
+      (fun c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | _ ->
+            ok := false;
+            0
+        in
+        v := (!v lsl 4) lor d)
+      s;
+    if !ok then Some !v else None

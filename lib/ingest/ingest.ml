@@ -1,0 +1,274 @@
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module U = Moq_mod.Update
+
+type sample = { oid : int; t : Q.t; pos : Qvec.t }
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let split_csv s =
+  String.split_on_char ',' s |> List.map String.trim
+
+let parse_line ~dim line =
+  if is_blank line then Ok None
+  else
+    let line = String.trim line in
+    if String.length line > 0 && line.[0] = '#' then Ok None
+    else
+      match split_csv line with
+      | oid :: t :: coords when List.length coords = dim -> (
+        (* a conventional header row is tolerated, once per file or not *)
+        if String.lowercase_ascii oid = "oid" then Ok None
+        else
+          match int_of_string_opt oid with
+          | None -> Error (Printf.sprintf "bad oid %S" oid)
+          | Some oid when oid <= 0 -> Error (Printf.sprintf "oid must be positive, got %d" oid)
+          | Some oid -> (
+            let rat name s =
+              match Q.of_string s with
+              | q -> Ok q
+              | exception _ -> Error (Printf.sprintf "bad %s %S" name s)
+            in
+            match rat "t" t with
+            | Error _ as e -> e
+            | Ok t -> (
+              let rec coords_of acc i = function
+                | [] -> Ok (List.rev acc)
+                | c :: rest -> (
+                  match rat (Printf.sprintf "x_%d" i) c with
+                  | Error _ as e -> e
+                  | Ok q -> coords_of (q :: acc) (i + 1) rest)
+              in
+              match coords_of [] 1 coords with
+              | Error e -> Error e
+              | Ok cs -> Ok (Some { oid; t; pos = Qvec.of_list cs }))))
+      | fields ->
+        Error
+          (Printf.sprintf "expected oid,t and %d coordinates, got %d fields" dim
+             (List.length fields))
+
+let parse_csv ?(dim = 2) content =
+  let lines = String.split_on_char '\n' content in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line ~dim line with
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      | Ok None -> go acc (lineno + 1) rest
+      | Ok (Some s) -> go (s :: acc) (lineno + 1) rest)
+  in
+  go [] 1 lines
+
+(* ---- segmentation ---- *)
+
+let default_quant = Q.of_ints 1 10
+
+let by_object samples =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let prev = try Hashtbl.find tbl s.oid with Not_found -> [] in
+      Hashtbl.replace tbl s.oid (s :: prev))
+    samples;
+  Hashtbl.fold
+    (fun oid ss acc ->
+      let ss = List.stable_sort (fun a b -> Q.compare a.t b.t) (List.rev ss) in
+      (* duplicate timestamps: keep the first occurrence *)
+      let rec dedup = function
+        | a :: b :: rest when Q.equal a.t b.t -> dedup (a :: rest)
+        | a :: rest -> a :: dedup rest
+        | [] -> []
+      in
+      (oid, dedup ss) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Segmentation plans in event form.  A target is the sample a moving
+   segment must pass through; [None] means park (velocity zero).  Keeping
+   targets rather than velocities lets the serializer re-aim a segment
+   whose start the collision pass had to defer. *)
+type target = { tt : Q.t; tp : Qvec.t }
+
+type ev_kind =
+  | E_new of Qvec.t * target option  (** first position, first segment *)
+  | E_seg of target option  (** segment boundary: retarget or park *)
+  | E_term
+
+type ev = { e_oid : int; e_tau : Q.t; e_kind : ev_kind }
+
+(* Per-object plan.  Decide moving-vs-stationary per inter-sample
+   displacement of the *model* position (stationary segments park the model,
+   so sub-threshold jitter is absorbed, never integrated). *)
+let plan_object ~quant2 ~terminate (oid, samples) =
+  match samples with
+  | [] -> ([], 0, 0)
+  | [ only ] ->
+    let final = if terminate then [ { e_oid = oid; e_tau = only.t; e_kind = E_term } ] else [] in
+    ({ e_oid = oid; e_tau = only.t; e_kind = E_new (only.pos, None) } :: final, 0, 0)
+  | first :: rest ->
+    let moving = ref 0 and stationary = ref 0 in
+    let model = ref first.pos in
+    let segs =
+      List.rev
+        (fst
+           (List.fold_left
+              (fun (acc, prev_t) s ->
+                let delta = Qvec.sub s.pos !model in
+                let tgt =
+                  if Q.compare (Qvec.len2 delta) quant2 <= 0 then begin
+                    incr stationary;
+                    None (* parked: jitter absorbed, model holds *)
+                  end
+                  else begin
+                    incr moving;
+                    model := s.pos;
+                    Some { tt = s.t; tp = s.pos }
+                  end
+                in
+                ((prev_t, tgt) :: acc, s.t))
+              ([], first.t) rest))
+    in
+    let last_t = (List.nth samples (List.length samples - 1)).t in
+    let tgt0 = match segs with [] -> None | (_, tgt) :: _ -> tgt in
+    let news = { e_oid = oid; e_tau = first.t; e_kind = E_new (first.pos, tgt0) } in
+    (* a boundary event per segment except stationary runs (parked stays
+       parked with no update at all) *)
+    let rec bounds prev = function
+      | [] -> []
+      | (tau, tgt) :: rest ->
+        if tgt = None && prev = None then bounds prev rest
+        else { e_oid = oid; e_tau = tau; e_kind = E_seg tgt } :: bounds tgt rest
+    in
+    let bound_evs = match segs with [] -> [] | (_, t0) :: rest -> bounds t0 rest in
+    let final =
+      if terminate then [ { e_oid = oid; e_tau = last_t; e_kind = E_term } ]
+      else begin
+        (* park at the trace end unless the last segment already parked *)
+        match List.rev segs with
+        | (_, Some _) :: _ -> [ { e_oid = oid; e_tau = last_t; e_kind = E_seg None } ]
+        | _ -> []
+      end
+    in
+    ((news :: bound_evs) @ final, !moving, !stationary)
+
+(* The MOD accepts one update per instant, strictly increasing (paper,
+   Definition 3) — but a real trace samples many objects at the same tick.
+   Serialize collisions: within a group of equal-time events (ordered by
+   oid) the j-th is deferred by j·δ, δ chosen well inside the gap to the
+   next distinct event time, and every deferred segment is re-aimed at its
+   target so moving samples are still hit exactly.  Deferred parking
+   events park up to (old velocity)·(group size)·δ past the sample — an
+   arbitrarily small, fully rational slack on top of the quantisation
+   bound. *)
+let serialize evs =
+  let evs =
+    List.stable_sort
+      (fun a b ->
+        let c = Q.compare a.e_tau b.e_tau in
+        if c <> 0 then c else compare a.e_oid b.e_oid)
+      evs
+  in
+  (* group by equal time, remembering each group's successor time *)
+  let rec groups = function
+    | [] -> []
+    | e :: rest ->
+      let same, later = List.partition (fun e' -> Q.equal e'.e_tau e.e_tau) rest in
+      let next = match later with [] -> None | e' :: _ -> Some e'.e_tau in
+      (e :: same, next) :: groups later
+  in
+  let state : (int, Qvec.t * Qvec.t) Hashtbl.t = Hashtbl.create 64 in
+  (* (a, b): current trajectory x = a·t + b *)
+  let emit acc (ev, tau') =
+    match ev.e_kind with
+    | E_term -> U.Terminate { oid = ev.e_oid; tau = tau' } :: acc
+    | E_new (p, tgt) ->
+      let dim = Qvec.dim p in
+      let v =
+        match tgt with
+        | None -> Qvec.zero dim
+        | Some { tt; tp } -> Qvec.scale (Q.div Q.one (Q.sub tt tau')) (Qvec.sub tp p)
+      in
+      let b = Qvec.sub p (Qvec.scale tau' v) in
+      Hashtbl.replace state ev.e_oid (v, b);
+      U.New { oid = ev.e_oid; tau = tau'; a = v; b } :: acc
+    | E_seg tgt ->
+      let a, b = Hashtbl.find state ev.e_oid in
+      let pos = Qvec.add (Qvec.scale tau' a) b in
+      let v =
+        match tgt with
+        | None -> Qvec.zero (Qvec.dim pos)
+        | Some { tt; tp } ->
+          Qvec.scale (Q.div Q.one (Q.sub tt tau')) (Qvec.sub tp pos)
+      in
+      if Qvec.equal v a then acc (* velocity unchanged: no update needed *)
+      else begin
+        Hashtbl.replace state ev.e_oid (v, Qvec.sub pos (Qvec.scale tau' v));
+        U.Chdir { oid = ev.e_oid; tau = tau'; a = v } :: acc
+      end
+  in
+  let acc =
+    List.fold_left
+      (fun acc (group, next) ->
+        let k = List.length group in
+        let tau = (List.hd group).e_tau in
+        let delta =
+          if k = 1 then Q.zero
+          else
+            let gap =
+              match next with
+              | Some n -> Q.sub n tau
+              | None -> Q.one (* nothing follows: any positive slack works *)
+            in
+            Q.div gap (Q.of_int (2 * k))
+        in
+        fst
+          (List.fold_left
+             (fun (acc, j) ev ->
+               let tau' = Q.add tau (Q.mul (Q.of_int j) delta) in
+               (emit acc (ev, tau'), j + 1))
+             (acc, 0) group))
+      [] (groups evs)
+  in
+  List.rev acc
+
+let segment_full ~quant ~terminate samples =
+  let quant2 = Q.mul quant quant in
+  let groups = by_object samples in
+  let plans = List.map (plan_object ~quant2 ~terminate) groups in
+  let updates = serialize (List.concat_map (fun (e, _, _) -> e) plans) in
+  let moving = List.fold_left (fun a (_, m, _) -> a + m) 0 plans in
+  let stationary = List.fold_left (fun a (_, _, s) -> a + s) 0 plans in
+  (updates, List.length groups, moving, stationary)
+
+let segment ?(quant = default_quant) ?(terminate = false) samples =
+  let updates, _, _, _ = segment_full ~quant ~terminate samples in
+  updates
+
+type stats = {
+  samples : int;
+  objects : int;
+  updates : int;
+  moving_segments : int;
+  stationary_segments : int;
+}
+
+let stats_of ~samples (updates, objects, moving, stationary) =
+  {
+    samples;
+    objects;
+    updates = List.length updates;
+    moving_segments = moving;
+    stationary_segments = stationary;
+  }
+
+let segment_stats ?(quant = default_quant) samples =
+  stats_of ~samples:(List.length samples)
+    (segment_full ~quant ~terminate:false samples)
+
+let csv_to_updates ?(dim = 2) ?(quant = default_quant) ?(terminate = false)
+    content =
+  match parse_csv ~dim content with
+  | Error _ as e -> e
+  | Ok samples ->
+    let ((updates, _, _, _) as full) = segment_full ~quant ~terminate samples in
+    Ok (updates, stats_of ~samples:(List.length samples) full)

@@ -1,0 +1,72 @@
+(** Real-trace ingestion: sampled GPS-style rows → piecewise-linear updates.
+
+    The paper's MOD stores piecewise-linear motion plans; real position
+    data arrives as discrete samples [oid,t,x,y].  This adapter turns a
+    sample stream into the [New]/[Chdir] update stream the rest of the
+    system speaks, with a quantisation threshold that separates genuine
+    motion from stationary jitter (GPS noise while parked), in the spirit
+    of the [quantisation_factor] used by trajectory-extraction pipelines
+    (SNIPPETS.md, Snippet 2).
+
+    Segmentation contract, per object with samples [(t_0,p_0) .. (t_k,p_k)]
+    and threshold [q]: the emitted trajectory is continuous piecewise
+    linear, starts at [p_0], and at each sample time [t_i] either passes
+    exactly through [p_i] (a moving segment) or is parked within distance
+    [q] of it (a stationary segment — the model holds its last position and
+    the sub-threshold displacement is absorbed, never integrated).  Moving
+    segments take the constant velocity [(p_i − model)/(t_i − t_{i−1})]
+    that lands the model exactly on the next sample, so drift never
+    exceeds [q]. *)
+
+module Q = Moq_numeric.Rat
+module Qvec = Moq_geom.Vec.Qvec
+module U = Moq_mod.Update
+
+type sample = { oid : int; t : Q.t; pos : Qvec.t }
+
+val parse_line : dim:int -> string -> (sample option, string) result
+(** One CSV row [oid,t,x_1,...,x_dim] with exact decimal/rational fields
+    (anything {!Moq_numeric.Rat.of_string} accepts).  [Ok None] for blank
+    lines, [#]-comments, and a leading [oid,t,x,y] header. *)
+
+val parse_csv : ?dim:int -> string -> (sample list, string) result
+(** Whole-trace parse (default [dim = 2]); errors carry the 1-based line
+    number.  Rows may arrive in any order. *)
+
+val segment : ?quant:Q.t -> ?terminate:bool -> sample list -> U.t list
+(** Updates from samples, merged across objects in time order.  [quant]
+    (default 1/10) is the stationary threshold: an inter-sample
+    displacement of squared length ≤ quant² parks the object instead of
+    moving it.  Each object gets a [New] at its first sample; [Chdir]s
+    only where the velocity actually changes; and at its last sample
+    either a parking [Chdir] to velocity zero (default) or a [Terminate]
+    when [terminate] is set.  Samples that repeat an object+time keep the
+    first occurrence; a lone sample yields a parked object.
+
+    The MOD accepts one update per instant with strictly increasing times
+    (paper, Definition 3), while a trace samples many objects at the same
+    tick — equal-time updates are therefore {e serialized}: the [j]-th
+    event of a collision group (ordered by oid) is deferred by [j·δ] for a
+    rational [δ] well inside the gap to the next event time, and deferred
+    segments are re-aimed at their target sample, so moving samples are
+    still passed through {e exactly}.  Only a deferred {e parking} event
+    drifts: the object parks up to (speed)·(group size)·δ past where it
+    would have — an arbitrarily small rational slack on top of the
+    quantisation bound. *)
+
+type stats = {
+  samples : int;
+  objects : int;
+  updates : int;
+  moving_segments : int;
+  stationary_segments : int;
+}
+
+val segment_stats : ?quant:Q.t -> sample list -> stats
+(** The segmentation summary [moq ingest] reports, without building the
+    update list twice. *)
+
+val csv_to_updates :
+  ?dim:int -> ?quant:Q.t -> ?terminate:bool -> string ->
+  (U.t list * stats, string) result
+(** [parse_csv] + [segment] + [segment_stats] in one call. *)

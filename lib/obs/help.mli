@@ -1,0 +1,15 @@
+(** HELP strings for exported metrics.
+
+    One table, keyed by metric name, consulted by {!Sink.of_registry} when
+    a handle is first created, so the Prometheus rendering ({!Export})
+    carries a [# HELP] line for every listed metric.  The table is the
+    code-side half of the README metric glossary: the [test/obs] parity
+    test diffs the two, so a metric added here without a glossary row (or
+    vice versa) fails CI. *)
+
+val find : string -> string option
+(** HELP text for a metric name; [None] for unlisted names (the exporter
+    then omits the [# HELP] line, as before). *)
+
+val all : (string * string) list
+(** The whole table, in declaration order — for the parity test. *)

@@ -50,9 +50,17 @@ let of_registry reg =
     Mutex.unlock cache_m;
     v
   in
-  let counter name = cached counters (Registry.counter reg) name in
-  let gauge name = cached gauges (Registry.gauge reg) name in
-  let histo name = cached histos (Registry.histogram reg) name in
+  (* Attach the glossary HELP text (when the name has one) at handle
+     creation, so sink-counted metrics export with a [# HELP] line. *)
+  let counter name =
+    cached counters (fun n -> Registry.counter ?help:(Help.find n) reg n) name
+  in
+  let gauge name =
+    cached gauges (fun n -> Registry.gauge ?help:(Help.find n) reg n) name
+  in
+  let histo name =
+    cached histos (fun n -> Registry.histogram ?help:(Help.find n) reg n) name
+  in
   { count = (fun name n -> Registry.add (counter name) n);
     observe = (fun name v -> Histo.observe (histo name) v);
     set = (fun name v -> Registry.set (gauge name) v);

@@ -76,7 +76,11 @@ let gdist_of_name = function
   | "speed-sq" -> Ok Speed_sq
   | w -> Error ("unknown g-distance: " ^ w)
 
-type sub_kind = Sub_knn of int | Sub_range of Q.t | Sub_gdist of gdist_id * Q.t
+type sub_kind =
+  | Sub_knn of int
+  | Sub_range of Q.t
+  | Sub_gdist of gdist_id * Q.t
+  | Sub_agg of { d : Q.t; window : Q.t; pois : Q.t list list }
 
 type query_kind = Qk_knn of int | Qk_range of Q.t
 
@@ -109,6 +113,11 @@ let render_request = function
       | Sub_range b -> Printf.sprintf "range %s" (Q.to_string b)
       | Sub_gdist (g, b) ->
         Printf.sprintf "gdist-threshold %s %s" (gdist_name g) (Q.to_string b)
+      | Sub_agg { d; window; pois } ->
+        String.concat " "
+          ("agg" :: Q.to_string d :: Q.to_string window
+           :: string_of_int (List.length pois)
+           :: List.concat_map (List.map Q.to_string) pois)
     in
     Printf.sprintf "SUBSCRIBE %s %s %s" k (Q.to_string lo) (Q.to_string hi)
   | Unsubscribe sub -> Printf.sprintf "UNSUBSCRIBE %d" sub
@@ -163,6 +172,41 @@ let parse_request ~dim payload =
     let* b = rat_tok b in
     let* lo, hi = parse_interval lo hi in
     Ok (Subscribe { kind = Sub_gdist (g, b); lo; hi })
+  | "SUBSCRIBE" :: "agg" :: d :: w :: np :: rest ->
+    let* d = rat_tok d in
+    let* window = rat_tok w in
+    let* np = int_tok np in
+    if np < 1 then Error "need at least one POI"
+    else if Q.sign d < 0 then Error "d must be non-negative"
+    else if Q.sign window <= 0 then Error "window must be positive"
+    else if List.length rest <> (np * dim) + 2 then
+      Error
+        (Printf.sprintf "agg: expected %d coordinates plus lo hi, got %d tokens"
+           (np * dim) (List.length rest))
+    else begin
+      let rec take_pois acc k toks =
+        if k = 0 then Ok (List.rev acc, toks)
+        else begin
+          let rec coords cacc j toks =
+            if j = 0 then Ok (List.rev cacc, toks)
+            else
+              match toks with
+              | [] -> Error "agg: truncated POI coordinates"
+              | t :: toks ->
+                let* q = rat_tok t in
+                coords (q :: cacc) (j - 1) toks
+          in
+          let* p, toks = coords [] dim toks in
+          take_pois (p :: acc) (k - 1) toks
+        end
+      in
+      let* pois, toks = take_pois [] np rest in
+      match toks with
+      | [ lo; hi ] ->
+        let* lo, hi = parse_interval lo hi in
+        Ok (Subscribe { kind = Sub_agg { d; window; pois }; lo; hi })
+      | _ -> Error "agg: expected lo hi after POI coordinates"
+    end
   | [ "UNSUBSCRIBE"; sub ] ->
     let* sub = int_tok sub in
     Ok (Unsubscribe sub)
@@ -186,7 +230,18 @@ let parse_request ~dim payload =
 (* ---------------------------------------------------------------- *)
 (* Pieces                                                            *)
 
-type piece = P_at of string * int list | P_span of string * string * int list
+type piece =
+  | P_at of string * int list
+  | P_span of string * string * int list
+  | P_agg of {
+      poi : int;
+      widx : int;
+      w_lo : string;
+      w_hi : string;
+      count : int;
+      density : float;
+      distinct : int;
+    }
 
 let render_piece = function
   | P_at (i, oids) ->
@@ -194,6 +249,11 @@ let render_piece = function
     String.concat " " ("at" :: encode_token i :: List.map string_of_int oids)
   | P_span (a, b, oids) ->
     String.concat " " ("span" :: encode_token a :: encode_token b :: List.map string_of_int oids)
+  | P_agg { poi; widx; w_lo; w_hi; count; density; distinct } ->
+    (* %h is a lossless hex float literal, so peers compare rows
+       bit-for-bit like they compare timeline instants *)
+    Printf.sprintf "agg %d %d %s %s %d %h %d" poi widx (encode_token w_lo)
+      (encode_token w_hi) count density distinct
 
 let parse_oids ws =
   List.fold_left
@@ -212,6 +272,18 @@ let parse_piece line =
   | "span" :: a :: b :: oids ->
     let* oids = parse_oids oids in
     Ok (P_span (decode_token a, decode_token b, oids))
+  | [ "agg"; poi; widx; w_lo; w_hi; count; density; distinct ] ->
+    let* poi = int_tok poi in
+    let* widx = int_tok widx in
+    let* count = int_tok count in
+    let* distinct = int_tok distinct in
+    (match float_of_string_opt density with
+     | None -> Error ("bad density: " ^ density)
+     | Some density ->
+       Ok
+         (P_agg
+            { poi; widx; w_lo = decode_token w_lo; w_hi = decode_token w_hi;
+              count; density; distinct }))
   | _ -> Error ("bad piece: " ^ line)
 
 let parse_pieces lines =

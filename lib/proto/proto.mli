@@ -15,6 +15,7 @@
     SUBSCRIBE knn 2 0 100
     SUBSCRIBE range 50 0 100
     SUBSCRIBE gdist-threshold speed-sq 9 0 100
+    SUBSCRIBE agg 5 10 2 0 0 40 40 0 100
     UNSUBSCRIBE 1
     QUERY knn 2 0 40 | QUERY range 50 0 40
     STATS json | STATS prometheus
@@ -60,6 +61,11 @@ type sub_kind =
   | Sub_knn of int  (** k nearest to the origin *)
   | Sub_range of Q.t  (** within squared distance of the origin *)
   | Sub_gdist of gdist_id * Q.t  (** below threshold under a named g-distance *)
+  | Sub_agg of { d : Q.t; window : Q.t; pois : Q.t list list }
+      (** continuous POI aggregation: per-POI tumbling-window rows over the
+          objects within distance [d].  On the wire:
+          [SUBSCRIBE agg <d> <window> <npois> <coord>... <lo> <hi>] with
+          [npois × dim] coordinates *)
 
 type query_kind = Qk_knn of int | Qk_range of Q.t
 
@@ -89,6 +95,18 @@ val parse_request : dim:int -> string -> (request, string) result
 type piece =
   | P_at of string * int list  (** encoded instant, answer OIDs ascending *)
   | P_span of string * string * int list
+  | P_agg of {
+      poi : int;  (** index into the subscription's POI list *)
+      widx : int;  (** window index, 0-based *)
+      w_lo : string;  (** window bounds, exact rational renderings *)
+      w_hi : string;
+      count : int;  (** objects within [d] at the window's end *)
+      density : float;  (** time-weighted average count; travels as a hex
+                            float literal, so the roundtrip is lossless *)
+      distinct : int;  (** distinct visitors over the window *)
+    }
+      (** one finalized aggregation row; rides the same [EVENT] stream as
+          timeline pieces and is never coalesced by {!simplify_pieces} *)
 
 val render_piece : piece -> string
 val parse_piece : string -> (piece, string) result

@@ -20,6 +20,8 @@ module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
 
 module BX = Moq_core.Backend.Exact
+module Agg = Moq_agg.Agg
+module AggX = Moq_agg.Agg.Make (BX)
 module Mon = Moq_core.Monitor.Make (BX)
 module Knn = Moq_core.Knn.Make (BX)
 module Range = Moq_core.Range_query.Make (BX)
@@ -111,6 +113,12 @@ type out_item =
     }
   | O_dropped of { sub : int; mutable from_seq : int; to_seq : int }
 
+(* What a subscription evaluates: a monitor streaming validated timeline
+   pieces, or a continuous POI aggregation streaming finalized window
+   rows.  Both ride the same EVENT sequence numbering and backpressure
+   machinery. *)
+type sub_body = S_mon of Mon.t | S_agg of AggX.Cont.t
+
 type sub = {
   sub_id : int;
   sub_hi : Q.t;
@@ -118,7 +126,7 @@ type sub = {
       (* home cell of the subscription's reference trajectory under the
          affinity grid — the routing key a shard-affine worker pool
          (ROADMAP item 2) partitions subscriptions by *)
-  mon : Mon.t;
+  body : sub_body;
   mutable next_seq : int;
 }
 
@@ -339,6 +347,10 @@ let gdist_of_kind t = function
   | Proto.Sub_knn _ | Proto.Sub_range _ | Proto.Sub_gdist (Proto.Euclidean_sq, _) ->
     Gdist.euclidean_sq ~gamma:(origin_gamma t.dim)
   | Proto.Sub_gdist (Proto.Speed_sq, _) -> Gdist.speed_sq
+  | Proto.Sub_agg _ ->
+    (* never monitored through a single g-distance: the subscribe path
+       builds one monitor per POI inside Agg.Cont instead *)
+    invalid_arg "agg subscriptions have no single g-distance"
 
 (* Shard affinity.  Subscriptions and updates both hash to a cell of one
    coarse affinity grid; an update whose object moves in (or next to) a
@@ -359,6 +371,14 @@ let affinity_shard_of_pos pos =
 let affinity_shard_of_sub t kind ~lo =
   match kind with
   | Proto.Sub_gdist (Proto.Speed_sq, _) -> affinity_shard_of_pos (Qvec.zero t.dim)
+  | Proto.Sub_agg { pois; _ } ->
+    (* anchored at the first POI; a multi-POI subscription has no single
+       home cell, but the first is as good a routing key as any *)
+    (match pois with
+     | (x :: rest) :: _ ->
+       let y = match rest with y :: _ -> y | [] -> Q.zero in
+       Moq_index.Grid.cell_of ~cell:affinity_cell (Q.to_float x, Q.to_float y)
+     | _ -> affinity_shard_of_pos (Qvec.zero t.dim))
   | Proto.Sub_knn _ | Proto.Sub_range _ | Proto.Sub_gdist (Proto.Euclidean_sq, _) ->
     let gamma = origin_gamma t.dim in
     let at = Q.max lo gamma_start in
@@ -383,13 +403,18 @@ let query_of_kind kind ~lo ~hi =
   match kind with
   | Proto.Sub_knn k -> if k = 1 then Fof.nearest_q ~interval else Fof.knn_q ~k ~interval
   | Proto.Sub_range b | Proto.Sub_gdist (_, b) -> Fof.within_q ~bound:b ~interval
+  | Proto.Sub_agg _ -> invalid_arg "agg subscriptions have no single query"
 
-(* t.lock held.  Push freshly validated pieces of [sub] to its session;
-   retire the subscription once its whole interval is valid. *)
-let push_fresh ?trace t sess sub =
-  let pieces = Mon.drain_valid sub.mon in
-  if pieces <> [] then begin
-    let wire = List.map wire_piece pieces in
+let wire_row (r : Agg.row) =
+  Proto.P_agg
+    { poi = r.Agg.r_poi; widx = r.Agg.r_widx; w_lo = Q.to_string r.Agg.r_lo;
+      w_hi = Q.to_string r.Agg.r_hi; count = r.Agg.r_count;
+      density = r.Agg.r_density; distinct = r.Agg.r_distinct }
+
+(* t.lock held.  Enqueue wire pieces for [sub] with consecutive sequence
+   numbers. *)
+let push_wire ?trace t sess sub wire =
+  if wire <> [] then begin
     let n = List.length wire in
     Sink.count t.sink "moq_server_pushed_events_total" n;
     let t0 = Unix.gettimeofday () in
@@ -399,8 +424,48 @@ let push_fresh ?trace t sess sub =
     Sink.observe t.sink "moq_stage_enqueue_ns" ((Unix.gettimeofday () -. t0) *. 1e9);
     record t "sub_pieces" [ ("sub", Json.Int sub.sub_id); ("n", Json.Int n) ];
     sub.next_seq <- sub.next_seq + n
-  end;
-  if Q.compare (Mon.clock sub.mon) sub.sub_hi >= 0 then begin
+  end
+
+(* t.lock held.  Push finalized aggregation rows, accounting the fanout
+   per POI: each POI's row count lands in the flight recorder, the total
+   in moq_agg_rows_pushed_total. *)
+let push_agg_rows ?trace t sess sub (rows : Agg.row list) =
+  if rows <> [] then begin
+    Sink.count t.sink "moq_agg_rows_pushed_total" (List.length rows);
+    let per_poi = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Agg.row) ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt per_poi r.Agg.r_poi) in
+        Hashtbl.replace per_poi r.Agg.r_poi (c + 1))
+      rows;
+    Hashtbl.iter
+      (fun poi n ->
+        record t "agg_rows"
+          [ ("sub", Json.Int sub.sub_id); ("poi", Json.Int poi);
+            ("n", Json.Int n) ])
+      per_poi;
+    push_wire ?trace t sess sub (List.map wire_row rows)
+  end
+
+(* t.lock held.  Push freshly validated pieces (or finalized aggregation
+   rows) of [sub] to its session; retire the subscription once its whole
+   interval is valid. *)
+let push_fresh ?trace t sess sub =
+  (match sub.body with
+   | S_mon mon -> push_wire ?trace t sess sub (List.map wire_piece (Mon.drain_valid mon))
+   | S_agg agg -> push_agg_rows ?trace t sess sub (AggX.Cont.drain_rows agg));
+  let clk =
+    match sub.body with S_mon mon -> Mon.clock mon | S_agg agg -> AggX.Cont.clock agg
+  in
+  if Q.compare clk sub.sub_hi >= 0 then begin
+    (match sub.body with
+     | S_mon _ -> ()
+     | S_agg agg ->
+       (* the per-POI monitors never close their trailing spans on their
+          own; finalize them so the last windows' rows flush before the
+          completion marker *)
+       ignore (AggX.Cont.finalize agg);
+       push_agg_rows ?trace t sess sub (AggX.Cont.drain_rows agg));
     Sink.count t.sink "moq_server_completed_subscriptions_total" 1;
     record t "sub_complete" [ ("sub", Json.Int sub.sub_id) ];
     enqueue_msg t sess (Proto.E_complete { sub = sub.sub_id });
@@ -420,7 +485,11 @@ let fanout ?trace t u =
            | Some _ | None ->
              Sink.count t.sink "moq_server_shard_remote_updates_total" 1);
           let t0 = Unix.gettimeofday () in
-          (match Mon.apply_update sub.mon u with
+          (match
+             match sub.body with
+             | S_mon mon -> Mon.apply_update mon u
+             | S_agg agg -> AggX.Cont.apply_update agg u
+           with
            | Ok () -> ()
            | Error _ -> Sink.count t.sink "moq_server_fanout_errors_total" 1);
           let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
@@ -583,16 +652,19 @@ let publish_hot t =
     (fun sess ->
       List.iter
         (fun sub ->
-          List.iter
-            (fun (h : Mon.E.hot) ->
-              let c, s =
-                match Hashtbl.find_opt tbl h.Mon.E.h_oid with
-                | Some cs -> cs
-                | None -> (0, 0)
-              in
-              Hashtbl.replace tbl h.Mon.E.h_oid
-                (c + h.Mon.E.h_comparisons, s + h.Mon.E.h_swaps))
-            (Mon.hot_objects sub.mon))
+          match sub.body with
+          | S_agg _ -> ()
+          | S_mon mon ->
+            List.iter
+              (fun (h : Mon.E.hot) ->
+                let c, s =
+                  match Hashtbl.find_opt tbl h.Mon.E.h_oid with
+                  | Some cs -> cs
+                  | None -> (0, 0)
+                in
+                Hashtbl.replace tbl h.Mon.E.h_oid
+                  (c + h.Mon.E.h_comparisons, s + h.Mon.E.h_swaps))
+              (Mon.hot_objects mon))
         sess.subs)
     t.sessions;
   let rows = Hashtbl.fold (fun oid (c, s) acc -> (oid, c, s) :: acc) tbl [] in
@@ -714,17 +786,29 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
                  msg = Printf.sprintf "at most %d subscriptions per session"
                          t.cfg.max_subs_per_session })
         else begin
-          let gdist = gdist_of_kind t kind in
-          let query = query_of_kind kind ~lo ~hi in
-          match
-            Mon.create ~sink:t.sink ~attr:t.cfg.hot_objects
-              ~db:(Store.db t.store) ~gdist ~query ()
-          with
-          | mon ->
+          let mk_body () =
+            match kind with
+            | Proto.Sub_agg { d; window; pois } ->
+              let pois = List.map Qvec.of_list pois in
+              let agg =
+                AggX.Cont.create ~sink:t.sink ~db:(Store.db t.store) ~pois ~d
+                  ~window ~lo ~hi ()
+              in
+              Sink.count t.sink "moq_agg_subscriptions_total" 1;
+              S_agg agg
+            | _ ->
+              let gdist = gdist_of_kind t kind in
+              let query = query_of_kind kind ~lo ~hi in
+              S_mon
+                (Mon.create ~sink:t.sink ~attr:t.cfg.hot_objects
+                   ~db:(Store.db t.store) ~gdist ~query ())
+          in
+          match mk_body () with
+          | body ->
             let sub_id = t.next_sub in
             t.next_sub <- t.next_sub + 1;
             let sub_shard = affinity_shard_of_sub t kind ~lo in
-            let sub = { sub_id; sub_hi = hi; sub_shard; mon; next_seq = 0 } in
+            let sub = { sub_id; sub_hi = hi; sub_shard; body; next_seq = 0 } in
             sess.subs <- sub :: sess.subs;
             Sink.count t.sink "moq_server_subscriptions_total" 1;
             let si, sj = sub_shard in
@@ -757,7 +841,11 @@ let dispatch t sess (req : Proto.request) (attrs : Proto.attrs) ~arrival =
             (Proto.R_err { code = "unknown-sub"; msg = string_of_int sub_id })
         | Some sub ->
           sess.subs <- List.filter (fun s -> s.sub_id <> sub_id) sess.subs;
-          let pieces = List.map wire_piece (Mon.valid_timeline sub.mon) in
+          let pieces =
+            match sub.body with
+            | S_mon mon -> List.map wire_piece (Mon.valid_timeline mon)
+            | S_agg agg -> List.map wire_row (AggX.Cont.rows agg)
+          in
           enqueue_msg t sess (Proto.R_unsubscribe { sub = sub_id; pieces }));
     true
   | Proto.Query { kind; lo; hi } ->
@@ -1477,6 +1565,8 @@ let start ?registry cfg =
        Sink.count sink "moq_server_rpcs_total" 0;
        Sink.count sink "moq_server_dropped_events_total" 0;
        Sink.count sink "moq_slowq_total" 0;
+       Sink.count sink "moq_agg_subscriptions_total" 0;
+       Sink.count sink "moq_agg_rows_pushed_total" 0;
        if cfg.follow <> None then begin
          (* same for the freshness gauges before the first repl frame *)
          Sink.set sink "moq_repl_lag_updates" 0.;

@@ -6,13 +6,13 @@ module U = Moq_mod.Update
 
 let q = Q.of_int
 
-let rand_int st lo hi = lo + Random.State.int st (hi - lo + 1)
+let rand_int st lo hi = lo + Prng.int st (hi - lo + 1)
 
 let rand_vec st dim bound =
   Qvec.of_list (List.init dim (fun _ -> q (rand_int st (- bound) bound)))
 
 let uniform_db ~seed ~n ?(dim = 2) ?(extent = 1000) ?(speed = 10) () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let db = DB.empty ~dim ~tau:(q 0) in
   let rec add db i =
     if i > n then db
@@ -27,7 +27,7 @@ let uniform_db ~seed ~n ?(dim = 2) ?(extent = 1000) ?(speed = 10) () =
 
 let clustered_db ~seed ~n ?(dim = 2) ?(clusters = 0) ?(spacing = 10_000)
     ?(spread = 200) ?(speed = 5) () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let clusters = if clusters > 0 then clusters else max 1 (n / 100) in
   let w = int_of_float (Float.ceil (sqrt (float_of_int clusters))) in
   let center d c =
@@ -63,7 +63,7 @@ let permutation_with_inversions st n k =
   let k = min k (n * (n - 1) / 2) in
   let made = ref 0 in
   while !made < k do
-    let i = Random.State.int st (n - 1) in
+    let i = Prng.int st (n - 1) in
     if p.(i) < p.(i + 1) then begin
       let x = p.(i) in
       p.(i) <- p.(i + 1);
@@ -75,7 +75,7 @@ let permutation_with_inversions st n k =
 
 let inversions_db ~seed ~n ~inversions ~horizon =
   if Q.sign horizon <= 0 then invalid_arg "Gen.inversions_db: horizon must be positive";
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let p = permutation_with_inversions st n inversions in
   let db = DB.empty ~dim:1 ~tau:(q 0) in
   (* object i: height i at time 0, height p(i)·n + i/(n+1) at the horizon —
@@ -97,7 +97,7 @@ let inversions_db ~seed ~n ~inversions ~horizon =
    apart (near-tangency) — exactly where a float filter must fall back to
    exact arithmetic instead of guessing. *)
 let tangency_db ~seed ~n () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let db = DB.empty ~dim:2 ~tau:(q 0) in
   let eps = Q.of_ints 1 1_000_000 in
   let rec add db j =
@@ -136,7 +136,7 @@ let tangency_db ~seed ~n () =
    crosses simultaneously at [at], so the sweep pops one N-way batch —
    the simultaneous-crossing stress case. *)
 let pencil_db ~seed ~n ~at () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let y0 = q (rand_int st (-5) 5) in
   let db = DB.empty ~dim:1 ~tau:(q 0) in
   let rec add db i =
@@ -157,7 +157,7 @@ let pencil_db ~seed ~n ~at () =
 let live_oids db t = List.map fst (DB.live db t)
 
 let chdir_stream ~seed ~db ~start ~gap ~count ?(speed = 10) () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let dim = DB.dim db in
   let rec go acc db i =
     if i > count then List.rev acc
@@ -166,22 +166,71 @@ let chdir_stream ~seed ~db ~start ~gap ~count ?(speed = 10) () =
       match live_oids db tau with
       | [] -> List.rev acc
       | oids ->
-        let o = List.nth oids (Random.State.int st (List.length oids)) in
+        let o = List.nth oids (Prng.int st (List.length oids)) in
         let u = U.Chdir { oid = o; tau; a = rand_vec st dim speed } in
         go (u :: acc) (DB.apply_exn db u) (i + 1)
     end
   in
   go [] db 1
 
+(* GPS-style sampled trace: each object alternates dwell phases (parked,
+   with sub-metre jitter an ingest quantisation threshold should absorb)
+   and travel phases (a velocity held for a few samples).  Positions live
+   on a 1/100 grid so the CSV round-trips exactly through decimal
+   notation.  Rows come out sorted by (t, oid), like a real trace file. *)
+let trace_like ~seed ~n ~steps ?(dt = Q.one) ?(extent = 1000) ?(speed = 10)
+    ?(pause = 30) () =
+  if n <= 0 || steps <= 0 then invalid_arg "Gen.trace_like";
+  if Q.sign dt <= 0 then invalid_arg "Gen.trace_like: dt must be positive";
+  let st = Prng.create seed in
+  let centi k = Q.of_ints k 100 in
+  (* per-object mutable state: position, velocity, samples left in phase *)
+  let pos = Array.init n (fun _ -> Array.init 2 (fun _ -> q (rand_int st (-extent) extent))) in
+  let vel = Array.make n [| Q.zero; Q.zero |] in
+  let hold = Array.make n 0 in
+  let rows = ref [] in
+  for step = 0 to steps - 1 do
+    let t = Q.mul (q step) dt in
+    for o = 0 to n - 1 do
+      if step > 0 then begin
+        if hold.(o) = 0 then begin
+          if Prng.int st 100 < pause then begin
+            vel.(o) <- [| Q.zero; Q.zero |];
+            hold.(o) <- rand_int st 2 5
+          end
+          else begin
+            vel.(o) <-
+              Array.init 2 (fun _ ->
+                  Q.add (q (rand_int st (-speed) speed))
+                    (centi (rand_int st (-99) 99)));
+            hold.(o) <- rand_int st 2 6
+          end
+        end;
+        hold.(o) <- hold.(o) - 1;
+        let parked = Array.for_all (fun v -> Q.sign v = 0) vel.(o) in
+        pos.(o) <-
+          Array.mapi
+            (fun d x ->
+              if parked then
+                (* dwell jitter, well under any sane quantisation threshold *)
+                Q.add x (centi (rand_int st (-3) 3))
+              else Q.add x (Q.mul vel.(o).(d) dt))
+            pos.(o)
+      end;
+      rows := (o + 1, t, Qvec.of_list (Array.to_list pos.(o))) :: !rows
+    done
+  done;
+  List.rev !rows
+
 let mixed_stream ~seed ~db ~start ~gap ~count ?(speed = 10) ?(extent = 1000) () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.create seed in
   let dim = DB.dim db in
   let next_oid = ref (1 + List.fold_left max 0 (DB.oids db)) in
   let rec go acc db i =
     if i > count then List.rev acc
     else begin
       let tau = Q.add start (Q.mul (q i) gap) in
-      let roll = Random.State.int st 10 in
+      let roll = Prng.int st 10 in
       let u =
         if roll < 2 || live_oids db tau = [] then begin
           let o = !next_oid in
@@ -190,7 +239,7 @@ let mixed_stream ~seed ~db ~start ~gap ~count ?(speed = 10) ?(extent = 1000) () 
         end
         else begin
           let oids = live_oids db tau in
-          let o = List.nth oids (Random.State.int st (List.length oids)) in
+          let o = List.nth oids (Prng.int st (List.length oids)) in
           if roll = 2 && List.length oids > 1 then U.Terminate { oid = o; tau }
           else U.Chdir { oid = o; tau; a = rand_vec st dim speed }
         end

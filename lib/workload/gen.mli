@@ -50,6 +50,20 @@ val pencil_db : seed:int -> n:int -> at:Q.t -> unit -> DB.t
     simultaneous-crossing stress case for event batching and for exact
     equality of event times. *)
 
+val trace_like :
+  seed:int -> n:int -> steps:int -> ?dt:Q.t -> ?extent:int -> ?speed:int ->
+  ?pause:int -> unit -> (int * Q.t * Moq_geom.Vec.Qvec.t) list
+(** GPS-style sampled trace rows [(oid, t, position)], sorted by [(t, oid)]:
+    [n] objects (OIDs 1..n) sampled at times [0, dt, 2·dt, ...] for [steps]
+    samples each.  Objects alternate dwell phases — parked, with ±0.03
+    positional jitter that a quantisation threshold ≥ 0.1 absorbs — and
+    travel phases holding a velocity (≤ [speed] + 1 per axis) for a few
+    samples.  [pause] is the percent chance (default 30) a phase change
+    starts a dwell.  Positions are exact rationals on a 1/100 grid, so
+    rendering them as decimals round-trips exactly.  Feed the rows to
+    {!Moq_ingest.Ingest.segment} to obtain an update stream — benches get
+    ingest-shaped load with no external data. *)
+
 val chdir_stream :
   seed:int -> db:DB.t -> start:Q.t -> gap:Q.t -> count:int -> ?speed:int -> unit -> U.t list
 (** [count] direction changes on random live objects, one every [gap],

@@ -1,0 +1,31 @@
+type t = { mutable s : int64 }
+
+(* Mix the integer seed through one golden-gamma step so that small seeds
+   (0, 1, 2, ...) still start far apart in state space. *)
+let create seed = { s = Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let copy t = { s = t.s }
+
+let next64 t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* OCaml's native int is 63-bit; keep 62 bits so the value stays
+     non-negative after Int64.to_int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  r /. 9007199254740992.0 *. bound

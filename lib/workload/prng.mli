@@ -1,0 +1,32 @@
+(** Self-contained splitmix64 PRNG.
+
+    [Stdlib.Random] changed algorithms between OCaml 4.x (legacy linear
+    feedback) and 5.x (L64X128MX), so the same seed produces different
+    workloads on the two compilers CI exercises.  Benches compared across
+    compiler versions need byte-identical generator output, hence this
+    tiny version-independent generator: splitmix64 (Steele–Lea–Flood,
+    OOPSLA 2014), defined purely in terms of [Int64] wraparound
+    arithmetic, which OCaml specifies identically everywhere. *)
+
+type t
+
+val create : int -> t
+(** Seed a fresh stream.  Equal seeds yield equal streams on every OCaml
+    version and platform. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** The raw 64-bit splitmix64 output. *)
+
+val bits : t -> int
+(** 30 uniform bits (range [0, 2^30)), mirroring [Random.bits]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [0, bound).  Raises [Invalid_argument]
+    if [bound <= 0].  (Modulo reduction over 63 bits: bias is < 2^-50 for
+    every bound this repo uses — irrelevant for workload generation, and
+    determinism is the point.) *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound), from 53 bits. *)

@@ -31,7 +31,8 @@ import sys
 
 HIGHER_IS_BETTER = ("rps", "agg_query_rps", "rps_trace_off", "rps_trace_on",
                     "rps_obs_off", "rps_obs_on", "speedup_vs_exact",
-                    "hot_coverage_pct", "prune_rate")
+                    "hot_coverage_pct", "prune_rate",
+                    "agg_speedup_vs_rescan")
 LOWER_IS_BETTER = ("p50_ms", "p99_ms", "primary_p99_ms", "e2e_p50_ms",
                    "e2e_p99_ms", "per_event_growth")
 

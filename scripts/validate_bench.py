@@ -43,10 +43,25 @@ plus optional per-experiment extras:
     "per_event_growth": float  # > 0; per-event cost ratio largest/second N
     "prune_rate": float        # in [0, 1]; fraction of objects index-pruned
     "identical_to_exact": bool # must be true — sharded output is bit-exact
+    "agg_speedup_vs_rescan": float  # > 0; aggregation experiments (w1) only
+    "agg_identical": bool      # must be true — incremental rows == rescan rows
+    "agg_rows": int            # > 0; w1 only
+    "agg_pois": int            # > 0; w1 only
+    "agg_windows": int         # > 0; w1 only
+    "watch_admitted": int      # >= 0; w1 only
+    "watch_pruned": int        # >= 0; w1 only
+    "ingest_updates": int      # > 0; w1 only
+    "alibi_cases": int         # > 0; w1 only
+    "alibi_meets": int         # >= 0, <= alibi_cases; w1 only
+    "alibi_identical": bool    # must be true — exact == filtered verdicts
+
+The "exp" id must come from the known experiment registry (bench/main.ml);
+duplicate keys anywhere in the JSON document are rejected.
 
 Usage: validate_bench.py [--min-hit-rate X] [--max-trace-overhead X]
                          [--max-explain-overhead X] [--min-hot-coverage X]
                          [--min-prune-rate X] [--max-per-event-growth X]
+                         [--min-agg-speedup X]
                          FILE...
 With --min-hit-rate, files carrying "filter_hit_rate" below X fail.
 With --max-trace-overhead, files carrying "trace_overhead_pct" above X fail.
@@ -54,6 +69,7 @@ With --max-explain-overhead, files carrying "explain_overhead_pct" above X fail.
 With --min-hot-coverage, files carrying "hot_coverage_pct" below X fail.
 With --min-prune-rate, files carrying "prune_rate" below X fail.
 With --max-per-event-growth, files carrying "per_event_growth" above X fail.
+With --min-agg-speedup, files carrying "agg_speedup_vs_rescan" below X fail.
 Exits non-zero with one `file: message` line per problem.
 """
 import argparse
@@ -61,6 +77,11 @@ import json
 import sys
 
 METRIC_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+# the experiment registry in bench/main.ml — an id not listed here is a typo
+# or an experiment whose extras this validator does not know how to check
+KNOWN_EXPS = {"f1", "f2", "f3", "p1", "t2", "t4", "t5a", "t5b", "t10",
+              "b1", "b2", "b3", "a1", "a2", "a3", "r1", "s1", "s2", "s3",
+              "o1", "o2", "w1"}
 REQUIRED = {"exp", "n", "seed", "wall_s", "counters"}
 OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "connections", "rps", "p50_ms", "p99_ms", "pushed_events",
@@ -75,7 +96,22 @@ OPTIONAL = {"backend", "filter_hit_rate", "speedup_vs_exact",
             "hot_total_comparisons", "hot_attributed_objects",
             "slowq_captured", "flight_recorded",
             "per_event_ns_by_n", "per_event_growth", "prune_rate",
-            "identical_to_exact"}
+            "identical_to_exact",
+            "agg_speedup_vs_rescan", "agg_identical", "agg_rows",
+            "agg_pois", "agg_windows", "watch_admitted", "watch_pruned",
+            "ingest_updates", "alibi_cases", "alibi_meets",
+            "alibi_identical"}
+
+
+def reject_duplicate_keys(pairs):
+    """object_pairs_hook: a duplicate key means the emitter wrote the same
+    extras field twice — the last occurrence would silently win."""
+    seen = set()
+    for key, _ in pairs:
+        if key in seen:
+            raise ValueError("duplicate key %r" % key)
+        seen.add(key)
+    return dict(pairs)
 
 
 def is_number(v):
@@ -84,10 +120,11 @@ def is_number(v):
 
 def problems(path, min_hit_rate=None, max_trace_overhead=None,
              max_explain_overhead=None, min_hot_coverage=None,
-             min_prune_rate=None, max_per_event_growth=None):
+             min_prune_rate=None, max_per_event_growth=None,
+             min_agg_speedup=None):
     try:
         with open(path) as fh:
-            doc = json.load(fh)
+            doc = json.load(fh, object_pairs_hook=reject_duplicate_keys)
     except (OSError, ValueError) as exc:
         yield str(exc)
         return
@@ -99,6 +136,9 @@ def problems(path, min_hit_rate=None, max_trace_overhead=None,
         yield "unexpected keys: %s" % ", ".join(extra)
     if not isinstance(doc.get("exp"), str) or not doc.get("exp"):
         yield "'exp' must be a non-empty string"
+    elif doc["exp"] not in KNOWN_EXPS:
+        yield "'exp' %r is not a known experiment id (%s)" % (
+            doc["exp"], ", ".join(sorted(KNOWN_EXPS)))
     for key in ("n", "seed"):
         if not isinstance(doc.get(key), int) or isinstance(doc.get(key), bool):
             yield "'%s' must be an integer" % key
@@ -249,6 +289,39 @@ def problems(path, min_hit_rate=None, max_trace_overhead=None,
     if "identical_to_exact" in doc and doc["identical_to_exact"] is not True:
         yield ("'identical_to_exact' must be true — the sharded timeline "
                "diverged from the exact backend")
+    if "agg_speedup_vs_rescan" in doc:
+        speedup = doc["agg_speedup_vs_rescan"]
+        if not is_number(speedup) or speedup <= 0:
+            yield "'agg_speedup_vs_rescan' must be a positive number"
+        elif min_agg_speedup is not None and speedup < min_agg_speedup:
+            yield ("agg_speedup_vs_rescan %.2f below required minimum %.2f — "
+                   "incremental maintenance lost its edge over rescans" % (
+                       speedup, min_agg_speedup))
+    elif min_agg_speedup is not None:
+        yield "--min-agg-speedup given but file has no 'agg_speedup_vs_rescan'"
+    if "agg_identical" in doc and doc["agg_identical"] is not True:
+        yield ("'agg_identical' must be true — incremental aggregation rows "
+               "diverged from the rescan baseline")
+    if "alibi_identical" in doc and doc["alibi_identical"] is not True:
+        yield ("'alibi_identical' must be true — alibi verdicts diverged "
+               "between the exact and filtered backends")
+    for key in ("agg_rows", "agg_pois", "agg_windows", "ingest_updates",
+                "alibi_cases"):
+        if key in doc and (
+            not isinstance(doc[key], int) or isinstance(doc[key], bool)
+            or doc[key] <= 0
+        ):
+            yield "'%s' must be a positive integer" % key
+    for key in ("watch_admitted", "watch_pruned", "alibi_meets"):
+        if key in doc and (
+            not isinstance(doc[key], int) or isinstance(doc[key], bool)
+            or doc[key] < 0
+        ):
+            yield "'%s' must be a non-negative integer" % key
+    if (isinstance(doc.get("alibi_meets"), int)
+            and isinstance(doc.get("alibi_cases"), int)
+            and doc["alibi_meets"] > doc["alibi_cases"]):
+        yield "'alibi_meets' must be <= 'alibi_cases'"
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         yield "'counters' must be an object"
@@ -280,6 +353,9 @@ def main(argv):
     parser.add_argument("--max-per-event-growth", type=float, default=None,
                         metavar="X",
                         help="fail files whose per_event_growth is above X")
+    parser.add_argument("--min-agg-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail files whose agg_speedup_vs_rescan is below X")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
     bad = 0
@@ -290,7 +366,8 @@ def main(argv):
                             max_explain_overhead=args.max_explain_overhead,
                             min_hot_coverage=args.min_hot_coverage,
                             min_prune_rate=args.min_prune_rate,
-                            max_per_event_growth=args.max_per_event_growth):
+                            max_per_event_growth=args.max_per_event_growth,
+                            min_agg_speedup=args.min_agg_speedup):
             print("%s: %s" % (path, msg), file=sys.stderr)
             found = True
         if found:

@@ -56,7 +56,11 @@ let run_report ?(seed = 11) ?(n = 16) ?(k = 2) ?(lo = 0) ?(hi = 40) () =
 let golden_keys =
   [ "moq_explain"; "kind"; "query"; "backend"; "classification"; "n_objects";
     "lo"; "hi"; "timeline_pieces"; "sweep"; "lemma9"; "filter"; "shards";
-    "hot"; "hot_coverage_top5"; "phases"; "counters" ]
+    "agg"; "hot"; "hot_coverage_top5"; "phases"; "counters" ]
+
+let golden_agg_keys =
+  [ "pois"; "windows"; "rows"; "watch_admitted"; "watch_pruned"; "updates";
+    "forwarded" ]
 
 let golden_shards_keys =
   [ "total"; "touched"; "admitted"; "pruned"; "frontier_merge_ops";
@@ -90,8 +94,8 @@ let test_golden_schema () =
   Alcotest.(check (list string)) "lemma9 keys" golden_lemma9_keys
     (obj_keys (field j "lemma9"));
   (match field j "moq_explain" with
-   | Json.Int 2 -> ()
-   | _ -> Alcotest.fail "schema version tag must be 2");
+   | Json.Int 3 -> ()
+   | _ -> Alcotest.fail "schema version tag must be 3");
   (* the exact backend carries no filter block *)
   (match field j "filter" with
    | Json.Null -> ()
@@ -100,6 +104,10 @@ let test_golden_schema () =
   (match field j "shards" with
    | Json.Null -> ()
    | _ -> Alcotest.fail "unsharded run: shards must be null");
+  (* a non-aggregation run carries no agg block *)
+  (match field j "agg" with
+   | Json.Null -> ()
+   | _ -> Alcotest.fail "non-aggregation run: agg must be null");
   (* the report must also survive a print (no exceptions, non-empty) *)
   Alcotest.(check bool) "to_text renders" true
     (String.length (Explain.to_text report) > 0)
@@ -165,6 +173,34 @@ let test_sharded_report () =
   in
   Alcotest.(check bool) "to_text has sharding section" true
     (contains txt "sharding")
+
+(* An aggregation run populates the agg block under the same golden key
+   order; prune accounting is self-consistent. *)
+let test_agg_report () =
+  let sweep =
+    { Explain.batches = 0; crossings = 0; births = 0; deaths = 0; jumps = 0;
+      swaps = 0; comparisons = 0; support_changes = 0 }
+  in
+  let agg =
+    { Explain.a_pois = 3; a_windows = 5; a_rows = 15; a_admitted = 9;
+      a_pruned = 21; a_updates = 40; a_forwarded = 24 }
+  in
+  let report =
+    Explain.make ~kind:"agg" ~query:"test agg" ~backend:"exact" ~n_objects:10
+      ~lo:0. ~hi:50. ~timeline_pieces:0 ~sweep ~agg ~counters:[] ()
+  in
+  let j = Explain.to_json report in
+  Alcotest.(check (list string)) "top-level keys" golden_keys (obj_keys j);
+  Alcotest.(check (list string)) "agg keys" golden_agg_keys
+    (obj_keys (field j "agg"));
+  let txt = Explain.to_text report in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "to_text has aggregation section" true
+    (contains txt "aggregation")
 
 let test_counters_reconcile () =
   let report, reg = run_report () in
@@ -239,7 +275,8 @@ let () =
     [ ("schema",
        [ Alcotest.test_case "golden JSON key set" `Quick test_golden_schema;
          Alcotest.test_case "sharded report shards block" `Quick
-           test_sharded_report ]);
+           test_sharded_report;
+         Alcotest.test_case "agg report agg block" `Quick test_agg_report ]);
       ("reconcile",
        [ Alcotest.test_case "report = registry" `Quick test_counters_reconcile ]);
       ("lemma9",

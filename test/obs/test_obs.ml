@@ -8,6 +8,7 @@ module Registry = Moq_obs.Registry
 module Export = Moq_obs.Export
 module Json = Moq_obs.Json
 module Sink = Moq_obs.Sink
+module Help = Moq_obs.Help
 module Trace = Moq_obs.Trace
 module Recorder = Moq_obs.Recorder
 
@@ -383,6 +384,86 @@ let test_recorder_dump_roundtrip () =
      Sys.remove path);
   (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* HELP-string parity: Help table <-> README metric glossary <-> export *)
+(* ------------------------------------------------------------------ *)
+
+(* Backticked moq_shard_* / moq_agg_* names in the README glossary table.
+   The table rows are the lines starting with "| `moq_"; a row may name
+   several metrics (slash-separated cells). *)
+let glossary_names () =
+  (* cwd is the repo root under `dune exec`, the test's own directory
+     under `dune runtest` (where the dune dep materializes the file two
+     levels up) *)
+  let path =
+    List.find Sys.file_exists [ "README.md"; "../../README.md" ]
+  in
+  let ic = open_in path in
+  let names = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.length l > 3 && String.sub l 0 3 = "| `" then begin
+         (* collect every `...` span on the row, keep full metric names *)
+         let n = String.length l in
+         let i = ref 0 in
+         while !i < n do
+           if l.[!i] = '`' then begin
+             let j = try String.index_from l (!i + 1) '`' with Not_found -> n in
+             if j < n then begin
+               let tok = String.sub l (!i + 1) (j - !i - 1) in
+               let has_prefix p =
+                 String.length tok >= String.length p
+                 && String.sub tok 0 (String.length p) = p
+               in
+               if has_prefix "moq_shard_" || has_prefix "moq_agg_" then
+                 names := tok :: !names;
+               i := j + 1
+             end
+             else i := n
+           end
+           else incr i
+         done
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.sort_uniq compare !names
+
+let test_help_glossary_parity () =
+  let glossary = glossary_names () in
+  let table = List.sort_uniq compare (List.map fst Help.all) in
+  Alcotest.(check (list string))
+    "README glossary rows and Help table carry the same metric names"
+    glossary table
+
+let test_help_reaches_exporter () =
+  let reg = Registry.create () in
+  let sink = Sink.of_registry reg in
+  List.iter
+    (fun (name, _) ->
+      let is_suffix suf =
+        let ls = String.length suf and ln = String.length name in
+        ln >= ls && String.sub name (ln - ls) ls = suf
+      in
+      if is_suffix "_seconds" then Sink.observe sink name 0.01
+      else if name = "moq_shard_shards" then Sink.set sink name 4.
+      else Sink.count sink name 1)
+    Help.all;
+  let out = Export.prometheus reg in
+  List.iter
+    (fun (name, help) ->
+      let expect = Printf.sprintf "# HELP %s %s\n" name help in
+      let found =
+        let ln = String.length out and le = String.length expect in
+        let rec scan i =
+          i + le <= ln && (String.sub out i le = expect || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (name ^ " exports its HELP line") true found)
+    Help.all
+
 let () =
   Alcotest.run "obs"
     [ ("histo",
@@ -402,6 +483,11 @@ let () =
        [ Alcotest.test_case "ring buffer" `Quick test_trace_ring;
          Alcotest.test_case "nesting and safety" `Quick test_trace_nesting ]);
       ("sink", [ Alcotest.test_case "noop and live" `Quick test_sink ]);
+      ("help",
+       [ Alcotest.test_case "table matches README glossary" `Quick
+           test_help_glossary_parity;
+         Alcotest.test_case "HELP lines reach the exporter" `Quick
+           test_help_reaches_exporter ]);
       ("sweep",
        [ Alcotest.test_case "instrumentation vs naive baseline" `Quick
            test_sweep_matches_naive ]);

@@ -129,6 +129,12 @@ let requests =
     Proto.Subscribe { kind = Proto.Sub_range (Q.of_string "49/4"); lo = q 1; hi = q 10 };
     Proto.Subscribe { kind = Proto.Sub_gdist (Proto.Speed_sq, q 9); lo = q 0; hi = q 5 };
     Proto.Subscribe { kind = Proto.Sub_gdist (Proto.Euclidean_sq, q 16); lo = q 0; hi = q 5 };
+    Proto.Subscribe
+      { kind =
+          Proto.Sub_agg
+            { d = q 5; window = Q.of_string "10/3";
+              pois = [ [ q 0; q 0 ]; [ Q.of_string "-40"; Q.of_string "163/7" ] ] };
+        lo = q 0; hi = q 100 };
     Proto.Unsubscribe 4;
     Proto.Query { kind = Proto.Qk_knn 1; lo = q 0; hi = q 40 };
     Proto.Query { kind = Proto.Qk_range (q 50); lo = q 0; hi = q 40 };
@@ -212,7 +218,68 @@ let test_piece_roundtrip () =
       | Error e -> Alcotest.failf "%s: %s" s e)
     [ Proto.P_at ("0", []);
       Proto.P_at (algebraic, [ 1; 2; 3 ]);
-      Proto.P_span ("-7/2", algebraic, [ 9 ]) ]
+      Proto.P_span ("-7/2", algebraic, [ 9 ]);
+      Proto.P_agg
+        { poi = 0; widx = 3; w_lo = "30"; w_hi = "40"; count = 2;
+          density = 2.5; distinct = 4 } ]
+
+(* The agg wire grammar: arity is data-dependent (npois × dim
+   coordinates), and density travels as a hex float literal. *)
+let test_agg_wire () =
+  (* hex-float density is lossless even for values with no finite decimal
+     (or binary-decimal) rendering *)
+  List.iter
+    (fun density ->
+      let p =
+        Proto.P_agg
+          { poi = 1; widx = 0; w_lo = "0"; w_hi = "10/3"; count = 3; density;
+            distinct = 7 }
+      in
+      match Proto.parse_piece (Proto.render_piece p) with
+      | Ok (Proto.P_agg got) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "density %.17g bit-exact" density)
+          true
+          (Int64.equal (Int64.bits_of_float got.density)
+             (Int64.bits_of_float density))
+      | Ok _ -> Alcotest.fail "parsed to a non-agg piece"
+      | Error e -> Alcotest.fail e)
+    [ 0.0; 1.0 /. 3.0; 0.1; 1e-300; 12345.6789 ];
+  (* agg rows ride the EVENT stream like any other piece *)
+  let msg =
+    Proto.E_pieces
+      { sub = 3; first_seq = 0;
+        pieces =
+          [ Proto.P_agg
+              { poi = 0; widx = 0; w_lo = "0"; w_hi = "10"; count = 1;
+                density = 0.75; distinct = 1 };
+            Proto.P_at ("5", [ 1 ]) ] }
+  in
+  (match Proto.parse_server_msg (Proto.render_server_msg msg) with
+   | Ok got -> Alcotest.(check bool) "agg pieces in EVENT" true (got = msg)
+   | Error e -> Alcotest.fail e);
+  (* np / coordinate-arity validation *)
+  List.iter
+    (fun s ->
+      match Proto.parse_request ~dim:2 s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed agg subscription %S" s)
+    [ "SUBSCRIBE agg";
+      "SUBSCRIBE agg 5 10";
+      "SUBSCRIBE agg 5 10 x 0 0 0 100";
+      (* np = 2 but only one POI's coordinates present *)
+      "SUBSCRIBE agg 5 10 2 0 0 0 100";
+      (* coordinates fine, lo/hi missing *)
+      "SUBSCRIBE agg 5 10 2 0 0 40 40";
+      (* one coordinate short for dim 2 *)
+      "SUBSCRIBE agg 5 10 1 0 0 100";
+      (* non-rational coordinate *)
+      "SUBSCRIBE agg 5 10 1 0 z 0 100" ];
+  (* the same np-sensitive head parses under the right dim *)
+  match Proto.parse_request ~dim:3 "SUBSCRIBE agg 5 10 1 1 2 3 0 100" with
+  | Ok (Proto.Subscribe { kind = Proto.Sub_agg { pois = [ [ _; _; _ ] ]; _ }; _ }) -> ()
+  | Ok _ -> Alcotest.fail "dim-3 agg subscription parsed to the wrong shape"
+  | Error e -> Alcotest.fail e
 
 let test_malformed_requests () =
   List.iter
@@ -451,6 +518,7 @@ let () =
          Alcotest.test_case "server msg roundtrip" `Quick test_server_msg_roundtrip;
          Alcotest.test_case "is_event" `Quick test_is_event;
          Alcotest.test_case "piece roundtrip" `Quick test_piece_roundtrip;
+         Alcotest.test_case "agg wire grammar" `Quick test_agg_wire;
          Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
          Alcotest.test_case "malformed server msgs" `Quick test_malformed_server_msgs ]);
       ("attrs",

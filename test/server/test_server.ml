@@ -19,6 +19,8 @@ module Fof = Moq_core.Fof
 module Gdist = Moq_core.Gdist
 module BX = Moq_core.Backend.Exact
 module MonX = Moq_core.Monitor.Make (BX)
+module Agg = Moq_agg.Agg
+module AggX = Moq_agg.Agg.Make (BX)
 module Frame = Moq_proto.Frame
 module Proto = Moq_proto.Proto
 module Server = Moq_server.Server
@@ -199,6 +201,12 @@ let wire_piece = function
 
 let origin_gamma dim = T.stationary ~start:(q (-1_000_000_000)) (Qvec.zero dim)
 
+let wire_row (r : Agg.row) =
+  Proto.P_agg
+    { poi = r.Agg.r_poi; widx = r.Agg.r_widx; w_lo = Q.to_string r.Agg.r_lo;
+      w_hi = Q.to_string r.Agg.r_hi; count = r.Agg.r_count;
+      density = r.Agg.r_density; distinct = r.Agg.r_distinct }
+
 let test_subscription_matches_monitor () =
   with_server (fun srv _dir db ->
       let c = connect srv in
@@ -258,6 +266,103 @@ let test_subscription_matches_monitor () =
          Alcotest.(check bool) "validated timeline matches" true
            (pieces = List.map wire_piece (MonX.valid_timeline mon))
        | m -> Alcotest.failf "unsubscribe failed: %s" (Proto.render_server_msg m));
+      Client.close c)
+
+(* SUBSCRIBE agg end to end: the pushed P_agg rows equal a reference
+   in-process Cont fed the same updates, the stream ends with
+   EVENT-COMPLETE once the horizon is valid, and the fanout counters
+   land in the exporter. *)
+let test_agg_subscription_end_to_end () =
+  with_server (fun srv _dir db ->
+      let c = connect srv in
+      ignore (hello c);
+      let d = q 40 and window = q 5 and lo = q 0 and hi = q 10 in
+      let pois = [ [ q 0; q 0 ]; [ q 15; q (-15) ] ] in
+      let sub =
+        match
+          req c
+            (Proto.Subscribe
+               { kind = Proto.Sub_agg { d; window; pois }; lo; hi })
+        with
+        | Proto.R_subscribe { sub } -> sub
+        | m -> Alcotest.failf "subscribe failed: %s" (Proto.render_server_msg m)
+      in
+      let cont =
+        AggX.Cont.create ~db ~pois:(List.map Qvec.of_list pois) ~d ~window ~lo
+          ~hi ()
+      in
+      let reference = ref (List.map wire_row (AggX.Cont.drain_rows cont)) in
+      let updates =
+        [ U.Chdir { oid = 1; tau = q 2; a = vec [ -3; 0 ] };
+          U.New { oid = 5; tau = q 4; a = vec [ 2; 2 ]; b = vec [ -10; -10 ] };
+          U.Chdir { oid = 2; tau = q 7; a = vec [ 0; 0 ] };
+          U.Terminate { oid = 3; tau = q 9 };
+          (* past hi: validates the whole interval and completes the sub *)
+          U.Chdir { oid = 5; tau = q 11; a = vec [ 0; -1 ] } ]
+      in
+      List.iter
+        (fun u ->
+          (match req c (Proto.Update u) with
+           | Proto.R_update Proto.V_accepted -> ()
+           | m -> Alcotest.failf "update not accepted: %s" (Proto.render_server_msg m));
+          (match AggX.Cont.apply_update cont u with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "reference cont: %a" DB.pp_error e);
+          reference := !reference @ List.map wire_row (AggX.Cont.drain_rows cont))
+        updates;
+      (* mirror the server's completion flush *)
+      ignore (AggX.Cont.finalize cont);
+      reference := !reference @ List.map wire_row (AggX.Cont.drain_rows cont);
+      ignore (req c Proto.Ping);
+      let streamed = ref [] and next_seq = ref 0 and completed = ref false in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Proto.E_pieces { sub = s; first_seq; pieces } ->
+            Alcotest.(check int) "event sub id" sub s;
+            Alcotest.(check int) "contiguous sequence" !next_seq first_seq;
+            next_seq := first_seq + List.length pieces;
+            List.iter
+              (function
+                | Proto.P_agg _ -> ()
+                | p ->
+                  Alcotest.failf "non-agg piece on an agg stream: %s"
+                    (Proto.render_piece p))
+              pieces;
+            streamed := !streamed @ pieces
+          | Proto.E_complete { sub = s } ->
+            Alcotest.(check int) "complete sub id" sub s;
+            completed := true
+          | Proto.E_dropped _ -> Alcotest.fail "no drops expected at this rate"
+          | _ -> ())
+        (Client.drain_events c);
+      Alcotest.(check bool) "rows were streamed" true (!streamed <> []);
+      Alcotest.(check bool) "pushed rows equal reference drain" true
+        (!streamed = !reference);
+      Alcotest.(check bool) "EVENT-COMPLETE after horizon" true !completed;
+      (* the completed subscription is retired server-side *)
+      expect_err "unknown-sub" (req c (Proto.Unsubscribe sub));
+      (* fanout accounting is visible in the exporter *)
+      (match req c (Proto.Stats `Prometheus) with
+       | Proto.R_stats text ->
+         let value name =
+           let v = ref None in
+           List.iter
+             (fun line ->
+               match String.split_on_char ' ' line with
+               | [ n; x ] when n = name -> v := Some x
+               | _ -> ())
+             (String.split_on_char '\n' text);
+           match !v with
+           | Some x -> x
+           | None -> Alcotest.failf "%s missing from exporter output" name
+         in
+         Alcotest.(check string) "one agg subscription" "1"
+           (value "moq_agg_subscriptions_total");
+         Alcotest.(check string) "every pushed row accounted"
+           (string_of_int (List.length !streamed))
+           (value "moq_agg_rows_pushed_total")
+       | m -> Alcotest.failf "stats failed: %s" (Proto.render_server_msg m));
       Client.close c)
 
 (* ------------------------------------------------------------------ *)
@@ -650,7 +755,7 @@ let test_slow_query_capture () =
          (match List.assoc_opt "explain" e.Recorder.fields with
           | Some (Json.Obj kvs) ->
             Alcotest.(check bool) "explain schema tag" true
-              (List.assoc_opt "moq_explain" kvs = Some (Json.Int 2))
+              (List.assoc_opt "moq_explain" kvs = Some (Json.Int 3))
           | _ -> Alcotest.fail "slow_query event carries no explain"));
       Client.close c)
 
@@ -742,7 +847,9 @@ let () =
          Alcotest.test_case "quarantine graduates" `Quick test_quarantine_graduates ]);
       ("subscriptions",
        [ Alcotest.test_case "stream matches reference monitor" `Quick
-           test_subscription_matches_monitor ]);
+           test_subscription_matches_monitor;
+         Alcotest.test_case "agg stream end to end" `Quick
+           test_agg_subscription_end_to_end ]);
       ("limits",
        [ Alcotest.test_case "admission busy" `Quick test_admission_busy;
          Alcotest.test_case "subscription limit" `Quick test_sub_limit;
